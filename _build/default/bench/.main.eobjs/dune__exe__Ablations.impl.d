@@ -1,0 +1,1 @@
+bench/ablations.ml: Bench_common Cpu Framework Instr Instr_crypt Instr_mpx Instr_sfi Ir List Memsentry Ms_util Printf Program Stats Table_fmt Technique Workloads X86sim

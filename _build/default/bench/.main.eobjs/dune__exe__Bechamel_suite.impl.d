@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance Measure Memsentry Printf Staged Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Framework List Memsentry Mpk Ms_util Printf String Table_fmt Technique Workloads

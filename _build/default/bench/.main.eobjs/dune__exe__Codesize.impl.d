@@ -1,0 +1,1 @@
+bench/codesize.ml: Bench_common Framework Instr Ir List Memsentry Ms_util Stats Table_fmt Technique Workloads X86sim

@@ -1,0 +1,1 @@
+bench/domains.ml: List Memsentry Ms_util Multi_domain Table_fmt

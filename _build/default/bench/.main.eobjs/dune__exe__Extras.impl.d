@@ -1,0 +1,1 @@
+bench/extras.ml: Bench_common Bytes Framework Instr Ir List Memsentry Ms_util Multi_domain Printf Sgx_sim Stats Table_fmt Technique Workloads X86sim

@@ -1,0 +1,1 @@
+bench/fig3.ml: Bench_common Framework Instr Memsentry Technique

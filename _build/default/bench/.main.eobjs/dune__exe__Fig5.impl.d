@@ -1,0 +1,1 @@
+bench/fig5.ml: Bench_common Instr Memsentry

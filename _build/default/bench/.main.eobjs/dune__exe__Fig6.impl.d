@@ -1,0 +1,1 @@
+bench/fig6.ml: Bench_common Instr Memsentry

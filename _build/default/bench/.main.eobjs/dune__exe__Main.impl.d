@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Attacks Bechamel_suite Bench_common Codesize Domains Extras Fig3 Fig4 Fig5 Fig6 List Memsentry Printf Servers Sys Table4

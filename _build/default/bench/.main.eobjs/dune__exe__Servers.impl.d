@@ -1,0 +1,1 @@
+bench/servers.ml: Bench_common Framework Instr List Memsentry Ms_util Printf Table_fmt Technique Workloads

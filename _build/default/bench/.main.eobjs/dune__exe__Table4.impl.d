@@ -1,0 +1,1 @@
+bench/table4.ml: Aesni Array Bytes Cpu Insn Layout List Mmu Mpk Mpx Ms_util Program Reg Sgx_sim Table_fmt Vmx X86sim

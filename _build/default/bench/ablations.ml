@@ -1,0 +1,167 @@
+(* Ablations of the design choices DESIGN.md calls out:
+   1. MPX single upper-bound check vs GCC-style full (both-bounds) check —
+      the paper's central MPX insight (§5.4, §6.3: the full check is
+      "slightly worse than our SFI results").
+   2. MPK with vs without the wrpkru ordering fence.
+   3. VMFUNC with vs without Dune's syscall->hypercall conversion.
+   4. crypt with round keys in ymm high halves vs spilled to memory
+      (§5.3: memory keys are both insecure and slower). *)
+
+open Ms_util
+open Memsentry
+open X86sim
+
+let profiles () = List.map Workloads.Spec2006.find [ "perlbench"; "gcc"; "hmmer"; "povray" ]
+
+let iterations () = !Bench_common.iterations
+
+(* Run one lowered workload under an address-based check function. *)
+let addr_based_overhead prof ~check =
+  let lowered = Workloads.Synth.lowered ~iterations:(iterations ()) prof in
+  let base = Workloads.Runner.run_baseline ~iterations:(iterations ()) prof in
+  let cpu = Cpu.create () in
+  Ir.Lower.setup_memory cpu lowered;
+  Instr_mpx.setup cpu;
+  let items = Instr.address_based ~check ~kind:Instr.Reads_and_writes lowered.Ir.Lower.mitems in
+  Cpu.load_program cpu (Program.assemble items);
+  (match Cpu.run cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Out_of_fuel -> failwith "ablation: out of fuel");
+  Cpu.cycles cpu /. base.Workloads.Runner.cycles
+
+let mpx_single_vs_full () =
+  let t = Table_fmt.create [ "benchmark"; "MPX single"; "MPX full"; "SFI" ] in
+  let rows =
+    List.map
+      (fun prof ->
+        let single = addr_based_overhead prof ~check:Instr_mpx.check in
+        let full = addr_based_overhead prof ~check:Instr_mpx.check_full in
+        let sfi = addr_based_overhead prof ~check:Instr_sfi.check in
+        Table_fmt.add_row t
+          [
+            Bench_common.short prof.Workloads.Profile.name;
+            Table_fmt.cell_f single;
+            Table_fmt.cell_f full;
+            Table_fmt.cell_f sfi;
+          ];
+        (single, full, sfi))
+      (profiles ())
+  in
+  Table_fmt.add_sep t;
+  let g f = Stats.geomean (List.map f rows) in
+  Table_fmt.add_row t
+    [
+      "geomean";
+      Table_fmt.cell_f (g (fun (a, _, _) -> a));
+      Table_fmt.cell_f (g (fun (_, b, _) -> b));
+      Table_fmt.cell_f (g (fun (_, _, c) -> c));
+    ];
+  print_endline "Ablation 1: MPX single-bound check vs full check vs SFI (rw)";
+  print_endline "(paper: the full check is slightly worse than SFI; the single check wins)";
+  Table_fmt.print t;
+  print_newline ()
+
+(* Helper: run a workload under a config but with a CPU tweak applied
+   post-prepare (timing-model flags only; instrumentation unchanged). *)
+let overhead_with_tweak prof cfg tweak =
+  let base = Workloads.Runner.run_baseline ~iterations:(iterations ()) prof in
+  let lowered = Workloads.Synth.lowered ~iterations:(iterations ()) prof in
+  let p = Framework.prepare cfg lowered in
+  tweak p.Framework.cpu;
+  (match Framework.run p with
+  | Cpu.Halted -> ()
+  | Cpu.Out_of_fuel -> failwith "ablation: out of fuel");
+  Cpu.cycles p.Framework.cpu /. base.Workloads.Runner.cycles
+
+let two_column ~title ~cols f =
+  let c1, c2 = cols in
+  let t = Table_fmt.create [ "benchmark"; c1; c2 ] in
+  let rows =
+    List.map
+      (fun prof ->
+        let a, b = f prof in
+        Table_fmt.add_row t
+          [ Bench_common.short prof.Workloads.Profile.name; Table_fmt.cell_f a; Table_fmt.cell_f b ];
+        (a, b))
+      (profiles ())
+  in
+  Table_fmt.add_sep t;
+  Table_fmt.add_row t
+    [
+      "geomean";
+      Table_fmt.cell_f (Stats.geomean (List.map fst rows));
+      Table_fmt.cell_f (Stats.geomean (List.map snd rows));
+    ];
+  print_endline title;
+  Table_fmt.print t;
+  print_newline ()
+
+let mpk_fence () =
+  let cfg = Bench_common.mpk_cfg Instr.At_call_ret in
+  two_column ~title:"Ablation 2: MPK call/ret switching, with vs without the wrpkru fence"
+    ~cols:("fenced", "unfenced") (fun prof ->
+      ( overhead_with_tweak prof cfg (fun _ -> ()),
+        overhead_with_tweak prof cfg (fun cpu -> cpu.Cpu.wrpkru_serialize <- false) ))
+
+let vmfunc_dune_tax () =
+  (* SPEC makes almost no syscalls, so the sandbox tax needs server-like
+     workloads to show — exactly the paper's remark that the conversion is
+     "especially noticeable for syscall-heavy benchmarks, and not as much
+     on SPEC". *)
+  let server syscalls seed =
+    {
+      Workloads.Profile.name = Printf.sprintf "server (%.0f sc/1k)" syscalls;
+      loads = 300;
+      stores = 120;
+      call_ret = 8;
+      indirect = 2;
+      syscalls;
+      io_bound = false;
+      fp_ops = 5;
+      working_set_bits = 20;
+      dep_chain = Workloads.Profile.Med_ilp;
+      seed;
+    }
+  in
+  let cfg = Bench_common.vmfunc_cfg Instr.At_syscalls in
+  let t = Table_fmt.create [ "workload"; "Dune"; "in-kernel" ] in
+  List.iter
+    (fun prof ->
+      let dune_oh = overhead_with_tweak prof cfg (fun _ -> ()) in
+      let kern_oh =
+        overhead_with_tweak prof cfg (fun cpu -> cpu.Cpu.syscall_hypercall_tax <- false)
+      in
+      Table_fmt.add_row t
+        [ prof.Workloads.Profile.name; Table_fmt.cell_f dune_oh; Table_fmt.cell_f kern_oh ])
+    [
+      Workloads.Spec2006.find "gcc";
+      server 0.3 9001;
+      server 1.0 9002;
+      server 3.0 9003;
+    ];
+  print_endline
+    "Ablation 3: VMFUNC at syscall granularity, Dune sandbox (syscall=hypercall) vs in-kernel \
+     hypervisor";
+  Table_fmt.print t;
+  print_newline ()
+
+let crypt_key_location () =
+  let ymm = Bench_common.crypt_cfg Instr.At_call_ret in
+  let mem =
+    Framework.config ~switch_policy:Instr.At_call_ret ~crypt_keys:Instr_crypt.Key_table
+      Technique.Crypt
+  in
+  let run prof cfg =
+    let base = Workloads.Runner.run_baseline ~iterations:(iterations ()) prof in
+    let r = Workloads.Runner.run_with ~iterations:(iterations ()) prof cfg in
+    r.Workloads.Runner.cycles /. base.Workloads.Runner.cycles
+  in
+  two_column
+    ~title:"Ablation 4: crypt round keys in ymm high halves vs spilled to memory"
+    ~cols:("ymm keys", "memory keys") (fun prof -> (run prof ymm, run prof mem))
+
+let run () =
+  mpx_single_vs_full ();
+  mpk_fence ();
+  vmfunc_dune_tax ();
+  crypt_key_location ()

@@ -1,0 +1,43 @@
+(* Wall-clock microbenchmarks of the harnesses themselves via Bechamel:
+   one Test.make per table/figure pipeline, so regressions in simulator
+   performance are visible. These measure host seconds, not simulated
+   cycles. *)
+
+open Bechamel
+open Toolkit
+
+let quick_profile () = Workloads.Spec2006.find "hmmer"
+
+let test_of_config name cfg =
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Workloads.Runner.overhead_of ~iterations:5 (quick_profile ()) cfg)))
+
+let tests () =
+  Test.make_grouped ~name:"memsentry"
+    [
+      Test.make ~name:"table4:microbench"
+        (Staged.stage (fun () ->
+             ignore
+               (Workloads.Runner.run_baseline ~iterations:5 (quick_profile ()))));
+      test_of_config "fig3:mpx-rw" (Memsentry.Framework.config Memsentry.Technique.Mpx);
+      test_of_config "fig3:sfi-rw" (Memsentry.Framework.config Memsentry.Technique.Sfi);
+      test_of_config "fig4:mpk" (Bench_common.mpk_cfg Memsentry.Instr.At_call_ret);
+      test_of_config "fig4:vmfunc" (Bench_common.vmfunc_cfg Memsentry.Instr.At_call_ret);
+      test_of_config "fig4:crypt" (Bench_common.crypt_cfg Memsentry.Instr.At_call_ret);
+      test_of_config "fig6:mpk" (Bench_common.mpk_cfg Memsentry.Instr.At_syscalls);
+    ]
+
+let run () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Bechamel wall-clock microbenchmarks (ns per run):";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
+      | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+    results;
+  print_newline ()

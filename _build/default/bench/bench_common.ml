@@ -1,0 +1,39 @@
+(* Shared helpers for the figure/table harnesses. *)
+
+open Ms_util
+open Memsentry
+
+let iterations = ref 40
+
+(* Strip the numeric SPEC prefix for compact rows. *)
+let short name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* Run a sweep and print it as one figure: benchmarks as rows, configs as
+   columns, geomean + the paper's reference geomeans at the bottom. *)
+let print_figure ~title ~configs ~paper_geomeans () =
+  let rows = Workloads.Runner.sweep ~iterations:!iterations Workloads.Spec2006.all configs in
+  let headers = "benchmark" :: List.map fst configs in
+  let t = Table_fmt.create headers in
+  List.iter
+    (fun (bench, row) ->
+      Table_fmt.add_row t (short bench :: List.map (fun (_, v) -> Table_fmt.cell_f v) row))
+    rows;
+  Table_fmt.add_sep t;
+  let geo = Workloads.Runner.geomean_overheads rows in
+  Table_fmt.add_row t ("geomean" :: List.map (fun (_, v) -> Table_fmt.cell_f v) geo);
+  Table_fmt.add_row t
+    ("paper geomean" :: List.map (fun v -> Table_fmt.cell_f v) paper_geomeans);
+  Printf.printf "%s\n(normalized run time; 1.00 = uninstrumented baseline)\n" title;
+  Table_fmt.print t;
+  print_newline ();
+  geo
+
+let mpk_cfg policy = Framework.config ~switch_policy:policy (Technique.Mpk Mpk.Pkey.No_access)
+let vmfunc_cfg policy = Framework.config ~switch_policy:policy Technique.Vmfunc
+let crypt_cfg policy = Framework.config ~switch_policy:policy Technique.Crypt
+
+let domain_configs policy =
+  [ ("MPK", mpk_cfg policy); ("VMFUNC", vmfunc_cfg policy); ("crypt", crypt_cfg policy) ]

@@ -1,0 +1,23 @@
+(* Figure 3: SPEC overhead of the address-based techniques, instrumenting
+   all stores (-w), all loads (-r), and both (-rw), for SFI and MPX. *)
+
+open Memsentry
+
+let configs =
+  [
+    ("MPX-w", Framework.config ~address_kind:Instr.Writes Technique.Mpx);
+    ("SFI-w", Framework.config ~address_kind:Instr.Writes Technique.Sfi);
+    ("MPX-r", Framework.config ~address_kind:Instr.Reads Technique.Mpx);
+    ("SFI-r", Framework.config ~address_kind:Instr.Reads Technique.Sfi);
+    ("MPX-rw", Framework.config ~address_kind:Instr.Reads_and_writes Technique.Mpx);
+    ("SFI-rw", Framework.config ~address_kind:Instr.Reads_and_writes Technique.Sfi);
+  ]
+
+(* Paper geomeans: MPX/SFI for w, r, rw (§6.2). *)
+let paper = [ 1.028; 1.04; 1.12; 1.171; 1.147; 1.196 ]
+
+let run () =
+  ignore
+    (Bench_common.print_figure
+       ~title:"Figure 3: address-based instrumentation (SFI vs MPX) on SPEC-like workloads"
+       ~configs ~paper_geomeans:paper ())

@@ -1,0 +1,11 @@
+(* Figure 4: domain-based techniques switching at every call and ret —
+   the shadow-stack (worst) case. *)
+
+open Memsentry
+
+let run () =
+  ignore
+    (Bench_common.print_figure
+       ~title:"Figure 4: domain switch at every call and ret (shadow stack)"
+       ~configs:(Bench_common.domain_configs Instr.At_call_ret)
+       ~paper_geomeans:[ 2.30; 4.57; 3.17 ] ())

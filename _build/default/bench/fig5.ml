@@ -1,0 +1,11 @@
+(* Figure 5: domain switch at every indirect branch — CFI and layout
+   randomization defenses. *)
+
+open Memsentry
+
+let run () =
+  ignore
+    (Bench_common.print_figure
+       ~title:"Figure 5: domain switch at every indirect branch (CFI / layout rand.)"
+       ~configs:(Bench_common.domain_configs Instr.At_indirect_branches)
+       ~paper_geomeans:[ 1.34; 1.82; 1.60 ] ())

@@ -1,0 +1,10 @@
+(* Figure 6: domain switch at every system call. *)
+
+open Memsentry
+
+let run () =
+  ignore
+    (Bench_common.print_figure
+       ~title:"Figure 6: domain switch at every system call"
+       ~configs:(Bench_common.domain_configs Instr.At_syscalls)
+       ~paper_geomeans:[ 1.011; 1.055; 1.22 ] ())

@@ -1,0 +1,1 @@
+examples/key_vault.ml: Aesni Bytes Cpu Defenses Insn Instr_crypt List Memsentry Mmu Printf Program Reg Safe_region X86sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attacks Framework Ir List Memsentry Mpk Printf Technique X86sim

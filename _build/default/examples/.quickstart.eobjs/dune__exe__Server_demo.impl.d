@@ -1,0 +1,1 @@
+examples/server_demo.ml: Annot Attacks Cpu Framework Instr Instr_mpk Int64 Memsentry Mmu Mpk Ms_util Printf Safe_region Technique Workloads X86sim

@@ -1,0 +1,1 @@
+examples/shadow_stack_demo.ml: Attacks Cpu Defenses Framework Insn Instr Ir Layout Memsentry Mmu Mpk Printf Program Reg Safe_region Technique X86sim

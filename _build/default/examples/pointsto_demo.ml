@@ -1,0 +1,64 @@
+(* Instrumentation-point discovery for arbitrary program data (paper §5.5):
+   static DSA-style points-to analysis vs the PIN-style dynamic profile,
+   feeding the CPI-style defense.
+
+   Run with: dune exec examples/pointsto_demo.exe *)
+
+open Ir.Ir_types
+
+let () =
+
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"keystore" ~size:64 ();
+  Ir.Builder.add_global b ~name:"buffer" ~size:64 ();
+  Ir.Builder.add_global b ~name:"cell" ~size:8 ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  (* direct, provable access *)
+  let k = Ir.Builder.emit_addr_of_global b "keystore" in
+  Ir.Builder.emit_store b ~base:(Var k) ~offset:0 ~src:(Const 0x5EED);
+  let direct = Ir.Builder.last_id b in
+  (* pointer laundered through memory: static analysis says Anything *)
+  let c = Ir.Builder.emit_addr_of_global b "cell" in
+  Ir.Builder.emit_store b ~base:(Var c) ~offset:0 ~src:(Var k);
+  let p = Ir.Builder.emit_load b ~base:(Var c) ~offset:0 in
+  ignore (Ir.Builder.emit_load b ~base:(Var p) ~offset:0);
+  let laundered = Ir.Builder.last_id b in
+  (* a cold path touching only the buffer *)
+  Ir.Builder.emit_cbr b Eq (Const 1) (Const 1) ~if_true:"done" ~if_false:"cold";
+  Ir.Builder.start_block b "cold";
+  let bp = Ir.Builder.emit_addr_of_global b "buffer" in
+  Ir.Builder.emit_store b ~base:(Var bp) ~offset:0 ~src:(Const 0);
+  let cold = Ir.Builder.last_id b in
+  Ir.Builder.emit_ret b None;
+  Ir.Builder.start_block b "done";
+  Ir.Builder.emit_ret b None;
+  let m = Ir.Builder.finish b in
+
+  Printf.printf "module:\n%s\n" (Ir.Printer.modul_to_string m);
+
+  let pt = Ir.Pointsto.analyze m in
+  let show id =
+    match Ir.Pointsto.access_target pt id with
+    | Some Ir.Pointsto.Anything -> "Anything (conservative)"
+    | Some (Ir.Pointsto.Objects s) ->
+      "{" ^ String.concat ", " (Ir.Pointsto.Obj_set.elements s) ^ "}"
+    | None -> "-"
+  in
+  Printf.printf "static:  direct store -> %s\n" (show direct);
+  Printf.printf "static:  laundered load -> %s\n" (show laundered);
+  Printf.printf "static:  cold store -> %s\n" (show cold);
+
+  let observed = Ir.Pointsto_dynamic.profile m in
+  let show_dyn id =
+    match Hashtbl.find_opt observed id with
+    | Some s -> "{" ^ String.concat ", " (Ir.Pointsto.Obj_set.elements s) ^ "}"
+    | None -> "never observed (under-approximation!)"
+  in
+  Printf.printf "dynamic: direct store -> %s\n" (show_dyn direct);
+  Printf.printf "dynamic: laundered load -> %s\n" (show_dyn laundered);
+  Printf.printf "dynamic: cold store -> %s\n" (show_dyn cold);
+
+  (* Feed the CPI-style defense with the static result. *)
+  let n = Defenses.Cpi.apply ~pointer_globals:[ "keystore" ] m in
+  Printf.printf "\nCPI annotated %d accesses as authorized; keystore is now sensitive: %b\n" n
+    (Ir.Ir_types.find_global m "keystore").Ir.Ir_types.sensitive

@@ -1,0 +1,74 @@
+(* Quickstart: protect one secret with every MemSentry technique.
+
+   Build a tiny program that (a) legitimately uses its secret through
+   annotated accesses and (b) would leak it through an unannotated gadget,
+   then run it under each isolation technique and watch the gadget fail
+   while the program keeps working.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Memsentry
+
+let secret = 0xCAFE
+
+(* A program with a sensitive global: main writes the secret through an
+   annotated (authorized) access and reads it back the same way. *)
+let build () =
+  let open Ir.Ir_types in
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"scratch" ~size:64 ();
+  Ir.Builder.add_global b ~name:"vault" ~size:16 ~sensitive:true ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let v = Ir.Builder.emit_addr_of_global b "vault" in
+  Ir.Builder.emit_store b ~base:(Var v) ~offset:0 ~src:(Const secret);
+  let safe_store = Ir.Builder.last_id b in
+  let s = Ir.Builder.emit_addr_of_global b "scratch" in
+  Ir.Builder.emit_store b ~base:(Var s) ~offset:0 ~src:(Const 1);
+  let v2 = Ir.Builder.emit_addr_of_global b "vault" in
+  let sv = Ir.Builder.emit_load b ~base:(Var v2) ~offset:0 in
+  let safe_load = Ir.Builder.last_id b in
+  Ir.Builder.emit_ret b (Some (Var sv));
+  let m = Ir.Builder.finish b in
+  (* The saferegion_access annotations: these two may touch the vault. *)
+  Ir.Ir_types.mark_safe_access m safe_store;
+  Ir.Ir_types.mark_safe_access m safe_load;
+  m
+
+let techniques =
+  [
+    ("SFI", Framework.config Technique.Sfi);
+    ("MPX", Framework.config Technique.Mpx);
+    ("MPK", Framework.config (Technique.Mpk Mpk.Pkey.No_access));
+    ("VMFUNC", Framework.config Technique.Vmfunc);
+    ("crypt", Framework.config Technique.Crypt);
+    ("mprotect", Framework.config Technique.Mprotect);
+  ]
+
+let () =
+  print_endline "MemSentry quickstart: one secret, six isolation techniques\n";
+  List.iter
+    (fun (name, cfg) ->
+      let lowered = Ir.Lower.lower (build ()) in
+      let p = Framework.prepare cfg lowered in
+      let status = Framework.run p in
+      let returned = X86sim.Cpu.get_gpr p.Framework.cpu X86sim.Reg.rax in
+      (* The attacker's gadget: a direct architectural read of the vault. *)
+      let gadget =
+        match cfg.Framework.technique with
+        | Technique.Sfi -> Attacks.Primitives.Sfi_masked
+        | Technique.Mpx -> Attacks.Primitives.Mpx_checked
+        | _ -> Attacks.Primitives.Raw
+      in
+      let prim = Attacks.Primitives.create ~gadget p.Framework.cpu in
+      let vault_va = Ir.Lower.global_va lowered "vault" in
+      let attack =
+        match Attacks.Primitives.try_read prim vault_va with
+        | Some v when v = secret -> "SECRET LEAKED!"
+        | Some v -> Printf.sprintf "denied (attacker read 0x%x)" v
+        | None -> "denied (access faulted)"
+      in
+      Printf.printf "%-9s program: %s, returned 0x%x | attacker: %s\n" name
+        (if status = X86sim.Cpu.Halted then "ok" else "stuck")
+        returned attack)
+    techniques;
+  print_endline "\nEvery technique preserves the program and stops the gadget."

@@ -1,0 +1,1 @@
+lib/aesni/aes.ml: Array Buffer Bytes Char Printf String

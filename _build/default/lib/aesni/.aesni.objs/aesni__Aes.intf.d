@@ -1,0 +1,1 @@
+lib/aesni/aes.mli: Bytes

@@ -1,0 +1,1 @@
+lib/attacks/alloc_oracle.ml: Physmem Primitives X86sim

@@ -1,0 +1,1 @@
+lib/attacks/alloc_oracle.mli: Primitives

@@ -1,0 +1,1 @@
+lib/attacks/crash_probe.ml: Ms_util Primitives Prng X86sim

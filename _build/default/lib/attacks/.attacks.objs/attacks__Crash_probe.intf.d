@@ -1,0 +1,1 @@
+lib/attacks/crash_probe.mli: Primitives

@@ -1,0 +1,1 @@
+lib/attacks/primitives.ml: Array Cpu Fault Layout Mmu Mpx Pagetable Physmem X86sim

@@ -1,0 +1,1 @@
+lib/attacks/primitives.mli: X86sim

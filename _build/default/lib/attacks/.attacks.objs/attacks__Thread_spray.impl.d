@@ -1,0 +1,1 @@
+lib/attacks/thread_spray.ml: Cpu Mmu Physmem Primitives X86sim

@@ -1,0 +1,1 @@
+lib/attacks/thread_spray.mli: Primitives X86sim

@@ -1,0 +1,20 @@
+open X86sim
+
+(* Binary search over the one-probe range oracle: a failed fixed-address
+   allocation of N bytes at X reveals that [X, X+N) intersects a mapping.
+   log2(entropy) probes, zero dereferences, zero crashes. *)
+
+let page = Physmem.page_size
+
+let locate prim ~lo ~hi =
+  if not (Primitives.range_mapped_oracle prim ~lo ~hi) then None
+  else begin
+    let rec bisect lo hi =
+      if hi - lo <= page then lo
+      else
+        let mid = lo + (((hi - lo) / 2 / page) * page) in
+        if Primitives.range_mapped_oracle prim ~lo ~hi:mid then bisect lo mid
+        else bisect mid hi
+    in
+    Some (bisect lo hi)
+  end

@@ -1,0 +1,12 @@
+(** Allocation-oracle attack on information hiding (Oikonomopoulos et al.,
+    "Poking holes into information hiding" [52]).
+
+    The attacker never dereferences anything: it uses a {e mapping oracle}
+    (does address X belong to a mapping? — derivable from allocation
+    primitives' success/failure) and binary-searches the hiding range for
+    the hidden region. Zero crashes, logarithmic probes: the paper's
+    argument that entropy alone cannot protect a safe region. *)
+
+val locate : Primitives.t -> lo:int -> hi:int -> int option
+(** Find the start of a mapped region inside [\[lo, hi)] (page granular).
+    [None] when the range contains no mapping. *)

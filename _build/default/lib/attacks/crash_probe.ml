@@ -1,0 +1,24 @@
+open Ms_util
+
+let scan prim ~lo ~hi ~step =
+  if step <= 0 then invalid_arg "Crash_probe.scan: step must be positive";
+  let rec go va =
+    if va >= hi then None
+    else
+      match Primitives.try_read prim va with
+      | Some _ -> Some va
+      | None -> go (va + step)
+  in
+  go lo
+
+let scan_sampled prim ~seed ~lo ~hi ~attempts =
+  let rng = Prng.create ~seed in
+  let page = X86sim.Physmem.page_size in
+  let slots = (hi - lo) / page in
+  let rec go n =
+    if n = 0 then None
+    else
+      let va = lo + (Prng.int rng slots * page) in
+      match Primitives.try_read prim va with Some _ -> Some va | None -> go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,15 @@
+(** Crash-resistant probing (Gawlik et al. [29]): scan candidate addresses
+    with a primitive that survives faults, until a mapped one answers.
+
+    Without crash resistance each miss kills the process; with it, misses
+    are merely slow. Either way the expected probe count is proportional
+    to the entropy — feasible for the paper's 28-bit mmap ranges, and the
+    harness shows the crash count that a hiding-based defense would have
+    had to notice. *)
+
+val scan : Primitives.t -> lo:int -> hi:int -> step:int -> int option
+(** Linear sweep reading one word every [step] bytes; the first readable
+    address wins. *)
+
+val scan_sampled : Primitives.t -> seed:int -> lo:int -> hi:int -> attempts:int -> int option
+(** Random sampling (defeats defenses that watch for linear scans). *)

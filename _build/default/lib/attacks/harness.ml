@@ -1,0 +1,175 @@
+open X86sim
+open Memsentry
+
+let secret_value = 0x5EC12E7
+
+type result = {
+  scenario : string;
+  attack : string;
+  outcome : string;
+  probes : int;
+  crashes : int;
+  leaked : bool;
+}
+
+let page = Physmem.page_size
+
+(* --- attacks against information hiding --- *)
+
+let hiding_victim ?(entropy_bits = 16) ~seed () =
+  let cpu = Cpu.create () in
+  let hidden = Defenses.Info_hiding.hide cpu ~seed ~entropy_bits ~size:page ~secret:secret_value () in
+  (cpu, hidden)
+
+let judge prim ~scenario ~attack ~found cpu =
+  ignore cpu;
+  match found with
+  | None ->
+    {
+      scenario;
+      attack;
+      outcome = "region not located";
+      probes = Primitives.probes prim;
+      crashes = Primitives.crashes prim;
+      leaked = false;
+    }
+  | Some va -> (
+    match Primitives.try_read prim va with
+    | Some v when v = secret_value ->
+      {
+        scenario;
+        attack;
+        outcome = Printf.sprintf "SECRET LEAKED (0x%x)" v;
+        probes = Primitives.probes prim;
+        crashes = Primitives.crashes prim;
+        leaked = true;
+      }
+    | Some v ->
+      {
+        scenario;
+        attack;
+        outcome = Printf.sprintf "located, read denied (got 0x%x)" v;
+        probes = Primitives.probes prim;
+        crashes = Primitives.crashes prim;
+        leaked = false;
+      }
+    | None ->
+      {
+        scenario;
+        attack;
+        outcome = "located, access faulted";
+        probes = Primitives.probes prim;
+        crashes = Primitives.crashes prim;
+        leaked = false;
+      })
+
+let run_hiding_attacks ?(entropy_bits = 16) () =
+  let scenario = Printf.sprintf "info hiding (%d-bit)" entropy_bits in
+  (* Allocation oracle: no dereference until the final read. *)
+  let cpu, hidden = hiding_victim ~entropy_bits ~seed:101 () in
+  let lo, hi = Defenses.Info_hiding.probe_space hidden in
+  let prim = Primitives.create cpu in
+  let oracle = judge prim ~scenario ~attack:"allocation oracle"
+      ~found:(Alloc_oracle.locate prim ~lo ~hi) cpu
+  in
+  (* Crash-resistant probing. *)
+  let cpu, hidden = hiding_victim ~entropy_bits ~seed:202 () in
+  let lo, hi = Defenses.Info_hiding.probe_space hidden in
+  let prim = Primitives.create cpu in
+  let probe =
+    judge prim ~scenario ~attack:"crash-resistant probe"
+      ~found:(Crash_probe.scan prim ~lo ~hi ~step:page)
+      cpu
+  in
+  (* Thread spraying. *)
+  let cpu, hidden = hiding_victim ~entropy_bits ~seed:303 () in
+  let lo, hi = Defenses.Info_hiding.probe_space hidden in
+  let prim = Primitives.create cpu in
+  let spray =
+    judge prim ~scenario ~attack:"thread spray"
+      ~found:
+        (Thread_spray.spray_and_find prim cpu ~lo ~hi ~spray_pages:((hi - lo) / page / 2)
+           ~marker:0x11111111)
+      cpu
+  in
+  [ oracle; probe; spray ]
+
+(* --- the deterministic scenarios: the address is public --- *)
+
+let deterministic_victim () =
+  let cpu = Cpu.create () in
+  let alloc = Safe_region.create_allocator cpu in
+  let region = Safe_region.alloc alloc ~size:page in
+  Mmu.poke64 cpu.Cpu.mmu ~va:region.Safe_region.va secret_value;
+  (cpu, region)
+
+let run_deterministic () =
+  let direct name ~gadget ~setup =
+    let cpu, region = deterministic_victim () in
+    setup cpu region;
+    let prim = Primitives.create ~gadget cpu in
+    judge prim ~scenario:name ~attack:"direct read (address public)"
+      ~found:(Some region.Safe_region.va) cpu
+  in
+  let mpk =
+    direct "MPK" ~gadget:Primitives.Raw ~setup:(fun cpu region ->
+        let st = Instr_mpk.setup cpu ~protection:Mpk.Pkey.No_access [ region ] in
+        ignore st)
+  in
+  let vmfunc =
+    direct "VMFUNC" ~gadget:Primitives.Raw ~setup:(fun cpu region -> ignore (Instr_vmfunc.setup cpu [ region ]))
+  in
+  let crypt =
+    direct "crypt" ~gadget:Primitives.Raw ~setup:(fun cpu region ->
+        ignore (Instr_crypt.setup cpu ~seed:5 [ region ]))
+  in
+  let mprotect =
+    direct "mprotect" ~gadget:Primitives.Raw ~setup:(fun cpu region ->
+        ignore (Instr_mprotect.setup cpu [ region ]))
+  in
+  let sfi =
+    direct "SFI" ~gadget:Primitives.Sfi_masked ~setup:(fun cpu region ->
+        (* The masked alias must exist so the redirected read lands. *)
+        let alias = region.Safe_region.va land Layout.sfi_mask in
+        Mmu.map_range cpu.Cpu.mmu ~va:alias ~len:page ~writable:true)
+  in
+  let mpx =
+    direct "MPX" ~gadget:Primitives.Mpx_checked ~setup:(fun cpu _ -> Instr_mpx.setup cpu)
+  in
+  (* SGX: the secret never enters the address space at all. *)
+  let sgx =
+    let cpu = Cpu.create () in
+    Sgx_sim.Enclave.reset_epc ();
+    let img = Bytes.create 8 in
+    Bytes.set_int64_le img 0 (Int64.of_int secret_value);
+    let _enclave = Sgx_sim.Enclave.create cpu ~size:page ~init:img in
+    let prim = Primitives.create cpu in
+    let found =
+      Crash_probe.scan_sampled prim ~seed:9 ~lo:Layout.sensitive_base
+        ~hi:(Layout.sensitive_base + (1 lsl 24))
+        ~attempts:2048
+    in
+    judge prim ~scenario:"SGX" ~attack:"address-space scan" ~found cpu
+  in
+  [ mpk; vmfunc; crypt; mprotect; sfi; mpx; sgx ]
+
+let run_all ?entropy_bits () = run_hiding_attacks ?entropy_bits () @ run_deterministic ()
+
+let print_table results =
+  let t =
+    Ms_util.Table_fmt.create
+      ~align:
+        [ Ms_util.Table_fmt.Left; Ms_util.Table_fmt.Left; Ms_util.Table_fmt.Left;
+          Ms_util.Table_fmt.Right; Ms_util.Table_fmt.Right ]
+      [ "victim"; "attack"; "outcome"; "probes"; "crashes" ]
+  in
+  List.iter
+    (fun r ->
+      Ms_util.Table_fmt.add_row t
+        [ r.scenario; r.attack; r.outcome; string_of_int r.probes; string_of_int r.crashes ])
+    results;
+  print_endline "Threat-model experiment: information hiding vs deterministic isolation";
+  Ms_util.Table_fmt.print t
+
+let any_deterministic_leak results =
+  List.exists (fun r -> r.leaked && not (String.length r.scenario > 4 && String.sub r.scenario 0 4 = "info")) results

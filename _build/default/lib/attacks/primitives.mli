@@ -1,0 +1,49 @@
+(** The attacker of the paper's threat model (§2.3): an arbitrary
+    read/write primitive inside the victim process, unable to execute
+    injected code, trying to locate and access a safe region.
+
+    Reads and writes go through the {e architectural} access path of the
+    victim CPU — page tables, protection keys, active EPT — so whatever
+    MemSentry technique is installed genuinely applies to the attacker.
+    Two refinements model published attack machinery:
+
+    - crash resistance ([try_read]/[try_write]): a fault is absorbed
+      (Gawlik et al. [29]) and reported as [None] rather than killing the
+      process; the harness counts how many such "crashes" the attack
+      needed;
+    - a masked mode standing for victims whose gadgets were SFI/MPX
+      instrumented: the pointer the attacker controls is masked (SFI) or
+      checked (MPX) before the dereference, exactly like Fig. 2. *)
+
+type gadget =
+  | Raw  (** uninstrumented read/write gadget *)
+  | Sfi_masked  (** the gadget's pointer is ANDed with the partition mask *)
+  | Mpx_checked  (** the gadget executes a [bndcu] first *)
+  | Isboxing_prefixed  (** the gadget's address is truncated to 32 bits *)
+
+type t
+
+val create : ?gadget:gadget -> X86sim.Cpu.t -> t
+
+val probes : t -> int
+(** Total read/write attempts so far. *)
+
+val crashes : t -> int
+(** How many attempts faulted (absorbed by crash resistance). *)
+
+val try_read : t -> int -> int option
+(** Architectural 64-bit read at an attacker-chosen address.
+    [None] = the access faulted (page/pkey/EPT/bound violation). Under
+    [Sfi_masked] the read {e succeeds} but may be silently redirected. *)
+
+val try_write : t -> int -> int -> bool
+(** Architectural write; [false] = faulted. *)
+
+val is_mapped_oracle : t -> int -> bool
+(** A no-crash mapping oracle (the kind allocation primitives provide):
+    consults the page table without touching data. Counts as a probe. *)
+
+val range_mapped_oracle : t -> lo:int -> hi:int -> bool
+(** "Does anything live in [\[lo, hi)]?" in a single probe — the power a
+    failed fixed-address allocation of [hi - lo] bytes gives an attacker
+    (Oikonomopoulos et al. [52]). *)

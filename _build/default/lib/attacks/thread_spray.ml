@@ -1,0 +1,30 @@
+open X86sim
+
+let spray_and_find prim cpu ~lo ~hi ~spray_pages ~marker =
+  let page = Physmem.page_size in
+  let slots = (hi - lo) / page in
+  if spray_pages <= 0 || spray_pages > slots then
+    invalid_arg "Thread_spray: spray_pages out of range";
+  let stride = slots / spray_pages * page in
+  (* Spray: allocate our "thread stacks" evenly across the range (the
+     attacker controls thread creation, hence placement density). *)
+  for k = 0 to spray_pages - 1 do
+    let va = lo + (k * stride) in
+    if not (Mmu.is_mapped cpu.Cpu.mmu ~va) then begin
+      Mmu.map_range cpu.Cpu.mmu ~va ~len:page ~writable:true;
+      Mmu.poke64 cpu.Cpu.mmu ~va marker
+    end
+  done;
+  (* Hunt: every mapped page is now either ours (marker) or the prey.
+     Reads of our own pages never crash; the region reveals itself by
+     contents (or by faulting under a deterministic technique). *)
+  let rec hunt va =
+    if va >= hi then None
+    else if Primitives.is_mapped_oracle prim va then
+      match Primitives.try_read prim va with
+      | Some v when v <> marker -> Some va
+      | Some _ -> hunt (va + page)
+      | None -> Some va (* mapped but unreadable: deterministic isolation *)
+    else hunt (va + page)
+  in
+  hunt lo

@@ -1,0 +1,13 @@
+(** Thread/allocation spraying (Göktaş et al., "Undermining entropy-based
+    information hiding" [32]).
+
+    The attacker exhausts the randomized range with its own allocations
+    (sprayed thread stacks); the hidden region becomes the needle in a
+    haystack the attacker {e owns} — any mapped page that does not contain
+    the attacker's spray marker is the safe region. Finding it then takes
+    a bounded scan over attacker-known addresses with no crashes at all. *)
+
+val spray_and_find :
+  Primitives.t -> X86sim.Cpu.t -> lo:int -> hi:int -> spray_pages:int -> marker:int -> int option
+(** Map [spray_pages] pages across [\[lo, hi)] filled with [marker], then
+    scan the range for a mapped page holding something else. *)

@@ -1,0 +1,1 @@
+lib/defenses/ccfi.ml: Aesni Array Bytes Cpu Int64 Ms_util X86sim

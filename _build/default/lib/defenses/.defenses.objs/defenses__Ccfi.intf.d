@@ -1,0 +1,1 @@
+lib/defenses/ccfi.mli: Bytes X86sim

@@ -1,0 +1,1 @@
+lib/defenses/cfi.ml: Insn Ir List Printf Program String X86sim

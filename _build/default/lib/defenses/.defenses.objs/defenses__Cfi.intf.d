@@ -1,0 +1,1 @@
+lib/defenses/cfi.mli: Ir

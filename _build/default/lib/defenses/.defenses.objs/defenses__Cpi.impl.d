@@ -1,0 +1,1 @@
+lib/defenses/cpi.ml: Hashtbl Ir List

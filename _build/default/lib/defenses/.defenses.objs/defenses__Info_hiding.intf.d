@@ -1,0 +1,1 @@
+lib/defenses/info_hiding.mli: X86sim

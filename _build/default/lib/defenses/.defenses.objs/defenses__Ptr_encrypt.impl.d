@@ -1,0 +1,1 @@
+lib/defenses/ptr_encrypt.ml: Cpu Int64 Memsentry Mmu Ms_util Prng X86sim

@@ -1,0 +1,1 @@
+lib/defenses/ptr_encrypt.mli: Memsentry X86sim

@@ -1,0 +1,1 @@
+lib/defenses/rerandomize.ml: Cpu Mmu Ms_util Physmem Prng X86sim

@@ -1,0 +1,1 @@
+lib/defenses/rerandomize.mli: X86sim

@@ -1,0 +1,1 @@
+lib/defenses/safe_alloc.ml: Cpu Memsentry Mmu Ms_util Prng X86sim

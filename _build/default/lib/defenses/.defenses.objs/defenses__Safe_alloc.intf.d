@@ -1,0 +1,1 @@
+lib/defenses/safe_alloc.mli: Memsentry X86sim

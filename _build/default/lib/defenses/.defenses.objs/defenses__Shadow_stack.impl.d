@@ -1,0 +1,1 @@
+lib/defenses/shadow_stack.ml: Cpu Insn Ir List Mmu Printf Program Reg X86sim

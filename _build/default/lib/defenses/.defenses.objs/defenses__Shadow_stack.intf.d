@@ -1,0 +1,1 @@
+lib/defenses/shadow_stack.mli: Ir X86sim

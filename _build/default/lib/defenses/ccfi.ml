@@ -1,0 +1,41 @@
+open X86sim
+
+exception Mac_failure of { slot : int }
+
+type t = { keys : Aesni.Aes.block array }
+
+type sealed = { cipher : Bytes.t }
+
+let aes_ops_per_seal = 10
+
+let key_reg r = 4 + r
+
+let create cpu ?(seed = 77) () =
+  let rng = Ms_util.Prng.create ~seed in
+  let kb = Bytes.create 16 in
+  Bytes.set_int64_le kb 0 (Ms_util.Prng.next_int64 rng);
+  Bytes.set_int64_le kb 8 (Ms_util.Prng.next_int64 rng);
+  let keys = Aesni.Aes.expand_key kb in
+  Array.iteri (fun r k -> Cpu.set_ymm_high cpu (key_reg r) k) keys;
+  { keys }
+
+(* The sealed bundle is AES(key, ptr64 || slot32 || tag32): decryption
+   both recovers the pointer and authenticates it, because a forged or
+   relocated ciphertext decrypts to a bundle whose slot/tag check fails. *)
+let tag = 0x0CF1
+
+let plaintext ~slot ptr =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int ptr);
+  Bytes.set_int64_le b 8 (Int64.of_int ((slot lsl 16) lor tag));
+  b
+
+let seal t ~slot ptr =
+  if slot < 0 then invalid_arg "Ccfi.seal: negative slot";
+  { cipher = Aesni.Aes.encrypt_block ~key:t.keys (plaintext ~slot ptr) }
+
+let unseal t ~slot sealed =
+  let plain = Aesni.Aes.decrypt_block ~key:t.keys sealed.cipher in
+  let meta = Int64.to_int (Bytes.get_int64_le plain 8) in
+  if meta land 0xFFFF <> tag || meta lsr 16 <> slot then raise (Mac_failure { slot });
+  Int64.to_int (Bytes.get_int64_le plain 0)

@@ -1,0 +1,35 @@
+(** CCFI-style cryptographically enforced pointer integrity (Mashtizadeh
+    et al. \[44\], paper §2.2).
+
+    Every stored code pointer is replaced by an AES-MAC'd bundle: the
+    pointer block carries the pointer value, its storage location (so a
+    valid bundle cannot be replayed at another slot) and a class tag. The
+    AES key lives in registers (here: ymm high halves on the CPU) and
+    never in memory. Verification recomputes the MAC; a corrupted or
+    relocated bundle raises {!Mac_failure}.
+
+    Compared with {!Ptr_encrypt} (ASLR-Guard's xor scheme) this is the
+    expensive-but-stronger end of the spectrum the paper sketches —
+    per-operation AES instead of xor (CCFI measured 3.5x on SPEC). *)
+
+exception Mac_failure of { slot : int }
+
+type t
+
+type sealed = { cipher : Bytes.t }
+(** An opaque 16-byte sealed pointer as stored in memory. *)
+
+val create : X86sim.Cpu.t -> ?seed:int -> unit -> t
+(** Derive the MAC key and park its schedule in ymm high halves
+    (ymm4-14, like crypt). *)
+
+val seal : t -> slot:int -> int -> sealed
+(** Seal pointer value for storage location [slot]. *)
+
+val unseal : t -> slot:int -> sealed -> int
+(** Verify and recover. Raises {!Mac_failure} on tampering or on replay
+    at a different slot. *)
+
+val aes_ops_per_seal : int
+(** Cost in AES rounds of one seal (= one unseal): 10, the per-pointer
+    price that made CCFI 3.5x. *)

@@ -1,0 +1,64 @@
+open X86sim
+
+let violation_label = "cfi_violation"
+let table_capacity = 16
+
+let tmp = Ir.Lower.scratch1
+
+let safe insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Data_access; safe = true }
+let plain insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Plain; safe = false }
+let label l = { Ir.Lower.item = Program.Label l; cls = Ir.Lower.Plain; safe = false }
+
+(* Function entry labels present in the lowered code, in order. *)
+let function_labels mitems =
+  List.filter_map
+    (fun (mi : Ir.Lower.mitem) ->
+      match mi.Ir.Lower.item with
+      | Program.Label l when String.length l > 3 && String.sub l 0 3 = "fn_" -> Some l
+      | Program.Label _ | Program.I _ -> None)
+    mitems
+
+(* target register -> compare against each table slot; fall through to the
+   violation stub when nothing matches. *)
+let guard_seq ~region_va ~nfuncs ~reg ~ok_label =
+  List.concat
+    (List.init nfuncs (fun slot ->
+         [
+           safe (Insn.Load (tmp, Insn.mem_abs (region_va + (8 * slot))));
+           plain (Insn.Cmp_rr (reg, tmp));
+           plain (Insn.Jcc (Insn.Eq, Insn.target ok_label));
+         ]))
+  @ [ plain (Insn.Jmp (Insn.target violation_label)) ]
+
+let apply ~region_va (lowered : Ir.Lower.t) =
+  let funcs = function_labels lowered.Ir.Lower.mitems in
+  let nfuncs = List.length funcs in
+  if nfuncs > table_capacity then invalid_arg "Cfi.apply: too many functions for the table";
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "cfiok%d" !counter
+  in
+  let fill =
+    List.concat
+      (List.mapi
+         (fun slot fn ->
+           [
+             plain (Insn.Mov_label (tmp, Insn.target fn));
+             safe (Insn.Store (Insn.mem_abs (region_va + (8 * slot)), tmp));
+           ])
+         funcs)
+  in
+  let rewritten =
+    List.concat_map
+      (fun (mi : Ir.Lower.mitem) ->
+        match mi.Ir.Lower.item with
+        | Program.Label "main" -> mi :: fill
+        | Program.I (Insn.Call_r reg) | Program.I (Insn.Jmp_r reg) ->
+          let ok = fresh () in
+          guard_seq ~region_va ~nfuncs ~reg ~ok_label:ok @ [ label ok; mi ]
+        | Program.I _ | Program.Label _ -> [ mi ])
+      lowered.Ir.Lower.mitems
+  in
+  let stub = [ label violation_label; plain Insn.Halt ] in
+  { lowered with Ir.Lower.mitems = rewritten @ stub }

@@ -1,0 +1,19 @@
+(** Coarse-grained CFI with a protected target table (paper §2.2
+    "Control-flow integrity": CCFIR's springboard / O-CFI's BLT).
+
+    Valid indirect-branch targets live in a table inside a safe region;
+    every indirect call is instrumented to verify its target against the
+    table and halts on a mismatch. The table reads carry the [safe] flag:
+    under MemSentry the table gains {e read} protection too, closing the
+    leak the paper warns about ("isolation of these structures is
+    essential"). *)
+
+val violation_label : string
+
+val table_capacity : int
+(** 16 entries. *)
+
+val apply : region_va:int -> Ir.Lower.t -> Ir.Lower.t
+(** Fill the table (at program entry) with the entry points of every
+    lowered function and guard each [Call_r]/[Jmp_r]. The region must be
+    mapped by the caller and at least [8 * table_capacity] bytes. *)

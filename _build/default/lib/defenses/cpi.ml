@@ -1,0 +1,31 @@
+type analysis = Static | Dynamic
+
+let apply ?(analysis = Static) ~pointer_globals m =
+  List.iter
+    (fun name -> (Ir.Ir_types.find_global m name).Ir.Ir_types.sensitive <- true)
+    pointer_globals;
+  let touches_protected ids =
+    List.exists (fun g -> List.mem g pointer_globals) ids
+  in
+  let annotate_ids =
+    match analysis with
+    | Static ->
+      let pt = Ir.Pointsto.analyze m in
+      let ids = ref [] in
+      Ir.Ir_types.iter_instrs m (fun _ _ ins ->
+          match Ir.Pointsto.access_target pt ins.Ir.Ir_types.id with
+          | Some Ir.Pointsto.Anything -> ids := ins.Ir.Ir_types.id :: !ids
+          | Some (Ir.Pointsto.Objects s) ->
+            if touches_protected (Ir.Pointsto.Obj_set.elements s) then
+              ids := ins.Ir.Ir_types.id :: !ids
+          | None -> ());
+      !ids
+    | Dynamic ->
+      let observed = Ir.Pointsto_dynamic.profile m in
+      Hashtbl.fold
+        (fun id s acc ->
+          if touches_protected (Ir.Pointsto.Obj_set.elements s) then id :: acc else acc)
+        observed []
+  in
+  List.iter (fun id -> Ir.Ir_types.mark_safe_access m id) annotate_ids;
+  List.length annotate_ids

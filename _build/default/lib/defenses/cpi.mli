@@ -1,0 +1,22 @@
+(** Code-pointer-integrity-style protection of pointer stores (paper §2.2:
+    CPI keeps sensitive code pointers in a safe region; §5.5: finding the
+    accesses requires points-to analysis).
+
+    Given the names of globals that hold code pointers, the pass marks
+    them [sensitive] (so the backend places them above the 64 TiB split)
+    and annotates every access that {e may} touch them — using the static
+    points-to analysis, or its PIN-style dynamic refinement — as
+    [safe_access], i.e. an authorized instrumentation point.
+
+    This is an IR pass (unlike the machine-level shadow stack/CFI passes):
+    it must run before lowering, because moving a global into the
+    sensitive partition changes the addresses the backend emits. *)
+
+type analysis = Static | Dynamic
+(** [Static]: conservative DSA-style (may over-annotate: [Anything]
+    accesses are authorized too). [Dynamic]: interpreter-profiled
+    (may under-annotate on unexercised paths — the paper's caveat). *)
+
+val apply : ?analysis:analysis -> pointer_globals:string list -> Ir.Ir_types.modul -> int
+(** Mark and annotate; returns the number of accesses annotated.
+    Raises [Not_found] for unknown global names. *)

@@ -1,0 +1,19 @@
+open X86sim
+open Ms_util
+
+type t = { secret_va : int; size : int; entropy_bits : int }
+
+let range_base = 0x40_0000_0000
+
+let hide cpu ?(seed = 1337) ?(entropy_bits = 28) ~size ~secret () =
+  if entropy_bits < 4 || entropy_bits > 34 then
+    invalid_arg "Info_hiding.hide: entropy_bits out of range";
+  let rng = Prng.create ~seed in
+  let page = Physmem.page_size in
+  let slots = 1 lsl entropy_bits in
+  let secret_va = range_base + (Prng.int rng slots * page) in
+  Mmu.map_range cpu.Cpu.mmu ~va:secret_va ~len:size ~writable:true;
+  Mmu.poke64 cpu.Cpu.mmu ~va:secret_va secret;
+  { secret_va; size; entropy_bits }
+
+let probe_space t = (range_base, range_base + ((1 lsl t.entropy_bits) * Physmem.page_size))

@@ -1,0 +1,26 @@
+(** Information hiding: the probabilistic baseline every deterministic
+    technique replaces (paper §2.1, §2.3).
+
+    The safe region is mapped at a random, unreferenced address in the
+    huge 64-bit address space; its secrecy {e is} the protection. The
+    attacks library demonstrates the paper's point: allocation oracles,
+    spraying and crash-resistant probing all locate the region, after
+    which the "defense" is over. *)
+
+type t = {
+  secret_va : int;  (** where the region actually is (the hidden fact) *)
+  size : int;
+  entropy_bits : int;
+}
+
+val hide :
+  X86sim.Cpu.t -> ?seed:int -> ?entropy_bits:int -> size:int -> secret:int -> unit -> t
+(** Map [size] bytes at a page-aligned address with [entropy_bits]
+    (default 28, mmap-ASLR-like) of randomness inside the nonsensitive
+    partition, and plant [secret] in the first word. Returns the record a
+    {e defense} would keep internally — attack code must not read
+    [secret_va]; it gets the CPU only. *)
+
+val probe_space : t -> int * int
+(** [(lo, hi)] bounds of the randomized placement range (public knowledge:
+    the attacker knows the ASLR scheme, not the draw). *)

@@ -1,0 +1,24 @@
+open X86sim
+open Ms_util
+
+type t = { cpu : Cpu.t; table : Memsentry.Safe_region.region }
+
+let capacity t = t.table.Memsentry.Safe_region.size / 8
+
+let create cpu ?(seed = 11) ~key_table () =
+  let t = { cpu; table = key_table } in
+  let rng = Prng.create ~seed in
+  for slot = 0 to capacity t - 1 do
+    (* Truncate to 62 bits so the value round-trips through the machine's
+       native-int memory words. *)
+    let key = Int64.to_int (Int64.shift_right_logical (Prng.next_int64 rng) 2) in
+    Mmu.poke64 cpu.Cpu.mmu ~va:(key_table.Memsentry.Safe_region.va + (8 * slot)) key
+  done;
+  t
+
+let key t ~slot =
+  if slot < 0 || slot >= capacity t then invalid_arg "Ptr_encrypt: slot out of range";
+  Mmu.peek64 t.cpu.Cpu.mmu ~va:(t.table.Memsentry.Safe_region.va + (8 * slot))
+
+let encrypt t ~slot ptr = ptr lxor key t ~slot
+let decrypt t ~slot cipher = cipher lxor key t ~slot

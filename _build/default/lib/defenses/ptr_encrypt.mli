@@ -1,0 +1,25 @@
+(** ASLR-Guard-style pointer encryption (paper §2.2): code pointers are
+    stored xor-encrypted with a {e per-entry} key from a preallocated key
+    table (the AG-RandMap); the table itself is the safe region.
+
+    Per-entry keys make this stronger than PointGuard's single global xor
+    key, and cheaper than CCFI's AES. The paper's warning applies
+    unchanged: "it is essential to isolate the AG-RandMap not just against
+    information disclosures, but also against writes" — a reader learns
+    every key; a writer redirects every protected pointer. *)
+
+type t
+
+val create :
+  X86sim.Cpu.t -> ?seed:int -> key_table:Memsentry.Safe_region.region -> unit -> t
+(** One 64-bit key per 8-byte table slot, generated eagerly. *)
+
+val capacity : t -> int
+
+val encrypt : t -> slot:int -> int -> int
+(** [encrypt t ~slot ptr]: xor with the slot's key. Out-of-range slots
+    raise [Invalid_argument]. *)
+
+val decrypt : t -> slot:int -> int -> int
+(** Inverse of {!encrypt} (xor is an involution, but reads the key from
+    the table through the simulated memory, so protection applies). *)

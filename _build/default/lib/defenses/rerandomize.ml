@@ -1,0 +1,49 @@
+open X86sim
+open Ms_util
+
+type t = {
+  cpu : Cpu.t;
+  rng : Prng.t;
+  size : int;
+  entropy_bits : int;
+  mutable va : int;
+  mutable move_count : int;
+}
+
+let range_base = 0x48_0000_0000
+
+let place rng entropy_bits =
+  range_base + (Prng.int rng (1 lsl entropy_bits) * Physmem.page_size)
+
+let create cpu ?(seed = 4242) ?(entropy_bits = 24) ~size ~secret () =
+  if entropy_bits < 4 || entropy_bits > 34 then
+    invalid_arg "Rerandomize.create: entropy_bits out of range";
+  let rng = Prng.create ~seed in
+  let va = place rng entropy_bits in
+  Mmu.map_range cpu.Cpu.mmu ~va ~len:size ~writable:true;
+  Mmu.poke64 cpu.Cpu.mmu ~va secret;
+  { cpu; rng; size; entropy_bits; va; move_count = 0 }
+
+let current_va t = t.va
+
+let probe_space t =
+  (range_base, range_base + ((1 lsl t.entropy_bits) * Physmem.page_size))
+
+let rerandomize t =
+  let fresh =
+    (* Avoid landing on the current spot so a move always invalidates
+       leaked addresses. *)
+    let rec pick () =
+      let va = place t.rng t.entropy_bits in
+      if va = t.va then pick () else va
+    in
+    pick ()
+  in
+  let contents = Mmu.peek_bytes t.cpu.Cpu.mmu ~va:t.va ~len:t.size in
+  Mmu.map_range t.cpu.Cpu.mmu ~va:fresh ~len:t.size ~writable:true;
+  Mmu.poke_bytes t.cpu.Cpu.mmu ~va:fresh contents;
+  Mmu.unmap_range t.cpu.Cpu.mmu ~va:t.va ~len:t.size;
+  t.va <- fresh;
+  t.move_count <- t.move_count + 1
+
+let moves t = t.move_count

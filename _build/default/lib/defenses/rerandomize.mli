@@ -1,0 +1,29 @@
+(** Timely rerandomization (TASR \[7\] / Shuffler \[67\] style): instead of
+    hiding the safe region once, keep {e moving} it — classically at every
+    I/O event — so a leaked address goes stale before it can be used.
+
+    The moving-target defense narrows but does not close the window: any
+    leak-to-use race that fits between two moves still wins, and oracles
+    that are faster than the move cadence (the allocation oracle needs
+    ~log2(entropy) probes) re-locate the region at will. The attacks tests
+    demonstrate both outcomes; MemSentry's deterministic isolation has no
+    window at all. *)
+
+type t
+
+val create :
+  X86sim.Cpu.t -> ?seed:int -> ?entropy_bits:int -> size:int -> secret:int -> unit -> t
+(** Place the region randomly (like {!Info_hiding.hide}) and remember how
+    to move it. *)
+
+val current_va : t -> int
+(** Defense-internal knowledge; attack code must not call this. *)
+
+val probe_space : t -> int * int
+
+val rerandomize : t -> unit
+(** Move the region to a fresh random address: map the new location, copy
+    the contents, unmap the old one (TASR's remap-on-I/O). *)
+
+val moves : t -> int
+(** How many times the region has moved. *)

@@ -1,0 +1,66 @@
+open X86sim
+open Ms_util
+
+exception Heap_error of string
+
+type t = {
+  cpu : Cpu.t;
+  rng : Prng.t;
+  base : int;
+  slot_size : int;
+  slots : int;
+  meta : Memsentry.Safe_region.region;
+}
+
+let heap_area = 0x34_0000_0000
+
+let create cpu ?(seed = 7) ~slot_size ~slots ~meta_region () =
+  if slot_size <= 0 || slot_size mod 8 <> 0 then
+    invalid_arg "Safe_alloc.create: slot_size must be a positive multiple of 8";
+  if slots <= 0 then invalid_arg "Safe_alloc.create: need at least one slot";
+  if meta_region.Memsentry.Safe_region.size < 8 * slots then
+    invalid_arg "Safe_alloc.create: metadata region too small";
+  Mmu.map_range cpu.Cpu.mmu ~va:heap_area ~len:(slot_size * slots) ~writable:true;
+  { cpu; rng = Prng.create ~seed; base = heap_area; slot_size; slots; meta = meta_region }
+
+(* Metadata accessors: one word per slot in the safe region (0 = free). *)
+let meta_va t slot = t.meta.Memsentry.Safe_region.va + (8 * slot)
+let slot_used t slot = Mmu.peek64 t.cpu.Cpu.mmu ~va:(meta_va t slot) <> 0
+let set_slot t slot v = Mmu.poke64 t.cpu.Cpu.mmu ~va:(meta_va t slot) v
+
+let live_count t =
+  let n = ref 0 in
+  for s = 0 to t.slots - 1 do
+    if slot_used t s then incr n
+  done;
+  !n
+
+let heap_base t = t.base
+let contains t addr = addr >= t.base && addr < t.base + (t.slot_size * t.slots)
+
+(* DieHard-style: sample random slots until a free one is found (the heap
+   is meant to be over-provisioned, so this terminates quickly), with a
+   bounded linear fallback for nearly-full heaps. *)
+let malloc t =
+  let rec sample attempts =
+    if attempts = 0 then
+      let rec linear s =
+        if s = t.slots then raise (Heap_error "out of memory")
+        else if not (slot_used t s) then s
+        else linear (s + 1)
+      in
+      linear 0
+    else
+      let s = Prng.int t.rng t.slots in
+      if slot_used t s then sample (attempts - 1) else s
+  in
+  let slot = sample (4 * t.slots) in
+  set_slot t slot 1;
+  t.base + (slot * t.slot_size)
+
+let free t addr =
+  if not (contains t addr) then raise (Heap_error "free of non-heap pointer");
+  if (addr - t.base) mod t.slot_size <> 0 then raise (Heap_error "free of interior pointer");
+  let slot = (addr - t.base) / t.slot_size in
+  if not (slot_used t slot) then raise (Heap_error "double free");
+  set_slot t slot 0

@@ -1,0 +1,44 @@
+(** A DieHard-style randomized heap allocator with isolated metadata
+    (paper §2.2 "Sensitive non-control data", §4).
+
+    Placement is uniformly random over an over-provisioned heap
+    (probabilistic safety against overflows and reuse), and the
+    {e metadata} — the slot occupancy table — lives in a safe region,
+    because "the metadata is only used by the allocator; other parts of
+    the program and libraries should not be able to access it" (§4).
+    Metadata reads/writes go through the simulated machine's memory so a
+    MemSentry technique protecting the region genuinely covers them.
+
+    Detected misuse (double free, foreign pointer) raises {!Heap_error};
+    the randomized placement is deterministic per seed. *)
+
+exception Heap_error of string
+
+type t
+
+val create :
+  X86sim.Cpu.t ->
+  ?seed:int ->
+  slot_size:int ->
+  slots:int ->
+  meta_region:Memsentry.Safe_region.region ->
+  unit ->
+  t
+(** Heap of [slots * slot_size] bytes (mapped fresh); metadata bitmap in
+    [meta_region] (needs [>= 8 * slots] bytes... one word per slot).
+    [slot_size] must be a positive multiple of 8. *)
+
+val malloc : t -> int
+(** Address of a fresh randomly-placed slot. Raises {!Heap_error} when
+    full. *)
+
+val free : t -> int -> unit
+(** Raises {!Heap_error} on double free or a pointer that is not a live
+    slot address. *)
+
+val live_count : t -> int
+
+val heap_base : t -> int
+
+val contains : t -> int -> bool
+(** Is the address inside the heap area? *)

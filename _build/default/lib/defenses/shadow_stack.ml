@@ -1,0 +1,66 @@
+open X86sim
+
+let default_region_size = 4096
+let violation_label = "ss_violation"
+
+let ssp = Ir.Lower.scratch2 (* r13 holds the shadow stack pointer briefly *)
+let tmp = Ir.Lower.scratch1 (* r12 holds the expected return address *)
+
+let safe insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Data_access; safe = true }
+let plain insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Plain; safe = false }
+let spill insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Spill; safe = false }
+let label l = { Ir.Lower.item = Program.Label l; cls = Ir.Lower.Plain; safe = false }
+
+(* Push the address of [ret_label] onto the shadow stack. *)
+let push_seq ~region_va ~ret_label =
+  [
+    plain (Insn.Mov_label (tmp, Insn.target ret_label));
+    safe (Insn.Load (ssp, Insn.mem_abs region_va));
+    safe (Insn.Store (Insn.mem ~base:ssp 0, tmp));
+    plain (Insn.Alu_ri (Insn.Add, ssp, 8));
+    safe (Insn.Store (Insn.mem_abs region_va, ssp));
+  ]
+
+(* Pop the expected return address and compare it with the one about to be
+   consumed by ret (at [rsp]). *)
+let check_seq ~region_va =
+  [
+    safe (Insn.Load (ssp, Insn.mem_abs region_va));
+    plain (Insn.Alu_ri (Insn.Sub, ssp, 8));
+    safe (Insn.Store (Insn.mem_abs region_va, ssp));
+    safe (Insn.Load (tmp, Insn.mem ~base:ssp 0));
+    spill (Insn.Load (ssp, Insn.mem ~base:Reg.rsp 0));
+    plain (Insn.Cmp_rr (tmp, ssp));
+    plain (Insn.Jcc (Insn.Ne, Insn.target violation_label));
+  ]
+
+let apply ~region_va (lowered : Ir.Lower.t) =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "ssret%d" !counter
+  in
+  let rewritten =
+    List.concat_map
+      (fun (mi : Ir.Lower.mitem) ->
+        match mi.Ir.Lower.item with
+        | Program.Label "main" ->
+          (* Initialize the shadow stack pointer at program entry. *)
+          [
+            mi;
+            plain (Insn.Mov_ri (tmp, region_va + 8));
+            safe (Insn.Store (Insn.mem_abs region_va, tmp));
+          ]
+        | Program.I (Insn.Call _ | Insn.Call_r _) ->
+          let ret_label = fresh () in
+          push_seq ~region_va ~ret_label @ [ mi; label ret_label ]
+        | Program.I Insn.Ret -> check_seq ~region_va @ [ mi ]
+        | Program.I _ | Program.Label _ -> [ mi ])
+      lowered.Ir.Lower.mitems
+  in
+  let stub = [ label violation_label; plain Insn.Halt ] in
+  { lowered with Ir.Lower.mitems = rewritten @ stub }
+
+let shadow_depth cpu ~region_va =
+  let ssp_value = Mmu.peek64 cpu.Cpu.mmu ~va:region_va in
+  (ssp_value - (region_va + 8)) / 8

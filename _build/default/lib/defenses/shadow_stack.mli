@@ -1,0 +1,29 @@
+(** A SafeStack-style shadow stack (paper §2.2 "Code-pointer separation",
+    §4, §6.2).
+
+    Every call site saves its return address to a shadow stack in a safe
+    region; every return verifies the on-stack return address against it
+    and halts on mismatch (a detected stack-smashing attempt). The shadow
+    accesses are emitted with the [safe] flag, so any MemSentry technique
+    can be layered on top: address-based passes leave them alone while
+    masking everything else (integrity needs [Writes] only), domain-based
+    passes bracket exactly them.
+
+    Layout of the region: slot 0 holds the shadow stack pointer; entries
+    grow upward from [region_va + 8]. The pass uses the reserved r12/r13
+    scratch registers. *)
+
+val default_region_size : int
+(** 4 KiB: SSP slot + ~500 frames. *)
+
+val violation_label : string
+(** Label of the halt stub reached on a return-address mismatch. *)
+
+val apply : region_va:int -> Ir.Lower.t -> Ir.Lower.t
+(** Instrument every call and ret of the lowered module. The caller is
+    responsible for making [\[region_va, region_va + default_region_size)]
+    a mapped safe region (e.g. {!Memsentry.Safe_region.alloc} and
+    [Framework.prepare ~extra_regions]). *)
+
+val shadow_depth : X86sim.Cpu.t -> region_va:int -> int
+(** Current number of live shadow entries (for tests). *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Ir_types List Printf

@@ -1,0 +1,1 @@
+lib/ir/glayout.ml: Bitops Ir_types List Ms_util X86sim

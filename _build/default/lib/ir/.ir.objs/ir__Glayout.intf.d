@@ -1,0 +1,1 @@
+lib/ir/glayout.mli: Ir_types

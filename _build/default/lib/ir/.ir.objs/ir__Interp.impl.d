@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Bytes Glayout Hashtbl Int64 Ir_types List Option Printf

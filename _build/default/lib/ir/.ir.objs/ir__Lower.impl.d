@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Cpu Glayout Insn Ir_types List Mmu Option Physmem Printf Program Reg Verifier X86sim

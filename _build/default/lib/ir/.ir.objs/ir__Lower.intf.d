@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Glayout Ir_types X86sim

@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Hashtbl Ir_types List Verifier

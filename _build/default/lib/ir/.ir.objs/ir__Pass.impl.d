@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Ir_types List Printf String Verifier

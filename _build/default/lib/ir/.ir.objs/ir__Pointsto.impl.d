@@ -1,0 +1,1 @@
+lib/ir/pointsto.ml: Array Hashtbl Ir_types List Option Printf Set String

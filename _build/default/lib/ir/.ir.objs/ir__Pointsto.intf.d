@@ -1,0 +1,1 @@
+lib/ir/pointsto.mli: Ir_types Set

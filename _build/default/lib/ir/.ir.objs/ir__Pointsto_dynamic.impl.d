@@ -1,0 +1,1 @@
+lib/ir/pointsto_dynamic.ml: Hashtbl Interp Ir_types List Pointsto

@@ -1,0 +1,1 @@
+lib/ir/pointsto_dynamic.mli: Hashtbl Ir_types Pointsto

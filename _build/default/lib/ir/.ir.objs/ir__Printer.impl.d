@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Format Ir_types List Printf String

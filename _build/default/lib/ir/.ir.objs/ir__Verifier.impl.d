@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Hashtbl Ir_types List Option Printf String

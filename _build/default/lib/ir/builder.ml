@@ -1,0 +1,140 @@
+open Ir_types
+
+type t = {
+  m : modul;
+  mutable cur_func : func option;
+  mutable cur_block : block option;
+  mutable finished : bool;
+  mutable last : int;
+}
+
+let create () =
+  {
+    m = { funcs = []; globals = []; next_instr_id = 0 };
+    cur_func = None;
+    cur_block = None;
+    finished = false;
+    last = -1;
+  }
+
+let check_open t = if t.finished then invalid_arg "Builder: already finished"
+
+let add_global t ~name ~size ?(sensitive = false) () =
+  check_open t;
+  if List.exists (fun g -> g.gname = name) t.m.globals then
+    invalid_arg (Printf.sprintf "Builder.add_global: duplicate %S" name);
+  if size <= 0 then invalid_arg "Builder.add_global: size must be positive";
+  t.m.globals <- t.m.globals @ [ { gname = name; gsize = size; sensitive } ]
+
+let start_func t ~name ~nparams =
+  check_open t;
+  if List.exists (fun f -> f.fname = name) t.m.funcs then
+    invalid_arg (Printf.sprintf "Builder.start_func: duplicate %S" name);
+  if nparams < 0 || nparams > max_params then
+    invalid_arg "Builder.start_func: at most 3 parameters";
+  let entry = { blabel = "entry"; instrs = [] } in
+  let f = { fname = name; nparams; blocks = [ entry ]; vreg_count = nparams } in
+  t.m.funcs <- t.m.funcs @ [ f ];
+  t.cur_func <- Some f;
+  t.cur_block <- Some entry
+
+let cur_func t =
+  match t.cur_func with Some f -> f | None -> invalid_arg "Builder: no current function"
+
+let cur_block t =
+  match t.cur_block with Some b -> b | None -> invalid_arg "Builder: no current block"
+
+let start_block t label =
+  check_open t;
+  let f = cur_func t in
+  if List.exists (fun b -> b.blabel = label) f.blocks then
+    invalid_arg (Printf.sprintf "Builder.start_block: duplicate %S" label);
+  let b = { blabel = label; instrs = [] } in
+  f.blocks <- f.blocks @ [ b ];
+  t.cur_block <- Some b
+
+let fresh_var t =
+  let f = cur_func t in
+  let v = f.vreg_count in
+  f.vreg_count <- v + 1;
+  v
+
+let emit t kind =
+  check_open t;
+  let b = cur_block t in
+  let id = t.m.next_instr_id in
+  t.m.next_instr_id <- id + 1;
+  b.instrs <- b.instrs @ [ { id; kind; safe_access = false } ];
+  t.last <- id
+
+let emit_assign t v =
+  let dst = fresh_var t in
+  emit t (Assign (dst, v));
+  dst
+
+let emit_binop t op a b =
+  let dst = fresh_var t in
+  emit t (Binop (op, dst, a, b));
+  dst
+
+let emit_load t ~base ~offset =
+  let dst = fresh_var t in
+  emit t (Load { dst; base; offset });
+  dst
+
+let check_var t v =
+  if v < 0 || v >= (cur_func t).vreg_count then
+    invalid_arg (Printf.sprintf "Builder: variable %%%d not allocated" v)
+
+let emit_assign_into t dst v =
+  check_var t dst;
+  emit t (Assign (dst, v))
+
+let emit_binop_into t dst op a b =
+  check_var t dst;
+  emit t (Binop (op, dst, a, b))
+
+let emit_load_into t dst ~base ~offset =
+  check_var t dst;
+  emit t (Load { dst; base; offset })
+
+let emit_store t ~base ~offset ~src = emit t (Store { base; offset; src })
+
+let emit_addr_of_global t name =
+  let dst = fresh_var t in
+  emit t (Addr_of_global (dst, name));
+  dst
+
+let emit_addr_of_func t name =
+  let dst = fresh_var t in
+  emit t (Addr_of_func (dst, name));
+  dst
+
+let with_dst t dst f =
+  let d = if dst then Some (fresh_var t) else None in
+  f d;
+  d
+
+let emit_call t ?(dst = false) callee args =
+  with_dst t dst (fun d -> emit t (Call { callee; args; dst = d }))
+
+let emit_call_ind t ?(dst = false) callee args =
+  with_dst t dst (fun d -> emit t (Call_ind { callee; args; dst = d }))
+
+let emit_syscall t ?(dst = false) nr args =
+  with_dst t dst (fun d -> emit t (Syscall { nr; args; dst = d }))
+
+let emit_ret t v = emit t (Ret v)
+let emit_br t label = emit t (Br label)
+
+let emit_cbr t cmp lhs rhs ~if_true ~if_false =
+  emit t (Cbr { cmp; lhs; rhs; if_true; if_false })
+
+let emit_fp t hint = emit t (Fp hint)
+
+let last_id t = t.last
+
+let finish t =
+  check_open t;
+  t.finished <- true;
+  t.m

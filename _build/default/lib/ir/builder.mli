@@ -1,0 +1,62 @@
+(** Imperative construction of IR modules.
+
+    A builder holds a current module / function / block cursor; emit
+    functions append to the current block and return the fresh destination
+    variable where one is produced. The typical shape:
+
+    {[
+      let b = Builder.create () in
+      Builder.add_global b ~name:"table" ~size:4096 ();
+      Builder.start_func b ~name:"main" ~nparams:0;
+      let p = Builder.emit_addr_of_global b "table" in
+      ignore (Builder.emit_load b ~base:(Var p) ~offset:0);
+      Builder.emit_ret b None;
+      let m = Builder.finish b
+    ]} *)
+
+open Ir_types
+
+type t
+
+val create : unit -> t
+
+val add_global : t -> name:string -> size:int -> ?sensitive:bool -> unit -> unit
+
+val start_func : t -> name:string -> nparams:int -> unit
+(** Opens function [name] with an entry block named ["entry"]; parameters
+    become vars [0..nparams-1]. Raises [Invalid_argument] on duplicates or
+    [nparams > max_params]. *)
+
+val start_block : t -> string -> unit
+(** Open (and append) a new block in the current function. *)
+
+val fresh_var : t -> var
+
+val emit_assign : t -> value -> var
+val emit_binop : t -> binop -> value -> value -> var
+val emit_load : t -> base:value -> offset:int -> var
+
+(** The [_into] variants update an {e existing} variable instead of minting
+    a fresh one — how loop-carried state (accumulators, induction
+    variables) is expressed, and what keeps synthetic workloads
+    register-resident rather than spill-bound. *)
+
+val emit_assign_into : t -> var -> value -> unit
+val emit_binop_into : t -> var -> binop -> value -> value -> unit
+val emit_load_into : t -> var -> base:value -> offset:int -> unit
+val emit_store : t -> base:value -> offset:int -> src:value -> unit
+val emit_addr_of_global : t -> string -> var
+val emit_addr_of_func : t -> string -> var
+val emit_call : t -> ?dst:bool -> string -> value list -> var option
+val emit_call_ind : t -> ?dst:bool -> value -> value list -> var option
+val emit_syscall : t -> ?dst:bool -> value -> value list -> var option
+val emit_ret : t -> value option -> unit
+val emit_br : t -> string -> unit
+val emit_cbr : t -> cmp -> value -> value -> if_true:string -> if_false:string -> unit
+val emit_fp : t -> int -> unit
+
+val last_id : t -> int
+(** Id of the most recently emitted instruction (for annotation). *)
+
+val finish : t -> modul
+(** Returns the module. The builder may not be reused afterwards. *)

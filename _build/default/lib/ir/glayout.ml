@@ -1,0 +1,21 @@
+open Ms_util
+
+type entry = { name : string; va : int; size : int; sensitive : bool }
+
+let page = X86sim.Physmem.page_size
+
+let assign (m : Ir_types.modul) =
+  let normal = ref (X86sim.Layout.heap_base + page) in
+  let sens = ref X86sim.Layout.sensitive_base in
+  List.map
+    (fun (g : Ir_types.global) ->
+      let cursor = if g.sensitive then sens else normal in
+      let va = !cursor in
+      cursor := !cursor + Bitops.align_up page g.gsize + page;
+      { name = g.gname; va; size = g.gsize; sensitive = g.sensitive })
+    m.globals
+
+let find entries name = List.find (fun e -> e.name = name) entries
+
+let find_by_addr entries addr =
+  List.find_opt (fun e -> addr >= e.va && addr < e.va + e.size) entries

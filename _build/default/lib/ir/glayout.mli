@@ -1,0 +1,17 @@
+(** Address assignment for module globals.
+
+    Shared by the interpreter and the backend so both agree on where data
+    lives: ordinary globals are laid out page-aligned from
+    {!X86sim.Layout.heap_base}; sensitive globals (safe regions) from
+    {!X86sim.Layout.sensitive_base}, above the 64 TiB partition split. *)
+
+type entry = { name : string; va : int; size : int; sensitive : bool }
+
+val assign : Ir_types.modul -> entry list
+(** Deterministic: module order within each partition. *)
+
+val find : entry list -> string -> entry
+(** Raises [Not_found]. *)
+
+val find_by_addr : entry list -> int -> entry option
+(** The global whose [\[va, va+size)] range contains the address. *)

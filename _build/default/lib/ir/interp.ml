@@ -1,0 +1,166 @@
+open Ir_types
+
+exception Interp_fault of string
+
+type access = { instr_id : int; global : string; offset : int; is_write : bool }
+
+type result = {
+  return_value : int option;
+  instrs_executed : int;
+  memory : (string * Bytes.t) list;
+}
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Interp_fault s)) fmt
+
+(* Function handles live far above any data address. *)
+let func_base = 0x7F00_0000_0000
+
+let max_call_depth = 10_000
+
+type state = {
+  m : modul;
+  layout : Glayout.entry list;
+  mem : (string, Bytes.t) Hashtbl.t;
+  funcs_arr : func array;
+  on_access : access -> unit;
+  mutable fuel : int;
+  mutable depth : int;
+}
+
+let global_bytes st name =
+  match Hashtbl.find_opt st.mem name with
+  | Some b -> b
+  | None -> fault "unknown global %s" name
+
+let resolve_addr st addr =
+  match Glayout.find_by_addr st.layout addr with
+  | Some e -> (e, addr - e.Glayout.va)
+  | None -> fault "access to address 0x%x outside any global" addr
+
+let func_index st name =
+  let rec go i =
+    if i >= Array.length st.funcs_arr then fault "unknown function %s" name
+    else if st.funcs_arr.(i).fname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let eval env = function Var v -> env.(v) | Const c -> c
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+
+let eval_cmp cmp a b =
+  match cmp with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let do_load st ins_id addr =
+  let e, off = resolve_addr st addr in
+  if off + 8 > e.Glayout.size then fault "load past end of %s" e.Glayout.name;
+  st.on_access { instr_id = ins_id; global = e.Glayout.name; offset = off; is_write = false };
+  Int64.to_int (Bytes.get_int64_le (global_bytes st e.Glayout.name) off)
+
+let do_store st ins_id addr v =
+  let e, off = resolve_addr st addr in
+  if off + 8 > e.Glayout.size then fault "store past end of %s" e.Glayout.name;
+  st.on_access { instr_id = ins_id; global = e.Glayout.name; offset = off; is_write = true };
+  Bytes.set_int64_le (global_bytes st e.Glayout.name) off (Int64.of_int v)
+
+let rec exec_func st f args =
+  st.depth <- st.depth + 1;
+  if st.depth > max_call_depth then fault "call stack exceeded %d frames" max_call_depth;
+  let env = Array.make (max f.vreg_count 1) 0 in
+  List.iteri (fun i a -> if i < f.nparams then env.(i) <- a) args;
+  let r = exec_block st f env (List.hd f.blocks) in
+  st.depth <- st.depth - 1;
+  r
+
+and exec_block st f env block =
+  (* Tail-call style block execution; returns Some v / None from Ret. *)
+  let rec go = function
+    | [] -> fault "block %s of %s fell through" block.blabel f.fname
+    | ins :: rest -> (
+      if st.fuel <= 0 then fault "out of fuel";
+      st.fuel <- st.fuel - 1;
+      match ins.kind with
+      | Assign (d, x) ->
+        env.(d) <- eval env x;
+        go rest
+      | Binop (op, d, a, b) ->
+        env.(d) <- apply_binop op (eval env a) (eval env b);
+        go rest
+      | Load { dst; base; offset } ->
+        env.(dst) <- do_load st ins.id (eval env base + offset);
+        go rest
+      | Store { base; offset; src } ->
+        do_store st ins.id (eval env base + offset) (eval env src);
+        go rest
+      | Addr_of_global (d, g) ->
+        env.(d) <- (Glayout.find st.layout g).Glayout.va;
+        go rest
+      | Addr_of_func (d, fn) ->
+        env.(d) <- func_base + func_index st fn;
+        go rest
+      | Call { callee; args; dst } ->
+        let f' = st.funcs_arr.(func_index st callee) in
+        let r = exec_func st f' (List.map (eval env) args) in
+        (match (dst, r) with
+        | Some d, Some v -> env.(d) <- v
+        | Some d, None -> env.(d) <- 0
+        | None, _ -> ());
+        go rest
+      | Call_ind { callee; args; dst } ->
+        let handle = eval env callee in
+        let idx = handle - func_base in
+        if idx < 0 || idx >= Array.length st.funcs_arr then
+          fault "indirect call to non-function value 0x%x" handle;
+        let r = exec_func st st.funcs_arr.(idx) (List.map (eval env) args) in
+        (match (dst, r) with
+        | Some d, Some v -> env.(d) <- v
+        | Some d, None -> env.(d) <- 0
+        | None, _ -> ());
+        go rest
+      | Syscall { dst; _ } ->
+        Option.iter (fun d -> env.(d) <- 0) dst;
+        go rest
+      | Fp _ -> go rest
+      | Ret v -> Option.map (eval env) v
+      | Br l -> exec_block st f env (find_block f l)
+      | Cbr { cmp; lhs; rhs; if_true; if_false } ->
+        let taken = eval_cmp cmp (eval env lhs) (eval env rhs) in
+        exec_block st f env (find_block f (if taken then if_true else if_false)))
+  in
+  go block.instrs
+
+let run ?(fuel = 10_000_000) ?(on_access = fun _ -> ()) ?(entry = "main") ?(args = []) m =
+  let layout = Glayout.assign m in
+  let mem = Hashtbl.create 16 in
+  List.iter (fun (e : Glayout.entry) -> Hashtbl.add mem e.name (Bytes.make e.size '\000')) layout;
+  let st =
+    { m; layout; mem; funcs_arr = Array.of_list m.funcs; on_access; fuel; depth = 0 }
+  in
+  let f = try find_func m entry with Not_found -> fault "no entry function %s" entry in
+  let return_value = exec_func st f args in
+  {
+    return_value;
+    instrs_executed = fuel - st.fuel;
+    memory = List.map (fun (e : Glayout.entry) -> (e.name, global_bytes st e.name)) layout;
+  }
+
+let read_word r name offset =
+  match List.assoc_opt name r.memory with
+  | Some b -> Int64.to_int (Bytes.get_int64_le b offset)
+  | None -> raise (Interp_fault (Printf.sprintf "read_word: unknown global %s" name))

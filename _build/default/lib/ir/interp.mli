@@ -1,0 +1,37 @@
+(** Direct IR interpreter.
+
+    Two jobs: executing defense logic at the IR level in tests, and the
+    PIN-style {e dynamic} points-to analysis — the [on_access] hook reports,
+    for every executed load/store, which global object was touched. That
+    stream (collected by {!Pointsto_dynamic}) under-approximates the true
+    points-to relation exactly as the paper describes: only objects on the
+    exercised paths are seen.
+
+    Semantics mirror the backend: 64-bit integers, globals at the
+    {!Glayout} addresses, function addresses as opaque handles usable by
+    [Call_ind]. Syscalls return 0 (the interpreter has no OS). Memory
+    outside any global traps with [Interp_fault]. *)
+
+exception Interp_fault of string
+
+type access = { instr_id : int; global : string; offset : int; is_write : bool }
+
+type result = {
+  return_value : int option;
+  instrs_executed : int;
+  memory : (string * Bytes.t) list;  (** final contents of every global *)
+}
+
+val run :
+  ?fuel:int ->
+  ?on_access:(access -> unit) ->
+  ?entry:string ->
+  ?args:int list ->
+  Ir_types.modul ->
+  result
+(** Execute [entry] (default ["main"]). [fuel] defaults to 10 million
+    instructions; exhaustion — like runaway recursion past 10k frames —
+    raises [Interp_fault]. *)
+
+val read_word : result -> string -> int -> int
+(** [read_word r global offset]: a 64-bit word from the final memory image. *)

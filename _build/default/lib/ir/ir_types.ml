@@ -1,0 +1,66 @@
+type var = int
+type value = Var of var | Const of int
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type instr_kind =
+  | Assign of var * value
+  | Binop of binop * var * value * value
+  | Load of { dst : var; base : value; offset : int }
+  | Store of { base : value; offset : int; src : value }
+  | Addr_of_global of var * string
+  | Addr_of_func of var * string
+  | Call of { callee : string; args : value list; dst : var option }
+  | Call_ind of { callee : value; args : value list; dst : var option }
+  | Syscall of { nr : value; args : value list; dst : var option }
+  | Ret of value option
+  | Br of string
+  | Cbr of { cmp : cmp; lhs : value; rhs : value; if_true : string; if_false : string }
+  | Fp of int
+
+type instr = { id : int; mutable kind : instr_kind; mutable safe_access : bool }
+type block = { blabel : string; mutable instrs : instr list }
+
+type func = {
+  fname : string;
+  nparams : int;
+  mutable blocks : block list;
+  mutable vreg_count : int;
+}
+
+type global = { gname : string; gsize : int; mutable sensitive : bool }
+
+type modul = {
+  mutable funcs : func list;
+  mutable globals : global list;
+  mutable next_instr_id : int;
+}
+
+let max_params = 3
+
+let find_func m name = List.find (fun f -> f.fname = name) m.funcs
+let find_global m name = List.find (fun g -> g.gname = name) m.globals
+let find_block f label = List.find (fun b -> b.blabel = label) f.blocks
+
+let iter_instrs m k =
+  List.iter
+    (fun f -> List.iter (fun b -> List.iter (fun ins -> k f b ins) b.instrs) f.blocks)
+    m.funcs
+
+let instr_count m =
+  let n = ref 0 in
+  iter_instrs m (fun _ _ _ -> incr n);
+  !n
+
+let mark_safe_access m id =
+  let found = ref false in
+  iter_instrs m (fun _ _ ins ->
+      if ins.id = id then begin
+        ins.safe_access <- true;
+        found := true
+      end);
+  if not !found then raise Not_found
+
+let mark_function_safe m name =
+  let f = find_func m name in
+  List.iter (fun b -> List.iter (fun ins -> ins.safe_access <- true) b.instrs) f.blocks

@@ -1,0 +1,95 @@
+(** A small LLVM-flavoured intermediate representation.
+
+    MemSentry is an LLVM pass: defenses annotate IR instructions that may
+    touch safe regions, and the isolation pass instruments everything (or
+    everything else) before code generation. This IR plays the same role:
+    virtual registers, basic blocks, direct/indirect calls, explicit
+    loads/stores with a base+offset shape (so the backend can split address
+    computation from access, as in the paper's Fig. 2), named global
+    regions, and a per-instruction [safe_access] flag — the moral
+    equivalent of the paper's [saferegion_access(ins)] LLVM metadata.
+
+    Instruction [id]s are unique within a module and are the keys used by
+    the points-to analyses and the annotation API. *)
+
+type var = int
+(** Virtual register, function-scoped, starting at 0. *)
+
+type value = Var of var | Const of int
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type instr_kind =
+  | Assign of var * value
+  | Binop of binop * var * value * value
+  | Load of { dst : var; base : value; offset : int }
+  | Store of { base : value; offset : int; src : value }
+  | Addr_of_global of var * string  (** v <- &global *)
+  | Addr_of_func of var * string  (** v <- &function (a code address) *)
+  | Call of { callee : string; args : value list; dst : var option }
+  | Call_ind of { callee : value; args : value list; dst : var option }
+  | Syscall of { nr : value; args : value list; dst : var option }
+  | Ret of value option
+  | Br of string
+  | Cbr of { cmp : cmp; lhs : value; rhs : value; if_true : string; if_false : string }
+  | Fp of int
+      (** Opaque floating-point work (the int is a scheduling hint). No
+          integer semantics; lowers to vector-register arithmetic and
+          exists so workloads model xmm register pressure — the resource
+          the crypt technique competes for. *)
+
+type instr = {
+  id : int;
+  mutable kind : instr_kind;  (** mutable so {!Opt} passes can rewrite in place *)
+  mutable safe_access : bool;
+      (** True when this instruction is {e allowed} to access safe regions:
+          address-based passes skip it, domain-based passes bracket it. *)
+}
+
+type block = { blabel : string; mutable instrs : instr list }
+
+type func = {
+  fname : string;
+  nparams : int;  (** Parameters are vars [0 .. nparams-1]; at most 3. *)
+  mutable blocks : block list;  (** head = entry block *)
+  mutable vreg_count : int;
+}
+
+type global = {
+  gname : string;
+  gsize : int;  (** bytes *)
+  mutable sensitive : bool;
+      (** Safe-region globals: allocated above the 64 TiB split by the
+          backend (the paper's [saferegion_alloc]). *)
+}
+
+type modul = {
+  mutable funcs : func list;
+  mutable globals : global list;
+  mutable next_instr_id : int;
+}
+
+val max_params : int
+(** 3 (rdi/rsi/rdx in the lowered convention). *)
+
+val find_func : modul -> string -> func
+(** Raises [Not_found]. *)
+
+val find_global : modul -> string -> global
+
+val find_block : func -> string -> block
+
+val iter_instrs : modul -> (func -> block -> instr -> unit) -> unit
+
+val instr_count : modul -> int
+
+val mark_safe_access : modul -> int -> unit
+(** The [saferegion_access] API: flag the instruction with this id.
+    Raises [Not_found] for unknown ids. *)
+
+val mark_function_safe : modul -> string -> unit
+(** Annotate every instruction of a function (the paper's static-library
+    auto-annotation: defense runtime functions may touch the safe region
+    wholesale). *)

@@ -1,0 +1,255 @@
+open X86sim
+open Ir_types
+
+type mclass = Data_access | Spill | Plain
+
+type mitem = { item : Program.item; cls : mclass; safe : bool }
+
+type t = { mitems : mitem list; layout : Glayout.entry list }
+
+let scratch1 = Reg.r12
+let scratch2 = Reg.r13
+
+(* Callee-saved allocation pool; r10 stays free for syscall arg 4, rax/rcx/rdx
+   are codegen scratch, rdi/rsi/rdx carry arguments, r12/r13 are reserved. *)
+let pool = [| Reg.rbx; Reg.r8; Reg.r9; Reg.r11; Reg.rbp; Reg.r14; Reg.r15 |]
+let arg_regs = [| Reg.rdi; Reg.rsi; Reg.rdx |]
+let syscall_arg_regs = [| Reg.rdi; Reg.rsi; Reg.rdx; Reg.r10 |]
+
+let func_label name = "fn_" ^ name
+let block_label fname blabel = Printf.sprintf "%s.%s" fname blabel
+
+type home = Hreg of Reg.gpr | Hslot of int
+
+let cmp_to_cond = function
+  | Eq -> Insn.Eq
+  | Ne -> Insn.Ne
+  | Lt -> Insn.Lt
+  | Le -> Insn.Le
+  | Gt -> Insn.Gt
+  | Ge -> Insn.Ge
+
+let binop_to_alu = function
+  | Add -> Insn.Add
+  | Sub -> Insn.Sub
+  | Mul -> Insn.Imul
+  | And -> Insn.And
+  | Or -> Insn.Or
+  | Xor -> Insn.Xor
+  | Shl -> Insn.Shl
+  | Shr -> Insn.Shr
+
+(* Per-function lowering context. *)
+type ctx = {
+  homes : home array;
+  nslots : int;
+  used_pool : Reg.gpr list;
+  gaddr : string -> int;
+  xmm_pool : Reg.xmm array;
+  buf : mitem list ref; (* reversed *)
+}
+
+let default_xmm_pool = List.init 16 (fun i -> i)
+let crypt_xmm_pool = [ 0; 1; 2; 3; 15 ]
+
+(* How many simultaneously-live vector values fp-heavy code wants; pools
+   smaller than this force spills. *)
+let fp_live_values = 12
+let fp_spill_slots = 8
+let fp_spill_base = 0x2C_0000_0000
+
+let emit ctx ?(cls = Plain) ?(safe = false) insn =
+  ctx.buf := { item = Program.I insn; cls; safe } :: !(ctx.buf)
+
+let emit_label ctx l = ctx.buf := { item = Program.Label l; cls = Plain; safe = false } :: !(ctx.buf)
+
+let slot_mem s = Insn.mem ~base:Reg.rsp (8 * s)
+
+(* Materialize a value in [into]. *)
+let load_value ctx v ~into =
+  match v with
+  | Const c -> emit ctx (Insn.Mov_ri (into, c))
+  | Var x -> (
+    match ctx.homes.(x) with
+    | Hreg r -> if r <> into then emit ctx (Insn.Mov_rr (into, r))
+    | Hslot s -> emit ctx ~cls:Spill (Insn.Load (into, slot_mem s)))
+
+(* Register currently holding [v], loading spills/constants into [scratch]. *)
+let reg_of_value ctx v ~scratch =
+  match v with
+  | Const c ->
+    emit ctx (Insn.Mov_ri (scratch, c));
+    scratch
+  | Var x -> (
+    match ctx.homes.(x) with
+    | Hreg r -> r
+    | Hslot s ->
+      emit ctx ~cls:Spill (Insn.Load (scratch, slot_mem s));
+      scratch)
+
+(* Write register [from] into variable [d]'s home. *)
+let store_var ctx d ~from =
+  match ctx.homes.(d) with
+  | Hreg r -> if r <> from then emit ctx (Insn.Mov_rr (r, from))
+  | Hslot s -> emit ctx ~cls:Spill (Insn.Store (slot_mem s, from))
+
+let emit_epilogue ctx =
+  if ctx.nslots > 0 then emit ctx (Insn.Alu_ri (Insn.Add, Reg.rsp, 8 * ctx.nslots));
+  List.iter (fun r -> emit ctx (Insn.Pop r)) (List.rev ctx.used_pool);
+  emit ctx Insn.Ret
+
+let lower_instr ctx fname (ins : instr) =
+  let safe = ins.safe_access in
+  match ins.kind with
+  | Assign (d, x) -> (
+    match ctx.homes.(d) with
+    | Hreg r -> load_value ctx x ~into:r
+    | Hslot _ ->
+      load_value ctx x ~into:Reg.rax;
+      store_var ctx d ~from:Reg.rax)
+  | Binop (op, d, a, b) -> (
+    (* In-place update of a register-resident variable lowers to a single
+       ALU instruction, like real codegen for [x op= k]. *)
+    match (ctx.homes.(d), a) with
+    | Hreg r, Var av when av = d -> (
+      match b with
+      | Const c -> emit ctx (Insn.Alu_ri (binop_to_alu op, r, c))
+      | Var _ ->
+        let rb = reg_of_value ctx b ~scratch:Reg.rcx in
+        emit ctx (Insn.Alu_rr (binop_to_alu op, r, rb)))
+    | Hreg r, Var av
+      when (match ctx.homes.(av) with Hreg _ -> true | Hslot _ -> false)
+           && (match b with Var bv -> bv <> d | Const _ -> true) ->
+      (* dst and lhs both in registers (and rhs does not read the dst):
+         mov + alu, like real codegen. *)
+      load_value ctx a ~into:r;
+      (match b with
+      | Const c -> emit ctx (Insn.Alu_ri (binop_to_alu op, r, c))
+      | Var _ ->
+        let rb = reg_of_value ctx b ~scratch:Reg.rcx in
+        emit ctx (Insn.Alu_rr (binop_to_alu op, r, rb)))
+    | _ ->
+      load_value ctx a ~into:Reg.rax;
+      (match b with
+      | Const c -> emit ctx (Insn.Alu_ri (binop_to_alu op, Reg.rax, c))
+      | Var _ ->
+        let rb = reg_of_value ctx b ~scratch:Reg.rcx in
+        emit ctx (Insn.Alu_rr (binop_to_alu op, Reg.rax, rb)));
+      store_var ctx d ~from:Reg.rax)
+  | Load { dst; base; offset } -> (
+    let rb = reg_of_value ctx base ~scratch:Reg.rax in
+    match ctx.homes.(dst) with
+    | Hreg r -> emit ctx ~cls:Data_access ~safe (Insn.Load (r, Insn.mem ~base:rb offset))
+    | Hslot _ ->
+      emit ctx ~cls:Data_access ~safe (Insn.Load (Reg.rax, Insn.mem ~base:rb offset));
+      store_var ctx dst ~from:Reg.rax)
+  | Store { base; offset; src } ->
+    let rb = reg_of_value ctx base ~scratch:Reg.rax in
+    let rs = reg_of_value ctx src ~scratch:Reg.rcx in
+    emit ctx ~cls:Data_access ~safe (Insn.Store (Insn.mem ~base:rb offset, rs))
+  | Addr_of_global (d, g) -> (
+    let addr = ctx.gaddr g in
+    match ctx.homes.(d) with
+    | Hreg r -> emit ctx (Insn.Mov_ri (r, addr))
+    | Hslot _ ->
+      emit ctx (Insn.Mov_ri (Reg.rax, addr));
+      store_var ctx d ~from:Reg.rax)
+  | Addr_of_func (d, fn) -> (
+    match ctx.homes.(d) with
+    | Hreg r -> emit ctx (Insn.Mov_label (r, Insn.target (func_label fn)))
+    | Hslot _ ->
+      emit ctx (Insn.Mov_label (Reg.rax, Insn.target (func_label fn)));
+      store_var ctx d ~from:Reg.rax)
+  | Call { callee; args; dst } ->
+    List.iteri (fun i a -> load_value ctx a ~into:arg_regs.(i)) args;
+    emit ctx (Insn.Call (Insn.target (func_label callee)));
+    Option.iter (fun d -> store_var ctx d ~from:Reg.rax) dst
+  | Call_ind { callee; args; dst } ->
+    List.iteri (fun i a -> load_value ctx a ~into:arg_regs.(i)) args;
+    load_value ctx callee ~into:Reg.rax;
+    emit ctx (Insn.Call_r Reg.rax);
+    Option.iter (fun d -> store_var ctx d ~from:Reg.rax) dst
+  | Syscall { nr; args; dst } ->
+    List.iteri (fun i a -> load_value ctx a ~into:syscall_arg_regs.(i)) args;
+    load_value ctx nr ~into:Reg.rax;
+    emit ctx Insn.Syscall;
+    Option.iter (fun d -> store_var ctx d ~from:Reg.rax) dst
+  | Ret v ->
+    Option.iter (fun x -> load_value ctx x ~into:Reg.rax) v;
+    emit_epilogue ctx
+  | Fp hint ->
+    (* Round-robin over the permitted vector registers. When the pool is
+       small (crypt reserving ymm4-14), code that wants ~12 live vector
+       values must spill: each op then pays slot traffic with real
+       store-to-load dependencies — the register-reservation cost the
+       paper observes on xmm-heavy benchmarks. *)
+    let n = Array.length ctx.xmm_pool in
+    let dst = ctx.xmm_pool.(hint mod n) and src = ctx.xmm_pool.((hint + (n / 2) + 1) mod n) in
+    if n < fp_live_values then begin
+      let slot k = Insn.mem_abs (fp_spill_base + (16 * (k mod fp_spill_slots))) in
+      if hint mod 2 = 0 then
+        emit ctx ~cls:Spill (Insn.Movdqa_load (src, slot (hint + (fp_spill_slots / 2))));
+      emit ctx (Insn.Fp_arith (dst, src));
+      emit ctx ~cls:Spill (Insn.Movdqa_store (slot hint, dst))
+    end
+    else emit ctx (Insn.Fp_arith (dst, src))
+  | Br l -> emit ctx (Insn.Jmp (Insn.target (block_label fname l)))
+  | Cbr { cmp; lhs; rhs; if_true; if_false } ->
+    load_value ctx lhs ~into:Reg.rax;
+    (match rhs with
+    | Const c -> emit ctx (Insn.Cmp_ri (Reg.rax, c))
+    | Var _ ->
+      let rr = reg_of_value ctx rhs ~scratch:Reg.rcx in
+      emit ctx (Insn.Cmp_rr (Reg.rax, rr)));
+    emit ctx (Insn.Jcc (cmp_to_cond cmp, Insn.target (block_label fname if_true)));
+    emit ctx (Insn.Jmp (Insn.target (block_label fname if_false)))
+
+let lower_func buf gaddr xmm_pool (f : func) =
+  let npool = Array.length pool in
+  let homes =
+    Array.init (max f.vreg_count 1) (fun v ->
+        if v < npool then Hreg pool.(v) else Hslot (v - npool))
+  in
+  let nslots = max 0 (f.vreg_count - npool) in
+  let used_pool =
+    List.filteri (fun i _ -> i < f.vreg_count) (Array.to_list pool)
+  in
+  let ctx = { homes; nslots; used_pool; gaddr; xmm_pool; buf } in
+  emit_label ctx (func_label f.fname);
+  List.iter (fun r -> emit ctx (Insn.Push r)) used_pool;
+  if nslots > 0 then emit ctx (Insn.Alu_ri (Insn.Sub, Reg.rsp, 8 * nslots));
+  for p = 0 to f.nparams - 1 do
+    store_var ctx p ~from:arg_regs.(p)
+  done;
+  List.iter
+    (fun b ->
+      emit_label ctx (block_label f.fname b.blabel);
+      List.iter (lower_instr ctx f.fname) b.instrs)
+    f.blocks
+
+let lower ?(xmm_pool = default_xmm_pool) m =
+  Verifier.verify_exn m;
+  if xmm_pool = [] then invalid_arg "Lower.lower: empty xmm pool";
+  let xmm_pool = Array.of_list xmm_pool in
+  let layout = Glayout.assign m in
+  let gaddr name = (Glayout.find layout name).Glayout.va in
+  let buf = ref [] in
+  let ctx0 = { homes = [||]; nslots = 0; used_pool = []; gaddr; xmm_pool; buf } in
+  (* Entry wrapper. *)
+  emit_label ctx0 "main";
+  emit ctx0 (Insn.Call (Insn.target (func_label "main")));
+  emit ctx0 Insn.Halt;
+  List.iter (lower_func buf gaddr xmm_pool) m.funcs;
+  { mitems = List.rev !buf; layout }
+
+let items t = List.map (fun mi -> mi.item) t.mitems
+
+let assemble t = Program.assemble (items t)
+
+let setup_memory cpu t =
+  Mmu.map_range cpu.Cpu.mmu ~va:fp_spill_base ~len:Physmem.page_size ~writable:true;
+  List.iter
+    (fun (e : Glayout.entry) -> Mmu.map_range cpu.Cpu.mmu ~va:e.va ~len:e.size ~writable:true)
+    t.layout
+
+let global_va t name = (Glayout.find t.layout name).Glayout.va

@@ -1,0 +1,64 @@
+(** Backend: IR -> machine items, with instrumentation metadata.
+
+    Design decisions that mirror the paper's setting:
+
+    - Virtual registers are allocated to a pool of callee-saved GPRs
+      (rbx, r8, r9, r11, rbp, r14, r15); the overflow lives in rsp-relative
+      {e spill slots}. Spill accesses are emitted with class {!Spill} and
+      are never instrumented — "variable spills to the stack ... access a
+      fixed place in memory and thus do not need isolation instrumentation"
+      (§5.5).
+    - r12/r13 are reserved as instrumentation scratch (the backend never
+      allocates them), like LLVM register reservation.
+    - Every IR load/store becomes exactly one machine access of class
+      {!Data_access}, carrying the IR instruction's [safe_access] flag, so
+      the MemSentry passes know what to instrument (address-based: all
+      unsafe accesses) or bracket (domain-based: the safe ones).
+    - Calls pass up to 3 arguments in rdi/rsi/rdx and return in rax;
+      syscall arguments go to rdi/rsi/rdx/r10.
+    - The module entry is a ["main"] wrapper that calls the IR [main] and
+      executes [Halt]. *)
+
+type mclass =
+  | Data_access  (** an IR-level load/store — instrumentable *)
+  | Spill  (** fixed rsp-relative slot traffic — never instrumented *)
+  | Plain
+
+type mitem = { item : X86sim.Program.item; cls : mclass; safe : bool }
+
+type t = { mitems : mitem list; layout : Glayout.entry list }
+
+val scratch1 : X86sim.Reg.gpr
+(** r12: first reserved instrumentation scratch register. *)
+
+val scratch2 : X86sim.Reg.gpr
+(** r13. *)
+
+val func_label : string -> string
+(** ["fn_<name>"], the label of a lowered function (also what
+    [Addr_of_func] materializes). *)
+
+val default_xmm_pool : X86sim.Reg.xmm list
+(** All 16 vector registers — what an unconstrained compiler uses. *)
+
+val crypt_xmm_pool : X86sim.Reg.xmm list
+(** xmm0-3 and xmm15: the pool left when ymm4-ymm14 are reserved for crypt
+    round keys. Rebuilding a workload with this pool models the global
+    register-reservation cost the paper observes for xmm-heavy benchmarks. *)
+
+val lower : ?xmm_pool:X86sim.Reg.xmm list -> Ir_types.modul -> t
+(** Verifies the module first ([Invalid_argument] on malformed IR).
+    [xmm_pool] (default {!default_xmm_pool}, must be non-empty) is the set
+    of vector registers [Fp] instructions may use. *)
+
+val items : t -> X86sim.Program.item list
+(** Strip metadata (for assembling an uninstrumented baseline). *)
+
+val assemble : t -> X86sim.Program.t
+
+val setup_memory : X86sim.Cpu.t -> t -> unit
+(** Map every global of the layout into the CPU's address space
+    (writable, zero-filled). *)
+
+val global_va : t -> string -> int
+(** Address assigned to a global. Raises [Not_found]. *)

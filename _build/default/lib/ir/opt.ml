@@ -1,0 +1,163 @@
+open Ir_types
+
+type stats = { folded : int; propagated : int; eliminated : int }
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+
+let constant_fold m =
+  let folded = ref 0 in
+  iter_instrs m (fun _ _ ins ->
+      match ins.kind with
+      | Binop (op, d, Const a, Const b) ->
+        ins.kind <- Assign (d, Const (apply_binop op a b));
+        incr folded
+      | _ -> ());
+  !folded
+
+(* Block-local copy propagation: after [d = v], uses of [Var d] become [v]
+   until d (or, when v is a variable, v itself) is redefined. *)
+let copy_propagate m =
+  let rewrites = ref 0 in
+  let defs_of = function
+    | Assign (d, _) | Binop (_, d, _, _) | Addr_of_global (d, _) | Addr_of_func (d, _) ->
+      Some d
+    | Load { dst; _ } -> Some dst
+    | Call { dst; _ } | Call_ind { dst; _ } | Syscall { dst; _ } -> dst
+    | Store _ | Ret _ | Br _ | Cbr _ | Fp _ -> None
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          (* copies: var -> value it currently equals *)
+          let copies : (var, value) Hashtbl.t = Hashtbl.create 8 in
+          let invalidate d =
+            Hashtbl.remove copies d;
+            Hashtbl.iter
+              (fun k v -> match v with Var s when s = d -> Hashtbl.remove copies k | _ -> ())
+              copies
+          in
+          let subst v =
+            match v with
+            | Var x -> (
+              match Hashtbl.find_opt copies x with
+              | Some replacement ->
+                incr rewrites;
+                replacement
+              | None -> v)
+            | Const _ -> v
+          in
+          List.iter
+            (fun ins ->
+              (* Rewrite uses first. *)
+              (match ins.kind with
+              | Assign (d, v) -> ins.kind <- Assign (d, subst v)
+              | Binop (op, d, a, b2) -> ins.kind <- Binop (op, d, subst a, subst b2)
+              | Load { dst; base; offset } -> ins.kind <- Load { dst; base = subst base; offset }
+              | Store { base; offset; src } ->
+                ins.kind <- Store { base = subst base; offset; src = subst src }
+              | Call { callee; args; dst } ->
+                ins.kind <- Call { callee; args = List.map subst args; dst }
+              | Call_ind { callee; args; dst } ->
+                ins.kind <- Call_ind { callee = subst callee; args = List.map subst args; dst }
+              | Syscall { nr; args; dst } ->
+                ins.kind <- Syscall { nr = subst nr; args = List.map subst args; dst }
+              | Ret (Some v) -> ins.kind <- Ret (Some (subst v))
+              | Cbr { cmp; lhs; rhs; if_true; if_false } ->
+                ins.kind <- Cbr { cmp; lhs = subst lhs; rhs = subst rhs; if_true; if_false }
+              | Addr_of_global _ | Addr_of_func _ | Ret None | Br _ | Fp _ -> ());
+              (* Then update the copy environment. *)
+              match defs_of ins.kind with
+              | Some d -> (
+                invalidate d;
+                match ins.kind with
+                | Assign (d2, (Const _ as v)) -> Hashtbl.replace copies d2 v
+                | Assign (d2, (Var s as v)) when s <> d2 -> Hashtbl.replace copies d2 v
+                | _ -> ())
+              | None -> ())
+            b.instrs)
+        f.blocks)
+    m.funcs;
+  !rewrites
+
+let dead_code_elim m =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Flow-insensitive: any use anywhere keeps a definition alive. *)
+    let used = Hashtbl.create 64 in
+    let use = function Var v -> Hashtbl.replace used v () | Const _ -> () in
+    iter_instrs m (fun _ _ ins ->
+        match ins.kind with
+        | Assign (_, v) -> use v
+        | Binop (_, _, a, b) ->
+          use a;
+          use b
+        | Load { base; _ } -> use base
+        | Store { base; src; _ } ->
+          use base;
+          use src
+        | Call { args; _ } -> List.iter use args
+        | Call_ind { callee; args; _ } ->
+          use callee;
+          List.iter use args
+        | Syscall { nr; args; _ } ->
+          use nr;
+          List.iter use args
+        | Ret (Some v) -> use v
+        | Cbr { lhs; rhs; _ } ->
+          use lhs;
+          use rhs
+        | Addr_of_global _ | Addr_of_func _ | Ret None | Br _ | Fp _ -> ());
+    (* Parameters are always live (the caller wrote them). *)
+    let pure_and_dead f ins =
+      let dead d = not (Hashtbl.mem used d) && d >= f.nparams in
+      match ins.kind with
+      | Assign (d, _) | Binop (_, d, _, _) | Addr_of_global (d, _) | Addr_of_func (d, _) ->
+        dead d
+      | Load _ | Store _ | Call _ | Call_ind _ | Syscall _ | Ret _ | Br _ | Cbr _ | Fp _ ->
+        false
+    in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun b ->
+            let before = List.length b.instrs in
+            b.instrs <- List.filter (fun ins -> not (pure_and_dead f ins)) b.instrs;
+            let delta = before - List.length b.instrs in
+            if delta > 0 then begin
+              removed := !removed + delta;
+              changed := true
+            end)
+          f.blocks)
+      m.funcs
+  done;
+  !removed
+
+let optimize m =
+  let folded = ref 0 and propagated = ref 0 and eliminated = ref 0 in
+  let rec go rounds =
+    if rounds > 0 then begin
+      let f1 = constant_fold m in
+      let p = copy_propagate m in
+      let f2 = constant_fold m in
+      let e = dead_code_elim m in
+      folded := !folded + f1 + f2;
+      propagated := !propagated + p;
+      eliminated := !eliminated + e;
+      if f1 + p + f2 + e > 0 then go (rounds - 1)
+    end
+  in
+  go 8;
+  Verifier.verify_exn m;
+  { folded = !folded; propagated = !propagated; eliminated = !eliminated }

@@ -1,0 +1,34 @@
+(** IR optimization passes (the "Optimizer" stage of the paper's Fig. 1).
+
+    MemSentry runs {e after} the defense passes and benefits from the
+    optimizer having already cleaned the IR — in particular, "LLVM will
+    have eliminated all register spilling to the stack, thus making sure
+    we only see (and instrument) necessary memory accesses" (§5.5). These
+    passes play that role for this IR:
+
+    - {!constant_fold}: binops over two constants become constants;
+    - {!copy_propagate}: uses of a copied value read the original while
+      neither side has been redefined (block-local);
+    - {!dead_code_elim}: pure instructions whose results are never used
+      are dropped. Loads are conservatively kept (they can fault — and an
+      instrumented load is exactly what MemSentry measures); stores,
+      calls and control flow are always side-effecting.
+
+    Passes never remove or reorder memory accesses and never touch the
+    [safe_access] flag, so instrumentation decisions survive optimization
+    — asserted by the test suite via differential execution. *)
+
+type stats = { folded : int; propagated : int; eliminated : int }
+
+val constant_fold : Ir_types.modul -> int
+(** Returns the number of instructions rewritten. *)
+
+val copy_propagate : Ir_types.modul -> int
+(** Returns the number of operand uses rewritten. *)
+
+val dead_code_elim : Ir_types.modul -> int
+(** Returns the number of instructions removed. *)
+
+val optimize : Ir_types.modul -> stats
+(** fold -> propagate -> fold -> eliminate, to a fixpoint (bounded).
+    Verifies the module afterwards ([Invalid_argument] on a pass bug). *)

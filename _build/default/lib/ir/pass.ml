@@ -1,0 +1,18 @@
+type pass = { pname : string; transform : Ir_types.modul -> unit }
+
+let make ~name transform = { pname = name; transform }
+
+let run ?(verify_between = true) passes m =
+  List.map
+    (fun p ->
+      p.transform m;
+      if verify_between then begin
+        match Verifier.verify m with
+        | [] -> ()
+        | errs ->
+          invalid_arg
+            (Printf.sprintf "pass %S broke the module:\n%s" p.pname
+               (String.concat "\n" (List.map Verifier.error_to_string errs)))
+      end;
+      p.pname)
+    passes

@@ -1,0 +1,15 @@
+(** Pass manager.
+
+    MemSentry's usage model (paper Fig. 1): defense passes run first and
+    annotate the IR; the MemSentry isolation pass runs {e after} them and
+    consumes the annotations. The manager enforces that ordering, verifies
+    the module between passes, and records what ran. *)
+
+type pass = { pname : string; transform : Ir_types.modul -> unit }
+
+val make : name:string -> (Ir_types.modul -> unit) -> pass
+
+val run : ?verify_between:bool -> pass list -> Ir_types.modul -> string list
+(** Apply in order; returns the names that ran. With [verify_between]
+    (default true) raises [Invalid_argument] naming the offending pass if
+    it left the module malformed. *)

@@ -1,0 +1,130 @@
+open Ir_types
+
+module Obj_set = Set.Make (String)
+
+type target = Objects of Obj_set.t | Anything
+
+(* Per-variable abstract value. *)
+type aval = Bot | Objs of Obj_set.t | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Objs s1, Objs s2 -> Objs (Obj_set.union s1 s2)
+
+let aval_eq a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Objs s1, Objs s2 -> Obj_set.equal s1 s2
+  | _ -> false
+
+type t = { access : (int, target) Hashtbl.t }
+
+let target_of_aval = function
+  | Bot -> Objects Obj_set.empty (* dead pointer: touches nothing *)
+  | Objs s -> Objects s
+  | Top -> Anything
+
+(* Flow-insensitive fixpoint per function. Parameters and values read from
+   memory or returned by calls are Top (no interprocedural tracking). *)
+let analyze_func (f : func) (access : (int, target) Hashtbl.t) =
+  let env = Array.make (max f.vreg_count 1) Bot in
+  for p = 0 to f.nparams - 1 do
+    env.(p) <- Top
+  done;
+  let eval = function Var v -> env.(v) | Const _ -> Objs Obj_set.empty in
+  let assign v a =
+    let joined = join env.(v) a in
+    if not (aval_eq joined env.(v)) then begin
+      env.(v) <- joined;
+      true
+    end
+    else false
+  in
+  let step () =
+    let changed = ref false in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun ins ->
+            match ins.kind with
+            | Assign (d, x) -> if assign d (eval x) then changed := true
+            | Binop (op, d, a, c) ->
+              (* Pointer arithmetic keeps the target set; combining two
+                 may-pointers (or any op that can forge) is Top-joined. *)
+              let av = eval a and cv = eval c in
+              let r =
+                match op with
+                | Add | Sub | And | Or -> join av cv
+                | Mul | Xor | Shl | Shr -> (
+                  match join av cv with
+                  | Bot -> Bot
+                  | Objs s when Obj_set.is_empty s -> Objs s
+                  | _ -> Top)
+              in
+              if assign d r then changed := true
+            | Load { dst; _ } -> if assign dst Top then changed := true
+            | Addr_of_global (d, g) ->
+              if assign d (Objs (Obj_set.singleton g)) then changed := true
+            | Addr_of_func (d, _) -> if assign d (Objs Obj_set.empty) then changed := true
+            | Call { dst; _ } | Call_ind { dst; _ } | Syscall { dst; _ } ->
+              Option.iter (fun d -> if assign d Top then changed := true) dst
+            | Store _ | Ret _ | Br _ | Cbr _ | Fp _ -> ())
+          b.instrs)
+      f.blocks;
+    !changed
+  in
+  while step () do
+    ()
+  done;
+  (* Record access targets. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ins ->
+          match ins.kind with
+          | Load { base; _ } -> Hashtbl.replace access ins.id (target_of_aval (eval base))
+          | Store { base; _ } -> Hashtbl.replace access ins.id (target_of_aval (eval base))
+          | _ -> ())
+        b.instrs)
+    f.blocks
+
+let analyze m =
+  let access = Hashtbl.create 256 in
+  List.iter (fun f -> analyze_func f access) m.funcs;
+  { access }
+
+let access_target t id = Hashtbl.find_opt t.access id
+
+let may_touch t id g =
+  match access_target t id with
+  | None -> false
+  | Some Anything -> true
+  | Some (Objects s) -> Obj_set.mem g s
+
+let accesses_possibly_sensitive t m =
+  let sensitive =
+    List.filter_map (fun g -> if g.sensitive then Some g.gname else None) m.globals
+  in
+  Hashtbl.fold
+    (fun id target acc ->
+      let hits =
+        match target with
+        | Anything -> sensitive <> []
+        | Objects s -> List.exists (fun g -> Obj_set.mem g s) sensitive
+      in
+      if hits then id :: acc else acc)
+    t.access []
+  |> List.sort compare
+
+let precision t m ~exact ~anything =
+  ignore m;
+  let e = ref 0 and a = ref 0 in
+  Hashtbl.iter
+    (fun _ target -> match target with Objects _ -> incr e | Anything -> incr a)
+    t.access;
+  if !e <> exact || !a <> anything then
+    invalid_arg
+      (Printf.sprintf "Pointsto.precision: got exact=%d anything=%d, expected %d/%d" !e !a
+         exact anything)

@@ -1,0 +1,36 @@
+(** Conservative static points-to analysis (DSA-flavoured).
+
+    Flow-insensitive, per-function fixpoint over a simple lattice: each
+    variable may point to a set of named globals, or to {e anything}. A
+    value loaded from memory, received as a parameter, or returned from a
+    call is [Anything] — this is the over-approximation the paper observes
+    in LLVM's DSA ("overly conservative, often yielding undesirable results
+    where most memory accesses are classified as being able to touch
+    sensitive data"). Our tests demonstrate the same effect, and
+    {!Pointsto_dynamic} provides the PIN-style refinement. *)
+
+module Obj_set : Set.S with type elt = string
+
+type target = Objects of Obj_set.t | Anything
+
+type t
+(** Analysis result for a module. *)
+
+val analyze : Ir_types.modul -> t
+
+val access_target : t -> int -> target option
+(** What the load/store with the given instruction id may touch;
+    [None] for ids that are not memory accesses. *)
+
+val may_touch : t -> int -> string -> bool
+(** [may_touch t id g]: may instruction [id] access global [g]?
+    (True whenever the target is [Anything].) *)
+
+val accesses_possibly_sensitive : t -> Ir_types.modul -> int list
+(** Ids of all loads/stores that may touch some sensitive global —
+    the instrumentation-point set a defense would feed MemSentry when
+    protecting arbitrary program data. *)
+
+val precision : t -> Ir_types.modul -> exact:int -> anything:int -> unit
+(** Unit-returning shape guard used by tests; counts accesses with exact
+    object sets vs [Anything] and raises [Invalid_argument] on mismatch. *)

@@ -1,0 +1,24 @@
+let profile ?fuel ?entry ?args m =
+  let observed : (int, Pointsto.Obj_set.t) Hashtbl.t = Hashtbl.create 256 in
+  let on_access (a : Interp.access) =
+    let prev =
+      match Hashtbl.find_opt observed a.Interp.instr_id with
+      | Some s -> s
+      | None -> Pointsto.Obj_set.empty
+    in
+    Hashtbl.replace observed a.Interp.instr_id (Pointsto.Obj_set.add a.Interp.global prev)
+  in
+  ignore (Interp.run ?fuel ?entry ?args ~on_access m);
+  observed
+
+let observed_sensitive observed (m : Ir_types.modul) =
+  let sensitive =
+    List.filter_map
+      (fun (g : Ir_types.global) -> if g.Ir_types.sensitive then Some g.Ir_types.gname else None)
+      m.Ir_types.globals
+  in
+  Hashtbl.fold
+    (fun id s acc ->
+      if List.exists (fun g -> Pointsto.Obj_set.mem g s) sensitive then id :: acc else acc)
+    observed []
+  |> List.sort compare

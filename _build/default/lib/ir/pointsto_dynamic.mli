@@ -1,0 +1,17 @@
+(** PIN-style dynamic points-to analysis (paper §5.5).
+
+    Runs the module under the {!Interp} with an access-recording hook and
+    returns, per instruction id, the set of globals actually touched. This
+    under-approximates — "there is a high chance of under-approximating
+    memory accesses, since only accesses related to particular inputs
+    (i.e., execution paths) are recorded" — which the tests demonstrate
+    against the static analysis. *)
+
+val profile :
+  ?fuel:int -> ?entry:string -> ?args:int list -> Ir_types.modul ->
+  (int, Pointsto.Obj_set.t) Hashtbl.t
+(** Map from instruction id to observed object set. Instructions never
+    executed (or that never touched memory) are absent. *)
+
+val observed_sensitive : (int, Pointsto.Obj_set.t) Hashtbl.t -> Ir_types.modul -> int list
+(** Ids observed touching a sensitive global, sorted. *)

@@ -1,0 +1,64 @@
+open Ir_types
+
+let value_to_string = function Var v -> Printf.sprintf "%%%d" v | Const c -> string_of_int c
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let cmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let v = value_to_string
+
+let args_to_string args = String.concat ", " (List.map v args)
+
+let dst_prefix = function Some d -> Printf.sprintf "%%%d = " d | None -> ""
+
+let kind_to_string = function
+  | Assign (d, x) -> Printf.sprintf "%%%d = %s" d (v x)
+  | Binop (op, d, a, b) -> Printf.sprintf "%%%d = %s %s, %s" d (binop_name op) (v a) (v b)
+  | Load { dst; base; offset } -> Printf.sprintf "%%%d = load [%s + %d]" dst (v base) offset
+  | Store { base; offset; src } -> Printf.sprintf "store [%s + %d], %s" (v base) offset (v src)
+  | Addr_of_global (d, g) -> Printf.sprintf "%%%d = addrof @%s" d g
+  | Addr_of_func (d, f) -> Printf.sprintf "%%%d = funcaddr @%s" d f
+  | Call { callee; args; dst } ->
+    Printf.sprintf "%scall @%s(%s)" (dst_prefix dst) callee (args_to_string args)
+  | Call_ind { callee; args; dst } ->
+    Printf.sprintf "%scall *%s(%s)" (dst_prefix dst) (v callee) (args_to_string args)
+  | Syscall { nr; args; dst } ->
+    Printf.sprintf "%ssyscall %s(%s)" (dst_prefix dst) (v nr) (args_to_string args)
+  | Ret None -> "ret"
+  | Ret (Some x) -> Printf.sprintf "ret %s" (v x)
+  | Br l -> Printf.sprintf "br %s" l
+  | Cbr { cmp; lhs; rhs; if_true; if_false } ->
+    Printf.sprintf "br (%s %s %s) %s, %s" (v lhs) (cmp_name cmp) (v rhs) if_true if_false
+  | Fp hint -> Printf.sprintf "fp.op #%d" hint
+
+let instr_to_string ins =
+  Printf.sprintf "  %s%s ; #%d" (kind_to_string ins.kind)
+    (if ins.safe_access then " !safe" else "")
+    ins.id
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "func @%s(%d params):\n" f.fname f.nparams);
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf " %s:\n" b.blabel);
+      List.iter (fun ins -> Buffer.add_string buf (" " ^ instr_to_string ins ^ "\n")) b.instrs)
+    f.blocks;
+  Buffer.contents buf
+
+let modul_to_string m =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s : %d bytes%s\n" g.gname g.gsize
+           (if g.sensitive then " (sensitive)" else "")))
+    m.globals;
+  List.iter (fun f -> Buffer.add_string buf (func_to_string f)) m.funcs;
+  Buffer.contents buf
+
+let pp_modul fmt m = Format.pp_print_string fmt (modul_to_string m)

@@ -1,0 +1,13 @@
+(** Textual rendering of IR modules, LLVM-assembly flavoured. Useful in
+    error messages, tests and the CLI's [inspect] command. *)
+
+val value_to_string : Ir_types.value -> string
+
+val instr_to_string : Ir_types.instr -> string
+(** One line, annotated with [!safe] when the instruction is marked. *)
+
+val func_to_string : Ir_types.func -> string
+
+val modul_to_string : Ir_types.modul -> string
+
+val pp_modul : Format.formatter -> Ir_types.modul -> unit

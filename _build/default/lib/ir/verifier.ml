@@ -1,0 +1,105 @@
+open Ir_types
+
+type error = { where : string; what : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.what
+
+let verify m =
+  let errs = ref [] in
+  let err where what = errs := { where; what } :: !errs in
+  (* duplicate names *)
+  let check_dups kind names =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem tbl n then err kind (Printf.sprintf "duplicate name %S" n)
+        else Hashtbl.add tbl n ())
+      names
+  in
+  check_dups "globals" (List.map (fun g -> g.gname) m.globals);
+  check_dups "functions" (List.map (fun f -> f.fname) m.funcs);
+  let fnames = List.map (fun f -> f.fname) m.funcs in
+  let gnames = List.map (fun g -> g.gname) m.globals in
+  List.iter
+    (fun f ->
+      let where = "func " ^ f.fname in
+      if f.nparams > max_params then err where "too many parameters";
+      if f.blocks = [] then err where "no blocks";
+      check_dups where (List.map (fun b -> b.blabel) f.blocks);
+      let blabels = List.map (fun b -> b.blabel) f.blocks in
+      let check_label l =
+        if not (List.mem l blabels) then err where (Printf.sprintf "unknown block %S" l)
+      in
+      let check_var v =
+        if v < 0 || v >= f.vreg_count then
+          err where (Printf.sprintf "variable %%%d out of range" v)
+      in
+      let check_value = function Var v -> check_var v | Const _ -> () in
+      List.iter
+        (fun b ->
+          let n = List.length b.instrs in
+          if n = 0 then err where (Printf.sprintf "block %S is empty" b.blabel);
+          List.iteri
+            (fun i ins ->
+              let terminator =
+                match ins.kind with Ret _ | Br _ | Cbr _ -> true | _ -> false
+              in
+              if terminator && i < n - 1 then
+                err where (Printf.sprintf "block %S: terminator not last" b.blabel);
+              if i = n - 1 && not terminator then
+                err where (Printf.sprintf "block %S: falls through" b.blabel);
+              match ins.kind with
+              | Assign (d, x) ->
+                check_var d;
+                check_value x
+              | Binop (_, d, a, c) ->
+                check_var d;
+                check_value a;
+                check_value c
+              | Load { dst; base; _ } ->
+                check_var dst;
+                check_value base
+              | Store { base; src; _ } ->
+                check_value base;
+                check_value src
+              | Addr_of_global (d, g) ->
+                check_var d;
+                if not (List.mem g gnames) then err where (Printf.sprintf "unknown global %S" g)
+              | Addr_of_func (d, fn) ->
+                check_var d;
+                if not (List.mem fn fnames) then
+                  err where (Printf.sprintf "unknown function %S" fn)
+              | Call { callee; args; dst } ->
+                if not (List.mem callee fnames) then
+                  err where (Printf.sprintf "unknown callee %S" callee);
+                if List.length args > max_params then err where "too many call arguments";
+                List.iter check_value args;
+                Option.iter check_var dst
+              | Call_ind { callee; args; dst } ->
+                check_value callee;
+                if List.length args > max_params then err where "too many call arguments";
+                List.iter check_value args;
+                Option.iter check_var dst
+              | Syscall { nr; args; dst } ->
+                check_value nr;
+                List.iter check_value args;
+                Option.iter check_var dst
+              | Ret v -> Option.iter check_value v
+              | Br l -> check_label l
+              | Cbr { lhs; rhs; if_true; if_false; _ } ->
+                check_value lhs;
+                check_value rhs;
+                check_label if_true;
+                check_label if_false
+              | Fp _ -> ())
+            b.instrs)
+        f.blocks)
+    m.funcs;
+  List.rev !errs
+
+let verify_exn m =
+  match verify m with
+  | [] -> ()
+  | errs ->
+    invalid_arg
+      ("IR verification failed:\n" ^ String.concat "\n" (List.map error_to_string errs))

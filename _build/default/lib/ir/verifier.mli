@@ -1,0 +1,16 @@
+(** Structural well-formedness checks for IR modules.
+
+    Run before lowering or interpretation; a module that verifies cleanly
+    cannot make the backend or interpreter fail on malformed structure
+    (dangling branch targets, unknown callees, out-of-range variables,
+    fall-through block ends, duplicate names). *)
+
+type error = { where : string; what : string }
+
+val verify : Ir_types.modul -> error list
+(** Empty list = well-formed. *)
+
+val verify_exn : Ir_types.modul -> unit
+(** Raises [Invalid_argument] with a rendered report if not well-formed. *)
+
+val error_to_string : error -> string

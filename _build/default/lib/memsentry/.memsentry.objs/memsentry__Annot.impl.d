@@ -1,0 +1,1 @@
+lib/memsentry/annot.ml: Ir List Printf Safe_region String

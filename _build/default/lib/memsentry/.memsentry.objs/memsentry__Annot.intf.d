@@ -1,0 +1,1 @@
+lib/memsentry/annot.mli: Ir Safe_region

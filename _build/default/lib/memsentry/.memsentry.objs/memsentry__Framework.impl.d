@@ -1,0 +1,1 @@
+lib/memsentry/framework.ml: Cpu Instr Instr_crypt Instr_mpk Instr_mprotect Instr_mpx Instr_sfi Instr_vmfunc Ir List Logs Mmu Ms_util Program Safe_region Technique Vmx X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/framework.mli: Cpu Instr Instr_crypt Ir Program Safe_region Technique Vmx X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr.ml: Insn Ir List Program X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr.mli: Insn Ir Program Reg X86sim

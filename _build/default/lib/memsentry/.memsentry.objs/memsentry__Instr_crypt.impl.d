@@ -1,0 +1,1 @@
+lib/memsentry/instr_crypt.ml: Aesni Array Bytes Cpu Insn Ir List Mmu Ms_util Safe_region X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr_crypt.mli: Aesni Safe_region X86sim

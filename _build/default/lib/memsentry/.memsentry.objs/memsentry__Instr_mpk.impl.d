@@ -1,0 +1,1 @@
+lib/memsentry/instr_mpk.ml: List Mpk Safe_region

@@ -1,0 +1,1 @@
+lib/memsentry/instr_mpk.mli: Mpk Safe_region X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr_mprotect.ml: Bitops Cpu Insn List Mmu Ms_util Physmem Reg Safe_region X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr_mprotect.mli: Safe_region X86sim

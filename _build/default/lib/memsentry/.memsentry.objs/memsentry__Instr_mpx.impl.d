@@ -1,0 +1,1 @@
+lib/memsentry/instr_mpx.ml: Mpx

@@ -1,0 +1,1 @@
+lib/memsentry/instr_sfi.ml: Insn Ir Layout X86sim

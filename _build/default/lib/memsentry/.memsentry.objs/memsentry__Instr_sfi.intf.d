@@ -1,0 +1,1 @@
+lib/memsentry/instr_sfi.mli: X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/instr_vmfunc.ml: Insn List Reg Safe_region Vmx X86sim

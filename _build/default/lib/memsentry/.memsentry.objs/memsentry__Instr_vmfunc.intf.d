@@ -1,0 +1,1 @@
+lib/memsentry/instr_vmfunc.mli: Safe_region Vmx X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/multi_domain.ml: Array Cpu Insn Ir List Mmu Mpk Mpx Printf Program Reg Safe_region Vmx X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/multi_domain.mli: X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/report.ml: List Ms_util Table_fmt Technique

@@ -1,0 +1,1 @@
+lib/memsentry/report.mli:

@@ -1,0 +1,1 @@
+lib/memsentry/safe_region.ml: Bitops Cpu Ir Layout List Mmu Ms_util Physmem X86sim

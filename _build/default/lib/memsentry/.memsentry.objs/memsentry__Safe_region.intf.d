@@ -1,0 +1,1 @@
+lib/memsentry/safe_region.mli: Ir X86sim

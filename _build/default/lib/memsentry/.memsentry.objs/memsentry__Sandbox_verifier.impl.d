@@ -1,0 +1,1 @@
+lib/memsentry/sandbox_verifier.ml: Array Format Insn Instr Layout List Option Program Reg X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/sandbox_verifier.mli: Format Instr X86sim

@@ -1,0 +1,1 @@
+lib/memsentry/technique.ml: Mpk

@@ -1,0 +1,21 @@
+let saferegion_alloc allocator size = Safe_region.alloc allocator ~size
+
+let saferegion_access m ins_id = Ir.Ir_types.mark_safe_access m ins_id
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let annotate_runtime_functions m ~prefix =
+  let n = ref 0 in
+  List.iter
+    (fun (f : Ir.Ir_types.func) ->
+      if starts_with ~prefix f.Ir.Ir_types.fname then begin
+        Ir.Ir_types.mark_function_safe m f.Ir.Ir_types.fname;
+        incr n
+      end)
+    m.Ir.Ir_types.funcs;
+  !n
+
+let annotation_pass ~prefix =
+  Ir.Pass.make ~name:(Printf.sprintf "annotate-runtime(%s)" prefix) (fun m ->
+      ignore (annotate_runtime_functions m ~prefix))

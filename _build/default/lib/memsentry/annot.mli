@@ -1,0 +1,27 @@
+(** The paper's literal developer-facing API (§3 "Usage").
+
+    "The developer then allocates the safe regions using
+    [saferegion_alloc(sz)] ... defense passes can use the function
+    [saferegion_access(ins)] for every instruction that needs access to
+    the safe region." These are thin, name-faithful wrappers over
+    {!Safe_region} and {!Ir.Ir_types.mark_safe_access}, plus the
+    static-library auto-annotation helper ("for the common case where
+    these are contained in a static library, we have included a pass to
+    automatically create these annotations"). *)
+
+val saferegion_alloc : Safe_region.allocator -> int -> Safe_region.region
+(** [saferegion_alloc a sz]. *)
+
+val saferegion_access : Ir.Ir_types.modul -> int -> unit
+(** [saferegion_access m ins_id]: annotate one instruction. Raises
+    [Not_found] for unknown ids. *)
+
+val annotate_runtime_functions : Ir.Ir_types.modul -> prefix:string -> int
+(** The auto-annotation pass: every instruction of every function whose
+    name starts with [prefix] (the defense's static-library namespace) is
+    marked as allowed to touch safe regions. Returns how many functions
+    were annotated. *)
+
+val annotation_pass : prefix:string -> Ir.Pass.pass
+(** {!annotate_runtime_functions} packaged for {!Ir.Pass.run}, to be
+    scheduled after the defense pass and before lowering (Fig. 1). *)

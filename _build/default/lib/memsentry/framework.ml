@@ -1,0 +1,101 @@
+open X86sim
+
+let src = Logs.Src.create "memsentry" ~doc:"MemSentry framework events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  technique : Technique.t;
+  address_kind : Instr.access_kind;
+  switch_policy : Instr.switch_policy;
+  crypt_seed : int;
+  crypt_keys : Instr_crypt.key_location;
+}
+
+let config ?(address_kind = Instr.Reads_and_writes) ?(switch_policy = Instr.At_safe_accesses)
+    ?(crypt_seed = 1) ?(crypt_keys = Instr_crypt.Ymm_high) technique =
+  { technique; address_kind; switch_policy; crypt_seed; crypt_keys }
+
+type prepared = {
+  cpu : Cpu.t;
+  program : Program.t;
+  regions : Safe_region.region list;
+  hypervisor : Vmx.Hypervisor.t option;
+  cfg : config;
+}
+
+let map_regions cpu regions =
+  List.iter
+    (fun (r : Safe_region.region) ->
+      Mmu.map_range cpu.Cpu.mmu ~va:r.Safe_region.va ~len:r.Safe_region.size ~writable:true)
+    regions
+
+let prepare ?(extra_regions = []) cfg (lowered : Ir.Lower.t) =
+  let cpu = Cpu.create () in
+  Ir.Lower.setup_memory cpu lowered;
+  let regions = Safe_region.of_sensitive_globals lowered @ extra_regions in
+  map_regions cpu extra_regions;
+  let mitems = lowered.Ir.Lower.mitems in
+  let items, hypervisor =
+    match cfg.technique with
+    | Technique.Sfi ->
+      Instr_sfi.setup cpu;
+      (Instr.address_based ~check:Instr_sfi.check ~kind:cfg.address_kind mitems, None)
+    | Technique.Mpx ->
+      Instr_mpx.setup cpu;
+      (Instr.address_based ~check:Instr_mpx.check ~kind:cfg.address_kind mitems, None)
+    | Technique.Mpk protection ->
+      let st = Instr_mpk.setup cpu ~protection regions in
+      ( Instr.domain_based ~enter:(Instr_mpk.enter st) ~leave:(Instr_mpk.leave st)
+          ~policy:cfg.switch_policy mitems,
+        None )
+    | Technique.Vmfunc ->
+      let st = Instr_vmfunc.setup cpu regions in
+      ( Instr.domain_based ~enter:Instr_vmfunc.enter ~leave:Instr_vmfunc.leave
+          ~policy:cfg.switch_policy mitems,
+        Some (Instr_vmfunc.hypervisor st) )
+    | Technique.Crypt ->
+      let st = Instr_crypt.setup cpu ~key_location:cfg.crypt_keys ~seed:cfg.crypt_seed regions in
+      ( Instr.domain_based ~enter:(Instr_crypt.enter st) ~leave:(Instr_crypt.leave st)
+          ~policy:cfg.switch_policy mitems,
+        None )
+    | Technique.Mprotect ->
+      let st = Instr_mprotect.setup cpu regions in
+      ( Instr.domain_based ~enter:(Instr_mprotect.enter st) ~leave:(Instr_mprotect.leave st)
+          ~policy:cfg.switch_policy mitems,
+        None )
+    | Technique.Isboxing ->
+      (* Free truncation to 4 GiB; safe regions live above the 64 TiB split,
+         far outside the reachable window. No machine setup needed. *)
+      (Instr.address_based_lea32 ~kind:cfg.address_kind mitems, None)
+    | Technique.Sgx ->
+      invalid_arg
+        "Framework.prepare: SGX isolation requires restructuring code into an enclave; use \
+         Sgx_sim.Enclave directly"
+  in
+  let program = Program.assemble items in
+  Log.info (fun m ->
+      m "prepared %s: %d regions, %d instructions (%d before instrumentation)"
+        (Technique.name cfg.technique) (List.length regions) (Program.length program)
+        (List.length mitems));
+  Cpu.load_program cpu program;
+  { cpu; program; regions; hypervisor; cfg }
+
+let prepare_baseline (lowered : Ir.Lower.t) =
+  let cpu = Cpu.create () in
+  Ir.Lower.setup_memory cpu lowered;
+  let program = Ir.Lower.assemble lowered in
+  Cpu.load_program cpu program;
+  {
+    cpu;
+    program;
+    regions = Safe_region.of_sensitive_globals lowered;
+    hypervisor = None;
+    cfg = config Technique.Sfi;
+  }
+
+let run ?fuel p = Cpu.run ?fuel p.cpu
+
+let overhead ~baseline ~instrumented =
+  Ms_util.Stats.overhead ~baseline:(Cpu.cycles baseline.cpu)
+    ~measured:(Cpu.cycles instrumented.cpu)

@@ -1,0 +1,64 @@
+(** MemSentry's top-level API (paper Fig. 1).
+
+    Three inputs, exactly as the paper defines them: the {e isolated data}
+    (safe regions — here, the module's [sensitive] globals plus any extra
+    regions), the {e instrumentation points} (the IR's [safe_access]
+    annotations, or a coarse switch-point policy), and the {e isolation
+    technique}. [prepare] then builds a ready-to-run machine: a CPU with
+    the technique's system state installed (keys, EPTs, bound registers,
+    encrypted regions, PROT_NONE mappings) and the instrumented program
+    loaded.
+
+    Typical use:
+    {[
+      let lowered = Ir.Lower.lower defense_module in
+      let p = Framework.prepare (Framework.config (Technique.Mpk No_access)) lowered in
+      Framework.run p
+    ]}
+
+    SGX is deliberately rejected here: as the paper argues (§3.1), SGX
+    isolation is a program-restructuring exercise (code moves {e into} the
+    enclave), not an instrumentation pass — use {!Sgx_sim.Enclave}
+    directly. *)
+
+open X86sim
+
+type config = {
+  technique : Technique.t;
+  address_kind : Instr.access_kind;  (** address-based techniques *)
+  switch_policy : Instr.switch_policy;  (** domain-based techniques *)
+  crypt_seed : int;  (** key derivation seed for [Crypt] *)
+  crypt_keys : Instr_crypt.key_location;  (** [Ymm_high] unless ablating *)
+}
+
+val config :
+  ?address_kind:Instr.access_kind ->
+  ?switch_policy:Instr.switch_policy ->
+  ?crypt_seed:int ->
+  ?crypt_keys:Instr_crypt.key_location ->
+  Technique.t ->
+  config
+(** Defaults: [Reads_and_writes], [At_safe_accesses], seed 1, [Ymm_high]. *)
+
+type prepared = {
+  cpu : Cpu.t;
+  program : Program.t;
+  regions : Safe_region.region list;
+  hypervisor : Vmx.Hypervisor.t option;  (** [Vmfunc] only *)
+  cfg : config;
+}
+
+val prepare : ?extra_regions:Safe_region.region list -> config -> Ir.Lower.t -> prepared
+(** Safe regions = the lowered module's sensitive globals plus
+    [extra_regions] (which must already be mapped on a fresh CPU — they
+    are re-mapped here). Raises [Invalid_argument] for [Technique.Sgx]. *)
+
+val prepare_baseline : Ir.Lower.t -> prepared
+(** Uninstrumented build on an identical machine (the "1.0" of every
+    overhead figure). *)
+
+val run : ?fuel:int -> prepared -> Cpu.status
+(** Execute to completion; faults propagate as {!Fault.Fault}. *)
+
+val overhead : baseline:prepared -> instrumented:prepared -> float
+(** Cycle ratio after both have been run. *)

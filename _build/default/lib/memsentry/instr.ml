@@ -1,0 +1,123 @@
+open X86sim
+
+type access_kind = Reads | Writes | Reads_and_writes
+
+type switch_policy =
+  | At_call_ret
+  | At_indirect_branches
+  | At_syscalls
+  | At_safe_accesses
+
+let scratch = Ir.Lower.scratch1
+
+let kind_matches kind insn =
+  match kind with
+  | Reads -> Insn.is_mem_read insn
+  | Writes -> Insn.is_mem_write insn
+  | Reads_and_writes -> Insn.is_mem_read insn || Insn.is_mem_write insn
+
+(* Rewrite one data access: split the effective address into scratch,
+   run the check on it, then access through the verified pointer. *)
+let rewrite_access check insn =
+  match insn with
+  | Insn.Load (d, m) ->
+    (Insn.Lea (scratch, m) :: check scratch) @ [ Insn.Load (d, Insn.mem ~base:scratch 0) ]
+  | Insn.Store (m, s) ->
+    (Insn.Lea (scratch, m) :: check scratch) @ [ Insn.Store (Insn.mem ~base:scratch 0, s) ]
+  | Insn.Store_i (m, v) ->
+    (Insn.Lea (scratch, m) :: check scratch) @ [ Insn.Store_i (Insn.mem ~base:scratch 0, v) ]
+  | Insn.Movdqa_load (x, m) ->
+    (Insn.Lea (scratch, m) :: check scratch)
+    @ [ Insn.Movdqa_load (x, Insn.mem ~base:scratch 0) ]
+  | Insn.Movdqa_store (m, x) ->
+    (Insn.Lea (scratch, m) :: check scratch)
+    @ [ Insn.Movdqa_store (Insn.mem ~base:scratch 0, x) ]
+  | other -> [ other ]
+
+(* ISBoxing: replace the address computation with its 32-bit-prefixed
+   form; the access itself is unchanged. *)
+let rewrite_access_lea32 insn =
+  match insn with
+  | Insn.Load (d, m) ->
+    [ Insn.Lea32 (scratch, m); Insn.Load (d, Insn.mem ~base:scratch 0) ]
+  | Insn.Store (m, s) ->
+    [ Insn.Lea32 (scratch, m); Insn.Store (Insn.mem ~base:scratch 0, s) ]
+  | Insn.Store_i (m, v) ->
+    [ Insn.Lea32 (scratch, m); Insn.Store_i (Insn.mem ~base:scratch 0, v) ]
+  | Insn.Movdqa_load (x, m) ->
+    [ Insn.Lea32 (scratch, m); Insn.Movdqa_load (x, Insn.mem ~base:scratch 0) ]
+  | Insn.Movdqa_store (m, x) ->
+    [ Insn.Lea32 (scratch, m); Insn.Movdqa_store (Insn.mem ~base:scratch 0, x) ]
+  | other -> [ other ]
+
+let address_based_gen ~rewrite ~kind mitems =
+  List.concat_map
+    (fun (mi : Ir.Lower.mitem) ->
+      match mi.Ir.Lower.item with
+      | Program.Label _ as l -> [ l ]
+      | Program.I insn ->
+        if
+          mi.Ir.Lower.cls = Ir.Lower.Data_access
+          && (not mi.Ir.Lower.safe)
+          && kind_matches kind insn
+        then List.map (fun x -> Program.I x) (rewrite insn)
+        else [ Program.I insn ])
+    mitems
+
+let address_based_lea32 ~kind mitems = address_based_gen ~rewrite:rewrite_access_lea32 ~kind mitems
+
+let address_based ~check ~kind mitems =
+  address_based_gen ~rewrite:(rewrite_access check) ~kind mitems
+
+let is_switch_point policy (mi : Ir.Lower.mitem) insn =
+  match policy with
+  | At_call_ret -> (
+    match insn with Insn.Call _ | Insn.Call_r _ | Insn.Ret -> true | _ -> false)
+  | At_indirect_branches -> (
+    match insn with Insn.Call_r _ | Insn.Jmp_r _ -> true | _ -> false)
+  | At_syscalls -> ( match insn with Insn.Syscall -> true | _ -> false)
+  | At_safe_accesses -> mi.Ir.Lower.cls = Ir.Lower.Data_access && mi.Ir.Lower.safe
+
+let domain_based ~enter ~leave ~policy mitems =
+  let wrap = List.map (fun x -> Program.I x) in
+  List.concat_map
+    (fun (mi : Ir.Lower.mitem) ->
+      match mi.Ir.Lower.item with
+      | Program.Label _ as l -> [ l ]
+      | Program.I insn ->
+        if is_switch_point policy mi insn then
+          match policy with
+          | At_safe_accesses ->
+            (* Semantically meaningful bracketing: open, access, close. *)
+            wrap enter @ [ Program.I insn ] @ wrap leave
+          | At_call_ret | At_indirect_branches | At_syscalls ->
+            (* Cost-equivalent placement of one open+close pair per switch
+               point (the Figures 4-6 methodology): the pair runs before
+               the instruction so control transfers never leave the
+               sensitive domain enabled. *)
+            wrap enter @ wrap leave @ [ Program.I insn ]
+        else [ Program.I insn ])
+    mitems
+
+let strip mitems = List.map (fun (mi : Ir.Lower.mitem) -> mi.Ir.Lower.item) mitems
+
+let count_instrumentable ~kind mitems =
+  List.length
+    (List.filter
+       (fun (mi : Ir.Lower.mitem) ->
+         match mi.Ir.Lower.item with
+         | Program.Label _ -> false
+         | Program.I insn ->
+           mi.Ir.Lower.cls = Ir.Lower.Data_access
+           && (not mi.Ir.Lower.safe)
+           && kind_matches kind insn)
+       mitems)
+
+let count_switch_points ~policy mitems =
+  List.length
+    (List.filter
+       (fun (mi : Ir.Lower.mitem) ->
+         match mi.Ir.Lower.item with
+         | Program.Label _ -> false
+         | Program.I insn -> is_switch_point policy mi insn)
+       mitems)

@@ -1,0 +1,60 @@
+(** The generic instrumentation engine shared by every technique.
+
+    Two rewriting schemes over lowered machine code
+    ({!Ir.Lower.mitem} lists), mirroring the paper's two isolation classes:
+
+    {b Address-based} ({!address_based}): every data access whose direction
+    matches [kind] — except those marked [safe] and except spill-slot
+    traffic — is split into address computation plus a checked/masked
+    access (the paper's Fig. 2): [mov rdi, [rbx+8]] becomes
+    [lea r12, [rbx+8]; <check r12>; mov rdi, [r12]]. The check sequence is
+    supplied by the technique (a [bndcu], or a mask load + [and]).
+
+    {b Domain-based} ({!domain_based}): [enter]/[leave] sequences are
+    inserted at the configured switch points. [At_safe_accesses] brackets
+    exactly the accesses a defense annotated (the semantically meaningful
+    placement); [At_call_ret] / [At_indirect_branches] / [At_syscalls]
+    reproduce the paper's Figures 4/5/6 methodology of paying one
+    open+close pair at every such instruction.
+
+    Instrumentation sequences may only clobber r12/r13 (reserved by the
+    backend) — techniques needing more must save/restore internally. *)
+
+open X86sim
+
+type access_kind = Reads | Writes | Reads_and_writes
+
+type switch_policy =
+  | At_call_ret
+  | At_indirect_branches
+  | At_syscalls
+  | At_safe_accesses
+
+val address_based :
+  check:(Reg.gpr -> Insn.t list) ->
+  kind:access_kind ->
+  Ir.Lower.mitem list ->
+  Program.item list
+(** [check reg] receives the register holding the about-to-be-used pointer
+    (always {!Ir.Lower.scratch1}) and returns the verification sequence. *)
+
+val address_based_lea32 :
+  kind:access_kind -> Ir.Lower.mitem list -> Program.item list
+(** ISBoxing-style rewriting: the address computation itself carries the
+    32-bit address-size prefix ([Lea32]) — no separate check instruction
+    at all, at the price of a 4 GiB address space. *)
+
+val domain_based :
+  enter:Insn.t list ->
+  leave:Insn.t list ->
+  policy:switch_policy ->
+  Ir.Lower.mitem list ->
+  Program.item list
+
+val strip : Ir.Lower.mitem list -> Program.item list
+(** No instrumentation (the baseline build). *)
+
+val count_instrumentable : kind:access_kind -> Ir.Lower.mitem list -> int
+(** How many accesses address-based instrumentation would rewrite. *)
+
+val count_switch_points : policy:switch_policy -> Ir.Lower.mitem list -> int

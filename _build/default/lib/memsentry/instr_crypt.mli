@@ -1,0 +1,45 @@
+(** Domain-based isolation by in-place AES-NI encryption (paper §3.1, §5.3).
+
+    The safe region is kept encrypted at rest; a domain "switch" decrypts
+    it in place before the instrumentation point and re-encrypts after.
+    Following the paper's implementation choices:
+
+    - the 11 AES-128 round keys live in the {e upper halves of ymm4-ymm14}
+      (never spilled to memory — an attacker with a read primitive finds
+      only ciphertext and no key);
+    - the open sequence derives decryption round keys with [aesimc] on the
+      fly (9 [aesimc] per block-decrypt), the cost asymmetry Table 4
+      reports;
+    - work happens in xmm0/xmm1, {e clobbering them} — which is exactly why
+      xmm-heavy benchmarks suffer most under crypt (Figures 4-6);
+    - cost scales linearly in the region size (16-byte chunks).
+
+    Regions must be 16-byte-sized/aligned ({!Safe_region.alloc} enforces
+    this). *)
+
+type t
+
+type key_location =
+  | Ymm_high  (** round keys in ymm4-14 upper halves (the secure default) *)
+  | Key_table
+      (** round keys in ordinary memory — the insecure, slower variant the
+          paper argues against (an attacker's read primitive would recover
+          the key); kept for the ablation benchmark *)
+
+val setup :
+  X86sim.Cpu.t -> ?key_location:key_location -> seed:int -> Safe_region.region list -> t
+(** Derive a key from [seed], install round keys per [key_location]
+    (default [Ymm_high]), and encrypt every region in place (loader-side). *)
+
+val enter : t -> X86sim.Insn.t list
+(** Stage (and aesimc-transform) the round keys in xmm2-12, then decrypt
+    all regions in place. Clobbers xmm0-12 and r12/r13. *)
+
+val leave : t -> X86sim.Insn.t list
+(** Stage keys and re-encrypt all regions in place. Same clobbers. *)
+
+val round_key_regs : int * int
+(** [(4, 14)]: ymm registers whose high halves hold round keys 0..10. *)
+
+val key_schedule : t -> Aesni.Aes.block array
+(** The expanded key (tests only; a real deployment never exposes it). *)

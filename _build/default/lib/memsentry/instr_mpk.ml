@@ -1,0 +1,15 @@
+type t = { key : int; protection : Mpk.Pkey.protection }
+
+let setup cpu ?(key = 1) ~protection regions =
+  List.iter
+    (fun (r : Safe_region.region) ->
+      Mpk.Pkey.assign cpu ~va:r.Safe_region.va ~len:r.Safe_region.size ~key)
+    regions;
+  Mpk.Pkey.close_default cpu ~key ~protection;
+  { key; protection }
+
+let enter _t = Mpk.Pkey.open_seq_preserving
+
+let leave t = Mpk.Pkey.close_seq_preserving ~key:t.key ~protection:t.protection
+
+let key t = t.key

@@ -1,0 +1,23 @@
+(** Domain-based isolation via protection keys (paper §3.1 "MPK").
+
+    Setup tags every safe region with one protection key and closes it in
+    [pkru]; a domain switch is a [wrpkru] pair. The switch sequences
+    save/restore rax/rcx/rdx (which [wrpkru] needs in fixed states) — the
+    register-clobbering cost the paper highlights. The [protection]
+    parameter selects what the {e closed} state forbids: [No_access] for
+    confidentiality + integrity, [Read_only] for integrity-only defenses
+    such as shadow stacks. *)
+
+type t
+
+val setup :
+  X86sim.Cpu.t -> ?key:int -> protection:Mpk.Pkey.protection ->
+  Safe_region.region list -> t
+(** Tag all regions with [key] (default 1) and close the domain. *)
+
+val enter : t -> X86sim.Insn.t list
+(** Open the sensitive domain (register-preserving wrpkru sequence). *)
+
+val leave : t -> X86sim.Insn.t list
+
+val key : t -> int

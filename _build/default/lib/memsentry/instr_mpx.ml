@@ -1,0 +1,5 @@
+let check reg = [ Mpx.Bounds.check_before reg ]
+
+let check_full reg = Mpx.Bounds.check_both reg
+
+let setup cpu = Mpx.Bounds.setup_partition cpu

@@ -1,0 +1,19 @@
+(** Address-based isolation via MPX (paper §5.4, Fig. 2b).
+
+    One [bndcu ptr, bnd0] before each instrumented access, with bnd0 =
+    [\[0, 64 TiB)] loaded once at startup. Because the partition's lower
+    bound is zero and addresses are unsigned, no [bndcl] is needed — the
+    single-check design that makes MPX cheaper than SFI (the check has no
+    dependent consumer, unlike SFI's [and]). Violations raise a precise
+    #BR, unlike SFI's silent redirection. Assumes bnd0 is otherwise unused
+    and the [bndpreserve] convention (no implicit bound reloads). *)
+
+val check : X86sim.Reg.gpr -> X86sim.Insn.t list
+(** The single [bndcu]. *)
+
+val check_full : X86sim.Reg.gpr -> X86sim.Insn.t list
+(** [bndcl] + [bndcu] — the GCC-style double check, kept for the ablation
+    benchmark that reproduces the paper's "full bounds check" comparison. *)
+
+val setup : X86sim.Cpu.t -> unit
+(** Load the partition bound into bnd0 (loader-side). *)

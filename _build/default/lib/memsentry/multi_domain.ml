@@ -1,0 +1,170 @@
+open X86sim
+
+type scheme = Mpk_keys | Vmfunc_epts | Mpx_bounds
+
+let scheme_name = function
+  | Mpk_keys -> "MPK (1 key/domain)"
+  | Vmfunc_epts -> "VMFUNC (1 EPT/domain)"
+  | Mpx_bounds -> "MPX (1 bound/domain)"
+
+let max_domains = function
+  | Mpk_keys -> 15
+  | Vmfunc_epts -> 511
+  | Mpx_bounds -> Mpx.Bounds.table_capacity
+
+type prepared = { cpu : Cpu.t; program : Program.t }
+
+let region_size = 64
+let filler_chain = 1
+
+(* pkru that access-disables every domain key except [except] (0-based
+   domain index; -1 = close everything). Keys are 1..n. *)
+let pkru_closing_all ~n ~except =
+  let v = ref 0 in
+  for d = 0 to n - 1 do
+    if d <> except then v := !v lor (1 lsl (2 * (d + 1)))
+  done;
+  !v
+
+let preserving3 seq =
+  [ Insn.Push Reg.rax; Insn.Push Reg.rcx; Insn.Push Reg.rdx ]
+  @ seq
+  @ [ Insn.Pop Reg.rdx; Insn.Pop Reg.rcx; Insn.Pop Reg.rax ]
+
+let wrpkru_seq value =
+  preserving3
+    [
+      Insn.Mov_ri (Reg.rax, value);
+      Insn.Mov_ri (Reg.rcx, 0);
+      Insn.Mov_ri (Reg.rdx, 0);
+      Insn.Wrpkru;
+    ]
+
+let vmfunc_seq idx =
+  [ Insn.Push Reg.rax; Insn.Push Reg.rcx ]
+  @ Vmx.Hypervisor.vmfunc_seq ~ept:idx
+  @ [ Insn.Pop Reg.rcx; Insn.Pop Reg.rax ]
+
+let check_limit scheme ndomains =
+  if ndomains < 1 then invalid_arg "Multi_domain: need at least one domain";
+  if ndomains > max_domains scheme then
+    invalid_arg
+      (Printf.sprintf "Multi_domain: %s supports at most %d domains (Table 3)"
+         (scheme_name scheme) (max_domains scheme))
+
+(* The shared kernel: per iteration, one store into each domain's region,
+   bracketed/checked per [protect]. *)
+let assemble_kernel ~iterations ~regions ~protect =
+  let access d (r : Safe_region.region) =
+    let open_seq, check_seq, close_seq = protect d r in
+    open_seq
+    @ [ Insn.Mov_ri (Ir.Lower.scratch1, r.Safe_region.va) ]
+    @ check_seq
+    @ [ Insn.Load (Reg.rbx, Insn.mem ~base:Ir.Lower.scratch1 0) ]
+    @ close_seq
+  in
+  let body = List.concat (List.mapi access regions) in
+  let items =
+    [
+      Program.Label "main";
+      Program.I (Insn.Mov_ri (Reg.rbx, 42));
+      Program.I (Insn.Mov_ri (Reg.r14, 1));
+      Program.I (Insn.Mov_ri (Reg.r15, iterations));
+      Program.Label "loop";
+    ]
+    @ List.init filler_chain (fun _ -> Program.I (Insn.Alu_ri (Insn.Imul, Reg.r14, 3)))
+    @ List.map (fun i -> Program.I i) body
+    @ [
+        Program.I (Insn.Alu_ri (Insn.Sub, Reg.r15, 1));
+        Program.I (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+        Program.I Insn.Halt;
+      ]
+  in
+  Program.assemble items
+
+let fresh_regions ~ndomains =
+  let cpu = Cpu.create () in
+  let alloc = Safe_region.create_allocator cpu in
+  let regions = List.init ndomains (fun _ -> Safe_region.alloc alloc ~size:region_size) in
+  (cpu, regions)
+
+let build_baseline ~ndomains ~iterations () =
+  let cpu, regions = fresh_regions ~ndomains in
+  let program =
+    assemble_kernel ~iterations ~regions ~protect:(fun _ _ -> ([], [], []))
+  in
+  Cpu.load_program cpu program;
+  { cpu; program }
+
+let build ?(scheme = Mpk_keys) ~ndomains ~iterations () =
+  check_limit scheme ndomains;
+  let cpu, regions = fresh_regions ~ndomains in
+  let protect =
+    match scheme with
+    | Mpk_keys ->
+      List.iteri
+        (fun d (r : Safe_region.region) ->
+          Mpk.Pkey.assign cpu ~va:r.Safe_region.va ~len:r.Safe_region.size ~key:(d + 1))
+        regions;
+      Cpu.set_pkru cpu (pkru_closing_all ~n:ndomains ~except:(-1));
+      fun d _ ->
+        ( wrpkru_seq (pkru_closing_all ~n:ndomains ~except:d),
+          [],
+          wrpkru_seq (pkru_closing_all ~n:ndomains ~except:(-1)) )
+    | Vmfunc_epts ->
+      let hv = Vmx.Hypervisor.create cpu ~num_epts:(ndomains + 1) in
+      List.iteri
+        (fun d (r : Safe_region.region) ->
+          Vmx.Hypervisor.mark_secret hv ~va:r.Safe_region.va ~len:r.Safe_region.size
+            ~ept:(d + 1))
+        regions;
+      Vmx.Sandbox.prefault_all hv;
+      fun d _ -> (vmfunc_seq (d + 1), [], vmfunc_seq 0)
+    | Mpx_bounds ->
+      (* Per-domain bounds: bnd1-2 hold the first two domains resident;
+         every further domain reloads the staging register bnd3 from the
+         bound table before checking (GCC-style spilling). The table also
+         holds the resident ones so the split is purely a register-count
+         effect. *)
+      let table = Mpx.Bounds.table_create cpu in
+      List.iteri
+        (fun d (r : Safe_region.region) ->
+          let lo = r.Safe_region.va and hi = r.Safe_region.va + r.Safe_region.size - 1 in
+          let slot = Mpx.Bounds.table_slot_va table d in
+          Mmu.poke64 cpu.Cpu.mmu ~va:slot lo;
+          Mmu.poke64 cpu.Cpu.mmu ~va:(slot + 8) hi;
+          if d < 2 then begin
+            cpu.Cpu.bnd_lower.(d + 1) <- lo;
+            cpu.Cpu.bnd_upper.(d + 1) <- hi
+          end)
+        regions;
+      fun d _ ->
+        if d < 2 then
+          ([], [ Insn.Bndcl (d + 1, Ir.Lower.scratch1); Insn.Bndcu (d + 1, Ir.Lower.scratch1) ], [])
+        else
+          ( [],
+            [
+              Insn.Bndmov_load (3, Insn.mem_abs (Mpx.Bounds.table_slot_va table d));
+              Insn.Bndcl (3, Ir.Lower.scratch1);
+              Insn.Bndcu (3, Ir.Lower.scratch1);
+            ],
+            [] )
+  in
+  let program = assemble_kernel ~iterations ~regions ~protect in
+  Cpu.load_program cpu program;
+  { cpu; program }
+
+let run_cycles p =
+  match Cpu.run p.cpu with
+  | Cpu.Halted -> Cpu.cycles p.cpu
+  | Cpu.Out_of_fuel -> failwith "Multi_domain: kernel did not terminate"
+
+let overhead scheme ~ndomains ~iterations =
+  let base = run_cycles (build_baseline ~ndomains ~iterations ()) in
+  let prot = run_cycles (build ~scheme ~ndomains ~iterations ()) in
+  prot /. base
+
+let cost_per_access scheme ~ndomains ~iterations =
+  let base = run_cycles (build_baseline ~ndomains ~iterations ()) in
+  let prot = run_cycles (build ~scheme ~ndomains ~iterations ()) in
+  (prot -. base) /. float_of_int (iterations * ndomains)

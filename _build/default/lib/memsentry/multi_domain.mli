@@ -1,0 +1,49 @@
+(** Multiple disjoint protection domains (paper §3.1: the two-domain model
+    "can be extended into multiple and/or disjoint domains, depending on
+    the technique", with Table 3 giving each technique's ceiling).
+
+    This module builds a machine-level benchmark kernel with [n] distinct
+    safe regions, each opened, touched and closed once per loop iteration,
+    under three multi-domain schemes:
+
+    - {b MPK}: one protection key per domain (hard ceiling: 16 incl. the
+      default key); a switch is one register-preserving wrpkru pair.
+      Cost per switch is flat in [n].
+    - {b VMFUNC}: one EPT per domain plus the default (ceiling: 512 EPTP
+      slots); a switch is a vmfunc pair. Flat in [n].
+    - {b MPX bounds}: per-domain bound pairs checked with
+      [bndcl]+[bndcu]. Beyond the partition bound (bnd0) and a staging
+      register (bnd3), only two bound registers can stay resident, so
+      domains past the second continually spill/reload through the bound
+      table ([bndmov]) — "MPX also becomes much less favorable when many
+      different domains are required, and because bounds must continuously
+      be spilled to memory" (§6.3). Cost climbs with [n].
+
+    The [domains] benchmark sweeps [n] and prints the three curves. *)
+
+type scheme = Mpk_keys | Vmfunc_epts | Mpx_bounds
+
+val scheme_name : scheme -> string
+
+val max_domains : scheme -> int
+(** MPK 15 usable keys, VMFUNC 511 usable EPTs, MPX bound-table capacity. *)
+
+type prepared = { cpu : X86sim.Cpu.t; program : X86sim.Program.t }
+
+val build : ?scheme:scheme -> ndomains:int -> iterations:int -> unit -> prepared
+(** The kernel under a scheme ([None] via [build_baseline] for the 1.0
+    reference). Raises [Invalid_argument] when [ndomains] exceeds the
+    scheme's ceiling — the Table 3 limits, enforced. *)
+
+val build_baseline : ndomains:int -> iterations:int -> unit -> prepared
+(** Same accesses, no protection (regions still exist and are touched). *)
+
+val run_cycles : prepared -> float
+(** Execute to completion and return cycles; raises on fault. *)
+
+val overhead : scheme -> ndomains:int -> iterations:int -> float
+(** Convenience: protected vs baseline cycle ratio of the kernel. *)
+
+val cost_per_access : scheme -> ndomains:int -> iterations:int -> float
+(** Marginal cycles per protected domain access — flat in [n] for MPK and
+    VMFUNC, climbing for MPX once bounds spill. *)

@@ -1,0 +1,125 @@
+open Ms_util
+
+type defense = {
+  dname : string;
+  protects_reads : bool;
+  protects_writes : bool;
+  probabilistic : bool;
+  deterministic : bool;
+  instrumentation : string;
+}
+
+let defenses =
+  [
+    { dname = "CCFIR"; protects_reads = true; protects_writes = false; probabilistic = true;
+      deterministic = false; instrumentation = "Indirect branches" };
+    { dname = "O-CFI"; protects_reads = true; protects_writes = false; probabilistic = true;
+      deterministic = false; instrumentation = "Indirect branches" };
+    { dname = "Shadow Stack"; protects_reads = false; protects_writes = true;
+      probabilistic = true; deterministic = false; instrumentation = "call/ret" };
+    { dname = "StackArmor"; protects_reads = true; protects_writes = true;
+      probabilistic = true; deterministic = false; instrumentation = "call/ret" };
+    { dname = "TASR"; protects_reads = true; protects_writes = false; probabilistic = true;
+      deterministic = false; instrumentation = "System I/O" };
+    { dname = "Isomeron"; protects_reads = true; protects_writes = false;
+      probabilistic = true; deterministic = false; instrumentation = "Indirect branches" };
+    { dname = "Oxymoron"; protects_reads = true; protects_writes = false;
+      probabilistic = true; deterministic = false;
+      instrumentation = "Code page across edges" };
+    { dname = "CPI"; protects_reads = true; protects_writes = true; probabilistic = true;
+      deterministic = true; instrumentation = "Memory accesses" };
+    { dname = "CCFI"; protects_reads = false; protects_writes = true; probabilistic = false;
+      deterministic = true; instrumentation = "Memory accesses" };
+    { dname = "ASLR-Guard"; protects_reads = true; protects_writes = true;
+      probabilistic = true; deterministic = false; instrumentation = "Memory accesses" };
+    { dname = "DieHard"; protects_reads = false; protects_writes = true;
+      probabilistic = true; deterministic = false; instrumentation = "malloc/free" };
+    { dname = "Readactor"; protects_reads = true; protects_writes = false;
+      probabilistic = false; deterministic = true; instrumentation = "Indirect branches" };
+    { dname = "LR2"; protects_reads = true; protects_writes = false; probabilistic = false;
+      deterministic = true; instrumentation = "Mem. accesses & ind. branches" };
+  ]
+
+type application_row = { isolation : string; points : string; application : string }
+
+let applications =
+  [
+    { isolation = "Address-based"; points = "Loads"; application = "Code randomization" };
+    { isolation = "Address-based"; points = "Loads"; application = "CFI variants" };
+    { isolation = "Address-based"; points = "Stores"; application = "ShadowStack" };
+    { isolation = "Address-based"; points = "Stores"; application = "CPI" };
+    { isolation = "Address-based"; points = "Both + points-to info";
+      application = "Program data" };
+    { isolation = "Domain-based"; points = "call + ret"; application = "ShadowStack" };
+    { isolation = "Domain-based"; points = "Indirect branches"; application = "CFI variants" };
+    { isolation = "Domain-based"; points = "Indirect branches";
+      application = "Layout randomization" };
+    { isolation = "Domain-based"; points = "System calls";
+      application = "Layout randomization" };
+    { isolation = "Domain-based"; points = "Allocator calls"; application = "Heap" };
+    { isolation = "Domain-based"; points = "Points-to info"; application = "Program data" };
+  ]
+
+let yn b = if b then "yes" else "-"
+
+let table1 () =
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+               Table_fmt.Right; Table_fmt.Left ]
+      [ "Defense"; "Vuln r"; "Vuln w"; "Prob."; "Det."; "Instrumentation points" ]
+  in
+  List.iter
+    (fun d ->
+      Table_fmt.add_row t
+        [
+          d.dname; yn d.protects_reads; yn d.protects_writes; yn d.probabilistic;
+          yn d.deterministic; d.instrumentation;
+        ])
+    defenses;
+  "Table 1: defense systems based on memory isolation\n" ^ Table_fmt.render t
+
+let table2 () =
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Left; Table_fmt.Left; Table_fmt.Left ]
+      [ "Isolation"; "Instrumentation points"; "Application" ]
+  in
+  List.iter (fun r -> Table_fmt.add_row t [ r.isolation; r.points; r.application ]) applications;
+  "Table 2: applications of MemSentry\n" ^ Table_fmt.render t
+
+let granularity_string = function
+  | Technique.Byte -> "byte"
+  | Technique.Chunk16 -> "128 bytes"
+  | Technique.Page -> "page"
+  | Technique.Any -> "(mask-dependent)"
+
+let table3 () =
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Left; Table_fmt.Left; Table_fmt.Right; Table_fmt.Left ]
+      [ "Technique"; "Class"; "Max domains"; "Granularity" ]
+  in
+  List.iter
+    (fun tech ->
+      let cls =
+        match Technique.isolation_class tech with
+        | Technique.Address_based -> "address"
+        | Technique.Domain_based -> "domain"
+      in
+      let doms =
+        match Technique.max_domains tech with Some n -> string_of_int n | None -> "infinite"
+      in
+      Table_fmt.add_row t
+        [ Technique.name tech; cls; doms; granularity_string (Technique.granularity tech) ])
+    (List.filter
+       (fun x -> x <> Technique.Mprotect && x <> Technique.Isboxing)
+       Technique.all);
+  "Table 3: limitations of memory isolation techniques\n" ^ Table_fmt.render t
+
+let print_all () =
+  print_string (table1 ());
+  print_newline ();
+  print_string (table2 ());
+  print_newline ();
+  print_string (table3 ())

@@ -1,0 +1,33 @@
+(** Regenerates the paper's survey tables (1, 2 and 3) as printed reports.
+
+    Tables 1 and 2 are curated data from the paper's defense survey;
+    Table 3 is derived from {!Technique} metadata (and cross-checked
+    against the implementations by the test suite), so it cannot drift
+    from the code. *)
+
+type defense = {
+  dname : string;
+  protects_reads : bool;
+  protects_writes : bool;
+  probabilistic : bool;
+  deterministic : bool;
+  instrumentation : string;
+}
+
+val defenses : defense list
+(** The thirteen systems of Table 1 (CCFIR ... LR2). *)
+
+type application_row = {
+  isolation : string;  (** "Address-based" / "Domain-based" *)
+  points : string;  (** instrumentation points *)
+  application : string;
+}
+
+val applications : application_row list
+(** Table 2. *)
+
+val table1 : unit -> string
+val table2 : unit -> string
+val table3 : unit -> string
+
+val print_all : unit -> unit

@@ -1,0 +1,34 @@
+open X86sim
+open Ms_util
+
+type region = { va : int; size : int }
+
+type allocator = { cpu : Cpu.t; mutable cursor : int; mutable allocated : region list }
+
+(* Keep allocator-created regions clear of Glayout's sensitive globals by
+   starting a healthy distance into the sensitive partition. *)
+let allocator_base = Layout.sensitive_base + 0x1000_0000
+
+let create_allocator cpu = { cpu; cursor = allocator_base; allocated = [] }
+
+let alloc a ~size =
+  if size <= 0 || size mod 16 <> 0 then
+    invalid_arg "Safe_region.alloc: size must be a positive multiple of 16";
+  let va = a.cursor in
+  let mapped = Bitops.align_up Physmem.page_size size in
+  a.cursor <- a.cursor + mapped + Physmem.page_size;
+  Mmu.map_range a.cpu.Cpu.mmu ~va ~len:mapped ~writable:true;
+  let r = { va; size } in
+  a.allocated <- r :: a.allocated;
+  r
+
+let regions a = a.allocated
+
+let of_sensitive_globals (lowered : Ir.Lower.t) =
+  List.filter_map
+    (fun (e : Ir.Glayout.entry) ->
+      if e.Ir.Glayout.sensitive then Some { va = e.Ir.Glayout.va; size = e.Ir.Glayout.size }
+      else None)
+    lowered.Ir.Lower.layout
+
+let contains r addr = addr >= r.va && addr < r.va + r.size

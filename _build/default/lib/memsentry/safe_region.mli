@@ -1,0 +1,27 @@
+(** Safe-region allocation: the paper's [saferegion_alloc(sz)].
+
+    Regions live in the sensitive partition (at or above the 64 TiB split)
+    so that one SFI mask / one MPX bound covers all of them. Each region is
+    page-aligned with a guard page after it, mapped read-write; the
+    technique applied later decides how it is locked down (pkey tag, EPT
+    restriction, initial encryption, PROT_NONE). *)
+
+type region = { va : int; size : int }
+
+type allocator
+
+val create_allocator : X86sim.Cpu.t -> allocator
+
+val alloc : allocator -> size:int -> region
+(** Mapped and zeroed. 16-byte multiple enforced (crypt compatibility);
+    raises [Invalid_argument] otherwise. *)
+
+val regions : allocator -> region list
+(** Most recent first. *)
+
+val of_sensitive_globals : Ir.Lower.t -> region list
+(** The regions corresponding to a lowered module's [sensitive] globals —
+    how the framework finds what to protect when the defense declared its
+    safe regions in the IR. *)
+
+val contains : region -> int -> bool

@@ -1,0 +1,52 @@
+(** NaCl-style static verification of address-based instrumentation.
+
+    Native Client's key idea (paper §7 \[56, 70\]) is to {e verify} the
+    sandboxed binary instead of trusting the compiler: a small checker
+    proves that every memory access is confined. This module provides that
+    checker for this machine: a linear abstract interpretation over the
+    final instruction stream which tracks, per register, whether it
+    provably holds a pointer confined to the nonsensitive partition —
+    established by the recognized patterns:
+
+    - SFI: [mov r13, 0x3fffffffffff] followed by [and r, r13] (or the
+      immediate form [and r, mask]);
+    - MPX: [bndcu r, bnd0] under the stated [bnd0] bound;
+    - ISBoxing: [lea32 r, ...] (a 32-bit address is below any split);
+    - constants: [mov r, imm] with [0 <= imm < split].
+
+    The analysis is deliberately conservative: all knowledge is dropped at
+    labels (anything can jump there) and after calls and branches, so a
+    clean verdict holds on every execution path. Stack traffic
+    (rsp-relative with a bounded displacement, push/pop/call/ret) is
+    accepted, matching the paper's observation that spills need no
+    instrumentation.
+
+    Accesses that do not verify are returned as {!violation}s. For a
+    program instrumented with no [safe] annotations the list is empty; a
+    defense's own safe-region accesses are reported — which is the point:
+    the checker shrinks the trusted computing base to an audit of exactly
+    those locations. *)
+
+type policy = Sfi_policy | Mpx_policy | Isboxing_policy
+
+type violation = { index : int; insn : string; reason : string }
+
+type result = Clean | Violations of violation list
+
+val verify :
+  ?split:int ->
+  ?bnd0_upper:int ->
+  ?kind:Instr.access_kind ->
+  policy:policy ->
+  X86sim.Program.t ->
+  result
+(** [split] defaults to {!X86sim.Layout.sensitive_base}; [bnd0_upper] is
+    the bound the loader is assumed to put in bnd0 (defaults to
+    [split - 1]) and must satisfy [bnd0_upper < split] for MPX verification
+    to be sound — checked, [Invalid_argument] otherwise. [kind] restricts
+    which accesses must verify (default all): an integrity-only deployment
+    (shadow stack) only needs [Writes] confined. *)
+
+val violation_count : result -> int
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,62 @@
+type t =
+  | Sfi
+  | Mpx
+  | Mpk of Mpk.Pkey.protection
+  | Vmfunc
+  | Crypt
+  | Sgx
+  | Mprotect
+  | Isboxing
+
+type isolation_class = Address_based | Domain_based
+
+type granularity = Byte | Chunk16 | Page | Any
+
+let name = function
+  | Sfi -> "SFI"
+  | Mpx -> "MPX"
+  | Mpk Mpk.Pkey.No_access -> "MPK"
+  | Mpk Mpk.Pkey.Read_only -> "MPK (integrity)"
+  | Mpk Mpk.Pkey.Read_write -> "MPK (off)"
+  | Vmfunc -> "VMFUNC"
+  | Crypt -> "crypt"
+  | Sgx -> "SGX"
+  | Mprotect -> "mprotect"
+  | Isboxing -> "ISBoxing"
+
+let isolation_class = function
+  | Sfi | Mpx | Isboxing -> Address_based
+  | Mpk _ | Vmfunc | Crypt | Sgx | Mprotect -> Domain_based
+
+let max_domains = function
+  | Sfi -> Some 48
+  | Mpx -> Some 4 (* in registers; unbounded when spilled to memory *)
+  | Mpk _ -> Some 16
+  | Vmfunc -> Some 512
+  | Isboxing -> Some 1 (* everything above 4 GiB is one sealed partition *)
+  | Crypt | Sgx | Mprotect -> None
+
+let granularity = function
+  | Sfi | Isboxing -> Any (* depends on the least significant bit of the mask *)
+  | Mpx -> Byte
+  | Mpk _ -> Page
+  | Vmfunc -> Page
+  | Crypt -> Chunk16
+  | Sgx -> Page
+  | Mprotect -> Page
+
+let requires_kernel_or_hypervisor = function
+  | Vmfunc | Mprotect | Sgx -> true
+  | Sfi | Mpx | Mpk _ | Crypt | Isboxing -> false
+
+let hardware_since = function
+  | Sfi -> "any x86-64"
+  | Mpx -> "Intel Skylake (2015)"
+  | Mpk _ -> "announced (no shipping CPU at publication)"
+  | Vmfunc -> "Intel Haswell (2013)"
+  | Crypt -> "Intel Westmere (2010, AES-NI)"
+  | Sgx -> "Intel Skylake (2015, SGX1)"
+  | Mprotect -> "any"
+  | Isboxing -> "any x86-64 (0x67 prefix)"
+
+let all = [ Sfi; Mpx; Mpk Mpk.Pkey.No_access; Vmfunc; Crypt; Sgx; Mprotect ]

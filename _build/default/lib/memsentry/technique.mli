@@ -1,0 +1,46 @@
+(** The isolation techniques and their capability envelope (paper Table 3).
+
+    The metadata here is not decorative: {!max_domains} and {!granularity}
+    are enforced by the implementations (the MPK key allocator fails at 16
+    domains, VMFUNC secrets are page-granular, crypt works on 128-bit
+    chunks), and the report tests cross-check the two. *)
+
+type t =
+  | Sfi  (** address-based masking (software only) *)
+  | Mpx  (** address-based single-bound check *)
+  | Mpk of Mpk.Pkey.protection  (** domain-based protection keys *)
+  | Vmfunc  (** domain-based EPT switching *)
+  | Crypt  (** domain-based AES-NI in-place encryption *)
+  | Sgx  (** domain-based enclave (restructuring, not instrumentation) *)
+  | Mprotect  (** the traditional POSIX baseline *)
+  | Isboxing
+      (** extension: address-size-prefix sandboxing (ISBoxing, related
+          work \[23\]): truncating the effective address to 32 bits is
+          free, but confines the program to 4 GiB of address space *)
+
+type isolation_class = Address_based | Domain_based
+
+type granularity = Byte | Chunk16 | Page | Any
+
+val name : t -> string
+
+val isolation_class : t -> isolation_class
+
+val max_domains : t -> int option
+(** [None] = effectively unlimited. SFI: 48 (mask bit positions);
+    MPX: 4 in registers (more via memory); MPK: 16; VMFUNC: 512 (EPTP
+    list); crypt/SGX/mprotect: unlimited. *)
+
+val granularity : t -> granularity
+(** Minimum size/alignment of an isolated datum (Table 3). *)
+
+val requires_kernel_or_hypervisor : t -> bool
+(** VMFUNC needs a (small) privileged component; mprotect needs the
+    kernel on every switch; the rest are pure user-space after setup. *)
+
+val hardware_since : t -> string
+(** Earliest commodity availability, per the paper's discussion. *)
+
+val all : t list
+(** One representative per technique (MPK with [No_access]); the paper's
+    set — the ISBoxing extension is excluded. *)

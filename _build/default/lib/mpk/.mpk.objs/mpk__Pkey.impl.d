@@ -1,0 +1,1 @@
+lib/mpk/pkey.ml: Cpu Insn Mmu Reg X86sim

@@ -1,0 +1,46 @@
+open X86sim
+
+type protection = No_access | Read_only | Read_write
+
+let next_key = ref 1
+
+let alloc_key () =
+  if !next_key > 15 then failwith "Pkey.alloc_key: all 16 protection keys in use";
+  let k = !next_key in
+  incr next_key;
+  k
+
+let reset_allocator () = next_key := 1
+
+let assign cpu ~va ~len ~key = Mmu.set_pkey_range cpu.Cpu.mmu ~va ~len ~key
+
+let pkru_close ~key ~protection =
+  match protection with
+  | No_access -> 1 lsl (2 * key) (* AD *)
+  | Read_only -> 1 lsl ((2 * key) + 1) (* WD *)
+  | Read_write -> 0
+
+let pkru_open = 0
+
+let close_default cpu ~key ~protection = Cpu.set_pkru cpu (pkru_close ~key ~protection)
+
+let wrpkru_with value =
+  [
+    Insn.Mov_ri (Reg.rax, value);
+    Insn.Mov_ri (Reg.rcx, 0);
+    Insn.Mov_ri (Reg.rdx, 0);
+    Insn.Wrpkru;
+  ]
+
+let open_seq = wrpkru_with pkru_open
+
+let close_seq ~key ~protection = wrpkru_with (pkru_close ~key ~protection)
+
+let preserving seq =
+  [ Insn.Push Reg.rax; Insn.Push Reg.rcx; Insn.Push Reg.rdx ]
+  @ seq
+  @ [ Insn.Pop Reg.rdx; Insn.Pop Reg.rcx; Insn.Pop Reg.rax ]
+
+let open_seq_preserving = preserving open_seq
+
+let close_seq_preserving ~key ~protection = preserving (close_seq ~key ~protection)

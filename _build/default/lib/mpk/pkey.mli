@@ -1,0 +1,52 @@
+(** MPK system-software layer: key allocation, page tagging, and the
+    user-space domain-switch sequences.
+
+    A safe region gets a protection key; its pages are tagged via the
+    (kernel-side) [pkey_mprotect] path; the default [pkru] value disables
+    access to that key. A domain switch is a [wrpkru] that re-enables (or
+    re-disables) the key — pure user-space register traffic, no kernel, no
+    TLB work, which is why MPK wins the paper's domain-based comparison.
+
+    [wrpkru] requires rax/rcx/rdx in a fixed state, so the switch sequences
+    clobber those registers; the paper notes this clobbering (and the
+    resulting spills) as MPK's main hidden cost. Sequences that preserve
+    the registers via stack save/restore are provided for use inside
+    instrumentation where the registers may be live. *)
+
+type protection = No_access | Read_only | Read_write
+(** What the {e default} (closed) state of the safe region permits:
+    [No_access] protects confidentiality + integrity, [Read_only]
+    protects integrity only (shadow-stack style). *)
+
+val alloc_key : unit -> int
+(** Next free key from a process-global allocator (1..15; key 0 is the
+    default key). Raises [Failure] when exhausted — the 16-domain limit of
+    Table 3. *)
+
+val reset_allocator : unit -> unit
+(** Tests/benchmarks: return the allocator to "all keys free". *)
+
+val assign : X86sim.Cpu.t -> va:int -> len:int -> key:int -> unit
+(** Tag pages with [key] (kernel-side; flushes the TLB like the real
+    syscall's shootdown). *)
+
+val pkru_close : key:int -> protection:protection -> int
+(** pkru value that {e disables} the safe region per [protection]
+    (all other keys fully enabled). *)
+
+val pkru_open : int
+(** pkru value enabling everything (inside an instrumentation point). *)
+
+val close_default : X86sim.Cpu.t -> key:int -> protection:protection -> unit
+(** Set the CPU's initial pkru to the closed state. *)
+
+val open_seq : X86sim.Insn.t list
+(** Instructions to open the sensitive domain (clobbers rax/rcx/rdx). *)
+
+val close_seq : key:int -> protection:protection -> X86sim.Insn.t list
+(** Instructions to close it again (clobbers rax/rcx/rdx). *)
+
+val open_seq_preserving : X86sim.Insn.t list
+(** {!open_seq} bracketed by push/pop of the clobbered registers. *)
+
+val close_seq_preserving : key:int -> protection:protection -> X86sim.Insn.t list

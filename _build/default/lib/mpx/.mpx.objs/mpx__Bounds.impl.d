@@ -1,0 +1,1 @@
+lib/mpx/bounds.ml: Array Cpu Insn Layout Mmu X86sim

@@ -1,0 +1,1 @@
+lib/mpx/bounds.mli: X86sim

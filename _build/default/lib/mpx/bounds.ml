@@ -1,0 +1,30 @@
+open X86sim
+
+let partition_bnd = 0
+
+(* bndcu faults on [value > upper], so the inclusive upper bound is the
+   last nonsensitive byte. *)
+let partition_upper = Layout.sensitive_base - 1
+
+let setup_partition cpu =
+  cpu.Cpu.bnd_lower.(partition_bnd) <- 0;
+  cpu.Cpu.bnd_upper.(partition_bnd) <- partition_upper
+
+let setup_insns = [ Insn.Bnd_set (partition_bnd, 0, partition_upper) ]
+
+let check_before reg = Insn.Bndcu (partition_bnd, reg)
+
+let check_both reg = [ Insn.Bndcl (partition_bnd, reg); Insn.Bndcu (partition_bnd, reg) ]
+
+let table_capacity = 256
+let table_base = 0x30_0000_0000
+
+type table = { base : int }
+
+let table_create cpu =
+  Mmu.map_range cpu.Cpu.mmu ~va:table_base ~len:(table_capacity * 16) ~writable:true;
+  { base = table_base }
+
+let table_slot_va t i =
+  if i < 0 || i >= table_capacity then invalid_arg "Bounds.table_slot_va: slot out of range";
+  t.base + (16 * i)

@@ -1,0 +1,45 @@
+(** MPX system-software layer: bound-register conventions and the bound
+    table.
+
+    MemSentry's MPX scheme (paper §5.4) dedicates [bnd0] to the partition
+    bound: lower 0, upper {!X86sim.Layout.sensitive_base}. Because the
+    lower bound is 0 and addresses are non-negative, a single [bndcu]
+    before each non-allowed memory access suffices — the design insight
+    that makes MPX competitive. The [bndpreserve] convention is assumed:
+    bounds are never reloaded implicitly.
+
+    The bound {e table} here supports the ablation study: GCC-style MPX
+    with many fine-grained bounds continually spills/reloads bound
+    registers, which is what made full MPX bounds checking notorious. *)
+
+val partition_bnd : X86sim.Reg.bnd
+(** bnd0, reserved for the 64 TiB partition bound. *)
+
+val setup_partition : X86sim.Cpu.t -> unit
+(** Load [\[0, sensitive_base)] into {!partition_bnd} directly (what the
+    loader/runtime does before [main]). *)
+
+val setup_insns : X86sim.Insn.t list
+(** The same, as instructions to prepend to a program. *)
+
+val check_before : X86sim.Reg.gpr -> X86sim.Insn.t
+(** The single [bndcu ptr, bnd0] emitted before an instrumented access. *)
+
+val check_both : X86sim.Reg.gpr -> X86sim.Insn.t list
+(** Full [bndcl] + [bndcu] pair (the expensive GCC-style variant, for the
+    ablation benchmark). *)
+
+(** {2 Bound table (register spilling model)} *)
+
+type table
+(** Software bound directory for programs needing more than 4 bounds. *)
+
+val table_create : X86sim.Cpu.t -> table
+(** Allocates backing pages in the CPU's address space. *)
+
+val table_slot_va : table -> int -> int
+(** Address of the [i]-th 16-byte slot (for emitting
+    [Bndmov_store]/[Bndmov_load]). Slots beyond capacity raise
+    [Invalid_argument]. *)
+
+val table_capacity : int

@@ -1,0 +1,1 @@
+lib/ms_util/bitops.ml: Int64

@@ -1,0 +1,1 @@
+lib/ms_util/prng.ml: Array Int64

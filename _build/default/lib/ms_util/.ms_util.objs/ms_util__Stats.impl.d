@@ -1,0 +1,1 @@
+lib/ms_util/stats.ml: Array List

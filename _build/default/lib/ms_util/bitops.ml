@@ -1,0 +1,19 @@
+let mask48 v = Int64.logand v 0xFFFF_FFFF_FFFFL
+let to_addr v = Int64.to_int (mask48 v)
+let of_addr a = Int64.of_int a
+
+let bits ~lo ~hi v =
+  if lo < 0 || lo > hi || hi > 62 then invalid_arg "Bitops.bits: bad range";
+  let width = hi - lo + 1 in
+  let shifted = Int64.shift_right_logical v lo in
+  Int64.to_int (Int64.logand shifted (Int64.sub (Int64.shift_left 1L width) 1L))
+
+let set_bit i b v =
+  let m = Int64.shift_left 1L i in
+  if b then Int64.logor v m else Int64.logand v (Int64.lognot m)
+
+let get_bit i v = Int64.logand (Int64.shift_right_logical v i) 1L = 1L
+
+let align_down a x = x land lnot (a - 1)
+let align_up a x = (x + a - 1) land lnot (a - 1)
+let is_aligned a x = x land (a - 1) = 0

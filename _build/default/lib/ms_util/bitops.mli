@@ -1,0 +1,35 @@
+(** 64-bit bit manipulation helpers shared by the simulator libraries.
+
+    Register values and memory words are [int64] throughout the machine model;
+    virtual addresses are plain [int] (x86-64 canonical addresses fit in 48
+    bits, comfortably inside OCaml's native int). These helpers convert
+    between the two and extract common fields. *)
+
+val mask48 : int64 -> int64
+(** Keep the low 48 bits (the architectural virtual-address width). *)
+
+val to_addr : int64 -> int
+(** Truncate a register value to a 48-bit address as a native int. *)
+
+val of_addr : int -> int64
+(** Widen an address to a register value (zero-extended). *)
+
+val bits : lo:int -> hi:int -> int64 -> int
+(** [bits ~lo ~hi v] extracts bits [lo..hi] inclusive as an int.
+    Requires [0 <= lo <= hi <= 62] so the result fits a native int. *)
+
+val set_bit : int -> bool -> int64 -> int64
+(** [set_bit i b v] returns [v] with bit [i] forced to [b]. *)
+
+val get_bit : int -> int64 -> bool
+(** Test bit [i]. *)
+
+val align_down : int -> int -> int
+(** [align_down a x] rounds [x] down to a multiple of alignment [a]
+    (a power of two). *)
+
+val align_up : int -> int -> int
+(** Round up to a multiple of a power-of-two alignment. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned a x] is true when [x] is a multiple of [a]. *)

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the repository (workload synthesis, the
+    DieHard-style allocator, attack simulations, ASLR placement) draw from
+    this module so that every experiment is reproducible from a seed. The
+    implementation is splitmix64 feeding xoshiro256**, which is fast,
+    well-distributed and has no shared global state. *)
+
+type t
+(** A self-contained generator. Mutated in place by the sampling functions. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent duplicate that continues from the current state. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2^64 bit patterns. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on [||]. *)
+
+val split : t -> t
+(** Derive a new generator from [t]; both may be used independently. *)

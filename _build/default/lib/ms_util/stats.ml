@@ -1,0 +1,47 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | xs ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | s ->
+    let n = List.length s in
+    let a = Array.of_list s in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  match sorted xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let stddev xs =
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+  sqrt var
+
+let overhead ~baseline ~measured =
+  if baseline <= 0.0 then invalid_arg "Stats.overhead: baseline must be positive";
+  measured /. baseline
+
+let overhead_pct ~baseline ~measured = ((overhead ~baseline ~measured) -. 1.0) *. 100.0

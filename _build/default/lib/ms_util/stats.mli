@@ -1,0 +1,27 @@
+(** Small statistics toolkit used by the benchmark harnesses.
+
+    The paper reports per-benchmark normalized overheads and the geometric
+    mean over the SPEC suite; this module provides those reductions plus a
+    few robustness helpers for the wall-clock benches. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; all inputs must be strictly positive. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank on the sorted list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val overhead : baseline:float -> measured:float -> float
+(** Normalized run-time overhead: [measured /. baseline]. A value of 1.10
+    means "+10%". Raises [Invalid_argument] if baseline is not positive. *)
+
+val overhead_pct : baseline:float -> measured:float -> float
+(** Overhead as a percentage: [(measured /. baseline -. 1.) *. 100.]. *)

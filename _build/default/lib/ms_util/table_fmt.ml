@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  align : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let default_align n = List.init n (fun i -> if i = 0 then Left else Right)
+
+let create ?align headers =
+  let n = List.length headers in
+  let align = match align with Some a -> a | None -> default_align n in
+  if List.length align <> n then invalid_arg "Table_fmt.create: align length mismatch";
+  { headers; align; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let c = List.length cells in
+  if c > n then invalid_arg "Table_fmt.add_row: too many cells";
+  let padded = cells @ List.init (n - c) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows = t.headers :: List.filter_map (function Cells c -> Some c | Sep -> None) rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  List.iter note_row all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let align = List.nth t.align i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let emit_sep () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Sep -> emit_sep ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_pct v = Printf.sprintf "%+.1f%%" ((v -. 1.0) *. 100.0)
+let cell_x v = Printf.sprintf "%.1fx" v
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v

@@ -1,0 +1,37 @@
+(** Plain-text table rendering for benchmark and report output.
+
+    All paper tables and figure data are printed through this module so the
+    harness output is uniform and diffable. Columns are sized to their widest
+    cell; alignment is per-column. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?align:align list -> string list -> t
+(** [create ~align headers] starts a table. [align] defaults to [Left] for
+    the first column and [Right] for the rest (the common "name, numbers"
+    layout of the paper's tables). *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator (used before geomean rows). *)
+
+val render : t -> string
+(** Render to a string, including a trailing newline. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+val cell_pct : float -> string
+(** Format a normalized overhead (e.g. 1.147) as a percentage ["+14.7%"]. *)
+
+val cell_x : float -> string
+(** Format a ratio as a multiplier, e.g. ["20.8x"]. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Fixed-point float cell; [digits] defaults to 2. *)

@@ -1,0 +1,1 @@
+lib/sgx_sim/enclave.ml: Bytes Char Cpu Hashtbl Pipeline Printf X86sim

@@ -1,0 +1,1 @@
+lib/sgx_sim/enclave.mli: Bytes X86sim

@@ -1,0 +1,1 @@
+lib/vmx/hypervisor.ml: Array Cpu Ept Fault Hashtbl Insn Logs Mmu Pagetable Physmem Reg Tlb X86sim

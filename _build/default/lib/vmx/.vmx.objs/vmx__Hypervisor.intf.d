@@ -1,0 +1,1 @@
+lib/vmx/hypervisor.mli: X86sim

@@ -1,0 +1,1 @@
+lib/vmx/sandbox.ml: Array Cpu Ept Hypervisor Mmu Pagetable Physmem Tlb X86sim

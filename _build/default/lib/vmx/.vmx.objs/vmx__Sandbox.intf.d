@@ -1,0 +1,1 @@
+lib/vmx/sandbox.mli: Hypervisor X86sim

@@ -1,0 +1,108 @@
+open X86sim
+
+let src = Logs.Src.create "memsentry.vmx" ~doc:"hypervisor events (EPT fills, refusals, hypercalls)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  cpu : Cpu.t;
+  epts : Ept.t array;
+  secret_owner : (int, int) Hashtbl.t; (* gfn -> owning EPT index *)
+  mutable refused : int;
+}
+
+let hc_ping = 101
+let hc_mark_secret = 100
+
+let cpu t = t.cpu
+let num_epts t = Array.length t.epts
+let is_secret_gfn t ~gfn = Hashtbl.mem t.secret_owner gfn
+let secret_owner t ~gfn = Hashtbl.find_opt t.secret_owner gfn
+
+let ept_violations_refused t = t.refused
+
+(* Translate a guest virtual page to its guest-physical frame by walking the
+   guest page table (the hypervisor can always do this). *)
+let gfn_of_va t ~va =
+  match Pagetable.find t.cpu.Cpu.mmu.Mmu.pt ~vpn:(va / Physmem.page_size) with
+  | Some pte -> pte.Pagetable.frame
+  | None ->
+    Fault.raise_fault
+      (Fault.Page_fault { va; access = Fault.Read; reason = "hypervisor: guest page unmapped" })
+
+let iter_gfns t ~va ~len f =
+  if len <= 0 then invalid_arg "Hypervisor: length must be positive";
+  let first = va / Physmem.page_size and last = (va + len - 1) / Physmem.page_size in
+  for vpn = first to last do
+    f (gfn_of_va t ~va:(vpn * Physmem.page_size))
+  done
+
+let mark_secret t ~va ~len ~ept =
+  if ept < 0 || ept >= Array.length t.epts then
+    invalid_arg "Hypervisor.mark_secret: bad EPT index";
+  Log.info (fun m -> m "marking [0x%x, 0x%x) secret, owner EPT %d" va (va + len) ept);
+  iter_gfns t ~va ~len (fun gfn ->
+      Hashtbl.replace t.secret_owner gfn ept;
+      Array.iteri
+        (fun i e ->
+          if i = ept then Ept.map e ~gfn ~hfn:gfn ~readable:true ~writable:true
+          else Ept.unmap e ~gfn)
+        t.epts);
+  Tlb.flush t.cpu.Cpu.mmu.Mmu.tlb
+
+let clear_secret t ~va ~len =
+  iter_gfns t ~va ~len (fun gfn -> Hashtbl.remove t.secret_owner gfn);
+  Tlb.flush t.cpu.Cpu.mmu.Mmu.tlb
+
+(* Demand-fill policy on EPT violation: identity-map unless the frame is a
+   secret owned by a different EPT. *)
+let handle_ept_violation t cpu ~gpa ~access =
+  ignore access;
+  let gfn = gpa / Physmem.page_size in
+  let active = cpu.Cpu.mmu.Mmu.ept_index in
+  match Hashtbl.find_opt t.secret_owner gfn with
+  | Some owner when owner <> active ->
+    t.refused <- t.refused + 1;
+    Log.info (fun m ->
+        m "refused EPT fill: secret gfn 0x%x (owner EPT %d) touched under EPT %d" gfn owner
+          active);
+    false
+  | Some _ | None ->
+    Log.debug (fun m -> m "demand-fill gfn 0x%x into EPT %d" gfn active);
+    Ept.map t.epts.(active) ~gfn ~hfn:gfn ~readable:true ~writable:true;
+    true
+
+let handle_vmcall t cpu =
+  let nr = Cpu.get_gpr cpu Reg.rax in
+  if nr = hc_ping then Cpu.set_gpr cpu Reg.rax 0
+  else if nr = hc_mark_secret then begin
+    let va = Cpu.get_gpr cpu Reg.rdi
+    and len = Cpu.get_gpr cpu Reg.rsi
+    and ept = Cpu.get_gpr cpu Reg.rdx in
+    mark_secret t ~va ~len ~ept;
+    Cpu.set_gpr cpu Reg.rax 0
+  end
+  else Cpu.set_gpr cpu Reg.rax (-38)
+
+let create cpu ~num_epts =
+  if num_epts < 1 then invalid_arg "Hypervisor.create: need at least one EPT";
+  if cpu.Cpu.virtualized then invalid_arg "Hypervisor.create: CPU already virtualized";
+  let t =
+    {
+      cpu;
+      epts = Array.init num_epts (fun _ -> Ept.create ());
+      secret_owner = Hashtbl.create 64;
+      refused = 0;
+    }
+  in
+  cpu.Cpu.mmu.Mmu.ept_list <- t.epts;
+  cpu.Cpu.mmu.Mmu.ept_index <- 0;
+  cpu.Cpu.mmu.Mmu.ept_on <- true;
+  cpu.Cpu.virtualized <- true;
+  cpu.Cpu.ept_violation_handler <- (fun c ~gpa ~access -> handle_ept_violation t c ~gpa ~access);
+  cpu.Cpu.vmcall_handler <- (fun c -> handle_vmcall t c);
+  Tlb.flush cpu.Cpu.mmu.Mmu.tlb;
+  t
+
+let vmfunc_seq ~ept =
+  [ Insn.Mov_ri (Reg.rax, 0); Insn.Mov_ri (Reg.rcx, ept); Insn.Vmfunc ]

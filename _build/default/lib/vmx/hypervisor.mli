@@ -1,0 +1,60 @@
+(** A miniature per-process hypervisor, in the style of Dune [5].
+
+    The paper deploys EPT switching per process: a stripped-down hypervisor
+    runs a single process in a VM, maintains several EPTs filled on demand
+    (on EPT-violation exits), and exposes a hypercall with which the
+    instrumented program marks pages {e secret} — mapped only in one
+    designated EPT. Guest code then uses [vmfunc] (no exit!) to switch the
+    active EPT around instrumentation points.
+
+    Attaching a hypervisor to a {!X86sim.Cpu.t}:
+    - creates [num_epts] empty EPTs and installs them as the MMU's EPTP list,
+    - switches the CPU into guest mode ([virtualized <- true]), after which
+      every guest [syscall] pays the hypercall-conversion tax,
+    - hooks EPT violations (demand-fill identity mappings, or refusal for
+      secret pages under the wrong EPT) and [vmcall] hypercalls.
+
+    Guest-physical frames map identity to host-physical frames, as Dune
+    arranges for a pre-existing process image. *)
+
+type t
+
+val create : X86sim.Cpu.t -> num_epts:int -> t
+(** Virtualize the process on [cpu]. [num_epts >= 1]; EPT 0 becomes
+    active. Raises [Invalid_argument] if the CPU is already virtualized. *)
+
+val cpu : t -> X86sim.Cpu.t
+
+val num_epts : t -> int
+
+val mark_secret : t -> va:int -> len:int -> ept:int -> unit
+(** Host-side API: restrict the (already guest-mapped) pages of
+    [\[va, va+len)] to EPT [ept]. They are unmapped from every other EPT
+    and any demand-fill for them under another EPT is refused. *)
+
+val clear_secret : t -> va:int -> len:int -> unit
+(** Make the pages ordinary again (any EPT may demand-fill them). *)
+
+val is_secret_gfn : t -> gfn:int -> bool
+
+val secret_owner : t -> gfn:int -> int option
+(** The EPT index a secret frame is restricted to, if any. *)
+
+val ept_violations_refused : t -> int
+(** How many EPT violations were refused because a secret page was touched
+    under the wrong EPT (i.e. blocked attacks / bugs). *)
+
+(** {2 Hypercall numbers (guest [vmcall] with the number in rax)} *)
+
+val hc_ping : int
+(** 101: returns 0 in rax. *)
+
+val hc_mark_secret : int
+(** 100: rdi = va, rsi = len, rdx = ept index — guest-initiated
+    {!mark_secret}, the call MemSentry's instrumented startup makes. *)
+
+(** {2 Guest code helpers} *)
+
+val vmfunc_seq : ept:int -> X86sim.Insn.t list
+(** The three-instruction EPTP-switch sequence
+    ([mov rax, 0; mov rcx, ept; vmfunc]). Clobbers rax and rcx. *)

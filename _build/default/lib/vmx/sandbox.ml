@@ -1,0 +1,38 @@
+open X86sim
+
+let nonsensitive_ept = 0
+let sensitive_ept = 1
+
+let enter cpu = Hypervisor.create cpu ~num_epts:2
+
+let enter_secret cpu ~secret_va ~secret_len =
+  let hv = enter cpu in
+  Hypervisor.mark_secret hv ~va:secret_va ~len:secret_len ~ept:sensitive_ept;
+  hv
+
+let fill_gfn hv mmu gfn =
+  let fill i = Ept.map mmu.Mmu.ept_list.(i) ~gfn ~hfn:gfn ~readable:true ~writable:true in
+  match Hypervisor.secret_owner hv ~gfn with
+  | Some owner -> fill owner
+  | None ->
+    for i = 0 to Array.length mmu.Mmu.ept_list - 1 do
+      fill i
+    done
+
+let prefault hv ~va ~len =
+  let cpu = Hypervisor.cpu hv in
+  let mmu = cpu.Cpu.mmu in
+  if len <= 0 then invalid_arg "Sandbox.prefault: length must be positive";
+  let first = va / Physmem.page_size and last = (va + len - 1) / Physmem.page_size in
+  for vpn = first to last do
+    match Pagetable.find mmu.Mmu.pt ~vpn with
+    | None -> ()
+    | Some pte -> fill_gfn hv mmu pte.Pagetable.frame
+  done;
+  Tlb.flush mmu.Mmu.tlb
+
+let prefault_all hv =
+  let cpu = Hypervisor.cpu hv in
+  let mmu = cpu.Cpu.mmu in
+  Pagetable.iter mmu.Mmu.pt (fun _ pte -> fill_gfn hv mmu pte.Pagetable.frame);
+  Tlb.flush mmu.Mmu.tlb

@@ -1,0 +1,29 @@
+(** Dune-style process-level virtualization, packaged.
+
+    [enter] is what MemSentry's VMFUNC backend does at startup: wrap the
+    process in a two-EPT VM (EPT 0 = nonsensitive domain, EPT 1 = sensitive
+    domain) so guest code can toggle domains with [vmfunc]. The cost
+    consequences are modeled by the CPU: every subsequent guest [syscall]
+    pays the hypercall conversion, and first-touch accesses pay an
+    EPT-violation exit while the hypervisor demand-fills. *)
+
+val nonsensitive_ept : int
+(** 0 — active by default. *)
+
+val sensitive_ept : int
+(** 1 — the only EPT in which secret pages are mapped. *)
+
+val enter : X86sim.Cpu.t -> Hypervisor.t
+(** Virtualize with the standard two EPTs. *)
+
+val enter_secret : X86sim.Cpu.t -> secret_va:int -> secret_len:int -> Hypervisor.t
+(** [enter] plus marking one region secret (mapping it only into
+    {!sensitive_ept}); the region must already be guest-mapped. *)
+
+val prefault : Hypervisor.t -> va:int -> len:int -> unit
+(** Warm both EPTs for a range the way long-running processes are warm,
+    so measurements are not dominated by one-time demand-fill exits.
+    Secret pages are filled only in their owning EPT. *)
+
+val prefault_all : Hypervisor.t -> unit
+(** [prefault] over every page currently mapped by the guest. *)

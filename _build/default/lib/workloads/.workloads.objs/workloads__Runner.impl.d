@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Cpu Framework Ir List Memsentry Ms_util Printf Profile Synth Technique X86sim

@@ -1,0 +1,1 @@
+lib/workloads/servers.ml: List Profile

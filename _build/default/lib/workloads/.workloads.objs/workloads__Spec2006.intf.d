@@ -1,0 +1,1 @@
+lib/workloads/spec2006.mli: Profile

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Builder Ir Ir_types List Lower Ms_util Printf Prng Profile X86sim

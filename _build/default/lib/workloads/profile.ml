@@ -1,0 +1,25 @@
+type ilp = Low_ilp | Med_ilp | High_ilp
+
+type t = {
+  name : string;
+  loads : int;
+  stores : int;
+  call_ret : int;
+  indirect : int;
+  syscalls : float;
+  io_bound : bool;
+  fp_ops : int;
+  working_set_bits : int;
+  dep_chain : ilp;
+  seed : int;
+}
+
+let validate t =
+  let fail what = invalid_arg (Printf.sprintf "Profile %s: %s" t.name what) in
+  if t.loads < 0 || t.loads > 600 then fail "loads out of range";
+  if t.stores < 0 || t.stores > 400 then fail "stores out of range";
+  if t.call_ret < 0 || t.call_ret > 60 then fail "call_ret out of range";
+  if t.indirect < 0 || t.indirect > t.call_ret + 10 then fail "indirect out of range";
+  if t.syscalls < 0.0 || t.syscalls > 10.0 then fail "syscalls out of range";
+  if t.fp_ops < 0 || t.fp_ops > 600 then fail "fp_ops out of range";
+  if t.working_set_bits < 10 || t.working_set_bits > 26 then fail "working set out of range"

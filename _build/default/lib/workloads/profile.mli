@@ -1,0 +1,41 @@
+(** Workload characterization: what the synthetic generator needs to know
+    about a benchmark.
+
+    Each technique's overhead is a function of a handful of dynamic
+    densities — how often the instrumented events occur — plus register
+    pressure and locality. A profile captures exactly those densities (per
+    1000 executed instructions, roughly), so a synthetic program built from
+    it stresses each isolation technique the way the real benchmark does:
+
+    - [loads]/[stores] drive the address-based techniques (Figure 3);
+    - [call_ret] drives domain switching at calls/returns (Figure 4);
+    - [indirect] drives CFI-style switch points (Figure 5);
+    - [syscalls] drives syscall-granular switching and the VMFUNC
+      sandbox's hypercall tax (Figure 6);
+    - [fp_ops] + the xmm pool drive crypt's register-reservation cost;
+    - [working_set_bits] and [dep_chain] drive cache behavior and how
+      much latency instrumentation adds to critical paths. *)
+
+type ilp = Low_ilp | Med_ilp | High_ilp
+(** How independent the instruction stream is. [Low_ilp] = long dependency
+    chains (pointer chasing, mcf-like); [High_ilp] = wide independent work
+    (streaming, lbm-like). *)
+
+type t = {
+  name : string;
+  loads : int;  (** data loads per 1000 instructions *)
+  stores : int;
+  call_ret : int;  (** call/ret pairs per 1000 *)
+  indirect : int;  (** indirect branches per 1000 (subset of calls here) *)
+  syscalls : float;  (** syscalls per 1000 (fractions allowed) *)
+  io_bound : bool;
+      (** syscalls are blocking I/O ({!X86sim.Cpu.sys_io}) rather than
+          cheap kernel calls — server-style workloads *)
+  fp_ops : int;  (** xmm/fp operations per 1000 *)
+  working_set_bits : int;  (** log2 of the touched data size in bytes *)
+  dep_chain : ilp;
+  seed : int;  (** per-benchmark generation seed *)
+}
+
+val validate : t -> unit
+(** Sanity-check ranges; raises [Invalid_argument]. *)

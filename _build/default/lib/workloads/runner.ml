@@ -1,0 +1,61 @@
+open X86sim
+open Memsentry
+
+type run_result = { cycles : float; insns : int; ipc : float; switch_count : int }
+
+let result_of_cpu (cpu : Cpu.t) =
+  let c = cpu.Cpu.counters in
+  {
+    cycles = Cpu.cycles cpu;
+    insns = c.Cpu.insns;
+    ipc = (if Cpu.cycles cpu > 0.0 then float_of_int c.Cpu.insns /. Cpu.cycles cpu else 0.0);
+    switch_count = c.Cpu.wrpkrus + c.Cpu.vmfuncs;
+  }
+
+let finish name (p : Framework.prepared) =
+  match Framework.run p with
+  | Cpu.Halted -> result_of_cpu p.Framework.cpu
+  | Cpu.Out_of_fuel -> failwith (Printf.sprintf "Runner: %s did not terminate" name)
+
+let run_baseline ?iterations prof =
+  let lowered = Synth.lowered ?iterations prof in
+  finish prof.Profile.name (Framework.prepare_baseline lowered)
+
+let pool_for (cfg : Framework.config) =
+  match cfg.Framework.technique with
+  | Technique.Crypt -> Some Ir.Lower.crypt_xmm_pool
+  | Technique.Sfi | Technique.Mpx | Technique.Mpk _ | Technique.Vmfunc | Technique.Sgx
+  | Technique.Mprotect | Technique.Isboxing -> None
+
+let run_with ?iterations prof (cfg : Framework.config) =
+  let lowered = Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof in
+  finish prof.Profile.name (Framework.prepare cfg lowered)
+
+let overhead_of ?iterations prof cfg =
+  let base = run_baseline ?iterations prof in
+  let inst = run_with ?iterations prof cfg in
+  inst.cycles /. base.cycles
+
+let sweep ?iterations profiles configs =
+  List.map
+    (fun prof ->
+      let base = run_baseline ?iterations prof in
+      let row =
+        List.map
+          (fun (cname, cfg) ->
+            let r = run_with ?iterations prof cfg in
+            (cname, r.cycles /. base.cycles))
+          configs
+      in
+      (prof.Profile.name, row))
+    profiles
+
+let geomean_overheads rows =
+  match rows with
+  | [] -> []
+  | (_, first) :: _ ->
+    List.map
+      (fun (cname, _) ->
+        let column = List.map (fun (_, row) -> List.assoc cname row) rows in
+        (cname, Ms_util.Stats.geomean column))
+      first

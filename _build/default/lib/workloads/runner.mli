@@ -1,0 +1,35 @@
+(** Measurement harness: run a profile's synthetic program uninstrumented
+    and under a MemSentry configuration, and report normalized overhead —
+    the quantity on the y-axis of the paper's Figures 3-6.
+
+    The crypt technique gets its workload rebuilt with the restricted xmm
+    pool ({!Ir.Lower.crypt_xmm_pool}), modeling the system-wide register
+    reservation for the ymm-resident round keys; the baseline it is
+    normalized against keeps the full pool, exactly like the paper's
+    uninstrumented baseline builds. *)
+
+type run_result = {
+  cycles : float;
+  insns : int;
+  ipc : float;
+  switch_count : int;  (** executed domain switches (0 for address-based) *)
+}
+
+val run_baseline : ?iterations:int -> Profile.t -> run_result
+
+val run_with : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> run_result
+
+val overhead_of : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> float
+(** [run_with / run_baseline] cycle ratio (1.0 = no overhead). *)
+
+val sweep :
+  ?iterations:int ->
+  Profile.t list ->
+  (string * Memsentry.Framework.config) list ->
+  (string * (string * float) list) list
+(** [sweep profiles configs]: for each profile, the overhead under every
+    named config — the data behind one figure. Result: per-profile rows
+    [(profile, [(config_name, overhead); ...])]. *)
+
+val geomean_overheads : (string * (string * float) list) list -> (string * float) list
+(** Column geomeans of a {!sweep} result. *)

@@ -1,0 +1,79 @@
+open Profile
+
+(* Densities are per-1000-instruction rates; see Profile for semantics.
+   Sources for the qualitative shapes: published SPEC CPU2006
+   characterization studies and the per-benchmark outliers visible in the
+   paper's Figures 3-6. *)
+
+let p ~name ~loads ~stores ~call_ret ~indirect ~syscalls ~fp_ops ~ws ~ilp ~seed =
+  let prof =
+    {
+      name;
+      loads;
+      stores;
+      call_ret;
+      indirect;
+      syscalls;
+      io_bound = false;
+      fp_ops;
+      working_set_bits = ws;
+      dep_chain = ilp;
+      seed;
+    }
+  in
+  validate prof;
+  prof
+
+let all =
+  [
+    p ~name:"400.perlbench" ~loads:300 ~stores:160 ~call_ret:25 ~indirect:10 ~syscalls:0.06
+      ~fp_ops:5 ~ws:21 ~ilp:Med_ilp ~seed:400;
+    p ~name:"401.bzip2" ~loads:280 ~stores:110 ~call_ret:4 ~indirect:2 ~syscalls:0.02 ~fp_ops:2
+      ~ws:23 ~ilp:Med_ilp ~seed:401;
+    p ~name:"403.gcc" ~loads:310 ~stores:140 ~call_ret:14 ~indirect:8 ~syscalls:0.12 ~fp_ops:4
+      ~ws:22 ~ilp:Med_ilp ~seed:403;
+    p ~name:"429.mcf" ~loads:380 ~stores:100 ~call_ret:4 ~indirect:2 ~syscalls:0.01 ~fp_ops:2
+      ~ws:25 ~ilp:Low_ilp ~seed:429;
+    p ~name:"433.milc" ~loads:340 ~stores:140 ~call_ret:2 ~indirect:1 ~syscalls:0.02
+      ~fp_ops:260 ~ws:24 ~ilp:High_ilp ~seed:433;
+    p ~name:"444.namd" ~loads:320 ~stores:90 ~call_ret:2 ~indirect:1 ~syscalls:0.01 ~fp_ops:320
+      ~ws:21 ~ilp:Med_ilp ~seed:444;
+    p ~name:"445.gobmk" ~loads:260 ~stores:120 ~call_ret:18 ~indirect:3 ~syscalls:0.03
+      ~fp_ops:3 ~ws:20 ~ilp:Med_ilp ~seed:445;
+    p ~name:"447.dealII" ~loads:330 ~stores:120 ~call_ret:20 ~indirect:6 ~syscalls:0.02
+      ~fp_ops:220 ~ws:22 ~ilp:Med_ilp ~seed:447;
+    p ~name:"450.soplex" ~loads:330 ~stores:90 ~call_ret:7 ~indirect:3 ~syscalls:0.02
+      ~fp_ops:190 ~ws:23 ~ilp:Med_ilp ~seed:450;
+    p ~name:"453.povray" ~loads:300 ~stores:130 ~call_ret:27 ~indirect:6 ~syscalls:0.02
+      ~fp_ops:260 ~ws:18 ~ilp:Med_ilp ~seed:453;
+    p ~name:"456.hmmer" ~loads:380 ~stores:160 ~call_ret:2 ~indirect:1 ~syscalls:0.01 ~fp_ops:2
+      ~ws:16 ~ilp:High_ilp ~seed:456;
+    p ~name:"458.sjeng" ~loads:250 ~stores:90 ~call_ret:13 ~indirect:3 ~syscalls:0.01 ~fp_ops:1
+      ~ws:19 ~ilp:Med_ilp ~seed:458;
+    p ~name:"462.libquantum" ~loads:300 ~stores:100 ~call_ret:2 ~indirect:1 ~syscalls:0.02
+      ~fp_ops:30 ~ws:25 ~ilp:High_ilp ~seed:462;
+    p ~name:"464.h264ref" ~loads:360 ~stores:150 ~call_ret:7 ~indirect:3 ~syscalls:0.02
+      ~fp_ops:20 ~ws:21 ~ilp:High_ilp ~seed:464;
+    p ~name:"470.lbm" ~loads:330 ~stores:170 ~call_ret:0 ~indirect:0 ~syscalls:0.01 ~fp_ops:300
+      ~ws:25 ~ilp:High_ilp ~seed:470;
+    p ~name:"471.omnetpp" ~loads:340 ~stores:160 ~call_ret:23 ~indirect:10 ~syscalls:0.03
+      ~fp_ops:3 ~ws:24 ~ilp:Low_ilp ~seed:471;
+    p ~name:"473.astar" ~loads:330 ~stores:100 ~call_ret:11 ~indirect:3 ~syscalls:0.01 ~fp_ops:8
+      ~ws:23 ~ilp:Low_ilp ~seed:473;
+    p ~name:"482.sphinx3" ~loads:350 ~stores:80 ~call_ret:7 ~indirect:3 ~syscalls:0.03
+      ~fp_ops:230 ~ws:22 ~ilp:Med_ilp ~seed:482;
+    p ~name:"483.xalancbmk" ~loads:320 ~stores:110 ~call_ret:32 ~indirect:16 ~syscalls:0.02
+      ~fp_ops:4 ~ws:23 ~ilp:Low_ilp ~seed:483;
+  ]
+
+let find short =
+  List.find
+    (fun prof ->
+      prof.name = short
+      ||
+      match String.index_opt prof.name '.' with
+      | Some i -> String.sub prof.name (i + 1) (String.length prof.name - i - 1) = short
+      | None -> false)
+    all
+
+let names = List.map (fun prof -> prof.name) all

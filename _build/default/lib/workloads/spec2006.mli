@@ -1,0 +1,20 @@
+(** Profiles for the 19 C/C++ SPEC CPU2006 benchmarks the paper evaluates.
+
+    SPEC sources and inputs are proprietary, so the suite is reproduced as
+    instruction-mix profiles (see DESIGN.md for the substitution argument).
+    Densities follow each benchmark's well-known character: [perlbench],
+    [gobmk], [dealII], [povray], [omnetpp] and [xalancbmk] are call-heavy
+    (worst cases for call/ret domain switching); [lbm], [libquantum] and
+    [milc] are streaming loops with almost no calls; [mcf], [omnetpp] and
+    [astar] chase pointers (low ILP); [milc], [namd], [dealII], [soplex],
+    [povray], [lbm] and [sphinx3] are xmm-heavy (worst cases for crypt's
+    register reservation); [perlbench], [gcc] and [xalancbmk] have the
+    most indirect branches. *)
+
+val all : Profile.t list
+(** In the paper's figure order (400.perlbench ... 483.xalancbmk). *)
+
+val find : string -> Profile.t
+(** Lookup by short name, e.g. ["mcf"]. Raises [Not_found]. *)
+
+val names : string list

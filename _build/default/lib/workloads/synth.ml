@@ -1,0 +1,187 @@
+open Ir
+open Ir_types
+open Ms_util
+
+let nworkers = 4
+let safe_region_size = 16
+
+(* Fraction of memory ops whose address depends on live computation. *)
+let dep_fraction = function
+  | Profile.Low_ilp -> 0.45
+  | Profile.Med_ilp -> 0.22
+  | Profile.High_ilp -> 0.06
+
+type op = L_dep | L_ind | St_dep | St_ind | Fp_op | Alu_chain | Alu_ind
+
+(* Build a shuffled op list realizing the requested counts. *)
+let op_list rng ~loads ~stores ~fp ~alu ~dep =
+  let n_ldep = int_of_float (float_of_int loads *. dep +. 0.5) in
+  let n_sdep = int_of_float (float_of_int stores *. dep *. 0.5 +. 0.5) in
+  let ops =
+    List.init n_ldep (fun _ -> L_dep)
+    @ List.init (max 0 (loads - n_ldep)) (fun _ -> L_ind)
+    @ List.init n_sdep (fun _ -> St_dep)
+    @ List.init (max 0 (stores - n_sdep)) (fun _ -> St_ind)
+    @ List.init fp (fun _ -> Fp_op)
+    @ List.init (alu / 2) (fun _ -> Alu_chain)
+    @ List.init (alu - (alu / 2)) (fun _ -> Alu_ind)
+  in
+  let arr = Array.of_list ops in
+  Prng.shuffle rng arr;
+  Array.to_list arr
+
+(* Emit the op mix into the current block. [acc] is the dependency-carrying
+   accumulator, [wsptr] holds &ws, [tmp]/[lv]/[ind] are scratch variables. *)
+let emit_ops b rng prof ~fp_hint ~acc ~wsptr ~tmp ~lv ~ind ops =
+  let ws_size = 1 lsl prof.Profile.working_set_bits in
+  (* Realistic locality: most accesses hit a hot window (cache-resident),
+     a minority ranges over the whole working set. Without this skew every
+     access would be a miss and memory latency would swamp everything the
+     instrumentation adds. *)
+  let hot_size = min ws_size 16384 in
+  let hot_p = 0.97 in
+  let mask_of size = (size - 1) land lnot 7 in
+  let off_mask () = mask_of (if Prng.chance rng hot_p then hot_size else ws_size) in
+  let rand_off () =
+    let size = if Prng.chance rng hot_p then hot_size else ws_size in
+    Prng.int rng (size / 8) * 8
+  in
+  let odd () = (2 * Prng.int_in rng 1 1000) + 1 in
+  List.iter
+    (fun op ->
+      match op with
+      | L_dep ->
+        (* Address derived from acc; loaded value feeds acc: a chase link. *)
+        Builder.emit_assign_into b tmp (Var acc);
+        Builder.emit_binop_into b tmp And (Var tmp) (Const (off_mask ()));
+        Builder.emit_binop_into b tmp Add (Var tmp) (Var wsptr);
+        Builder.emit_load_into b lv ~base:(Var tmp) ~offset:0;
+        Builder.emit_binop_into b acc Add (Var acc) (Var lv)
+      | L_ind ->
+        (* Fixed offset, result parked in a side register. *)
+        Builder.emit_load_into b ind ~base:(Var wsptr) ~offset:(rand_off ())
+      | St_dep ->
+        Builder.emit_assign_into b tmp (Var acc);
+        Builder.emit_binop_into b tmp And (Var tmp) (Const (off_mask ()));
+        Builder.emit_binop_into b tmp Add (Var tmp) (Var wsptr);
+        Builder.emit_store b ~base:(Var tmp) ~offset:0 ~src:(Var acc)
+      | St_ind -> Builder.emit_store b ~base:(Var wsptr) ~offset:(rand_off ()) ~src:(Var acc)
+      | Fp_op ->
+        incr fp_hint;
+        Builder.emit_fp b !fp_hint
+      | Alu_chain ->
+        Builder.emit_binop_into b acc Mul (Var acc) (Const (odd ()));
+        Builder.emit_binop_into b acc Add (Var acc) (Const (Prng.int rng 4096))
+      | Alu_ind -> Builder.emit_binop_into b ind Add (Var ind) (Const (Prng.int rng 64)))
+    ops;
+  (* Keep the independent results live. *)
+  Builder.emit_binop_into b acc Add (Var acc) (Var ind)
+
+let worker_name k = Printf.sprintf "work%d" k
+
+(* Per-iteration op budget split: most memory work happens inside callees
+   when the profile makes calls at all. *)
+let split_counts prof =
+  let calls = prof.Profile.call_ret in
+  let worker_share = if calls > 0 then 0.8 else 0.0 in
+  let part share rate = int_of_float (float_of_int rate *. share +. 0.5) in
+  let per_call share rate = if calls = 0 then 0 else part share rate / calls in
+  let inline_share = 1.0 -. worker_share in
+  ( (* per worker call *)
+    ( per_call worker_share prof.Profile.loads,
+      per_call worker_share prof.Profile.stores,
+      per_call worker_share prof.Profile.fp_ops ),
+    (* inline in main loop *)
+    ( part inline_share prof.Profile.loads,
+      part inline_share prof.Profile.stores,
+      part inline_share prof.Profile.fp_ops ) )
+
+let generate ?(iterations = 50) ?(region_size = safe_region_size) prof =
+  if region_size <= 0 || region_size mod 16 <> 0 then
+    invalid_arg "Synth.generate: region_size must be a positive multiple of 16";
+  Profile.validate prof;
+  let rng = Prng.create ~seed:prof.Profile.seed in
+  let fp_hint = ref 0 in
+  let b = Builder.create () in
+  let ws_size = 1 lsl prof.Profile.working_set_bits in
+  Builder.add_global b ~name:"ws" ~size:ws_size ();
+  Builder.add_global b ~name:"fptab" ~size:(8 * nworkers) ();
+  Builder.add_global b ~name:"sysctr" ~size:8 ();
+  Builder.add_global b ~name:"saferegion" ~size:region_size ~sensitive:true ();
+  let (w_loads, w_stores, w_fp), (i_loads, i_stores, i_fp) = split_counts prof in
+  let dep = dep_fraction prof.Profile.dep_chain in
+  (* Workers: acc-in, acc-out leaf functions carrying the memory mix. *)
+  for k = 0 to nworkers - 1 do
+    Builder.start_func b ~name:(worker_name k) ~nparams:1;
+    let acc = 0 in
+    let wsptr = Builder.emit_addr_of_global b "ws" in
+    let tmp = Builder.emit_assign b (Const 0) in
+    let lv = Builder.emit_assign b (Const 0) in
+    let ind = Builder.emit_assign b (Const (k + 1)) in
+    let ops = op_list rng ~loads:w_loads ~stores:w_stores ~fp:w_fp ~alu:(4 + (w_loads / 4)) ~dep in
+    emit_ops b rng prof ~fp_hint ~acc ~wsptr ~tmp ~lv ~ind ops;
+    Builder.emit_ret b (Some (Var acc))
+  done;
+  (* Main. *)
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let acc = Builder.emit_assign b (Const (prof.Profile.seed * 2654435761)) in
+  let it = Builder.emit_assign b (Const iterations) in
+  let wsptr = Builder.emit_addr_of_global b "ws" in
+  let tmp = Builder.emit_assign b (Const 0) in
+  let lv = Builder.emit_assign b (Const 0) in
+  let ind = Builder.emit_assign b (Const 1) in
+  let fpp = Builder.emit_addr_of_global b "fptab" in
+  for k = 0 to nworkers - 1 do
+    let fa = Builder.emit_addr_of_func b (worker_name k) in
+    Builder.emit_store b ~base:(Var fpp) ~offset:(8 * k) ~src:(Var fa)
+  done;
+  let syscall_period =
+    if prof.Profile.syscalls <= 0.0 then 0
+    else max 1 (int_of_float (1.0 /. prof.Profile.syscalls +. 0.5))
+  in
+  let scp = Builder.emit_addr_of_global b "sysctr" in
+  Builder.emit_store b ~base:(Var scp) ~offset:0 ~src:(Const syscall_period);
+  Builder.emit_br b "loop";
+  Builder.start_block b "loop";
+  (* Inline portion of the mix. *)
+  let inline_ops =
+    op_list rng ~loads:i_loads ~stores:i_stores ~fp:i_fp ~alu:(6 + (i_loads / 4)) ~dep
+  in
+  emit_ops b rng prof ~fp_hint ~acc ~wsptr ~tmp ~lv ~ind inline_ops;
+  (* Calls: the first [indirect] sites go through the function-pointer
+     table, the rest are direct; targets rotate over the workers. *)
+  for c = 0 to prof.Profile.call_ret - 1 do
+    let k = c mod nworkers in
+    if c < prof.Profile.indirect then begin
+      Builder.emit_load_into b lv ~base:(Var fpp) ~offset:(8 * k);
+      match Builder.emit_call_ind b ~dst:true (Var lv) [ Var acc ] with
+      | Some d -> Builder.emit_binop_into b acc Add (Var acc) (Var d)
+      | None -> ()
+    end
+    else
+      match Builder.emit_call b ~dst:true (worker_name k) [ Var acc ] with
+      | Some d -> Builder.emit_binop_into b acc Add (Var acc) (Var d)
+      | None -> ()
+  done;
+  (* Syscall at the profile's period. *)
+  if syscall_period > 0 then begin
+    Builder.emit_load_into b tmp ~base:(Var scp) ~offset:0;
+    Builder.emit_binop_into b tmp Sub (Var tmp) (Const 1);
+    Builder.emit_store b ~base:(Var scp) ~offset:0 ~src:(Var tmp);
+    Builder.emit_cbr b Le (Var tmp) (Const 0) ~if_true:"do_sys" ~if_false:"tail";
+    Builder.start_block b "do_sys";
+    let nr = if prof.Profile.io_bound then X86sim.Cpu.sys_io else X86sim.Cpu.sys_nop in
+    ignore (Builder.emit_syscall b (Const nr) []);
+    Builder.emit_store b ~base:(Var scp) ~offset:0 ~src:(Const syscall_period);
+    Builder.emit_br b "tail"
+  end
+  else Builder.emit_br b "tail";
+  Builder.start_block b "tail";
+  Builder.emit_binop_into b it Sub (Var it) (Const 1);
+  Builder.emit_cbr b Gt (Var it) (Const 0) ~if_true:"loop" ~if_false:"done";
+  Builder.start_block b "done";
+  Builder.emit_ret b (Some (Var acc));
+  Builder.finish b
+
+let lowered ?iterations ?region_size ?xmm_pool prof =
+  Lower.lower ?xmm_pool (generate ?iterations ?region_size prof)

@@ -1,0 +1,40 @@
+(** Deterministic synthetic-program generation from a {!Profile}.
+
+    The generated module has the shape of a compiled C benchmark:
+
+    - a working-set global [ws] of the profile's size, accessed with a
+      blend of dependent (pointer-chase-like) and independent
+      (streaming-like) loads per the profile's ILP class;
+    - four worker functions called directly and through a function-pointer
+      table [fptab] (the indirect-branch density), with real
+      prologues/epilogues and register-resident accumulators;
+    - a main loop whose iteration executes roughly the profile's per-1000
+      mix of loads, stores, fp ops and calls, and a counter-driven
+      [syscall] at the profile's syscall period;
+    - a 16-byte sensitive global [saferegion] that the {e program never
+      touches} — it models a defense's safe region, so domain-based
+      techniques pay pure switching cost on it (the Figures 4-6 setup:
+      "crypt on a single 128-bit chunk").
+
+    Everything is derived from the profile's seed; two calls with the same
+    arguments build identical modules. *)
+
+val nworkers : int
+(** 4. *)
+
+val safe_region_size : int
+(** 16 bytes — one AES chunk, per the paper's Figures 4-6. *)
+
+val generate : ?iterations:int -> ?region_size:int -> Profile.t -> Ir.Ir_types.modul
+(** [iterations] (default 50) scales run length, not program shape.
+    [region_size] (default {!safe_region_size}, multiple of 16) sizes the
+    safe region — the knob behind the paper's crypt-vs-region-size
+    experiment. *)
+
+val lowered :
+  ?iterations:int ->
+  ?region_size:int ->
+  ?xmm_pool:X86sim.Reg.xmm list ->
+  Profile.t ->
+  Ir.Lower.t
+(** Generate and lower in one step. *)

@@ -1,0 +1,1 @@
+lib/x86sim/asm.ml: Array Buffer Hashtbl Insn List Option Printf Program Reg String

@@ -1,0 +1,1 @@
+lib/x86sim/cpu.ml: Aesni Array Bitops Bytes Fault Hashtbl Insn Int64 Layout Mmu Ms_util Physmem Pipeline Printf Program Reg

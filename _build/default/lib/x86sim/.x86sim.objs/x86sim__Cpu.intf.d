@@ -1,0 +1,1 @@
+lib/x86sim/cpu.mli: Bytes Fault Hashtbl Insn Mmu Pipeline Program Reg

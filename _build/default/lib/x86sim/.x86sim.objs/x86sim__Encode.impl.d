@@ -1,0 +1,1 @@
+lib/x86sim/encode.ml: Array Insn List Program Reg

@@ -1,0 +1,1 @@
+lib/x86sim/fault.ml: Format Printf

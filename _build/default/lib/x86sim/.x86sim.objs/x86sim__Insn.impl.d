@@ -1,0 +1,1 @@
+lib/x86sim/insn.ml: Buffer Format Printf Reg

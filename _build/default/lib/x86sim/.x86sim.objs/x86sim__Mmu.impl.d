@@ -1,0 +1,1 @@
+lib/x86sim/mmu.ml: Array Bytes Cache Ept Fault Pagetable Physmem Printf Tlb

@@ -1,0 +1,1 @@
+lib/x86sim/mmu.mli: Bytes Cache Ept Fault Pagetable Physmem Tlb

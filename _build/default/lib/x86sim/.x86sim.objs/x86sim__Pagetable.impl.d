@@ -1,0 +1,1 @@
+lib/x86sim/pagetable.ml: Physmem

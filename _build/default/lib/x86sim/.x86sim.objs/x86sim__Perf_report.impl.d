@@ -1,0 +1,1 @@
+lib/x86sim/perf_report.ml: Cache Cpu Mmu Printf String Tlb

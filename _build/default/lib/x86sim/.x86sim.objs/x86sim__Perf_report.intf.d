@@ -1,0 +1,1 @@
+lib/x86sim/perf_report.mli: Cpu

@@ -1,0 +1,1 @@
+lib/x86sim/physmem.ml: Array Bytes Int64 Printf

@@ -1,0 +1,1 @@
+lib/x86sim/pipeline.ml: Array Float Reg

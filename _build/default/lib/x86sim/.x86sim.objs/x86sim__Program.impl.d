@@ -1,0 +1,1 @@
+lib/x86sim/program.ml: Array Fault Format Hashtbl Insn List Printf

@@ -1,0 +1,1 @@
+lib/x86sim/program.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/x86sim/tlb.mli:

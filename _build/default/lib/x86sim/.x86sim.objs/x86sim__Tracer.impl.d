@@ -1,0 +1,1 @@
+lib/x86sim/tracer.ml: Array Cpu Insn List Printf String

@@ -1,0 +1,84 @@
+let lat_l1 = 4
+let lat_l2 = 12
+let lat_l3 = 44
+let lat_dram = 251
+
+let line_bits = 6 (* 64-byte lines *)
+
+type level = {
+  sets : int;
+  ways : int;
+  tags : int array; (* sets*ways, -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable hits : int;
+}
+
+type t = {
+  l1 : level;
+  l2 : level;
+  l3 : level;
+  mutable dram : int;
+  mutable clock : int;
+}
+
+let create () =
+  {
+    l1 = { sets = 64; ways = 8; tags = Array.make 512 (-1); stamps = Array.make 512 0; hits = 0 };
+    l2 = { sets = 512; ways = 8; tags = Array.make 4096 (-1); stamps = Array.make 4096 0; hits = 0 };
+    l3 = { sets = 8192; ways = 16; tags = Array.make 131072 (-1); stamps = Array.make 131072 0; hits = 0 };
+    dram = 0;
+    clock = 0;
+  }
+
+(* Probe one level; on hit refresh LRU, on miss install with LRU eviction. *)
+let probe lvl line clock =
+  let set = line land (lvl.sets - 1) in
+  let base = set * lvl.ways in
+  let rec find w =
+    if w = lvl.ways then -1
+    else if lvl.tags.(base + w) = line then w
+    else find (w + 1)
+  in
+  let w = find 0 in
+  if w >= 0 then begin
+    lvl.stamps.(base + w) <- clock;
+    lvl.hits <- lvl.hits + 1;
+    true
+  end
+  else begin
+    (* install over LRU victim *)
+    let victim = ref 0 in
+    for i = 1 to lvl.ways - 1 do
+      if lvl.stamps.(base + i) < lvl.stamps.(base + !victim) then victim := i
+    done;
+    lvl.tags.(base + !victim) <- line;
+    lvl.stamps.(base + !victim) <- clock;
+    false
+  end
+
+let access t ~addr =
+  t.clock <- t.clock + 1;
+  let line = addr lsr line_bits in
+  if probe t.l1 line t.clock then lat_l1
+  else if probe t.l2 line t.clock then lat_l2
+  else if probe t.l3 line t.clock then lat_l3
+  else begin
+    t.dram <- t.dram + 1;
+    lat_dram
+  end
+
+let flush t =
+  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
+  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
+  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1)
+
+let l1_hits t = t.l1.hits
+let l2_hits t = t.l2.hits
+let l3_hits t = t.l3.hits
+let dram_accesses t = t.dram
+
+let reset_stats t =
+  t.l1.hits <- 0;
+  t.l2.hits <- 0;
+  t.l3.hits <- 0;
+  t.dram <- 0

@@ -1,0 +1,33 @@
+(** Data-cache hierarchy latency model.
+
+    Three inclusive set-associative levels over DRAM with the latencies the
+    paper's Table 4 takes from Intel's optimization manual: L1 4 cycles,
+    L2 12, L3 44, DRAM 251. The model only produces {e latencies} (data
+    lives in {!Physmem}); it exists because the cost of register spills and
+    of crypt's extra memory traffic — effects the paper calls out — depend
+    on locality. *)
+
+type t
+
+val create : unit -> t
+(** Skylake-like geometry: L1 32 KiB/8-way, L2 256 KiB/8-way,
+    L3 8 MiB/16-way, 64-byte lines. *)
+
+val access : t -> addr:int -> int
+(** Latency in cycles for a data access to physical address [addr],
+    updating LRU state and filling on miss (write-allocate; writes and
+    reads cost the same here, store latency being hidden by the pipeline
+    model). *)
+
+val flush : t -> unit
+
+val l1_hits : t -> int
+val l2_hits : t -> int
+val l3_hits : t -> int
+val dram_accesses : t -> int
+val reset_stats : t -> unit
+
+val lat_l1 : int
+val lat_l2 : int
+val lat_l3 : int
+val lat_dram : int

@@ -1,0 +1,558 @@
+open Ms_util
+
+type counters = {
+  mutable insns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable rets : int;
+  mutable ind_branches : int;
+  mutable syscalls : int;
+  mutable vmfuncs : int;
+  mutable vmcalls : int;
+  mutable wrpkrus : int;
+  mutable aes_ops : int;
+  mutable bnd_checks : int;
+  mutable faults : int;
+  mutable vm_exits : int;
+}
+
+type fault_action = Fault_halt | Fault_skip | Fault_reraise
+type status = Halted | Out_of_fuel
+
+type t = {
+  gpr : int array;
+  xmm : Bytes.t;
+  bnd_lower : int array;
+  bnd_upper : int array;
+  mutable bnd_enabled : bool;
+  mutable cmp : int;
+  mutable rip : int;
+  mutable halted : bool;
+  mutable virtualized : bool;
+  mutable syscall_hypercall_tax : bool;
+  mutable wrpkru_serialize : bool;
+  mutable mmap_cursor : int;
+  mmu : Mmu.t;
+  pipe : Pipeline.t;
+  line_ready : (int, float) Hashtbl.t;
+      (* store-to-load ordering: completion time of the last store per
+         64-byte line (VA-keyed; there is no aliasing in this machine) *)
+  counters : counters;
+  mutable program : Program.t;
+  mutable syscall_handler : t -> unit;
+  mutable vmcall_handler : t -> unit;
+  mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
+  mutable fault_handler : t -> Fault.t -> fault_action;
+  mutable on_step : (t -> Insn.t -> unit) option;
+}
+
+(* Cost-model constants, calibrated against the paper's Table 4. *)
+let syscall_cost = 108.0
+let vmfunc_cost = 147.0
+let vmcall_cost = 613.0
+let wrpkru_cost = 55.0
+let ept_violation_cost = 1200.0
+let mprotect_kernel_cost = 1000.0
+let io_kernel_cost = 4000.0
+
+let sys_nop = 0
+let sys_write = 1
+let sys_mmap = 9
+let sys_mprotect = 10
+let sys_exit = 60
+let sys_pkey_mprotect = 329
+let sys_io = 17
+
+let new_counters () =
+  {
+    insns = 0; loads = 0; stores = 0; calls = 0; rets = 0; ind_branches = 0;
+    syscalls = 0; vmfuncs = 0; vmcalls = 0; wrpkrus = 0; aes_ops = 0;
+    bnd_checks = 0; faults = 0; vm_exits = 0;
+  }
+
+let get_gpr t r = t.gpr.(r)
+let set_gpr t r v = t.gpr.(r) <- v
+
+let get_xmm t i = Bytes.sub t.xmm (32 * i) 16
+let set_xmm t i b = Bytes.blit b 0 t.xmm (32 * i) 16
+let get_ymm_high t i = Bytes.sub t.xmm ((32 * i) + 16) 16
+let set_ymm_high t i b = Bytes.blit b 0 t.xmm ((32 * i) + 16) 16
+
+let pkru t = t.mmu.Mmu.pkru
+let set_pkru t v = t.mmu.Mmu.pkru <- v land 0xFFFFFFFF
+
+let default_syscall_handler t =
+  let nr = t.gpr.(Reg.rax) in
+  if nr = sys_exit then t.halted <- true
+  else if nr = sys_mmap then begin
+    let len = Bitops.align_up Physmem.page_size (max t.gpr.(Reg.rsi) Physmem.page_size) in
+    let addr = t.mmap_cursor in
+    (* Leave a guard page between mappings. *)
+    t.mmap_cursor <- t.mmap_cursor + len + Physmem.page_size;
+    Mmu.map_range t.mmu ~va:addr ~len ~writable:true;
+    t.gpr.(Reg.rax) <- addr
+  end
+  else if nr = sys_mprotect then begin
+    let addr = t.gpr.(Reg.rdi) and len = t.gpr.(Reg.rsi) and prot = t.gpr.(Reg.rdx) in
+    Mmu.protect_range t.mmu ~va:addr ~len ~readable:(prot land 1 = 1)
+      ~writable:(prot land 2 = 2);
+    Pipeline.issue t.pipe ~serialize:true ~lat:mprotect_kernel_cost ~port:Pipeline.p_special ();
+    t.gpr.(Reg.rax) <- 0
+  end
+  else if nr = sys_pkey_mprotect then begin
+    let addr = t.gpr.(Reg.rdi) and len = t.gpr.(Reg.rsi) and key = t.gpr.(Reg.r10) in
+    Mmu.set_pkey_range t.mmu ~va:addr ~len ~key;
+    Pipeline.issue t.pipe ~serialize:true ~lat:mprotect_kernel_cost ~port:Pipeline.p_special ();
+    t.gpr.(Reg.rax) <- 0
+  end
+  else if nr = sys_io then begin
+    Pipeline.issue t.pipe ~serialize:true ~lat:io_kernel_cost ~port:Pipeline.p_special ();
+    t.gpr.(Reg.rax) <- 4096 (* bytes transferred *)
+  end
+  else if nr = sys_write || nr = sys_nop then t.gpr.(Reg.rax) <- 0
+  else t.gpr.(Reg.rax) <- -38 (* ENOSYS *)
+
+let create ?(stack_pages = 64) () =
+  let mmu = Mmu.create () in
+  let stack_len = stack_pages * Physmem.page_size in
+  Mmu.map_range mmu ~va:(Layout.stack_top - stack_len) ~len:stack_len ~writable:true;
+  let t =
+    {
+      gpr = Array.make Reg.gpr_count 0;
+      xmm = Bytes.make (16 * 32) '\000';
+      bnd_lower = Array.make Reg.bnd_count 0;
+      bnd_upper = Array.make Reg.bnd_count max_int;
+      bnd_enabled = true;
+      cmp = 0;
+      rip = 0;
+      halted = false;
+      virtualized = false;
+      syscall_hypercall_tax = true;
+      wrpkru_serialize = true;
+      mmap_cursor = Layout.mmap_base;
+      mmu;
+      pipe = Pipeline.create ();
+      line_ready = Hashtbl.create 4096;
+      counters = new_counters ();
+      program = Program.assemble [ Program.I Insn.Halt ];
+      syscall_handler = default_syscall_handler;
+      vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
+      ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
+      fault_handler = (fun _ _ -> Fault_reraise);
+      on_step = None;
+    }
+  in
+  t.gpr.(Reg.rsp) <- Layout.stack_top - 64;
+  t
+
+let load_program t prog =
+  t.program <- prog;
+  t.halted <- false;
+  t.rip <- (if Program.has_label prog "main" then Program.label_index prog "main" else 0)
+
+let cycles t = Pipeline.cycles t.pipe
+
+let reset_measurement t =
+  Pipeline.reset t.pipe;
+  let c = t.counters in
+  c.insns <- 0; c.loads <- 0; c.stores <- 0; c.calls <- 0; c.rets <- 0;
+  c.ind_branches <- 0; c.syscalls <- 0; c.vmfuncs <- 0; c.vmcalls <- 0;
+  c.wrpkrus <- 0; c.aes_ops <- 0; c.bnd_checks <- 0; c.faults <- 0;
+  c.vm_exits <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ea t (m : Insn.mem) =
+  (if m.base >= 0 then t.gpr.(m.base) else 0)
+  + (if m.index >= 0 then t.gpr.(m.index) * m.scale else 0)
+  + m.disp
+
+(* Store-to-load forwarding is not free: a dependent load sees the stored
+   value ~5 cycles after the store executes (Skylake-like). *)
+let forward_delay = 5.0
+
+let note_store t va completion = Hashtbl.replace t.line_ready (va lsr 6) (completion +. forward_delay)
+
+let load_dep t va =
+  match Hashtbl.find_opt t.line_ready (va lsr 6) with Some x -> x | None -> 0.0
+
+let mem_src1 (m : Insn.mem) = if m.base >= 0 then Reg.pipe_gpr m.base else Reg.pipe_none
+let mem_src2 (m : Insn.mem) = if m.index >= 0 then Reg.pipe_gpr m.index else Reg.pipe_none
+
+let eval_cond t (c : Insn.cond) =
+  match c with
+  | Insn.Eq -> t.cmp = 0
+  | Insn.Ne -> t.cmp <> 0
+  | Insn.Lt -> t.cmp < 0
+  | Insn.Le -> t.cmp <= 0
+  | Insn.Gt -> t.cmp > 0
+  | Insn.Ge -> t.cmp >= 0
+
+let alu_apply (op : Insn.alu) a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.And -> a land b
+  | Insn.Or -> a lor b
+  | Insn.Xor -> a lxor b
+  | Insn.Shl -> a lsl (b land 63)
+  | Insn.Shr -> a lsr (b land 63)
+  | Insn.Imul -> a * b
+
+let alu_lat (op : Insn.alu) = match op with Insn.Imul -> 3.0 | _ -> 1.0
+
+let push t v =
+  t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) - 8;
+  let va = t.gpr.(Reg.rsp) in
+  let _lat = Mmu.write64 t.mmu ~va v in
+  let completion =
+    Pipeline.issue_t t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~port:Pipeline.p_store ()
+  in
+  note_store t va completion
+
+let pop t =
+  let va = t.gpr.(Reg.rsp) in
+  let v, lat = Mmu.read64 t.mmu ~va in
+  Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~dep:(load_dep t va)
+    ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+  t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) + 8;
+  v
+
+let aes_binop t f d s ~lat =
+  let result = f (get_xmm t d) (get_xmm t s) in
+  set_xmm t d result;
+  t.counters.aes_ops <- t.counters.aes_ops + 1;
+  Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
+    ~lat ~port:Pipeline.p_aes ()
+
+let exec t (insn : Insn.t) =
+  let c = t.counters in
+  let next = t.rip + 1 in
+  match insn with
+  | Insn.Nop ->
+    Pipeline.issue t.pipe ~lat:0.0 ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Halt -> t.halted <- true
+  | Insn.Mov_rr (d, s) ->
+    t.gpr.(d) <- t.gpr.(s);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr s) ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Mov_ri (d, i) ->
+    t.gpr.(d) <- i;
+    Pipeline.issue t.pipe ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Mov_label (d, tgt) ->
+    t.gpr.(d) <- tgt.Insn.tidx;
+    Pipeline.issue t.pipe ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Load (d, m) ->
+    let va = ea t m in
+    let v, lat = Mmu.read64 t.mmu ~va in
+    t.gpr.(d) <- v;
+    c.loads <- c.loads + 1;
+    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
+      ~dep:(load_dep t va) ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+    t.rip <- next
+  | Insn.Store (m, s) ->
+    let va = ea t m in
+    let _lat = Mmu.write64 t.mmu ~va t.gpr.(s) in
+    c.stores <- c.stores + 1;
+    let completion =
+      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_gpr s)
+        ~port:Pipeline.p_store ()
+    in
+    note_store t va completion;
+    t.rip <- next
+  | Insn.Store_i (m, i) ->
+    let va = ea t m in
+    let _lat = Mmu.write64 t.mmu ~va i in
+    c.stores <- c.stores + 1;
+    let completion =
+      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~port:Pipeline.p_store ()
+    in
+    note_store t va completion;
+    t.rip <- next
+  | Insn.Lea (d, m) ->
+    t.gpr.(d) <- ea t m;
+    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Lea32 (d, m) ->
+    (* Address-size prefix: truncation happens in address generation. *)
+    t.gpr.(d) <- ea t m land 0xFFFFFFFF;
+    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Alu_rr (op, d, s) ->
+    let r = alu_apply op t.gpr.(d) t.gpr.(s) in
+    t.gpr.(d) <- r;
+    t.cmp <- r;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr d) ~s2:(Reg.pipe_gpr s) ~d1:(Reg.pipe_gpr d)
+      ~d2:Reg.pipe_flags ~lat:(alu_lat op) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Alu_ri (op, d, i) ->
+    let r = alu_apply op t.gpr.(d) i in
+    t.gpr.(d) <- r;
+    t.cmp <- r;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr d) ~d1:(Reg.pipe_gpr d) ~d2:Reg.pipe_flags
+      ~lat:(alu_lat op) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Cmp_rr (a, b) ->
+    t.cmp <- t.gpr.(a) - t.gpr.(b);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~d1:Reg.pipe_flags
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Cmp_ri (a, i) ->
+    t.cmp <- t.gpr.(a) - i;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~d1:Reg.pipe_flags ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Test_rr (a, b) ->
+    t.cmp <- t.gpr.(a) land t.gpr.(b);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~d1:Reg.pipe_flags
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Jmp tgt ->
+    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    t.rip <- tgt.Insn.tidx
+  | Insn.Jcc (cond, tgt) ->
+    Pipeline.issue t.pipe ~s1:Reg.pipe_flags ~port:Pipeline.p_branch ();
+    t.rip <- (if eval_cond t cond then tgt.Insn.tidx else next)
+  | Insn.Jmp_r r ->
+    c.ind_branches <- c.ind_branches + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~port:Pipeline.p_branch ();
+    t.rip <- t.gpr.(r)
+  | Insn.Call tgt ->
+    c.calls <- c.calls + 1;
+    push t next;
+    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    t.rip <- tgt.Insn.tidx
+  | Insn.Call_r r ->
+    c.calls <- c.calls + 1;
+    c.ind_branches <- c.ind_branches + 1;
+    push t next;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~port:Pipeline.p_branch ();
+    t.rip <- t.gpr.(r)
+  | Insn.Ret ->
+    c.rets <- c.rets + 1;
+    let v = pop t in
+    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    t.rip <- v
+  | Insn.Push r ->
+    c.stores <- c.stores + 1;
+    push t t.gpr.(r);
+    t.rip <- next
+  | Insn.Pop r ->
+    c.loads <- c.loads + 1;
+    t.gpr.(r) <- pop t;
+    t.rip <- next
+  | Insn.Syscall ->
+    c.syscalls <- c.syscalls + 1;
+    if t.virtualized && t.syscall_hypercall_tax then begin
+      (* Dune-style process virtualization: the guest's syscall traps to the
+         hypervisor and is forwarded — the paper's main source of VMFUNC
+         overhead on syscall-heavy code. *)
+      c.vmcalls <- c.vmcalls + 1;
+      c.vm_exits <- c.vm_exits + 1;
+      Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ()
+    end
+    else Pipeline.issue t.pipe ~serialize:true ~lat:syscall_cost ~port:Pipeline.p_special ();
+    t.syscall_handler t;
+    t.rip <- next
+  | Insn.Mfence ->
+    Pipeline.issue t.pipe ~serialize:true ~lat:6.0 ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Cpuid ->
+    Pipeline.issue t.pipe ~serialize:true ~lat:100.0 ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Bnd_set (b, lo, hi) ->
+    t.bnd_lower.(b) <- lo;
+    t.bnd_upper.(b) <- hi;
+    Pipeline.issue t.pipe ~d1:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    t.rip <- next
+  | Insn.Bndcu (b, r) ->
+    c.bnd_checks <- c.bnd_checks + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    if t.bnd_enabled && t.gpr.(r) > t.bnd_upper.(b) then
+      Fault.raise_fault
+        (Fault.Bound_violation
+           { value = t.gpr.(r); lower = t.bnd_lower.(b); upper = t.bnd_upper.(b); reg = b });
+    t.rip <- next
+  | Insn.Bndcl (b, r) ->
+    c.bnd_checks <- c.bnd_checks + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    if t.bnd_enabled && t.gpr.(r) < t.bnd_lower.(b) then
+      Fault.raise_fault
+        (Fault.Bound_violation
+           { value = t.gpr.(r); lower = t.bnd_lower.(b); upper = t.bnd_upper.(b); reg = b });
+    t.rip <- next
+  | Insn.Bndmov_store (m, b) ->
+    let a = ea t m in
+    let _ = Mmu.write64 t.mmu ~va:a t.bnd_lower.(b) in
+    let _ = Mmu.write64 t.mmu ~va:(a + 8) t.bnd_upper.(b) in
+    c.stores <- c.stores + 1;
+    let completion =
+      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_bnd b)
+        ~port:Pipeline.p_store ()
+    in
+    note_store t a completion;
+    t.rip <- next
+  | Insn.Bndmov_load (b, m) ->
+    let a = ea t m in
+    let lo, lat1 = Mmu.read64 t.mmu ~va:a in
+    let hi, _ = Mmu.read64 t.mmu ~va:(a + 8) in
+    t.bnd_lower.(b) <- lo;
+    t.bnd_upper.(b) <- hi;
+    c.loads <- c.loads + 1;
+    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_bnd b)
+      ~dep:(load_dep t a) ~lat:(float_of_int lat1) ~port:Pipeline.p_load ();
+    t.rip <- next
+  | Insn.Wrpkru ->
+    if t.gpr.(Reg.rcx) <> 0 || t.gpr.(Reg.rdx) <> 0 then
+      Fault.raise_fault (Fault.Gp_fault "wrpkru requires rcx = rdx = 0");
+    c.wrpkrus <- c.wrpkrus + 1;
+    set_pkru t t.gpr.(Reg.rax);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rax) ~d1:Reg.pipe_pkru
+      ~serialize:t.wrpkru_serialize ~lat:wrpkru_cost ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Rdpkru ->
+    if t.gpr.(Reg.rcx) <> 0 then Fault.raise_fault (Fault.Gp_fault "rdpkru requires rcx = 0");
+    t.gpr.(Reg.rax) <- pkru t;
+    Pipeline.issue t.pipe ~s1:Reg.pipe_pkru ~d1:(Reg.pipe_gpr Reg.rax) ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Vmfunc ->
+    if not t.virtualized then
+      Fault.raise_fault (Fault.Undefined "vmfunc outside VMX non-root mode");
+    if t.gpr.(Reg.rax) <> 0 then
+      Fault.raise_fault (Fault.Gp_fault "vmfunc: only function 0 (EPTP switching) exists");
+    let idx = t.gpr.(Reg.rcx) in
+    if idx < 0 || idx >= Array.length t.mmu.Mmu.ept_list then
+      Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "vmfunc: EPTP index %d out of range" idx));
+    t.mmu.Mmu.ept_index <- idx;
+    c.vmfuncs <- c.vmfuncs + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rax) ~s2:(Reg.pipe_gpr Reg.rcx)
+      ~serialize:true ~lat:vmfunc_cost ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Vmcall ->
+    if not t.virtualized then
+      Fault.raise_fault (Fault.Undefined "vmcall outside VMX non-root mode");
+    c.vmcalls <- c.vmcalls + 1;
+    c.vm_exits <- c.vm_exits + 1;
+    Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ();
+    t.vmcall_handler t;
+    t.rip <- next
+  | Insn.Movdqa_load (x, m) ->
+    let va = ea t m in
+    let b, lat = Mmu.read_block16 t.mmu ~va in
+    set_xmm t x b;
+    c.loads <- c.loads + 1;
+    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_xmm x)
+      ~dep:(load_dep t va) ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+    t.rip <- next
+  | Insn.Movdqa_store (m, x) ->
+    let va = ea t m in
+    let _lat = Mmu.write_block16 t.mmu ~va (get_xmm t x) in
+    c.stores <- c.stores + 1;
+    let completion =
+      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_xmm x)
+        ~port:Pipeline.p_store ()
+    in
+    note_store t va completion;
+    t.rip <- next
+  | Insn.Movq_xr (x, r) ->
+    let b = Bytes.make 16 '\000' in
+    Bytes.set_int64_le b 0 (Int64.of_int t.gpr.(r));
+    set_xmm t x b;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~d1:(Reg.pipe_xmm x) ~lat:2.0
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Movq_rx (r, x) ->
+    t.gpr.(r) <- Int64.to_int (Bytes.get_int64_le t.xmm (32 * x));
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm x) ~d1:(Reg.pipe_gpr r) ~lat:2.0
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Pxor (d, s) ->
+    set_xmm t d (Aesni.Aes.xor_block (get_xmm t d) (get_xmm t s));
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
+      ~port:Pipeline.p_alu ();
+    t.rip <- next
+  | Insn.Aesenc (d, s) ->
+    aes_binop t Aesni.Aes.aesenc d s ~lat:4.0;
+    t.rip <- next
+  | Insn.Aesenclast (d, s) ->
+    aes_binop t Aesni.Aes.aesenclast d s ~lat:4.0;
+    t.rip <- next
+  | Insn.Aesdec (d, s) ->
+    aes_binop t Aesni.Aes.aesdec d s ~lat:4.0;
+    t.rip <- next
+  | Insn.Aesdeclast (d, s) ->
+    aes_binop t Aesni.Aes.aesdeclast d s ~lat:4.0;
+    t.rip <- next
+  | Insn.Aeskeygenassist (d, s, imm) ->
+    set_xmm t d (Aesni.Aes.aeskeygenassist (get_xmm t s) imm);
+    c.aes_ops <- c.aes_ops + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:12.0
+      ~port:Pipeline.p_aes ();
+    t.rip <- next
+  | Insn.Aesimc (d, s) ->
+    set_xmm t d (Aesni.Aes.aesimc (get_xmm t s));
+    c.aes_ops <- c.aes_ops + 1;
+    (* Microcoded: occupies the AES unit for its full latency. *)
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:8.0 ~busy:8.0
+      ~port:Pipeline.p_aes ();
+    t.rip <- next
+  | Insn.Vext_high (d, s) ->
+    set_xmm t d (get_ymm_high t s);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:3.0
+      ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Vins_high (d, s) ->
+    set_ymm_high t d (get_xmm t s);
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~s2:(Reg.pipe_xmm d) ~d1:(Reg.pipe_xmm d)
+      ~lat:3.0 ~port:Pipeline.p_special ();
+    t.rip <- next
+  | Insn.Fp_arith (d, s) ->
+    (* Deterministic stand-in semantics: dst <- dst xor src (low lane). *)
+    set_xmm t d (Aesni.Aes.xor_block (get_xmm t d) (get_xmm t s));
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
+      ~lat:4.0 ~port:Pipeline.p_fp ();
+    t.rip <- next
+
+let deliver t f saved_rip =
+  t.counters.faults <- t.counters.faults + 1;
+  match t.fault_handler t f with
+  | Fault_halt -> t.halted <- true
+  | Fault_skip -> t.rip <- saved_rip + 1
+  | Fault_reraise -> raise (Fault.Fault f)
+
+let step t =
+  if not t.halted then begin
+    let saved = t.rip in
+    let insn = Program.fetch t.program saved in
+    (match t.on_step with Some f -> f t insn | None -> ());
+    t.counters.insns <- t.counters.insns + 1;
+    let rec attempt n =
+      try exec t insn with
+      | Fault.Fault (Fault.Ept_violation { gpa; access; _ } as f) ->
+        t.counters.vm_exits <- t.counters.vm_exits + 1;
+        Pipeline.issue t.pipe ~serialize:true ~lat:ept_violation_cost
+          ~port:Pipeline.p_special ();
+        if n < 8 && t.ept_violation_handler t ~gpa ~access then begin
+          t.rip <- saved;
+          attempt (n + 1)
+        end
+        else deliver t f saved
+      | Fault.Fault f -> deliver t f saved
+    in
+    attempt 0
+  end
+
+let run ?(fuel = 50_000_000) t =
+  let budget = ref fuel in
+  while (not t.halted) && !budget > 0 do
+    step t;
+    decr budget
+  done;
+  if t.halted then Halted else Out_of_fuel

@@ -1,0 +1,153 @@
+(** The simulated processor: architectural state, execution and timing.
+
+    [Cpu.t] bundles the register files (GPRs, xmm/ymm, MPX bounds, pkru via
+    the MMU), the memory system, the {!Pipeline} timing model and a small
+    "operating system" surface (syscall table, mmap cursor). Programs are
+    {!Program.t} values; [run] executes until [Halt], fault, or fuel
+    exhaustion while the pipeline accumulates cycle counts.
+
+    Hypervisor integration (the [vmx] library) happens through three hooks:
+    [vmcall_handler] receives explicit hypercalls, [ept_violation_handler]
+    receives EPT-violation VM exits and may fix the EPT and retry, and
+    [virtualized] switches the CPU into guest mode (in which [syscall]
+    additionally pays the hypercall-conversion cost of Dune-style
+    process-level virtualization, and [vmfunc]/[vmcall] become available).
+
+    Fault delivery: a faulting instruction increments [counters.faults] and
+    consults [fault_handler]; the default re-raises {!Fault.Fault} out of
+    [run]. Crash-resistant attack primitives install a [`Skip] handler. *)
+
+type counters = {
+  mutable insns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable rets : int;
+  mutable ind_branches : int;
+  mutable syscalls : int;
+  mutable vmfuncs : int;
+  mutable vmcalls : int;
+  mutable wrpkrus : int;
+  mutable aes_ops : int;
+  mutable bnd_checks : int;
+  mutable faults : int;
+  mutable vm_exits : int;
+}
+
+type fault_action = Fault_halt | Fault_skip | Fault_reraise
+
+type status = Halted | Out_of_fuel
+
+type t = {
+  gpr : int array;
+  xmm : Bytes.t;  (** 16 ymm registers x 32 bytes *)
+  bnd_lower : int array;
+  bnd_upper : int array;
+  mutable bnd_enabled : bool;
+  mutable cmp : int;  (** flags: last compare/ALU result *)
+  mutable rip : int;
+  mutable halted : bool;
+  mutable virtualized : bool;
+  mutable syscall_hypercall_tax : bool;
+      (** In guest mode, convert every syscall into a hypercall-priced exit
+          (Dune behaviour; default). The VMFUNC ablation clears it to model
+          a hypervisor-integrated deployment (e.g. KVM-based). *)
+  mutable wrpkru_serialize : bool;
+      (** Model wrpkru's ordering requirement (default). The MPK ablation
+          clears it to quantify what the implicit fence costs. *)
+  mutable mmap_cursor : int;
+  mmu : Mmu.t;
+  pipe : Pipeline.t;
+  line_ready : (int, float) Hashtbl.t;
+      (** Store-to-load ordering: completion time of the last store per
+          64-byte line (VA-keyed; the machine has no aliasing). *)
+  counters : counters;
+  mutable program : Program.t;
+  mutable syscall_handler : t -> unit;
+  mutable vmcall_handler : t -> unit;
+  mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
+  mutable fault_handler : t -> Fault.t -> fault_action;
+  mutable on_step : (t -> Insn.t -> unit) option;
+}
+
+val create : ?stack_pages:int -> unit -> t
+(** A fresh machine with a mapped stack ([stack_pages] pages, default 64),
+    [rsp] initialized, an empty program, and the default syscall table. *)
+
+val load_program : t -> Program.t -> unit
+(** Install a program and set [rip] to the ["main"] label (or 0). *)
+
+val cycles : t -> float
+(** Cycles accumulated by the pipeline model. *)
+
+val reset_measurement : t -> unit
+(** Zero the pipeline clock and counters (not the memory system) so a
+    measurement can exclude setup work. *)
+
+(** {2 Register access} *)
+
+val get_gpr : t -> Reg.gpr -> int
+val set_gpr : t -> Reg.gpr -> int -> unit
+
+val get_xmm : t -> Reg.xmm -> Bytes.t
+(** Low 128 bits, as a fresh 16-byte buffer. *)
+
+val set_xmm : t -> Reg.xmm -> Bytes.t -> unit
+
+val get_ymm_high : t -> Reg.xmm -> Bytes.t
+(** Upper 128 bits of the ymm register (where crypt stashes round keys). *)
+
+val set_ymm_high : t -> Reg.xmm -> Bytes.t -> unit
+
+val pkru : t -> int
+val set_pkru : t -> int -> unit
+(** Kernel-style direct update (tests and setup); programs use [wrpkru]. *)
+
+(** {2 Execution} *)
+
+val step : t -> unit
+(** Execute one instruction (with fault handling and EPT-retry). *)
+
+val run : ?fuel:int -> t -> status
+(** Execute until [Halt] or [fuel] instructions (default 50 million). *)
+
+(** {2 The built-in syscall table}
+
+    Numbers follow Linux x86-64 where one exists. The default handler
+    implements them; custom handlers (e.g. the Dune sandbox) can delegate
+    to {!default_syscall_handler}. *)
+
+val sys_write : int
+(** 1 — accepted and discarded. *)
+
+val sys_mmap : int
+(** 9 — anonymous, returns fresh pages. *)
+
+val sys_mprotect : int
+(** 10 — rdi=addr, rsi=len, rdx=prot (1=r, 2=w). *)
+
+val sys_exit : int
+(** 60. *)
+
+val sys_pkey_mprotect : int
+(** 329 — r10 = key. *)
+
+val sys_nop : int
+(** 0 (read): accepted and ignored, pure cost. *)
+
+val sys_io : int
+(** 17 (pread64 stand-in): a blocking I/O syscall — pays the syscall cost
+    plus {!io_kernel_cost} of kernel/device time. What makes server
+    workloads I/O-bound. *)
+
+val default_syscall_handler : t -> unit
+
+(** {2 Cost-model constants (cycles)} *)
+
+val syscall_cost : float
+val vmfunc_cost : float
+val vmcall_cost : float
+val wrpkru_cost : float
+val ept_violation_cost : float
+val mprotect_kernel_cost : float
+val io_kernel_cost : float

@@ -1,0 +1,67 @@
+(* Sizes follow the canonical Intel encodings: REX.W + opcode + modrm
+   [+ sib] [+ disp] [+ imm]. Displacements use the short form when they
+   fit a signed byte. New registers (r8-r15) need a REX prefix anyway in
+   64-bit operand size, which we always use. *)
+
+let disp_bytes d = if d = 0 then 0 else if d >= -128 && d <= 127 then 1 else 4
+
+let imm_bytes i = if i >= -0x8000_0000 && i <= 0x7FFF_FFFF then 4 else 8
+
+let mem_bytes (m : Insn.mem) =
+  (* modrm + optional sib + displacement *)
+  let sib = if m.Insn.index >= 0 || m.Insn.base = Reg.rsp || m.Insn.base < 0 then 1 else 0 in
+  let disp =
+    if m.Insn.base < 0 && m.Insn.index < 0 then 4 (* absolute: disp32 *)
+    else disp_bytes m.Insn.disp
+  in
+  1 + sib + disp
+
+let rr = 3 (* rex + opcode + modrm *)
+
+let insn_bytes (i : Insn.t) =
+  match i with
+  | Insn.Nop -> 1
+  | Insn.Halt -> 1
+  | Insn.Mov_rr _ -> rr
+  | Insn.Mov_ri (_, imm) -> if imm_bytes imm = 8 then 10 (* movabs *) else 7
+  | Insn.Mov_label _ -> 7 (* lea r, [rip+disp32] *)
+  | Insn.Load (_, m) | Insn.Store (m, _) -> 2 + mem_bytes m
+  | Insn.Store_i (m, _) -> 2 + mem_bytes m + 4
+  | Insn.Lea (_, m) -> 2 + mem_bytes m
+  | Insn.Lea32 (_, m) -> 3 + mem_bytes m (* 0x67 address-size prefix *)
+  | Insn.Alu_rr _ -> rr
+  | Insn.Alu_ri (op, _, imm) -> (
+    match op with
+    | Insn.Shl | Insn.Shr -> 4 (* shift r, imm8 *)
+    | _ -> if imm >= -128 && imm <= 127 then 4 else if imm_bytes imm = 8 then 13 else 7)
+  | Insn.Cmp_rr _ | Insn.Test_rr _ -> rr
+  | Insn.Cmp_ri (_, imm) -> if imm >= -128 && imm <= 127 then 4 else 7
+  | Insn.Jmp _ -> 5 (* jmp rel32 *)
+  | Insn.Jcc _ -> 6 (* 0f 8x rel32 *)
+  | Insn.Jmp_r _ | Insn.Call_r _ -> 3
+  | Insn.Call _ -> 5
+  | Insn.Ret -> 1
+  | Insn.Push _ | Insn.Pop _ -> 2 (* rex + opcode for r8+; 1 for classics *)
+  | Insn.Syscall -> 2
+  | Insn.Mfence -> 3
+  | Insn.Cpuid -> 2
+  | Insn.Bnd_set _ -> 2 * (4 + 10) (* bndmk needs the bound materialized: approx *)
+  | Insn.Bndcu (_, _) | Insn.Bndcl (_, _) -> 4 (* f2/f3 0f 1a/1b modrm *)
+  | Insn.Bndmov_store (m, _) | Insn.Bndmov_load (_, m) -> 3 + mem_bytes m
+  | Insn.Wrpkru | Insn.Rdpkru -> 3
+  | Insn.Vmfunc -> 3
+  | Insn.Vmcall -> 3
+  | Insn.Movdqa_load (_, m) | Insn.Movdqa_store (m, _) -> 3 + mem_bytes m
+  | Insn.Movq_xr _ | Insn.Movq_rx _ -> 5
+  | Insn.Pxor _ -> 4
+  | Insn.Aesenc _ | Insn.Aesenclast _ | Insn.Aesdec _ | Insn.Aesdeclast _ | Insn.Aesimc _ -> 5
+  | Insn.Aeskeygenassist _ -> 6
+  | Insn.Vext_high _ | Insn.Vins_high _ -> 6 (* VEX 3-byte + opcode + modrm + imm8 *)
+  | Insn.Fp_arith _ -> 4
+
+let program_bytes p = Array.fold_left (fun acc i -> acc + insn_bytes i) 0 (Program.code p)
+
+let items_bytes items =
+  List.fold_left
+    (fun acc -> function Program.Label _ -> acc | Program.I i -> acc + insn_bytes i)
+    0 items

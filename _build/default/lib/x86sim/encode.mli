@@ -1,0 +1,19 @@
+(** Instruction-size model: how many bytes each instruction would occupy
+    as real x86-64 machine code.
+
+    Instrumentation costs more than cycles: every inserted check inflates
+    the text segment, pressures the instruction cache and lengthens
+    mmap'd binaries. This module assigns each {!Insn.t} the size of its
+    canonical x86-64 encoding (movabs = 10 bytes, a bndcu = 3 + the 0xF2
+    prefix, a vmfunc = 3-byte opcode + register setup, ...), so the
+    [codesize] report can compare techniques on binary bloat — a metric
+    deployments care about even when run-time overhead is equal. *)
+
+val insn_bytes : Insn.t -> int
+(** Encoded size in bytes of one instruction (1..15, as on x86-64). *)
+
+val program_bytes : Program.t -> int
+(** Total text-segment size of an assembled program. *)
+
+val items_bytes : Program.item list -> int
+(** Same, before assembly (labels are free). *)

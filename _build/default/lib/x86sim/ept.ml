@@ -1,0 +1,37 @@
+type perm = { readable : bool; writable : bool }
+
+type entry = { mutable hfn : int; mutable perm : perm; mutable present : bool }
+
+type t = { entries : (int, entry) Hashtbl.t; mutable gen : int }
+
+let create () = { entries = Hashtbl.create 1024; gen = 0 }
+
+let bump t = t.gen <- t.gen + 1
+
+let map t ~gfn ~hfn ~readable ~writable =
+  bump t;
+  let perm = { readable; writable } in
+  match Hashtbl.find_opt t.entries gfn with
+  | Some e ->
+    e.hfn <- hfn;
+    e.perm <- perm;
+    e.present <- true
+  | None -> Hashtbl.add t.entries gfn { hfn; perm; present = true }
+
+let unmap t ~gfn =
+  bump t;
+  match Hashtbl.find_opt t.entries gfn with
+  | Some e -> e.present <- false
+  | None -> ()
+
+let find t ~gfn =
+  match Hashtbl.find_opt t.entries gfn with
+  | Some e when e.present -> Some (e.hfn, e.perm)
+  | Some _ | None -> None
+
+let generation t = t.gen
+
+let mapped_count t =
+  Hashtbl.fold (fun _ e n -> if e.present then n + 1 else n) t.entries 0
+
+let iter t f = Hashtbl.iter (fun gfn e -> if e.present then f gfn (e.hfn, e.perm)) t.entries

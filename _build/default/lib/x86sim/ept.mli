@@ -1,0 +1,28 @@
+(** Extended page tables: guest-physical -> host-physical with EPT
+    permissions.
+
+    The hardware side of the paper's VMFUNC technique. The hypervisor (in
+    the [vmx] library) maintains a list of EPTs; the guest switches the
+    active one with [vmfunc]. Mappings for sensitive pages are installed
+    only in the "sensitive" EPT, so accesses under the default EPT raise
+    {!Fault.Ept_violation} (a VM exit the hypervisor refuses to fix). *)
+
+type perm = { readable : bool; writable : bool }
+
+type t
+
+val create : unit -> t
+
+val map : t -> gfn:int -> hfn:int -> readable:bool -> writable:bool -> unit
+
+val unmap : t -> gfn:int -> unit
+
+val find : t -> gfn:int -> (int * perm) option
+(** [(hfn, perm)] for a mapped guest frame. *)
+
+val generation : t -> int
+(** Bumped on every change, consulted by the TLB for self-invalidation. *)
+
+val mapped_count : t -> int
+
+val iter : t -> (int -> int * perm -> unit) -> unit

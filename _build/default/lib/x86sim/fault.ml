@@ -1,0 +1,29 @@
+type access = Read | Write | Exec
+
+type t =
+  | Page_fault of { va : int; access : access; reason : string }
+  | Pkey_violation of { va : int; key : int; access : access }
+  | Ept_violation of { gpa : int; ept_index : int; access : access }
+  | Bound_violation of { value : int; lower : int; upper : int; reg : int }
+  | Gp_fault of string
+  | Undefined of string
+
+exception Fault of t
+
+let raise_fault f = raise (Fault f)
+
+let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let to_string = function
+  | Page_fault { va; access; reason } ->
+    Printf.sprintf "#PF %s at 0x%x (%s)" (access_to_string access) va reason
+  | Pkey_violation { va; key; access } ->
+    Printf.sprintf "#PF(pkey) %s at 0x%x blocked by protection key %d" (access_to_string access) va key
+  | Ept_violation { gpa; ept_index; access } ->
+    Printf.sprintf "EPT violation: %s of gpa 0x%x under EPT #%d" (access_to_string access) gpa ept_index
+  | Bound_violation { value; lower; upper; reg } ->
+    Printf.sprintf "#BR: 0x%x outside [0x%x, 0x%x) of bnd%d" value lower upper reg
+  | Gp_fault msg -> Printf.sprintf "#GP: %s" msg
+  | Undefined msg -> Printf.sprintf "#UD: %s" msg
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,35 @@
+(** Architectural faults raised by the simulated machine.
+
+    Deterministic isolation is the paper's whole point: an unauthorized
+    access to a safe region must {e fault}, not silently succeed. Every
+    isolation technique in this repository ultimately funnels into one of
+    these fault kinds (MPX raises [Bound_violation] / #BR, MPK raises
+    [Pkey_violation], EPT switching raises [Ept_violation], plain paging
+    raises [Page_fault]). *)
+
+type access = Read | Write | Exec
+
+type t =
+  | Page_fault of { va : int; access : access; reason : string }
+      (** Not-present or permission-violating access through the page tables
+          (also the mprotect-baseline fault). *)
+  | Pkey_violation of { va : int; key : int; access : access }
+      (** Access blocked by the MPK [pkru] access/write-disable bits. *)
+  | Ept_violation of { gpa : int; ept_index : int; access : access }
+      (** Guest-physical access not permitted by the active EPT. *)
+  | Bound_violation of { value : int; lower : int; upper : int; reg : int }
+      (** MPX #BR: [bndcl]/[bndcu] check failed against bound register [reg]. *)
+  | Gp_fault of string  (** General protection (bad register state, misalignment). *)
+  | Undefined of string  (** Instruction not available in the current mode. *)
+
+exception Fault of t
+
+val raise_fault : t -> 'a
+(** Raise [Fault]. *)
+
+val access_to_string : access -> string
+
+val to_string : t -> string
+(** Human-readable one-line rendering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,175 @@
+type mem = { base : Reg.gpr; index : Reg.gpr; scale : int; disp : int }
+type target = { tname : string; mutable tidx : int }
+type alu = Add | Sub | And | Or | Xor | Shl | Shr | Imul
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Nop
+  | Halt
+  | Mov_rr of Reg.gpr * Reg.gpr
+  | Mov_ri of Reg.gpr * int
+  | Mov_label of Reg.gpr * target
+  | Load of Reg.gpr * mem
+  | Store of mem * Reg.gpr
+  | Store_i of mem * int
+  | Lea of Reg.gpr * mem
+  | Lea32 of Reg.gpr * mem
+  | Alu_rr of alu * Reg.gpr * Reg.gpr
+  | Alu_ri of alu * Reg.gpr * int
+  | Cmp_rr of Reg.gpr * Reg.gpr
+  | Cmp_ri of Reg.gpr * int
+  | Test_rr of Reg.gpr * Reg.gpr
+  | Jmp of target
+  | Jcc of cond * target
+  | Jmp_r of Reg.gpr
+  | Call of target
+  | Call_r of Reg.gpr
+  | Ret
+  | Push of Reg.gpr
+  | Pop of Reg.gpr
+  | Syscall
+  | Mfence
+  | Cpuid
+  | Bnd_set of Reg.bnd * int * int
+  | Bndcu of Reg.bnd * Reg.gpr
+  | Bndcl of Reg.bnd * Reg.gpr
+  | Bndmov_store of mem * Reg.bnd
+  | Bndmov_load of Reg.bnd * mem
+  | Wrpkru
+  | Rdpkru
+  | Vmfunc
+  | Vmcall
+  | Movdqa_load of Reg.xmm * mem
+  | Movdqa_store of mem * Reg.xmm
+  | Movq_xr of Reg.xmm * Reg.gpr
+  | Movq_rx of Reg.gpr * Reg.xmm
+  | Pxor of Reg.xmm * Reg.xmm
+  | Aesenc of Reg.xmm * Reg.xmm
+  | Aesenclast of Reg.xmm * Reg.xmm
+  | Aesdec of Reg.xmm * Reg.xmm
+  | Aesdeclast of Reg.xmm * Reg.xmm
+  | Aeskeygenassist of Reg.xmm * Reg.xmm * int
+  | Aesimc of Reg.xmm * Reg.xmm
+  | Vext_high of Reg.xmm * Reg.xmm
+  | Vins_high of Reg.xmm * Reg.xmm
+  | Fp_arith of Reg.xmm * Reg.xmm
+
+let mem ?(base = -1) ?(index = -1) ?(scale = 1) disp = { base; index; scale; disp }
+let mem_abs disp = { base = -1; index = -1; scale = 1; disp }
+let target tname = { tname; tidx = -1 }
+
+let targets = function
+  | Jmp t | Jcc (_, t) | Call t | Mov_label (_, t) -> [ t ]
+  | Nop | Halt | Mov_rr _ | Mov_ri _ | Load _ | Store _ | Store_i _ | Lea _ | Lea32 _
+  | Alu_rr _ | Alu_ri _ | Cmp_rr _ | Cmp_ri _ | Test_rr _ | Jmp_r _ | Call_r _
+  | Ret | Push _ | Pop _ | Syscall | Mfence | Cpuid | Bnd_set _ | Bndcu _
+  | Bndcl _ | Bndmov_store _ | Bndmov_load _ | Wrpkru | Rdpkru | Vmfunc | Vmcall
+  | Movdqa_load _ | Movdqa_store _ | Movq_xr _ | Movq_rx _ | Pxor _ | Aesenc _
+  | Aesenclast _ | Aesdec _ | Aesdeclast _ | Aeskeygenassist _ | Aesimc _
+  | Vext_high _ | Vins_high _ | Fp_arith _ -> []
+
+let is_mem_read = function
+  | Load _ | Pop _ | Ret | Movdqa_load _ | Bndmov_load _ -> true
+  | Nop | Halt | Mov_rr _ | Mov_ri _ | Mov_label _ | Store _ | Store_i _ | Lea _ | Lea32 _
+  | Alu_rr _ | Alu_ri _ | Cmp_rr _ | Cmp_ri _ | Test_rr _ | Jmp _ | Jcc _ | Jmp_r _
+  | Call _ | Call_r _ | Push _ | Syscall | Mfence | Cpuid | Bnd_set _
+  | Bndcu _ | Bndcl _ | Bndmov_store _ | Wrpkru | Rdpkru | Vmfunc | Vmcall
+  | Movdqa_store _ | Movq_xr _ | Movq_rx _ | Pxor _ | Aesenc _ | Aesenclast _
+  | Aesdec _ | Aesdeclast _ | Aeskeygenassist _ | Aesimc _ | Vext_high _
+  | Vins_high _ | Fp_arith _ -> false
+
+let is_mem_write = function
+  | Store _ | Store_i _ | Push _ | Call _ | Call_r _ | Movdqa_store _ | Bndmov_store _ -> true
+  | Nop | Halt | Mov_rr _ | Mov_ri _ | Mov_label _ | Load _ | Lea _ | Lea32 _ | Alu_rr _
+  | Alu_ri _ | Cmp_rr _ | Cmp_ri _ | Test_rr _ | Jmp _ | Jcc _ | Jmp_r _ | Ret | Pop _
+  | Syscall | Mfence | Cpuid | Bnd_set _ | Bndcu _ | Bndcl _ | Bndmov_load _
+  | Wrpkru | Rdpkru | Vmfunc | Vmcall | Movdqa_load _ | Movq_xr _ | Movq_rx _
+  | Pxor _ | Aesenc _ | Aesenclast _ | Aesdec _ | Aesdeclast _
+  | Aeskeygenassist _ | Aesimc _ | Vext_high _ | Vins_high _ | Fp_arith _ -> false
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or"
+  | Xor -> "xor" | Shl -> "shl" | Shr -> "shr" | Imul -> "imul"
+
+let cond_name = function
+  | Eq -> "e" | Ne -> "ne" | Lt -> "l" | Le -> "le" | Gt -> "g" | Ge -> "ge"
+
+let mem_string m =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '[';
+  if m.base >= 0 then Buffer.add_string buf (Reg.gpr_name m.base);
+  if m.index >= 0 then
+    Buffer.add_string buf (Printf.sprintf "+%s*%d" (Reg.gpr_name m.index) m.scale);
+  (if m.disp <> 0 || (m.base < 0 && m.index < 0) then
+     let has_regs = m.base >= 0 || m.index >= 0 in
+     Buffer.add_string buf
+       (if m.disp >= 0 then Printf.sprintf (if has_regs then "+%#x" else "%#x") m.disp
+        else Printf.sprintf "-%#x" (-m.disp)));
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let target_string t =
+  if t.tidx >= 0 then Printf.sprintf "%s(@%d)" t.tname t.tidx else t.tname
+
+let g = Reg.gpr_name
+let x i = Printf.sprintf "xmm%d" i
+
+(* Negative immediates print in decimal so the text round-trips through
+   the assembler (hex of a negative int would re-parse as a huge positive). *)
+let imm i = if i < 0 then string_of_int i else Printf.sprintf "%#x" i
+
+let to_string_gen tgt = function
+  | Nop -> "nop"
+  | Halt -> "hlt"
+  | Mov_rr (d, s) -> Printf.sprintf "mov %s, %s" (g d) (g s)
+  | Mov_ri (d, i) -> Printf.sprintf "mov %s, %s" (g d) (imm i)
+  | Mov_label (d, t) -> Printf.sprintf "lea %s, [%s]" (g d) (tgt t)
+  | Load (d, m) -> Printf.sprintf "mov %s, %s" (g d) (mem_string m)
+  | Store (m, s) -> Printf.sprintf "mov %s, %s" (mem_string m) (g s)
+  | Store_i (m, i) -> Printf.sprintf "mov %s, %s" (mem_string m) (imm i)
+  | Lea (d, m) -> Printf.sprintf "lea %s, %s" (g d) (mem_string m)
+  | Lea32 (d, m) -> Printf.sprintf "lea32 %s, %s" (g d) (mem_string m)
+  | Alu_rr (op, d, s) -> Printf.sprintf "%s %s, %s" (alu_name op) (g d) (g s)
+  | Alu_ri (op, d, i) -> Printf.sprintf "%s %s, %s" (alu_name op) (g d) (imm i)
+  | Cmp_rr (a, b) -> Printf.sprintf "cmp %s, %s" (g a) (g b)
+  | Cmp_ri (a, i) -> Printf.sprintf "cmp %s, %s" (g a) (imm i)
+  | Test_rr (a, b) -> Printf.sprintf "test %s, %s" (g a) (g b)
+  | Jmp t -> Printf.sprintf "jmp %s" (tgt t)
+  | Jcc (c, t) -> Printf.sprintf "j%s %s" (cond_name c) (tgt t)
+  | Jmp_r r -> Printf.sprintf "jmp %s" (g r)
+  | Call t -> Printf.sprintf "call %s" (tgt t)
+  | Call_r r -> Printf.sprintf "call %s" (g r)
+  | Ret -> "ret"
+  | Push r -> Printf.sprintf "push %s" (g r)
+  | Pop r -> Printf.sprintf "pop %s" (g r)
+  | Syscall -> "syscall"
+  | Mfence -> "mfence"
+  | Cpuid -> "cpuid"
+  | Bnd_set (b, lo, hi) -> Printf.sprintf "bndmk bnd%d, %s, %s" b (imm lo) (imm hi)
+  | Bndcu (b, r) -> Printf.sprintf "bndcu %s, bnd%d" (g r) b
+  | Bndcl (b, r) -> Printf.sprintf "bndcl %s, bnd%d" (g r) b
+  | Bndmov_store (m, b) -> Printf.sprintf "bndmov %s, bnd%d" (mem_string m) b
+  | Bndmov_load (b, m) -> Printf.sprintf "bndmov bnd%d, %s" b (mem_string m)
+  | Wrpkru -> "wrpkru"
+  | Rdpkru -> "rdpkru"
+  | Vmfunc -> "vmfunc"
+  | Vmcall -> "vmcall"
+  | Movdqa_load (d, m) -> Printf.sprintf "movdqa %s, %s" (x d) (mem_string m)
+  | Movdqa_store (m, s) -> Printf.sprintf "movdqa %s, %s" (mem_string m) (x s)
+  | Movq_xr (d, s) -> Printf.sprintf "movq %s, %s" (x d) (g s)
+  | Movq_rx (d, s) -> Printf.sprintf "movq %s, %s" (g d) (x s)
+  | Pxor (d, s) -> Printf.sprintf "pxor %s, %s" (x d) (x s)
+  | Aesenc (d, s) -> Printf.sprintf "aesenc %s, %s" (x d) (x s)
+  | Aesenclast (d, s) -> Printf.sprintf "aesenclast %s, %s" (x d) (x s)
+  | Aesdec (d, s) -> Printf.sprintf "aesdec %s, %s" (x d) (x s)
+  | Aesdeclast (d, s) -> Printf.sprintf "aesdeclast %s, %s" (x d) (x s)
+  | Aeskeygenassist (d, s, i) -> Printf.sprintf "aeskeygenassist %s, %s, %s" (x d) (x s) (imm i)
+  | Aesimc (d, s) -> Printf.sprintf "aesimc %s, %s" (x d) (x s)
+  | Vext_high (d, s) -> Printf.sprintf "vextracti128 %s, ymm%d, 1" (x d) s
+  | Vins_high (d, s) -> Printf.sprintf "vinserti128 ymm%d, %s, 1" d (x s)
+  | Fp_arith (d, s) -> Printf.sprintf "mulpd %s, %s" (x d) (x s)
+
+let to_string = to_string_gen target_string
+let to_string_named = to_string_gen (fun t -> t.tname)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,123 @@
+(** The instruction set of the simulated machine.
+
+    A pragmatic subset of x86-64 sufficient for the paper's experiments:
+    integer data movement and ALU, memory accesses with the usual
+    base+index*scale+disp addressing, control flow (direct, conditional,
+    indirect, call/ret via the simulated stack), [syscall], and the four
+    feature families MemSentry builds on — MPX ([bndcu]/[bndcl]), MPK
+    ([wrpkru]/[rdpkru]), virtualization ([vmfunc]/[vmcall]) and AES-NI.
+
+    Values are native OCaml [int]s (addresses are 48-bit; no workload in
+    this repository needs bit 63). Code addresses are instruction indices
+    into the containing {!Program}; an indirect branch target stored in
+    memory is simply such an index.
+
+    Legacy-SSE semantics are modeled for the vector unit: an instruction
+    writing [xmm i] leaves the upper 128 bits of [ymm i] intact — the
+    property the paper's "crypt" technique relies on to keep AES round keys
+    live in ymm high halves. *)
+
+type mem = { base : Reg.gpr; index : Reg.gpr; scale : int; disp : int }
+(** Effective address [base + index*scale + disp]. [base]/[index] are
+    [-1] when absent. Build with {!mem}. *)
+
+type target = { tname : string; mutable tidx : int }
+(** A branch target: a label name, resolved to an instruction index by
+    {!Program.assemble}. [tidx] is [-1] until resolved. A target value
+    belongs to exactly one program. *)
+
+type alu = Add | Sub | And | Or | Xor | Shl | Shr | Imul
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+(** Conditions test the last compare result against zero (signed). *)
+
+type t =
+  | Nop
+  | Halt  (** Stop the machine (simulated program exit). *)
+  | Mov_rr of Reg.gpr * Reg.gpr  (** dst, src *)
+  | Mov_ri of Reg.gpr * int  (** dst, immediate (movabs) *)
+  | Mov_label of Reg.gpr * target
+      (** dst <- code address of a label (RIP-relative lea in real x86);
+          how function pointers are materialized. *)
+  | Load of Reg.gpr * mem  (** dst <- \[mem\] (64-bit) *)
+  | Store of mem * Reg.gpr  (** \[mem\] <- src (64-bit) *)
+  | Store_i of mem * int  (** \[mem\] <- immediate *)
+  | Lea of Reg.gpr * mem  (** address computation, no memory access *)
+  | Lea32 of Reg.gpr * mem
+      (** [lea] with the 0x67 address-size prefix: the effective address is
+          truncated to 32 bits at no extra cost — the ISBoxing trick
+          (paper related work [23]). *)
+  | Alu_rr of alu * Reg.gpr * Reg.gpr  (** dst <- dst op src; sets flags *)
+  | Alu_ri of alu * Reg.gpr * int
+  | Cmp_rr of Reg.gpr * Reg.gpr
+  | Cmp_ri of Reg.gpr * int
+  | Test_rr of Reg.gpr * Reg.gpr
+  | Jmp of target
+  | Jcc of cond * target
+  | Jmp_r of Reg.gpr  (** indirect jump to instruction index in register *)
+  | Call of target
+  | Call_r of Reg.gpr  (** indirect call *)
+  | Ret
+  | Push of Reg.gpr
+  | Pop of Reg.gpr
+  | Syscall  (** SysV convention: nr in rax, args rdi/rsi/rdx/r10/r8/r9. *)
+  | Mfence  (** Serializes the memory pipeline. *)
+  | Cpuid  (** Fully serializing no-op. *)
+  | Bnd_set of Reg.bnd * int * int
+      (** Pseudo-op standing for the [bndmk] setup the loader performs:
+          load (lower, upper) into a bound register. *)
+  | Bndcu of Reg.bnd * Reg.gpr  (** #BR if reg > upper bound (one-sided check). *)
+  | Bndcl of Reg.bnd * Reg.gpr  (** #BR if reg < lower bound. *)
+  | Bndmov_store of mem * Reg.bnd  (** Spill a bound register (16 bytes). *)
+  | Bndmov_load of Reg.bnd * mem  (** Reload a spilled bound register. *)
+  | Wrpkru  (** pkru <- eax; requires rcx = rdx = 0; serializing. *)
+  | Rdpkru  (** rax <- pkru; requires rcx = 0. *)
+  | Vmfunc  (** rax = 0: switch EPTP to index in rcx. Guest mode only. *)
+  | Vmcall  (** Hypercall: exits to the hypervisor. Guest mode only. *)
+  | Movdqa_load of Reg.xmm * mem  (** 16-byte aligned vector load. *)
+  | Movdqa_store of mem * Reg.xmm
+  | Movq_xr of Reg.xmm * Reg.gpr  (** xmm\[63:0\] <- gpr; \[127:64\] <- 0. *)
+  | Movq_rx of Reg.gpr * Reg.xmm
+  | Pxor of Reg.xmm * Reg.xmm  (** dst <- dst xor src (low 128 bits). *)
+  | Aesenc of Reg.xmm * Reg.xmm  (** dst <- aesenc dst, key=src *)
+  | Aesenclast of Reg.xmm * Reg.xmm
+  | Aesdec of Reg.xmm * Reg.xmm
+  | Aesdeclast of Reg.xmm * Reg.xmm
+  | Aeskeygenassist of Reg.xmm * Reg.xmm * int
+  | Aesimc of Reg.xmm * Reg.xmm
+  | Vext_high of Reg.xmm * Reg.xmm
+      (** dst\[127:0\] <- src\[255:128\] (vextracti128): fetch a key stashed
+          in a ymm high half. *)
+  | Vins_high of Reg.xmm * Reg.xmm  (** dst\[255:128\] <- src\[127:0\]. *)
+  | Fp_arith of Reg.xmm * Reg.xmm
+      (** Opaque floating-point/vector arithmetic (stand-in for mulpd and
+          friends): dst <- dst op src, 4-cycle latency on the FP ports.
+          Exists so workloads can exert xmm register pressure. *)
+
+val mem : ?base:Reg.gpr -> ?index:Reg.gpr -> ?scale:int -> int -> mem
+(** [mem ?base ?index ?scale disp]. [scale] defaults to 1. *)
+
+val mem_abs : int -> mem
+(** Absolute address operand. *)
+
+val target : string -> target
+(** Fresh unresolved target for label [name]. *)
+
+val targets : t -> target list
+(** The branch targets embedded in an instruction (for the assembler). *)
+
+val is_mem_read : t -> bool
+(** Does the instruction read data memory? (Loads, pops, rets, vector
+    loads, bound reloads — the accesses SFI/MPX "-r" variants instrument.) *)
+
+val is_mem_write : t -> bool
+(** Does the instruction write data memory? *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Debug rendering (branch targets show their resolved index). *)
+
+val to_string_named : t -> string
+(** Assembler-compatible rendering (targets by label name); accepted
+    verbatim by {!Asm.parse}. *)

@@ -1,0 +1,27 @@
+(** Address-space layout conventions shared by the whole framework.
+
+    Following the paper's address-based partitioning scheme (§5.4, Fig. 2),
+    the 48-bit user address space is split at 64 TiB: everything below is
+    the {e nonsensitive partition} (ordinary program data, stack, heap);
+    safe regions live at or above {!sensitive_base}. The SFI mask forces
+    any pointer below the split; the MPX scheme checks pointers against a
+    single upper bound of {!sensitive_base}. *)
+
+val sensitive_base : int
+(** 64 TiB = [0x4000_0000_0000]: the partition split. *)
+
+val sfi_mask : int
+(** [0x3FFF_FFFF_FFFF]: ANDing any pointer with this confines it to the
+    nonsensitive partition (the paper's [movabs]+[and] sequence). *)
+
+val stack_top : int
+(** Top of the initial stack (exclusive), just below the split. *)
+
+val heap_base : int
+(** Start of the conventional data/heap area. *)
+
+val mmap_base : int
+(** Where anonymous [mmap] allocations begin. *)
+
+val addr_limit : int
+(** Exclusive upper bound of the canonical user space modeled (128 TiB). *)

@@ -1,0 +1,182 @@
+type t = {
+  phys : Physmem.t;
+  pt : Pagetable.t;
+  tlb : Tlb.t;
+  cache : Cache.t;
+  mutable pkru : int;
+  mutable ept_list : Ept.t array;
+  mutable ept_index : int;
+  mutable ept_on : bool;
+}
+
+let page_size = Physmem.page_size
+let page_bits = 12
+
+let create () =
+  let phys = Physmem.create () in
+  {
+    phys;
+    (* The radix tables live in the machine's own frame pool, as a real
+       kernel's do. *)
+    pt = Pagetable.create ~phys ();
+    tlb = Tlb.create ();
+    cache = Cache.create ();
+    pkru = 0;
+    ept_list = [||];
+    ept_index = 0;
+    ept_on = false;
+  }
+
+let walk_cost t =
+  let native = 4 * Pagetable.walk_levels in
+  if t.ept_on then native * 5 / 2 else native
+
+let map_page t ~va ~writable =
+  let vpn = va lsr page_bits in
+  match Pagetable.find t.pt ~vpn with
+  | Some pte ->
+    if pte.writable <> writable || not pte.readable then
+      Pagetable.protect t.pt ~vpn ~readable:true ~writable
+  | None ->
+    let frame = Physmem.alloc_frame t.phys in
+    Pagetable.map t.pt ~vpn ~frame ~writable
+
+let iter_pages ~va ~len f =
+  if len <= 0 then invalid_arg "Mmu: length must be positive";
+  let first = va lsr page_bits and last = (va + len - 1) lsr page_bits in
+  for vpn = first to last do
+    f vpn
+  done
+
+let map_range t ~va ~len ~writable =
+  iter_pages ~va ~len (fun vpn -> map_page t ~va:(vpn lsl page_bits) ~writable)
+
+let unmap_range t ~va ~len =
+  iter_pages ~va ~len (fun vpn -> Pagetable.unmap t.pt ~vpn);
+  Tlb.flush t.tlb
+
+let protect_range t ~va ~len ~readable ~writable =
+  iter_pages ~va ~len (fun vpn -> Pagetable.protect t.pt ~vpn ~readable ~writable);
+  Tlb.flush t.tlb
+
+let set_pkey_range t ~va ~len ~key =
+  iter_pages ~va ~len (fun vpn -> Pagetable.set_pkey t.pt ~vpn ~key);
+  Tlb.flush t.tlb
+
+let is_mapped t ~va = Pagetable.find t.pt ~vpn:(va lsr page_bits) <> None
+
+(* pkru layout: bit 2k = access-disable, bit 2k+1 = write-disable for key k. *)
+let pkey_allows t ~key ~(access : Fault.access) =
+  if key = 0 && t.pkru land 3 = 0 then true
+  else
+    let ad = t.pkru lsr (2 * key) land 1 = 1 in
+    let wd = t.pkru lsr ((2 * key) + 1) land 1 = 1 in
+    match access with
+    | Fault.Read | Fault.Exec -> not ad
+    | Fault.Write -> not (ad || wd)
+
+let fill t ~vpn ~(access : Fault.access) =
+  let va = vpn lsl page_bits in
+  match Pagetable.find t.pt ~vpn with
+  | None -> Fault.raise_fault (Fault.Page_fault { va; access; reason = "not present" })
+  | Some pte ->
+    let gfn = pte.frame in
+    if t.ept_on then begin
+      let ept = t.ept_list.(t.ept_index) in
+      match Ept.find ept ~gfn with
+      | None ->
+        Fault.raise_fault (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access })
+      | Some (hfn, perm) ->
+        if not perm.Ept.readable then
+          Fault.raise_fault
+            (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access });
+        {
+          Tlb.hfn;
+          readable = pte.readable;
+          writable = pte.writable && perm.Ept.writable;
+          pkey = pte.pkey;
+        }
+    end
+    else { Tlb.hfn = gfn; readable = pte.readable; writable = pte.writable; pkey = pte.pkey }
+
+let ept_gen t = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0
+
+let translate t ~va ~access =
+  let vpn = va lsr page_bits in
+  let pt_gen = Pagetable.generation t.pt and ept_gen = ept_gen t in
+  let entry, latency =
+    match Tlb.probe t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen with
+    | Some hit -> (hit, 0)
+    | None ->
+      let hit = fill t ~vpn ~access in
+      Tlb.insert t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen hit;
+      (hit, walk_cost t)
+  in
+  if not (pkey_allows t ~key:entry.Tlb.pkey ~access) then
+    Fault.raise_fault (Fault.Pkey_violation { va; key = entry.Tlb.pkey; access });
+  if not entry.Tlb.readable then
+    Fault.raise_fault (Fault.Page_fault { va; access; reason = "PROT_NONE page" });
+  (match access with
+  | Fault.Write when not entry.Tlb.writable ->
+    Fault.raise_fault (Fault.Page_fault { va; access; reason = "write to read-only page" })
+  | Fault.Write | Fault.Read | Fault.Exec -> ());
+  ((entry.Tlb.hfn lsl page_bits) lor (va land (page_size - 1)), latency)
+
+let read64 t ~va =
+  let pa, lat = translate t ~va ~access:Fault.Read in
+  let lat = lat + Cache.access t.cache ~addr:pa in
+  (Physmem.read64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)), lat)
+
+let write64 t ~va v =
+  let pa, lat = translate t ~va ~access:Fault.Write in
+  let lat = lat + Cache.access t.cache ~addr:pa in
+  Physmem.write64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) v;
+  lat
+
+let check_block16 va =
+  if va land 15 <> 0 then
+    Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "unaligned 16-byte access at 0x%x" va))
+
+let read_block16 t ~va =
+  check_block16 va;
+  let pa, lat = translate t ~va ~access:Fault.Read in
+  let lat = lat + Cache.access t.cache ~addr:pa in
+  (Physmem.read_block16 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)), lat)
+
+let write_block16 t ~va b =
+  check_block16 va;
+  let pa, lat = translate t ~va ~access:Fault.Write in
+  let lat = lat + Cache.access t.cache ~addr:pa in
+  Physmem.write_block16 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) b;
+  lat
+
+(* Raw access path: page-table only, no pkey/EPT/permission checks, no cost.
+   Models kernel access and pre-established attacker read/write primitives. *)
+let raw_frame t ~va ~access =
+  match Pagetable.find t.pt ~vpn:(va lsr page_bits) with
+  | Some pte -> pte.frame
+  | None -> Fault.raise_fault (Fault.Page_fault { va; access; reason = "not present" })
+
+let peek64 t ~va =
+  let f = raw_frame t ~va ~access:Fault.Read in
+  Physmem.read64 t.phys ~frame:f ~off:(va land (page_size - 1))
+
+let poke64 t ~va v =
+  let f = raw_frame t ~va ~access:Fault.Write in
+  Physmem.write64 t.phys ~frame:f ~off:(va land (page_size - 1)) v
+
+let peek_bytes t ~va ~len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    let a = va + i in
+    let f = raw_frame t ~va:a ~access:Fault.Read in
+    Bytes.set_uint8 out i (Physmem.read8 t.phys ~frame:f ~off:(a land (page_size - 1)))
+  done;
+  out
+
+let poke_bytes t ~va b =
+  for i = 0 to Bytes.length b - 1 do
+    let a = va + i in
+    let f = raw_frame t ~va:a ~access:Fault.Write in
+    Physmem.write8 t.phys ~frame:f ~off:(a land (page_size - 1)) (Bytes.get_uint8 b i)
+  done

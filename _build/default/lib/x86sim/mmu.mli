@@ -1,0 +1,84 @@
+(** Memory management unit: the data path every simulated access takes.
+
+    Translation order mirrors hardware:
+    TLB probe -> (miss: page-table walk, then nested EPT walk when
+    virtualization is on) -> protection-key check against [pkru] ->
+    page/EPT write-permission check -> physical access through the cache
+    model.
+
+    The protection-key check happens on {e every} access, including TLB
+    hits, because [pkru] is register state — that is what makes [wrpkru]
+    domain switches cheap (no TLB maintenance). Conversely [mprotect]-style
+    permission changes bump the page-table generation and are modeled with
+    an explicit TLB shootdown cost at the syscall site.
+
+    All access functions return the access latency in cycles alongside any
+    value, so the CPU can feed the pipeline model. *)
+
+type t = {
+  phys : Physmem.t;
+  pt : Pagetable.t;
+  tlb : Tlb.t;
+  cache : Cache.t;
+  mutable pkru : int;  (** 32-bit: bits 2k / 2k+1 = AD / WD for key k. *)
+  mutable ept_list : Ept.t array;  (** EPTP list; empty unless virtualized. *)
+  mutable ept_index : int;  (** Active EPT (set by [vmfunc]). *)
+  mutable ept_on : bool;
+}
+
+val create : unit -> t
+
+val walk_cost : t -> int
+(** TLB-miss penalty in cycles: [4 * levels] for a native walk, roughly
+    2.5x that under nested EPT paging. *)
+
+(** {2 Mapping management (the simulated kernel's job)} *)
+
+val map_page : t -> va:int -> writable:bool -> unit
+(** Allocate a frame and map the page containing [va]. Idempotent for
+    already-present pages (permissions updated). *)
+
+val map_range : t -> va:int -> len:int -> writable:bool -> unit
+
+val unmap_range : t -> va:int -> len:int -> unit
+
+val protect_range : t -> va:int -> len:int -> readable:bool -> writable:bool -> unit
+(** mprotect semantics ([readable:false] = PROT_NONE); flushes the TLB.
+    Raises [Not_found] on unmapped pages in the range. *)
+
+val set_pkey_range : t -> va:int -> len:int -> key:int -> unit
+(** pkey_mprotect semantics; flushes the TLB. *)
+
+val is_mapped : t -> va:int -> bool
+
+(** {2 Translation and access} *)
+
+val translate : t -> va:int -> access:Fault.access -> int * int
+(** [(pa, latency)] or a fault. The latency covers TLB miss cost only;
+    cache latency is added by the word accessors. *)
+
+val read64 : t -> va:int -> int * int
+(** [(value, latency)]. *)
+
+val write64 : t -> va:int -> int -> int
+(** Returns latency. *)
+
+val read_block16 : t -> va:int -> Bytes.t * int
+(** 16-byte read; must not cross a page boundary (GP fault otherwise,
+    matching movdqa's 16-byte alignment requirement). *)
+
+val write_block16 : t -> va:int -> Bytes.t -> int
+
+(** {2 Raw access (no permission checks, no timing)}
+
+    Used by the simulated kernel/hypervisor and by attack oracles that
+    model an "arbitrary read/write primitive" the attacker already has. *)
+
+val peek64 : t -> va:int -> int
+(** Raises {!Fault.Fault} [Page_fault] if unmapped (an attacker probing an
+    unmapped hole crashes — the basis of crash-resistance experiments). *)
+
+val poke64 : t -> va:int -> int -> unit
+
+val peek_bytes : t -> va:int -> len:int -> Bytes.t
+val poke_bytes : t -> va:int -> Bytes.t -> unit

@@ -1,0 +1,134 @@
+type pte = { frame : int; present : bool; readable : bool; writable : bool; pkey : int }
+
+let walk_levels = 4
+
+(* 48-bit VA = 12 page-offset bits + 4 levels x 9 index bits. *)
+let level_shift level = 9 * level
+let index_of vpn level = (vpn lsr level_shift level) land 511
+
+(* Entry encoding: bit 0 present, bit 1 writable, bit 2 readable,
+   bits 12..58 frame number, bits 59..62 protection key. *)
+let e_present = 1
+let e_writable = 2
+let e_readable = 4
+
+let encode ~frame ~present ~readable ~writable ~pkey =
+  (if present then e_present else 0)
+  lor (if writable then e_writable else 0)
+  lor (if readable then e_readable else 0)
+  lor (frame lsl 12)
+  lor (pkey lsl 59)
+
+let decode entry =
+  {
+    frame = (entry lsr 12) land 0x7FFF_FFFF_FFFF;
+    present = entry land e_present <> 0;
+    readable = entry land e_readable <> 0;
+    writable = entry land e_writable <> 0;
+    pkey = (entry lsr 59) land 0xF;
+  }
+
+type t = {
+  phys : Physmem.t;
+  root : int;
+  mutable gen : int;
+  mutable nframes : int;
+  mutable live : int;  (* present leaf entries *)
+}
+
+let create ?phys () =
+  let phys = match phys with Some p -> p | None -> Physmem.create () in
+  let root = Physmem.alloc_frame phys in
+  { phys; root; gen = 0; nframes = 1; live = 0 }
+
+let root_frame t = t.root
+let generation t = t.gen
+let table_frames t = t.nframes
+let mapped_count t = t.live
+
+let bump t = t.gen <- t.gen + 1
+
+let read_entry t ~table ~idx = Physmem.read64 t.phys ~frame:table ~off:(8 * idx)
+let write_entry t ~table ~idx v = Physmem.write64 t.phys ~frame:table ~off:(8 * idx) v
+
+(* Descend to the leaf table, optionally allocating missing levels.
+   Returns the leaf table frame, or None when absent and not allocating. *)
+let rec descend t ~table ~vpn ~level ~alloc =
+  if level = 0 then Some table
+  else begin
+    let idx = index_of vpn level in
+    let entry = read_entry t ~table ~idx in
+    if entry land e_present <> 0 then
+      descend t ~table:((decode entry).frame) ~vpn ~level:(level - 1) ~alloc
+    else if not alloc then None
+    else begin
+      let next = Physmem.alloc_frame t.phys in
+      t.nframes <- t.nframes + 1;
+      write_entry t ~table ~idx
+        (encode ~frame:next ~present:true ~readable:true ~writable:true ~pkey:0);
+      descend t ~table:next ~vpn ~level:(level - 1) ~alloc
+    end
+  end
+
+let leaf_entry t ~vpn ~alloc =
+  match descend t ~table:t.root ~vpn ~level:(walk_levels - 1) ~alloc with
+  | None -> None
+  | Some leaf -> Some (leaf, index_of vpn 0)
+
+let map t ~vpn ~frame ~writable =
+  bump t;
+  match leaf_entry t ~vpn ~alloc:true with
+  | None -> assert false (* alloc:true always yields a leaf *)
+  | Some (leaf, idx) ->
+    let old = read_entry t ~table:leaf ~idx in
+    if old land e_present = 0 then t.live <- t.live + 1;
+    write_entry t ~table:leaf ~idx
+      (encode ~frame ~present:true ~readable:true ~writable ~pkey:0)
+
+let unmap t ~vpn =
+  bump t;
+  match leaf_entry t ~vpn ~alloc:false with
+  | None -> ()
+  | Some (leaf, idx) ->
+    let old = read_entry t ~table:leaf ~idx in
+    if old land e_present <> 0 then begin
+      t.live <- t.live - 1;
+      write_entry t ~table:leaf ~idx (old land lnot e_present)
+    end
+
+let find t ~vpn =
+  match leaf_entry t ~vpn ~alloc:false with
+  | None -> None
+  | Some (leaf, idx) ->
+    let pte = decode (read_entry t ~table:leaf ~idx) in
+    if pte.present then Some pte else None
+
+let update_leaf t ~vpn f =
+  bump t;
+  match leaf_entry t ~vpn ~alloc:false with
+  | None -> raise Not_found
+  | Some (leaf, idx) ->
+    let old = read_entry t ~table:leaf ~idx in
+    if old land e_present = 0 then raise Not_found;
+    write_entry t ~table:leaf ~idx (f old)
+
+let protect t ~vpn ~readable ~writable =
+  update_leaf t ~vpn (fun old ->
+      let old = old land lnot (e_readable lor e_writable) in
+      old lor (if readable then e_readable else 0) lor if writable then e_writable else 0)
+
+let set_pkey t ~vpn ~key =
+  if key < 0 || key > 15 then invalid_arg "Pagetable.set_pkey: key must be 0..15";
+  update_leaf t ~vpn (fun old -> old land lnot (0xF lsl 59) lor (key lsl 59))
+
+let iter t f =
+  let rec walk table level vpn_prefix =
+    for idx = 0 to 511 do
+      let entry = read_entry t ~table ~idx in
+      if entry land e_present <> 0 then
+        let vpn = (vpn_prefix lsl 9) lor idx in
+        if level = 0 then f vpn (decode entry)
+        else walk (decode entry).frame (level - 1) vpn
+    done
+  in
+  walk t.root (walk_levels - 1) 0

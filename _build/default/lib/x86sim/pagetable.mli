@@ -1,0 +1,69 @@
+(** Guest page tables: a real 4-level radix structure.
+
+    The tables live in {!Physmem} frames, exactly like hardware: a root
+    frame of 512 8-byte entries, each pointing at the next level, with the
+    leaf level holding PTEs. Entry encoding (loosely following x86-64):
+
+    - bit 0: present
+    - bit 1: writable
+    - bit 2: readable (clear = PROT_NONE; real x86 overloads other bits)
+    - bits 12..58: frame number of the next level / final frame
+    - bits 59..62: MPK protection key (leaf only; Intel SDM §4.6.2)
+
+    The MMU performs {!find} on TLB misses (the 4-level walk whose cost
+    model is [4 * walk_levels] cycles); a generation counter bumped by
+    every structural change lets TLB entries self-invalidate. The [pte]
+    view returned by [find] is decoded from (and written back to) the
+    in-memory entry, so inspecting physical frames shows real tables. *)
+
+type pte = {
+  frame : int;  (** guest-physical frame number *)
+  present : bool;
+  readable : bool;  (** false models PROT_NONE *)
+  writable : bool;
+  pkey : int;  (** 0..15; key 0 is the default-accessible key *)
+}
+
+type t
+
+val walk_levels : int
+(** 4, as on x86-64. Used by the TLB-miss latency model. *)
+
+val create : ?phys:Physmem.t -> unit -> t
+(** Allocate the root table. With [phys], table frames come from the given
+    physical memory (sharing the machine's frame pool, as real kernels
+    do); without it a private pool is used. *)
+
+val root_frame : t -> int
+(** Frame number of the top-level table (the CR3 value). *)
+
+val map : t -> vpn:int -> frame:int -> writable:bool -> unit
+(** Install or replace a translation (readable, pkey 0), allocating
+    intermediate tables on demand. *)
+
+val unmap : t -> vpn:int -> unit
+(** Clear the present bit. *)
+
+val find : t -> vpn:int -> pte option
+(** Walk the four levels; [None] when any level is missing or the leaf is
+    not present. *)
+
+val protect : t -> vpn:int -> readable:bool -> writable:bool -> unit
+(** Change permissions (mprotect). Raises [Not_found] for unmapped pages. *)
+
+val set_pkey : t -> vpn:int -> key:int -> unit
+(** Tag the page with a protection key (0..15); kernel-only operation in
+    the real ISA. Raises [Invalid_argument] for out-of-range keys,
+    [Not_found] for unmapped pages. *)
+
+val generation : t -> int
+(** Incremented by every [map]/[unmap]/[protect]/[set_pkey]. *)
+
+val mapped_count : t -> int
+
+val iter : t -> (int -> pte -> unit) -> unit
+(** Iterate present leaf entries as [(vpn, pte)], in ascending vpn order. *)
+
+val table_frames : t -> int
+(** How many physical frames the radix structure itself occupies
+    (root + intermediate + leaf tables) — kernel bookkeeping overhead. *)

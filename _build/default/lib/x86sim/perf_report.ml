@@ -1,0 +1,71 @@
+type t = {
+  insns : int;
+  cycles : float;
+  ipc : float;
+  loads : int;
+  stores : int;
+  calls : int;
+  rets : int;
+  ind_branches : int;
+  syscalls : int;
+  bnd_checks : int;
+  wrpkrus : int;
+  vmfuncs : int;
+  vmcalls : int;
+  vm_exits : int;
+  aes_ops : int;
+  faults : int;
+  l1_hit_rate : float;
+  tlb_hit_rate : float;
+  dram_accesses : int;
+}
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let capture (cpu : Cpu.t) =
+  let c = cpu.Cpu.counters in
+  let cache = cpu.Cpu.mmu.Mmu.cache in
+  let tlb = cpu.Cpu.mmu.Mmu.tlb in
+  let cache_accesses =
+    Cache.l1_hits cache + Cache.l2_hits cache + Cache.l3_hits cache + Cache.dram_accesses cache
+  in
+  {
+    insns = c.Cpu.insns;
+    cycles = Cpu.cycles cpu;
+    ipc = (if Cpu.cycles cpu > 0.0 then float_of_int c.Cpu.insns /. Cpu.cycles cpu else 0.0);
+    loads = c.Cpu.loads;
+    stores = c.Cpu.stores;
+    calls = c.Cpu.calls;
+    rets = c.Cpu.rets;
+    ind_branches = c.Cpu.ind_branches;
+    syscalls = c.Cpu.syscalls;
+    bnd_checks = c.Cpu.bnd_checks;
+    wrpkrus = c.Cpu.wrpkrus;
+    vmfuncs = c.Cpu.vmfuncs;
+    vmcalls = c.Cpu.vmcalls;
+    vm_exits = c.Cpu.vm_exits;
+    aes_ops = c.Cpu.aes_ops;
+    faults = c.Cpu.faults;
+    l1_hit_rate = ratio (Cache.l1_hits cache) cache_accesses;
+    tlb_hit_rate = ratio (Tlb.hits tlb) (Tlb.hits tlb + Tlb.misses tlb);
+    dram_accesses = Cache.dram_accesses cache;
+  }
+
+let to_string r =
+  String.concat "\n"
+    [
+      Printf.sprintf "instructions   %12d" r.insns;
+      Printf.sprintf "cycles         %12.0f   (ipc %.2f)" r.cycles r.ipc;
+      Printf.sprintf "loads/stores   %8d / %d" r.loads r.stores;
+      Printf.sprintf "calls/rets     %8d / %d   (indirect branches %d)" r.calls r.rets
+        r.ind_branches;
+      Printf.sprintf "syscalls       %12d" r.syscalls;
+      Printf.sprintf "L1 hit rate    %12.1f%%   (DRAM accesses %d)" (100.0 *. r.l1_hit_rate)
+        r.dram_accesses;
+      Printf.sprintf "TLB hit rate   %12.1f%%" (100.0 *. r.tlb_hit_rate);
+      Printf.sprintf "protection     %d bndck, %d wrpkru, %d vmfunc, %d vmcall, %d vmexit, %d aes"
+        r.bnd_checks r.wrpkrus r.vmfuncs r.vmcalls r.vm_exits r.aes_ops;
+      Printf.sprintf "faults         %12d" r.faults;
+    ]
+
+let print cpu = print_endline (to_string (capture cpu))

@@ -1,0 +1,32 @@
+(** Execution summaries: one place that turns a finished {!Cpu.t} into the
+    numbers a performance investigation wants — instruction mix, IPC,
+    cache and TLB hit rates, protection-event counts. *)
+
+type t = {
+  insns : int;
+  cycles : float;
+  ipc : float;
+  loads : int;
+  stores : int;
+  calls : int;
+  rets : int;
+  ind_branches : int;
+  syscalls : int;
+  bnd_checks : int;
+  wrpkrus : int;
+  vmfuncs : int;
+  vmcalls : int;
+  vm_exits : int;
+  aes_ops : int;
+  faults : int;
+  l1_hit_rate : float;  (** of all data-cache accesses *)
+  tlb_hit_rate : float;
+  dram_accesses : int;
+}
+
+val capture : Cpu.t -> t
+
+val to_string : t -> string
+(** Multi-line human-readable rendering. *)
+
+val print : Cpu.t -> unit

@@ -1,0 +1,35 @@
+let page_size = 4096
+
+type t = { mutable frames : Bytes.t array; mutable used : int }
+
+let create () = { frames = Array.make 64 Bytes.empty; used = 0 }
+
+let alloc_frame t =
+  if t.used = Array.length t.frames then begin
+    let bigger = Array.make (2 * t.used) Bytes.empty in
+    Array.blit t.frames 0 bigger 0 t.used;
+    t.frames <- bigger
+  end;
+  let n = t.used in
+  t.frames.(n) <- Bytes.make page_size '\000';
+  t.used <- n + 1;
+  n
+
+let frame_count t = t.used
+
+let frame_bytes t n =
+  if n < 0 || n >= t.used then invalid_arg (Printf.sprintf "Physmem.frame_bytes: frame %d" n);
+  t.frames.(n)
+
+let read64 t ~frame ~off = Int64.to_int (Bytes.get_int64_le (frame_bytes t frame) off)
+
+let write64 t ~frame ~off v = Bytes.set_int64_le (frame_bytes t frame) off (Int64.of_int v)
+
+let read8 t ~frame ~off = Bytes.get_uint8 (frame_bytes t frame) off
+let write8 t ~frame ~off v = Bytes.set_uint8 (frame_bytes t frame) off v
+
+let read_block16 t ~frame ~off = Bytes.sub (frame_bytes t frame) off 16
+
+let write_block16 t ~frame ~off b =
+  if Bytes.length b <> 16 then invalid_arg "Physmem.write_block16: need 16 bytes";
+  Bytes.blit b 0 (frame_bytes t frame) off 16

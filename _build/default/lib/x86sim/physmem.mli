@@ -1,0 +1,33 @@
+(** Host-physical memory: a sparse pool of 4 KiB frames.
+
+    Frames are allocated on demand and addressed by frame number. Word
+    accesses are 64-bit little-endian; values are native [int]s (bit 63 is
+    not representable, which no workload here requires — see {!Insn}). *)
+
+val page_size : int
+(** 4096. *)
+
+type t
+
+val create : unit -> t
+
+val alloc_frame : t -> int
+(** A fresh zeroed frame; returns its frame number. *)
+
+val frame_count : t -> int
+
+val frame_bytes : t -> int -> Bytes.t
+(** Raw backing store of a frame (for block operations such as the crypt
+    technique's in-place encryption). Raises [Invalid_argument] for an
+    unallocated frame. *)
+
+val read64 : t -> frame:int -> off:int -> int
+val write64 : t -> frame:int -> off:int -> int -> unit
+
+val read8 : t -> frame:int -> off:int -> int
+val write8 : t -> frame:int -> off:int -> int -> unit
+
+val read_block16 : t -> frame:int -> off:int -> Bytes.t
+(** 16-byte read (xmm load); [off] must be within the frame. *)
+
+val write_block16 : t -> frame:int -> off:int -> Bytes.t -> unit

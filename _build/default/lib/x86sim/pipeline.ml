@@ -1,0 +1,86 @@
+let p_alu = 0
+let p_load = 1
+let p_store = 2
+let p_branch = 3
+let p_mpx = 4
+let p_aes = 5
+let p_special = 6
+let p_fp = 7
+
+let port_count = 8
+let units_per_port = [| 4; 2; 1; 1; 2; 1; 1; 2 |]
+
+(* Cycles an execution unit stays busy per operation (1 = fully pipelined).
+   (aesimc overrides its occupancy via [busy]). *)
+let recip_throughput = [| 1.0; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+let fetch_width = 4.0
+
+(* Reorder-buffer depth: instruction i cannot issue before instruction
+   i - rob_size has completed. Without this bound a single long dependency
+   chain would hide unlimited amounts of independent work, which no real
+   core can do. 224 entries approximates Skylake. *)
+let rob_size = 224
+
+type t = {
+  ready : float array; (* per pipeline register id *)
+  units : float array array; (* per port, per unit: next-free time *)
+  rob : float array; (* completion times of the last rob_size insns *)
+  mutable fetch : float;
+  mutable max_completion : float;
+  mutable insns : int;
+}
+
+let create () =
+  {
+    ready = Array.make Reg.pipe_count 0.0;
+    units = Array.init port_count (fun p -> Array.make units_per_port.(p) 0.0);
+    rob = Array.make rob_size 0.0;
+    fetch = 0.0;
+    max_completion = 0.0;
+    insns = 0;
+  }
+
+let reset t =
+  Array.fill t.ready 0 (Array.length t.ready) 0.0;
+  Array.iter (fun u -> Array.fill u 0 (Array.length u) 0.0) t.units;
+  Array.fill t.rob 0 rob_size 0.0;
+  t.fetch <- 0.0;
+  t.max_completion <- 0.0;
+  t.insns <- 0
+
+let src_ready t r acc = if r < 0 then acc else Float.max acc t.ready.(r)
+
+let issue_t t ?(s1 = -1) ?(s2 = -1) ?(s3 = -1) ?(d1 = -1) ?(d2 = -1) ?(dep = 0.0) ?(lat = 1.0)
+    ?busy ?(serialize = false) ~port () =
+  let slot = t.insns mod rob_size in
+  t.insns <- t.insns + 1;
+  let floor_time = Float.max dep (Float.max t.fetch t.rob.(slot)) in
+  let earliest = src_ready t s1 (src_ready t s2 (src_ready t s3 floor_time)) in
+  let earliest = if serialize then Float.max earliest t.max_completion else earliest in
+  (* Pick the execution unit that frees up first. *)
+  let units = t.units.(port) in
+  let best = ref 0 in
+  for i = 1 to Array.length units - 1 do
+    if units.(i) < units.(!best) then best := i
+  done;
+  let t0 = Float.max earliest units.(!best) in
+  let completion = t0 +. lat in
+  t.rob.(slot) <- completion;
+  units.(!best) <- t0 +. (match busy with Some b -> b | None -> recip_throughput.(port));
+  if d1 >= 0 then t.ready.(d1) <- completion;
+  if d2 >= 0 then t.ready.(d2) <- completion;
+  if completion > t.max_completion then t.max_completion <- completion;
+  t.fetch <- t.fetch +. (1.0 /. fetch_width);
+  if serialize && completion > t.fetch then t.fetch <- completion;
+  completion
+
+let issue t ?s1 ?s2 ?s3 ?d1 ?d2 ?dep ?lat ?busy ?serialize ~port () =
+  ignore (issue_t t ?s1 ?s2 ?s3 ?d1 ?d2 ?dep ?lat ?busy ?serialize ~port ())
+
+let cycles t = Float.max t.fetch t.max_completion
+
+let instructions t = t.insns
+
+let ipc t =
+  let c = cycles t in
+  if c <= 0.0 then 0.0 else float_of_int t.insns /. c

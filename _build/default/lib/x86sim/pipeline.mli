@@ -1,0 +1,84 @@
+(** Out-of-order timing model (scoreboard with execution ports).
+
+    The paper's central microarchitectural observations are all dependency
+    effects: an SFI [and] feeding a {e load} costs ~0.2 cycles while the
+    same [and] feeding a {e store} costs nothing; a single [bndcu] is nearly
+    free because nothing consumes its (nonexistent) result; serializing
+    instructions ([wrpkru]+[mfence], [vmfunc], [syscall]) are cheap in an
+    empty microbenchmark loop but expensive amid real memory traffic. A
+    cycle counter per instruction cannot reproduce any of that; this
+    scoreboard does.
+
+    Model: 4-wide in-order fetch, unlimited window, per-port execution
+    units, register-ready times, and serializing instructions that wait for
+    (and hold back) all in-flight work. Time is a [float] so fractional
+    fetch bandwidth and sub-cycle marginal costs are representable.
+
+    Register identifiers are the dense ids of {!Reg.pipe_gpr} etc.;
+    [Reg.pipe_none] means "no register". *)
+
+type t
+
+(** Execution ports. Unit counts approximate Skylake: 4 ALU, 2 load,
+    1 store-address, 1 branch, 2 MPX check, 1 AES, 1 "special". *)
+
+val p_alu : int
+val p_load : int
+val p_store : int
+val p_branch : int
+val p_mpx : int
+val p_aes : int
+val p_special : int
+val p_fp : int
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val issue_t :
+  t ->
+  ?s1:int ->
+  ?s2:int ->
+  ?s3:int ->
+  ?d1:int ->
+  ?d2:int ->
+  ?dep:float ->
+  ?lat:float ->
+  ?busy:float ->
+  ?serialize:bool ->
+  port:int ->
+  unit ->
+  float
+(** Record one executed instruction: source registers [s1..s3], destination
+    registers [d1..d2], result latency [lat] (default 1.0) on [port].
+    [serialize] makes it wait for all prior completions and stalls
+    subsequent fetch until it completes. [dep] is an extra time floor used
+    for non-register dependencies (store-to-load ordering through memory).
+    [busy] overrides the port's default occupancy for microcoded
+    instructions. Returns the completion time — what a dependent consumer
+    would use as its [dep]. *)
+
+val issue :
+  t ->
+  ?s1:int ->
+  ?s2:int ->
+  ?s3:int ->
+  ?d1:int ->
+  ?d2:int ->
+  ?dep:float ->
+  ?lat:float ->
+  ?busy:float ->
+  ?serialize:bool ->
+  port:int ->
+  unit ->
+  unit
+(** {!issue_t} with the completion time discarded. *)
+
+val cycles : t -> float
+(** Total cycles elapsed so far (max of fetch front and latest completion). *)
+
+val instructions : t -> int
+(** Instructions issued since creation/reset. *)
+
+val ipc : t -> float
+(** Instructions per cycle so far (0 when no time has passed). *)

@@ -1,0 +1,58 @@
+type item = Label of string | I of Insn.t
+
+type t = { code : Insn.t array; label_tbl : (string, int) Hashtbl.t }
+
+let assemble items =
+  let label_tbl = Hashtbl.create 64 in
+  let count = List.fold_left (fun n -> function Label _ -> n | I _ -> n + 1) 0 items in
+  let code = Array.make (max count 1) Insn.Nop in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Label name ->
+        if Hashtbl.mem label_tbl name then
+          invalid_arg (Printf.sprintf "Program.assemble: duplicate label %S" name);
+        Hashtbl.add label_tbl name !idx
+      | I insn ->
+        code.(!idx) <- insn;
+        incr idx)
+    items;
+  let resolve (tgt : Insn.target) =
+    match Hashtbl.find_opt label_tbl tgt.tname with
+    | Some i -> tgt.tidx <- i
+    | None -> invalid_arg (Printf.sprintf "Program.assemble: undefined label %S" tgt.tname)
+  in
+  Array.iter (fun insn -> List.iter resolve (Insn.targets insn)) code;
+  { code; label_tbl }
+
+let code t = t.code
+let length t = Array.length t.code
+
+let label_index t name =
+  match Hashtbl.find_opt t.label_tbl name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let has_label t name = Hashtbl.mem t.label_tbl name
+
+let labels t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.label_tbl []
+
+let fetch t idx =
+  if idx < 0 || idx >= Array.length t.code then
+    Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "instruction fetch outside code at %d" idx))
+  else t.code.(idx)
+
+let pp fmt t =
+  let by_index = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name idx ->
+      let prev = try Hashtbl.find by_index idx with Not_found -> [] in
+      Hashtbl.replace by_index idx (name :: prev))
+    t.label_tbl;
+  Array.iteri
+    (fun i insn ->
+      (match Hashtbl.find_opt by_index i with
+      | Some names -> List.iter (fun n -> Format.fprintf fmt "%s:@." n) names
+      | None -> ());
+      Format.fprintf fmt "  %4d  %s@." i (Insn.to_string insn))
+    t.code

@@ -1,0 +1,35 @@
+(** Assembled code: a flat instruction array with resolved labels.
+
+    Code lives outside the simulated data address space (Harvard-style):
+    a "code address" is an instruction index, which is what call pushes on
+    the stack and what function pointers stored in data memory contain.
+    Instrumentation passes rewrite item lists before assembly. *)
+
+type item = Label of string | I of Insn.t
+
+type t
+
+val assemble : item list -> t
+(** Resolve every {!Insn.target} against the labels in the list.
+    Raises [Invalid_argument] on duplicate or undefined labels. Target
+    records are patched in place, so an instruction list belongs to the
+    one program assembled from it. *)
+
+val code : t -> Insn.t array
+
+val length : t -> int
+
+val label_index : t -> string -> int
+(** Instruction index of a label. Raises [Not_found] if absent. *)
+
+val has_label : t -> string -> bool
+
+val labels : t -> (string * int) list
+(** All labels, unordered. *)
+
+val fetch : t -> int -> Insn.t
+(** [fetch t idx]; raises [Fault.Fault (Gp_fault _)] when [idx] is outside
+    the code (wild indirect branch). *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with label annotations. *)

@@ -1,0 +1,44 @@
+type gpr = int
+type xmm = int
+type bnd = int
+
+(* Numbering follows hardware encoding order. *)
+let rax = 0
+let rcx = 1
+let rdx = 2
+let rbx = 3
+let rsp = 4
+let rbp = 5
+let rsi = 6
+let rdi = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+let gpr_count = 16
+let xmm_count = 16
+let bnd_count = 4
+
+let names =
+  [| "rax"; "rcx"; "rdx"; "rbx"; "rsp"; "rbp"; "rsi"; "rdi";
+     "r8"; "r9"; "r10"; "r11"; "r12"; "r13"; "r14"; "r15" |]
+
+let gpr_name r =
+  if r < 0 || r >= gpr_count then invalid_arg "Reg.gpr_name: out of range";
+  names.(r)
+
+let caller_saved = [ rax; rcx; rdx; rsi; rdi; r8; r9; r10; r11 ]
+let arg_regs = [ rdi; rsi; rdx; rcx; r8; r9 ]
+
+let pipe_gpr r = r
+let pipe_xmm x = 16 + x
+let pipe_bnd b = 32 + b
+let pipe_flags = 36
+let pipe_pkru = 37
+let pipe_none = -1
+let pipe_count = 38

@@ -1,0 +1,62 @@
+(** Register identifiers of the simulated machine.
+
+    General-purpose registers are small integers so the register file can be
+    a flat array; named constants follow the System V AMD64 convention
+    (return value in {!rax}, arguments in {!rdi}, {!rsi}, ... , stack pointer
+    in {!rsp}). Vector registers ([xmm0]-[xmm15], with [ymm] upper halves)
+    and MPX bound registers ([bnd0]-[bnd3]) are indices into their own files.
+
+    {!pipe_gpr} and friends map every architectural register onto a single
+    dense id space used by the {!Pipeline} dependency tracker. *)
+
+type gpr = int
+(** 0..15. Use the named constants below. *)
+
+type xmm = int
+(** 0..15. The 256-bit ymm register [i] shares the id with [xmm i]. *)
+
+type bnd = int
+(** 0..3. MPX bound registers. *)
+
+val rax : gpr
+val rcx : gpr
+val rdx : gpr
+val rbx : gpr
+val rsp : gpr
+val rbp : gpr
+val rsi : gpr
+val rdi : gpr
+val r8 : gpr
+val r9 : gpr
+val r10 : gpr
+val r11 : gpr
+val r12 : gpr
+val r13 : gpr
+val r14 : gpr
+val r15 : gpr
+
+val gpr_count : int
+val xmm_count : int
+val bnd_count : int
+
+val gpr_name : gpr -> string
+(** ["rax"], ["r10"], ... Raises [Invalid_argument] outside 0..15. *)
+
+val caller_saved : gpr list
+(** Scratch registers a compiler may clobber across calls (SysV). *)
+
+val arg_regs : gpr list
+(** The six integer argument registers in order. *)
+
+(** {2 Pipeline id space} *)
+
+val pipe_gpr : gpr -> int
+val pipe_xmm : xmm -> int
+val pipe_bnd : bnd -> int
+val pipe_flags : int
+val pipe_pkru : int
+val pipe_none : int
+(** Sentinel (-1): "no register". *)
+
+val pipe_count : int
+(** Size of the dense id space. *)

@@ -1,0 +1,78 @@
+type hit = { hfn : int; readable : bool; writable : bool; pkey : int }
+
+type t = {
+  slots : int;
+  vpns : int array; (* -1 = invalid *)
+  epts : int array;
+  pt_gens : int array;
+  ept_gens : int array;
+  hfns : int array;
+  readables : bool array;
+  writables : bool array;
+  pkeys : int array;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(slots = 1024) () =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Tlb.create: slots must be a positive power of two";
+  {
+    slots;
+    vpns = Array.make slots (-1);
+    epts = Array.make slots 0;
+    pt_gens = Array.make slots 0;
+    ept_gens = Array.make slots 0;
+    hfns = Array.make slots 0;
+    readables = Array.make slots false;
+    writables = Array.make slots false;
+    pkeys = Array.make slots 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let slot_of t vpn = vpn land (t.slots - 1)
+
+let probe t ~vpn ~ept ~pt_gen ~ept_gen =
+  let s = slot_of t vpn in
+  if
+    t.vpns.(s) = vpn && t.epts.(s) = ept && t.pt_gens.(s) = pt_gen
+    && t.ept_gens.(s) = ept_gen
+  then begin
+    t.hit_count <- t.hit_count + 1;
+    Some
+      {
+        hfn = t.hfns.(s);
+        readable = t.readables.(s);
+        writable = t.writables.(s);
+        pkey = t.pkeys.(s);
+      }
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    None
+  end
+
+let insert t ~vpn ~ept ~pt_gen ~ept_gen hit =
+  let s = slot_of t vpn in
+  t.vpns.(s) <- vpn;
+  t.epts.(s) <- ept;
+  t.pt_gens.(s) <- pt_gen;
+  t.ept_gens.(s) <- ept_gen;
+  t.hfns.(s) <- hit.hfn;
+  t.readables.(s) <- hit.readable;
+  t.writables.(s) <- hit.writable;
+  t.pkeys.(s) <- hit.pkey
+
+let flush t = Array.fill t.vpns 0 t.slots (-1)
+
+let flush_page t ~vpn =
+  let s = slot_of t vpn in
+  if t.vpns.(s) = vpn then t.vpns.(s) <- -1
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

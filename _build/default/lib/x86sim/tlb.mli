@@ -1,0 +1,40 @@
+(** Translation lookaside buffer.
+
+    Entries are tagged with the active EPT index (modeling VPID/EPT-tagged
+    TLBs: a [vmfunc] EPT switch does {e not} flush the TLB — a key reason
+    VMFUNC switching is cheap). Entries record the page-table and EPT
+    generations they were filled under and self-invalidate when either
+    structure has changed since, so [mprotect]-style updates are observed
+    without an explicit flush at every probe site.
+
+    Protection-key bits are {e not} checked here: like hardware, the pkey
+    of the entry is returned and checked against [pkru] on every access,
+    which is why [wrpkru] needs no TLB flush. *)
+
+type hit = {
+  hfn : int;  (** host-physical frame *)
+  readable : bool;  (** false for PROT_NONE pages *)
+  writable : bool;  (** page-table and EPT write permission combined *)
+  pkey : int;
+}
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** Direct-mapped with [slots] entries (default 1024, power of two). *)
+
+val probe : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> hit option
+(** Lookup; counts a hit or miss. Entries from other EPT indices or stale
+    generations miss. *)
+
+val insert : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> hit -> unit
+
+val flush : t -> unit
+(** Full invalidation (CR3 write / mprotect shootdown). *)
+
+val flush_page : t -> vpn:int -> unit
+(** invlpg: drop any entry for one page, all EPT tags. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

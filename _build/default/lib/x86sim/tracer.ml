@@ -1,0 +1,48 @@
+type entry = { seq : int; rip : int; insn : Insn.t }
+
+type t = {
+  cpu : Cpu.t;
+  ring : entry option array;
+  mutable next : int;
+  mutable count : int;
+  mutable attached : bool;
+}
+
+let attach ?(capacity = 256) ?(filter = fun _ -> true) cpu =
+  if capacity <= 0 then invalid_arg "Tracer.attach: capacity must be positive";
+  if cpu.Cpu.on_step <> None then
+    invalid_arg "Tracer.attach: the CPU already has an on_step hook";
+  let t = { cpu; ring = Array.make capacity None; next = 0; count = 0; attached = true } in
+  cpu.Cpu.on_step <-
+    Some
+      (fun c insn ->
+        if filter insn then begin
+          t.ring.(t.next) <- Some { seq = t.count; rip = c.Cpu.rip; insn };
+          t.next <- (t.next + 1) mod capacity;
+          t.count <- t.count + 1
+        end);
+  t
+
+let detach t =
+  if t.attached then begin
+    t.cpu.Cpu.on_step <- None;
+    t.attached <- false
+  end
+
+let entries t =
+  let cap = Array.length t.ring in
+  let ordered = ref [] in
+  for k = 0 to cap - 1 do
+    match t.ring.((t.next + cap - 1 - k) mod cap) with
+    | Some e -> ordered := e :: !ordered
+    | None -> ()
+  done;
+  !ordered
+
+let total t = t.count
+
+let to_string t =
+  String.concat "\n"
+    (List.map
+       (fun e -> Printf.sprintf "%8d  @%-6d %s" e.seq e.rip (Insn.to_string_named e.insn))
+       (entries t))

@@ -1,0 +1,35 @@
+(** Execution tracing over the CPU's [on_step] hook — the machine-level
+    analogue of the PIN instrumentation the paper uses for dynamic
+    analysis (§5.5).
+
+    A tracer keeps the most recent [capacity] executed instructions in a
+    ring buffer (optionally filtered), cheap enough to leave attached for
+    a whole run; [entries] then reconstructs the tail of the execution —
+    the first thing one wants when a simulated program misbehaves, and the
+    mechanism behind the CLI's [trace] command. *)
+
+type entry = {
+  seq : int;  (** 0-based position in the dynamic instruction stream *)
+  rip : int;  (** instruction index *)
+  insn : Insn.t;
+}
+
+type t
+
+val attach : ?capacity:int -> ?filter:(Insn.t -> bool) -> Cpu.t -> t
+(** Install on [cpu] (capacity defaults to 256). Raises [Invalid_argument]
+    if some [on_step] hook is already installed — tracing does not
+    silently displace an analysis. *)
+
+val detach : t -> unit
+(** Remove the hook; the collected entries remain readable. *)
+
+val entries : t -> entry list
+(** Buffered entries, oldest first. *)
+
+val total : t -> int
+(** How many instructions matched the filter over the whole run (not just
+    those still buffered). *)
+
+val to_string : t -> string
+(** One line per buffered entry: [seq rip insn]. *)

@@ -1,0 +1,1 @@
+test/test_aesni.ml: Aes Aesni Alcotest Array Bytes Fmt List QCheck QCheck_alcotest

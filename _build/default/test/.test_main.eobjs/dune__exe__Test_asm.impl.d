@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Cpu Insn List Printf Program QCheck QCheck_alcotest Reg X86sim

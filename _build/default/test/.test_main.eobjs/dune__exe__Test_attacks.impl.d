@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Cpu Defenses Layout List Memsentry Mmu Mpk Physmem Printf QCheck QCheck_alcotest String X86sim

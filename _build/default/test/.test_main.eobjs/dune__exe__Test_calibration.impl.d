@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Framework Instr Ir List Memsentry Mpk Ms_util Printf Technique Workloads X86sim

@@ -1,0 +1,1 @@
+test/test_coverage_edges.ml: Alcotest Fault Format Ir List Memsentry Mpk Ms_util String Technique X86sim

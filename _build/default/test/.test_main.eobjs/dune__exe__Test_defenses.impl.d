@@ -1,0 +1,1 @@
+test/test_defenses.ml: Alcotest Attacks Bytes Cpu Defenses Framework Insn Instr Int64 Ir Layout List Memsentry Mmu Mpk Option Physmem Program Reg Safe_region Technique X86sim

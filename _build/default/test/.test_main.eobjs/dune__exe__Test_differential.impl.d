@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Framework Ir List Memsentry Mpk Ms_util Option Printf QCheck QCheck_alcotest Technique X86sim

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Hashtbl Interp Ir Ir_types List Lower Option Pass Pointsto Pointsto_dynamic Printer Printf String Verifier X86sim

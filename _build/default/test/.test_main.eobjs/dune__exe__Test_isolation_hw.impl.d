@@ -1,0 +1,1 @@
+test/test_isolation_hw.ml: Alcotest Array Bytes Char Cpu Ept Fault Insn Layout List Mmu Mpk Mpx Program Reg Sgx_sim Vmx X86sim

@@ -1,0 +1,1 @@
+test/test_memory_system.ml: Alcotest Asm Bytes Cache Cpu Gen Insn Layout List Mmu Pagetable Perf_report Physmem Pipeline QCheck QCheck_alcotest String Tlb Tracer X86sim

@@ -1,0 +1,1 @@
+test/test_multi_domain.ml: Alcotest Attacks Cpu Layout List Memsentry Mmu Multi_domain Printf X86sim

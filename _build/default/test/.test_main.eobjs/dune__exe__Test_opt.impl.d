@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ir List Memsentry Ms_util Printf Prng QCheck QCheck_alcotest Workloads X86sim

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Gen List Ms_util Prng QCheck QCheck_alcotest Stats String Table_fmt

@@ -1,0 +1,1 @@
+test/test_verifier_sandbox.ml: Alcotest Asm Defenses Insn Instr Instr_mpx Instr_sfi Ir Layout List Memsentry Printf Program Sandbox_verifier String Workloads X86sim

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ir List Memsentry Mpk Printf Profile QCheck QCheck_alcotest Runner Servers Spec2006 Synth Workloads X86sim

@@ -1,0 +1,1 @@
+test/test_x86sim.ml: Aesni Alcotest Array Cpu Fault Insn Layout List Mmu Pipeline Printf Program Reg Tlb X86sim

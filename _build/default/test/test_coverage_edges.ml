@@ -1,0 +1,154 @@
+(* Edge coverage for smaller API surfaces: technique metadata, utility
+   functions, the global layout, and printers. *)
+
+open Memsentry
+
+(* --- technique metadata --- *)
+
+let test_technique_metadata_consistency () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Technique.name t ^ " has a name")
+        true
+        (String.length (Technique.name t) > 0);
+      Alcotest.(check bool)
+        (Technique.name t ^ " has availability info")
+        true
+        (String.length (Technique.hardware_since t) > 0))
+    (Technique.all @ [ Technique.Isboxing ]);
+  (* The paper's class split. *)
+  Alcotest.(check bool) "SFI address-based" true
+    (Technique.isolation_class Technique.Sfi = Technique.Address_based);
+  Alcotest.(check bool) "MPK domain-based" true
+    (Technique.isolation_class (Technique.Mpk Mpk.Pkey.No_access) = Technique.Domain_based);
+  (* Privilege requirements (§6.3): VMFUNC needs a hypervisor piece. *)
+  Alcotest.(check bool) "VMFUNC privileged" true
+    (Technique.requires_kernel_or_hypervisor Technique.Vmfunc);
+  Alcotest.(check bool) "MPK pure user-space" false
+    (Technique.requires_kernel_or_hypervisor (Technique.Mpk Mpk.Pkey.No_access));
+  (* Granularities of Table 3. *)
+  Alcotest.(check bool) "MPX byte-granular" true
+    (Technique.granularity Technique.Mpx = Technique.Byte);
+  Alcotest.(check bool) "MPK page-granular" true
+    (Technique.granularity (Technique.Mpk Mpk.Pkey.No_access) = Technique.Page)
+
+(* --- ms_util edges --- *)
+
+let test_prng_chance_extremes () =
+  let t = Ms_util.Prng.create ~seed:1 in
+  Alcotest.(check bool) "p=0 never" false (Ms_util.Prng.chance t 0.0);
+  Alcotest.(check bool) "p=1 always" true (Ms_util.Prng.chance t 1.0);
+  Alcotest.(check bool) "float in range" true
+    (let v = Ms_util.Prng.float t 3.0 in
+     v >= 0.0 && v < 3.0);
+  Alcotest.(check bool) "choose singleton" true (Ms_util.Prng.choose t [| 9 |] = 9);
+  Alcotest.check_raises "choose empty" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Ms_util.Prng.choose t [||]))
+
+let test_prng_split_independence () =
+  let a = Ms_util.Prng.create ~seed:5 in
+  let b = Ms_util.Prng.split a in
+  let xs = List.init 16 (fun _ -> Ms_util.Prng.next_int64 a) in
+  let ys = List.init 16 (fun _ -> Ms_util.Prng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_stats_edges () =
+  Alcotest.check (Alcotest.float 1e-9) "stddev of constant" 0.0 (Ms_util.Stats.stddev [ 4.0; 4.0 ]);
+  Alcotest.(check bool) "stddev positive" true (Ms_util.Stats.stddev [ 1.0; 5.0 ] > 0.0);
+  Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Ms_util.Stats.mean []));
+  Alcotest.check_raises "overhead bad baseline"
+    (Invalid_argument "Stats.overhead: baseline must be positive") (fun () ->
+      ignore (Ms_util.Stats.overhead ~baseline:0.0 ~measured:1.0))
+
+let test_bitops_edges () =
+  Alcotest.check_raises "bits bad range" (Invalid_argument "Bitops.bits: bad range") (fun () ->
+      ignore (Ms_util.Bitops.bits ~lo:5 ~hi:2 0L));
+  Alcotest.(check int64) "of_addr round trip" 0x7FFFL (Ms_util.Bitops.of_addr 0x7FFF)
+
+(* --- glayout --- *)
+
+let test_glayout_find_by_addr () =
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"a" ~size:64 ();
+  Ir.Builder.add_global b ~name:"s" ~size:64 ~sensitive:true ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  Ir.Builder.emit_ret b None;
+  let m = Ir.Builder.finish b in
+  let layout = Ir.Glayout.assign m in
+  let ea = Ir.Glayout.find layout "a" in
+  (match Ir.Glayout.find_by_addr layout (ea.Ir.Glayout.va + 8) with
+  | Some e -> Alcotest.(check string) "hit inside a" "a" e.Ir.Glayout.name
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "miss outside" true
+    (Ir.Glayout.find_by_addr layout 0x7 = None);
+  let es = Ir.Glayout.find layout "s" in
+  Alcotest.(check bool) "sensitive placed above split" true
+    (es.Ir.Glayout.va >= X86sim.Layout.sensitive_base)
+
+(* --- printers --- *)
+
+let test_program_pp () =
+  let prog =
+    X86sim.Asm.parse_program "main:\n  mov rax, 1\n  jmp out\nout:\n  hlt\n"
+  in
+  let s = Format.asprintf "%a" X86sim.Program.pp prog in
+  Alcotest.(check bool) "labels shown" true
+    (let has sub =
+       let n = String.length sub and ls = String.length s in
+       let rec go i = i + n <= ls && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     has "main:" && has "out:" && has "jmp")
+
+let test_fault_to_string () =
+  let open X86sim in
+  let cases =
+    [
+      Fault.Page_fault { va = 0x1000; access = Fault.Write; reason = "x" };
+      Fault.Pkey_violation { va = 0x1000; key = 3; access = Fault.Read };
+      Fault.Ept_violation { gpa = 0x2000; ept_index = 1; access = Fault.Read };
+      Fault.Bound_violation { value = 9; lower = 0; upper = 5; reg = 0 };
+      Fault.Gp_fault "nope";
+      Fault.Undefined "nix";
+    ]
+  in
+  List.iter
+    (fun f -> Alcotest.(check bool) "renders" true (String.length (Fault.to_string f) > 5))
+    cases
+
+let test_reg_names () =
+  Alcotest.(check string) "rax" "rax" (X86sim.Reg.gpr_name X86sim.Reg.rax);
+  Alcotest.(check string) "r15" "r15" (X86sim.Reg.gpr_name X86sim.Reg.r15);
+  Alcotest.check_raises "out of range" (Invalid_argument "Reg.gpr_name: out of range")
+    (fun () -> ignore (X86sim.Reg.gpr_name 16));
+  Alcotest.(check int) "pipe ids dense" X86sim.Reg.pipe_count
+    (X86sim.Reg.pipe_pkru + 1)
+
+let test_pass_without_verification () =
+  (* verify_between:false lets a pass pipeline stage intentionally odd IR. *)
+  let b = Ir.Builder.create () in
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  Ir.Builder.emit_ret b None;
+  let m = Ir.Builder.finish b in
+  let breaking =
+    Ir.Pass.make ~name:"break" (fun m ->
+        match m.Ir.Ir_types.funcs with f :: _ -> f.Ir.Ir_types.blocks <- [] | [] -> ())
+  in
+  let ran = Ir.Pass.run ~verify_between:false [ breaking ] m in
+  Alcotest.(check (list string)) "ran unchecked" [ "break" ] ran
+
+let suite =
+  [
+    Alcotest.test_case "technique metadata" `Quick test_technique_metadata_consistency;
+    Alcotest.test_case "prng chance extremes" `Quick test_prng_chance_extremes;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independence;
+    Alcotest.test_case "stats edges" `Quick test_stats_edges;
+    Alcotest.test_case "bitops edges" `Quick test_bitops_edges;
+    Alcotest.test_case "glayout lookup" `Quick test_glayout_find_by_addr;
+    Alcotest.test_case "program pretty printer" `Quick test_program_pp;
+    Alcotest.test_case "fault rendering" `Quick test_fault_to_string;
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    Alcotest.test_case "pass without verification" `Quick test_pass_without_verification;
+  ]

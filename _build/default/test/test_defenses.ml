@@ -1,0 +1,365 @@
+(* Defense implementations: shadow stack catches return-address smashing,
+   CFI catches control-flow hijacks, CPI annotates via points-to, the
+   DieHard-style allocator protects its metadata, pointer encryption
+   round-trips, and information hiding actually hides. *)
+
+open X86sim
+open Memsentry
+
+let page = Physmem.page_size
+
+let plain insn = { Ir.Lower.item = Program.I insn; cls = Ir.Lower.Plain; safe = false }
+let lbl l = { Ir.Lower.item = Program.Label l; cls = Ir.Lower.Plain; safe = false }
+
+let data_page = Layout.heap_base
+let marker_normal = data_page
+let marker_evil = data_page + 8
+
+(* main calls f; f returns normally (benign) or overwrites its return
+   address to jump to "evil" (attack). *)
+let victim_mitems ~smash =
+  let attack =
+    if smash then
+      [
+        plain (Insn.Mov_label (Reg.rax, Insn.target "evil"));
+        plain (Insn.Store (Insn.mem ~base:Reg.rsp 0, Reg.rax));
+      ]
+    else []
+  in
+  [
+    lbl "main";
+    plain (Insn.Call (Insn.target "fn_f"));
+    plain (Insn.Store_i (Insn.mem_abs marker_normal, 1));
+    plain Insn.Halt;
+    lbl "fn_f";
+    plain (Insn.Alu_ri (Insn.Add, Reg.rbx, 1));
+  ]
+  @ attack
+  @ [ plain Insn.Ret; lbl "evil"; plain (Insn.Store_i (Insn.mem_abs marker_evil, 1)); plain Insn.Halt ]
+
+let lowered_of mitems = { Ir.Lower.mitems; layout = [] }
+
+let run_shadowed ~smash =
+  let cpu = Cpu.create () in
+  Mmu.map_range cpu.Cpu.mmu ~va:data_page ~len:page ~writable:true;
+  let region_va = Layout.sensitive_base + 0x1000_0000 in
+  Mmu.map_range cpu.Cpu.mmu ~va:region_va ~len:Defenses.Shadow_stack.default_region_size
+    ~writable:true;
+  let protected_prog = Defenses.Shadow_stack.apply ~region_va (lowered_of (victim_mitems ~smash)) in
+  Cpu.load_program cpu (Program.assemble (Instr.strip protected_prog.Ir.Lower.mitems));
+  ignore (Cpu.run cpu);
+  ( Mmu.peek64 cpu.Cpu.mmu ~va:marker_normal,
+    Mmu.peek64 cpu.Cpu.mmu ~va:marker_evil,
+    Defenses.Shadow_stack.shadow_depth cpu ~region_va )
+
+let test_shadow_stack_benign () =
+  let normal, evil, depth = run_shadowed ~smash:false in
+  Alcotest.(check int) "normal path ran" 1 normal;
+  Alcotest.(check int) "no hijack" 0 evil;
+  Alcotest.(check int) "shadow balanced" 0 depth
+
+let test_shadow_stack_catches_smash () =
+  (* Unprotected: the hijack succeeds. *)
+  let cpu = Cpu.create () in
+  Mmu.map_range cpu.Cpu.mmu ~va:data_page ~len:page ~writable:true;
+  Cpu.load_program cpu (Program.assemble (Instr.strip (victim_mitems ~smash:true)));
+  ignore (Cpu.run cpu);
+  Alcotest.(check int) "unprotected: hijacked" 1 (Mmu.peek64 cpu.Cpu.mmu ~va:marker_evil);
+  (* Shadow stack: neither path runs — execution stops at the violation stub. *)
+  let normal, evil, _ = run_shadowed ~smash:true in
+  Alcotest.(check int) "hijack blocked" 0 evil;
+  Alcotest.(check int) "and detected before returning" 0 normal
+
+let test_shadow_stack_under_mpk () =
+  (* Shadow stack + MemSentry MPK: semantics preserved, shadow region
+     write-protected against a direct attacker write mid-run. *)
+  let region_va = Layout.sensitive_base + 0x1000_0000 in
+  let base = lowered_of (victim_mitems ~smash:false) in
+  let protected_prog = Defenses.Shadow_stack.apply ~region_va base in
+  let cfg =
+    Framework.config ~switch_policy:Instr.At_safe_accesses (Technique.Mpk Mpk.Pkey.Read_only)
+  in
+  let region = { Safe_region.va = region_va; size = Defenses.Shadow_stack.default_region_size } in
+  let p = Framework.prepare ~extra_regions:[ region ] cfg protected_prog in
+  Mmu.map_range p.Framework.cpu.Cpu.mmu ~va:data_page ~len:page ~writable:true;
+  Alcotest.(check bool) "runs" true (Framework.run p = Cpu.Halted);
+  Alcotest.(check int) "normal path" 1 (Mmu.peek64 p.Framework.cpu.Cpu.mmu ~va:marker_normal);
+  (* Attacker write to the shadow stack from outside the brackets faults. *)
+  let prim = Attacks.Primitives.create p.Framework.cpu in
+  Alcotest.(check bool) "shadow write blocked" false
+    (Attacks.Primitives.try_write prim region_va 0xbad)
+
+(* --- CFI --- *)
+
+let cfi_victim ~corrupt =
+  (* main loads a function pointer from memory and calls it; the attacker
+     may have overwritten the pointer with the address of "evil". *)
+  [
+    lbl "main";
+    plain (Insn.Mov_ri (Reg.rbx, data_page + 16));
+    plain (Insn.Mov_label (Reg.rax, Insn.target (if corrupt then "evil" else "fn_ok")));
+    plain (Insn.Store (Insn.mem ~base:Reg.rbx 0, Reg.rax));
+    plain (Insn.Load (Reg.rax, Insn.mem ~base:Reg.rbx 0));
+    plain (Insn.Call_r Reg.rax);
+    plain Insn.Halt;
+    lbl "fn_ok";
+    plain (Insn.Store_i (Insn.mem_abs marker_normal, 1));
+    plain Insn.Ret;
+    lbl "evil";
+    plain (Insn.Store_i (Insn.mem_abs marker_evil, 1));
+    plain Insn.Ret;
+  ]
+
+let run_cfi ~corrupt =
+  let cpu = Cpu.create () in
+  Mmu.map_range cpu.Cpu.mmu ~va:data_page ~len:page ~writable:true;
+  let region_va = Layout.sensitive_base + 0x2000_0000 in
+  Mmu.map_range cpu.Cpu.mmu ~va:region_va ~len:page ~writable:true;
+  let guarded = Defenses.Cfi.apply ~region_va (lowered_of (cfi_victim ~corrupt)) in
+  Cpu.load_program cpu (Program.assemble (Instr.strip guarded.Ir.Lower.mitems));
+  ignore (Cpu.run cpu);
+  (Mmu.peek64 cpu.Cpu.mmu ~va:marker_normal, Mmu.peek64 cpu.Cpu.mmu ~va:marker_evil)
+
+let test_cfi_allows_valid_target () =
+  let normal, evil = run_cfi ~corrupt:false in
+  Alcotest.(check int) "valid call ran" 1 normal;
+  Alcotest.(check int) "no evil" 0 evil
+
+let test_cfi_blocks_hijack () =
+  (* "evil" is not a function entry in the table (it is a label inside the
+     code, not an fn_ label), so the guard rejects it. *)
+  let normal, evil = run_cfi ~corrupt:true in
+  Alcotest.(check int) "hijack blocked" 0 evil;
+  Alcotest.(check int) "halted at violation" 0 normal
+
+(* --- CPI --- *)
+
+let cpi_module () =
+  let open Ir.Ir_types in
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"fptrs" ~size:64 ();
+  Ir.Builder.add_global b ~name:"data" ~size:64 ();
+  Ir.Builder.start_func b ~name:"cb" ~nparams:0;
+  Ir.Builder.emit_ret b (Some (Const 9));
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let fp = Ir.Builder.emit_addr_of_func b "cb" in
+  let tab = Ir.Builder.emit_addr_of_global b "fptrs" in
+  Ir.Builder.emit_store b ~base:(Var tab) ~offset:0 ~src:(Var fp);
+  let d = Ir.Builder.emit_addr_of_global b "data" in
+  Ir.Builder.emit_store b ~base:(Var d) ~offset:0 ~src:(Const 5);
+  let loaded = Ir.Builder.emit_load b ~base:(Var tab) ~offset:0 in
+  let r = Option.get (Ir.Builder.emit_call_ind b ~dst:true (Var loaded) []) in
+  Ir.Builder.emit_ret b (Some (Var r));
+  Ir.Builder.finish b
+
+let count_safe m =
+  let n = ref 0 in
+  Ir.Ir_types.iter_instrs m (fun _ _ ins -> if ins.Ir.Ir_types.safe_access then incr n);
+  !n
+
+let test_cpi_static_annotates () =
+  let m = cpi_module () in
+  let n = Defenses.Cpi.apply ~pointer_globals:[ "fptrs" ] m in
+  Alcotest.(check bool) "fptrs sensitive" true (Ir.Ir_types.find_global m "fptrs").Ir.Ir_types.sensitive;
+  Alcotest.(check bool) "data not sensitive" false
+    (Ir.Ir_types.find_global m "data").Ir.Ir_types.sensitive;
+  (* store-to-fptrs and load-from-fptrs, but not the data store *)
+  Alcotest.(check int) "two accesses annotated" 2 n;
+  Alcotest.(check int) "marks applied" 2 (count_safe m);
+  (* and the protected module still lowers and runs correctly *)
+  let lowered = Ir.Lower.lower m in
+  let p = Framework.prepare (Framework.config (Technique.Mpk Mpk.Pkey.No_access)) lowered in
+  Alcotest.(check bool) "halted" true (Framework.run p = Cpu.Halted);
+  Alcotest.(check int) "indirect call through safe region" 9
+    (Cpu.get_gpr p.Framework.cpu Reg.rax)
+
+let test_cpi_dynamic_matches_static_here () =
+  let m = cpi_module () in
+  let n = Defenses.Cpi.apply ~analysis:Defenses.Cpi.Dynamic ~pointer_globals:[ "fptrs" ] m in
+  Alcotest.(check int) "same two accesses" 2 n
+
+(* --- DieHard-style allocator --- *)
+
+let with_allocator f =
+  let cpu = Cpu.create () in
+  let a = Safe_region.create_allocator cpu in
+  let meta = Safe_region.alloc a ~size:1024 in
+  let heap = Defenses.Safe_alloc.create cpu ~seed:3 ~slot_size:64 ~slots:64 ~meta_region:meta () in
+  f cpu heap meta
+
+let test_safe_alloc_no_overlap () =
+  with_allocator (fun _ heap _ ->
+      let ptrs = List.init 40 (fun _ -> Defenses.Safe_alloc.malloc heap) in
+      let sorted = List.sort_uniq compare ptrs in
+      Alcotest.(check int) "all distinct" 40 (List.length sorted);
+      List.iter
+        (fun p -> Alcotest.(check bool) "in heap" true (Defenses.Safe_alloc.contains heap p))
+        ptrs;
+      Alcotest.(check int) "live count" 40 (Defenses.Safe_alloc.live_count heap))
+
+let test_safe_alloc_random_placement () =
+  let order seed =
+    let cpu = Cpu.create () in
+    let a = Safe_region.create_allocator cpu in
+    let meta = Safe_region.alloc a ~size:1024 in
+    let heap = Defenses.Safe_alloc.create cpu ~seed ~slot_size:64 ~slots:64 ~meta_region:meta () in
+    List.init 10 (fun _ -> Defenses.Safe_alloc.malloc heap)
+  in
+  Alcotest.(check bool) "seeds give different layouts" true (order 1 <> order 2);
+  Alcotest.(check bool) "same seed deterministic" true (order 5 = order 5)
+
+let test_safe_alloc_errors () =
+  with_allocator (fun _ heap _ ->
+      let p = Defenses.Safe_alloc.malloc heap in
+      Defenses.Safe_alloc.free heap p;
+      Alcotest.(check bool) "double free" true
+        (try
+           Defenses.Safe_alloc.free heap p;
+           false
+         with Defenses.Safe_alloc.Heap_error _ -> true);
+      Alcotest.(check bool) "foreign pointer" true
+        (try
+           Defenses.Safe_alloc.free heap 0x1234;
+           false
+         with Defenses.Safe_alloc.Heap_error _ -> true);
+      (* exhaust *)
+      let rec drain n = if n > 0 then (ignore (Defenses.Safe_alloc.malloc heap); drain (n - 1)) in
+      drain 64;
+      Alcotest.(check bool) "out of memory" true
+        (try
+           ignore (Defenses.Safe_alloc.malloc heap);
+           false
+         with Defenses.Safe_alloc.Heap_error _ -> true))
+
+let test_safe_alloc_metadata_in_region () =
+  with_allocator (fun cpu heap meta ->
+      let p = Defenses.Safe_alloc.malloc heap in
+      let slot = (p - Defenses.Safe_alloc.heap_base heap) / 64 in
+      Alcotest.(check int) "bit set in safe region" 1
+        (Mmu.peek64 cpu.Cpu.mmu ~va:(meta.Safe_region.va + (8 * slot))))
+
+(* --- pointer encryption --- *)
+
+let test_ptr_encrypt_roundtrip () =
+  let cpu = Cpu.create () in
+  let a = Safe_region.create_allocator cpu in
+  let table = Safe_region.alloc a ~size:256 in
+  let pe = Defenses.Ptr_encrypt.create cpu ~seed:21 ~key_table:table () in
+  Alcotest.(check int) "capacity" 32 (Defenses.Ptr_encrypt.capacity pe);
+  let ptr = 0x40_1234 in
+  let c0 = Defenses.Ptr_encrypt.encrypt pe ~slot:0 ptr in
+  let c1 = Defenses.Ptr_encrypt.encrypt pe ~slot:1 ptr in
+  Alcotest.(check bool) "per-slot keys differ" true (c0 <> c1);
+  Alcotest.(check bool) "not identity" true (c0 <> ptr);
+  Alcotest.(check int) "round trip" ptr (Defenses.Ptr_encrypt.decrypt pe ~slot:0 c0);
+  Alcotest.check_raises "slot bounds" (Invalid_argument "Ptr_encrypt: slot out of range")
+    (fun () -> ignore (Defenses.Ptr_encrypt.encrypt pe ~slot:32 ptr))
+
+(* --- info hiding --- *)
+
+let test_info_hiding_places_secret () =
+  let cpu = Cpu.create () in
+  let h = Defenses.Info_hiding.hide cpu ~seed:4 ~entropy_bits:12 ~size:page ~secret:77 () in
+  let lo, hi = Defenses.Info_hiding.probe_space h in
+  Alcotest.(check bool) "inside probe space" true
+    (h.Defenses.Info_hiding.secret_va >= lo && h.Defenses.Info_hiding.secret_va < hi);
+  Alcotest.(check int) "secret planted" 77
+    (Mmu.peek64 cpu.Cpu.mmu ~va:h.Defenses.Info_hiding.secret_va);
+  let h2 = Defenses.Info_hiding.hide cpu ~seed:5 ~entropy_bits:12 ~size:page ~secret:77 () in
+  Alcotest.(check bool) "different seeds, different spots" true
+    (h2.Defenses.Info_hiding.secret_va <> h.Defenses.Info_hiding.secret_va)
+
+(* --- rerandomization --- *)
+
+let test_rerandomize_moves_and_preserves () =
+  let cpu = Cpu.create () in
+  let r = Defenses.Rerandomize.create cpu ~seed:6 ~entropy_bits:12 ~size:page ~secret:0xAA55 () in
+  let before = Defenses.Rerandomize.current_va r in
+  Defenses.Rerandomize.rerandomize r;
+  let after = Defenses.Rerandomize.current_va r in
+  Alcotest.(check bool) "moved" true (after <> before);
+  Alcotest.(check int) "contents follow" 0xAA55 (Mmu.peek64 cpu.Cpu.mmu ~va:after);
+  Alcotest.(check bool) "old spot gone" false (Mmu.is_mapped cpu.Cpu.mmu ~va:before);
+  Alcotest.(check int) "move counted" 1 (Defenses.Rerandomize.moves r)
+
+let test_rerandomize_invalidates_leak_but_loses_race () =
+  let cpu = Cpu.create () in
+  let r = Defenses.Rerandomize.create cpu ~seed:8 ~entropy_bits:12 ~size:page ~secret:0xAA55 () in
+  let prim = Attacks.Primitives.create cpu in
+  let lo, hi = Defenses.Rerandomize.probe_space r in
+  (* Attacker leaks the address... *)
+  let leaked = Option.get (Attacks.Alloc_oracle.locate prim ~lo ~hi) in
+  (* ...the defense moves before use: the leak is stale... *)
+  Defenses.Rerandomize.rerandomize r;
+  Alcotest.(check (option int)) "stale leak faults" None (Attacks.Primitives.try_read prim leaked);
+  (* ...but an attacker that wins the race (re-runs the oracle) still
+     reads the secret: the window never closes, it only narrows. *)
+  let again = Option.get (Attacks.Alloc_oracle.locate prim ~lo ~hi) in
+  Alcotest.(check (option int)) "fresh leak wins" (Some 0xAA55)
+    (Attacks.Primitives.try_read prim again)
+
+(* --- CCFI --- *)
+
+let test_ccfi_seal_roundtrip () =
+  let cpu = Cpu.create () in
+  let c = Defenses.Ccfi.create cpu ~seed:3 () in
+  let ptr = 0x7654 in
+  let sealed = Defenses.Ccfi.seal c ~slot:5 ptr in
+  Alcotest.(check int) "round trip" ptr (Defenses.Ccfi.unseal c ~slot:5 sealed);
+  Alcotest.(check bool) "ciphertext opaque" true
+    (Int64.to_int (Bytes.get_int64_le sealed.Defenses.Ccfi.cipher 0) <> ptr)
+
+let test_ccfi_detects_tamper_and_replay () =
+  let cpu = Cpu.create () in
+  let c = Defenses.Ccfi.create cpu ~seed:3 () in
+  let sealed = Defenses.Ccfi.seal c ~slot:5 0x7654 in
+  (* Replay at a different slot: caught. *)
+  Alcotest.(check bool) "replay caught" true
+    (try
+       ignore (Defenses.Ccfi.unseal c ~slot:6 sealed);
+       false
+     with Defenses.Ccfi.Mac_failure { slot = 6 } -> true);
+  (* Bit-flip in the ciphertext: caught. *)
+  let tampered = Bytes.copy sealed.Defenses.Ccfi.cipher in
+  Bytes.set_uint8 tampered 0 (Bytes.get_uint8 tampered 0 lxor 1);
+  Alcotest.(check bool) "tamper caught" true
+    (try
+       ignore (Defenses.Ccfi.unseal c ~slot:5 { Defenses.Ccfi.cipher = tampered });
+       false
+     with Defenses.Ccfi.Mac_failure _ -> true)
+
+let test_ccfi_keys_differ_per_process () =
+  let cpu = Cpu.create () in
+  let c1 = Defenses.Ccfi.create cpu ~seed:1 () in
+  let c2 = Defenses.Ccfi.create cpu ~seed:2 () in
+  let s1 = Defenses.Ccfi.seal c1 ~slot:0 0x1234 in
+  Alcotest.(check bool) "foreign key rejected" true
+    (try
+       ignore (Defenses.Ccfi.unseal c2 ~slot:0 s1);
+       false
+     with Defenses.Ccfi.Mac_failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "shadow stack: benign" `Quick test_shadow_stack_benign;
+    Alcotest.test_case "shadow stack: catches smash" `Quick test_shadow_stack_catches_smash;
+    Alcotest.test_case "shadow stack under MPK" `Quick test_shadow_stack_under_mpk;
+    Alcotest.test_case "cfi: valid target" `Quick test_cfi_allows_valid_target;
+    Alcotest.test_case "cfi: blocks hijack" `Quick test_cfi_blocks_hijack;
+    Alcotest.test_case "cpi: static annotation" `Quick test_cpi_static_annotates;
+    Alcotest.test_case "cpi: dynamic annotation" `Quick test_cpi_dynamic_matches_static_here;
+    Alcotest.test_case "safe_alloc: no overlap" `Quick test_safe_alloc_no_overlap;
+    Alcotest.test_case "safe_alloc: randomized" `Quick test_safe_alloc_random_placement;
+    Alcotest.test_case "safe_alloc: misuse detection" `Quick test_safe_alloc_errors;
+    Alcotest.test_case "safe_alloc: metadata isolated" `Quick test_safe_alloc_metadata_in_region;
+    Alcotest.test_case "ptr_encrypt round trip" `Quick test_ptr_encrypt_roundtrip;
+    Alcotest.test_case "info hiding placement" `Quick test_info_hiding_places_secret;
+    Alcotest.test_case "rerandomize: moves and preserves" `Quick
+      test_rerandomize_moves_and_preserves;
+    Alcotest.test_case "rerandomize: narrows but keeps the race" `Quick
+      test_rerandomize_invalidates_leak_but_loses_race;
+    Alcotest.test_case "ccfi: seal round-trip" `Quick test_ccfi_seal_roundtrip;
+    Alcotest.test_case "ccfi: tamper and replay detection" `Quick
+      test_ccfi_detects_tamper_and_replay;
+    Alcotest.test_case "ccfi: per-process keys" `Quick test_ccfi_keys_differ_per_process;
+  ]

@@ -1,0 +1,346 @@
+(* The IR layer: builder/verifier, interpreter semantics, static and
+   dynamic points-to, and lowering to the machine (including the
+   equivalence of interpreted and lowered execution). *)
+
+open Ir
+
+(* The IR has no phi / re-assignment of existing vars through Builder, so
+   loops carry state in memory. This builds: out[0] starts 0; loop 10 times
+   adding 3; returns out[0]. *)
+let build_loop_accum () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.add_global b ~name:"out" ~size:64 ();
+  Builder.add_global b ~name:"counter" ~size:64 ();
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let g = Builder.emit_addr_of_global b "out" in
+  let c = Builder.emit_addr_of_global b "counter" in
+  Builder.emit_store b ~base:(Var g) ~offset:0 ~src:(Const 0);
+  Builder.emit_store b ~base:(Var c) ~offset:0 ~src:(Const 0);
+  Builder.emit_br b "loop";
+  Builder.start_block b "loop";
+  let g2 = Builder.emit_addr_of_global b "out" in
+  let c2 = Builder.emit_addr_of_global b "counter" in
+  let acc = Builder.emit_load b ~base:(Var g2) ~offset:0 in
+  let acc' = Builder.emit_binop b Add (Var acc) (Const 3) in
+  Builder.emit_store b ~base:(Var g2) ~offset:0 ~src:(Var acc');
+  let n = Builder.emit_load b ~base:(Var c2) ~offset:0 in
+  let n' = Builder.emit_binop b Add (Var n) (Const 1) in
+  Builder.emit_store b ~base:(Var c2) ~offset:0 ~src:(Var n');
+  Builder.emit_cbr b Lt (Var n') (Const 10) ~if_true:"loop" ~if_false:"done";
+  Builder.start_block b "done";
+  let final = Builder.emit_load b ~base:(Var g2) ~offset:0 in
+  Builder.emit_ret b (Some (Var final));
+  Builder.finish b
+
+let test_verifier_accepts_good_module () =
+  let m = build_loop_accum () in
+  Alcotest.(check (list string)) "no errors" []
+    (List.map Verifier.error_to_string (Verifier.verify m))
+
+let test_verifier_rejects_fallthrough () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.start_func b ~name:"main" ~nparams:0;
+  ignore (Builder.emit_assign b (Const 1));
+  let m = Builder.finish b in
+  Alcotest.(check bool) "fallthrough flagged" true
+    (List.exists (fun e -> e.Verifier.what = "block \"entry\": falls through") (Verifier.verify m))
+
+let test_verifier_rejects_unknown_callee () =
+  let b = Builder.create () in
+  Builder.start_func b ~name:"main" ~nparams:0;
+  ignore (Builder.emit_call b "ghost" []);
+  Builder.emit_ret b None;
+  let m = Builder.finish b in
+  Alcotest.(check bool) "unknown callee" true
+    (List.exists (fun e -> e.Verifier.what = "unknown callee \"ghost\"") (Verifier.verify m))
+
+let test_builder_rejects_duplicates () =
+  let b = Builder.create () in
+  Builder.add_global b ~name:"g" ~size:8 ();
+  Alcotest.check_raises "dup global" (Invalid_argument "Builder.add_global: duplicate \"g\"")
+    (fun () -> Builder.add_global b ~name:"g" ~size:8 ())
+
+let test_interp_loop () =
+  let m = build_loop_accum () in
+  let r = Interp.run m in
+  Alcotest.(check (option int)) "10 * 3" (Some 30) r.Interp.return_value;
+  Alcotest.(check int) "final memory" 30 (Interp.read_word r "out" 0)
+
+let test_interp_call_and_indirect () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.start_func b ~name:"triple" ~nparams:1;
+  let t = Builder.emit_binop b Mul (Var 0) (Const 3) in
+  Builder.emit_ret b (Some (Var t));
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let d = Option.get (Builder.emit_call b ~dst:true "triple" [ Const 5 ]) in
+  let fp = Builder.emit_addr_of_func b "triple" in
+  let d2 = Option.get (Builder.emit_call_ind b ~dst:true (Var fp) [ Var d ]) in
+  Builder.emit_ret b (Some (Var d2));
+  let m = Builder.finish b in
+  let r = Interp.run m in
+  Alcotest.(check (option int)) "3*(3*5)" (Some 45) r.Interp.return_value
+
+let test_interp_out_of_bounds_faults () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.add_global b ~name:"small" ~size:8 ();
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let g = Builder.emit_addr_of_global b "small" in
+  ignore (Builder.emit_load b ~base:(Var g) ~offset:4096);
+  Builder.emit_ret b None;
+  let m = Builder.finish b in
+  Alcotest.(check bool) "faults" true
+    (try
+       ignore (Interp.run m);
+       false
+     with Interp.Interp_fault _ -> true)
+
+let test_interp_fuel () =
+  let b = Builder.create () in
+  Builder.start_func b ~name:"main" ~nparams:0;
+  Builder.emit_br b "spin";
+  Builder.start_block b "spin";
+  Builder.emit_br b "spin";
+  let m = Builder.finish b in
+  Alcotest.(check bool) "runs out" true
+    (try
+       ignore (Interp.run ~fuel:1000 m);
+       false
+     with Interp.Interp_fault _ -> true)
+
+(* Module with one access provably confined to "pub" and one that reads a
+   pointer from memory (Anything). *)
+let build_pointsto_module () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.add_global b ~name:"pub" ~size:64 ();
+  Builder.add_global b ~name:"secret" ~size:64 ~sensitive:true ();
+  Builder.add_global b ~name:"ptrcell" ~size:8 ();
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let p = Builder.emit_addr_of_global b "pub" in
+  Builder.emit_store b ~base:(Var p) ~offset:0 ~src:(Const 1);
+  let exact_store = Builder.last_id b in
+  let cell = Builder.emit_addr_of_global b "ptrcell" in
+  let s = Builder.emit_addr_of_global b "secret" in
+  Builder.emit_store b ~base:(Var cell) ~offset:0 ~src:(Var s);
+  let loaded = Builder.emit_load b ~base:(Var cell) ~offset:0 in
+  ignore (Builder.emit_load b ~base:(Var loaded) ~offset:0);
+  let anything_load = Builder.last_id b in
+  Builder.emit_ret b None;
+  (Builder.finish b, exact_store, anything_load)
+
+let test_static_pointsto () =
+  let m, exact_store, anything_load = build_pointsto_module () in
+  let pt = Pointsto.analyze m in
+  (match Pointsto.access_target pt exact_store with
+  | Some (Pointsto.Objects s) ->
+    Alcotest.(check (list string)) "exact" [ "pub" ] (Pointsto.Obj_set.elements s)
+  | _ -> Alcotest.fail "expected exact object set");
+  (match Pointsto.access_target pt anything_load with
+  | Some Pointsto.Anything -> ()
+  | _ -> Alcotest.fail "pointer loaded from memory should be Anything");
+  (* Conservative: the Anything access must be treated as possibly sensitive. *)
+  Alcotest.(check bool) "flagged sensitive" true
+    (List.mem anything_load (Pointsto.accesses_possibly_sensitive pt m))
+
+let test_dynamic_pointsto_refines_static () =
+  let m, _, anything_load = build_pointsto_module () in
+  let observed = Pointsto_dynamic.profile m in
+  (match Hashtbl.find_opt observed anything_load with
+  | Some s ->
+    Alcotest.(check (list string)) "observed exactly secret" [ "secret" ]
+      (Pointsto.Obj_set.elements s)
+  | None -> Alcotest.fail "access not observed");
+  Alcotest.(check (list int)) "dynamic sensitive set"
+    [ anything_load ]
+    (Pointsto_dynamic.observed_sensitive observed m)
+
+let test_dynamic_pointsto_underapproximates () =
+  (* A branch never taken hides its accesses from the dynamic analysis. *)
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.add_global b ~name:"hot" ~size:8 ();
+  Builder.add_global b ~name:"coldg" ~size:8 ();
+  Builder.start_func b ~name:"main" ~nparams:0;
+  Builder.emit_cbr b Eq (Const 0) (Const 0) ~if_true:"taken" ~if_false:"untaken";
+  Builder.start_block b "taken";
+  let h = Builder.emit_addr_of_global b "hot" in
+  Builder.emit_store b ~base:(Var h) ~offset:0 ~src:(Const 1);
+  Builder.emit_ret b None;
+  Builder.start_block b "untaken";
+  let c = Builder.emit_addr_of_global b "coldg" in
+  Builder.emit_store b ~base:(Var c) ~offset:0 ~src:(Const 1);
+  let cold_store = Builder.last_id b in
+  Builder.emit_ret b None;
+  let m = Builder.finish b in
+  let observed = Pointsto_dynamic.profile m in
+  Alcotest.(check bool) "cold access unobserved" true
+    (Hashtbl.find_opt observed cold_store = None);
+  (* ... but static analysis still knows about it. *)
+  let pt = Pointsto.analyze m in
+  Alcotest.(check bool) "static sees it" true (Pointsto.may_touch pt cold_store "coldg")
+
+(* Lowered execution must agree with the interpreter. *)
+let run_lowered m =
+  let lowered = Lower.lower m in
+  let cpu = X86sim.Cpu.create () in
+  Lower.setup_memory cpu lowered;
+  X86sim.Cpu.load_program cpu (Lower.assemble lowered);
+  match X86sim.Cpu.run cpu with
+  | X86sim.Cpu.Halted -> (cpu, lowered)
+  | X86sim.Cpu.Out_of_fuel -> Alcotest.fail "lowered program out of fuel"
+
+let test_lowered_matches_interp () =
+  let m = build_loop_accum () in
+  let interp_result = Interp.run m in
+  let cpu, lowered = run_lowered m in
+  Alcotest.(check int) "return value in rax"
+    (Option.get interp_result.Interp.return_value)
+    (X86sim.Cpu.get_gpr cpu X86sim.Reg.rax);
+  let out_va = Lower.global_va lowered "out" in
+  Alcotest.(check int) "memory state" 30 (X86sim.Mmu.peek64 cpu.X86sim.Cpu.mmu ~va:out_va)
+
+let test_lowered_calls_and_indirect () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.start_func b ~name:"triple" ~nparams:1;
+  let t = Builder.emit_binop b Mul (Var 0) (Const 3) in
+  Builder.emit_ret b (Some (Var t));
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let d = Option.get (Builder.emit_call b ~dst:true "triple" [ Const 5 ]) in
+  let fp = Builder.emit_addr_of_func b "triple" in
+  let d2 = Option.get (Builder.emit_call_ind b ~dst:true (Var fp) [ Var d ]) in
+  Builder.emit_ret b (Some (Var d2));
+  let m = Builder.finish b in
+  let cpu, _ = run_lowered m in
+  Alcotest.(check int) "45" 45 (X86sim.Cpu.get_gpr cpu X86sim.Reg.rax)
+
+let test_lowered_spills () =
+  (* More live vars than the pool: forces spill slots; result must still
+     be correct, and spill accesses must be classed Spill. *)
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.start_func b ~name:"main" ~nparams:0;
+  let vars = List.init 12 (fun i -> Builder.emit_assign b (Const (i + 1))) in
+  let sum =
+    List.fold_left
+      (fun acc v -> Builder.emit_binop b Add (Var acc) (Var v))
+      (List.hd vars) (List.tl vars)
+  in
+  Builder.emit_ret b (Some (Var sum));
+  let m = Builder.finish b in
+  let lowered = Lower.lower m in
+  let spills =
+    List.length (List.filter (fun mi -> mi.Lower.cls = Lower.Spill) lowered.Lower.mitems)
+  in
+  Alcotest.(check bool) "has spill traffic" true (spills > 0);
+  let cpu, _ = run_lowered m in
+  (* 1+2+..+12 + extra: sum = 1 + 2 + ... + 12 computed as fold from head *)
+  Alcotest.(check int) "sum" 78 (X86sim.Cpu.get_gpr cpu X86sim.Reg.rax)
+
+let test_lowered_never_uses_reserved_scratch () =
+  let m = build_loop_accum () in
+  let lowered = Lower.lower m in
+  List.iter
+    (fun mi ->
+      match mi.Lower.item with
+      | X86sim.Program.I insn ->
+        let s = X86sim.Insn.to_string insn in
+        let contains sub =
+          let n = String.length sub and ls = String.length s in
+          let rec go i = i + n <= ls && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        if contains "r12" || contains "r13" then
+          Alcotest.fail (Printf.sprintf "reserved register used: %s" s)
+      | X86sim.Program.Label _ -> ())
+    lowered.Lower.mitems
+
+let test_data_access_classification () =
+  let m, _, _ = build_pointsto_module () in
+  let lowered = Lower.lower m in
+  let accesses =
+    List.filter (fun mi -> mi.Lower.cls = Lower.Data_access) lowered.Lower.mitems
+  in
+  (* 2 stores + 2 loads in the module *)
+  Alcotest.(check int) "four data accesses" 4 (List.length accesses)
+
+let test_safe_flag_propagates () =
+  let m, exact_store, _ = build_pointsto_module () in
+  Ir_types.mark_safe_access m exact_store;
+  let lowered = Lower.lower m in
+  let safe_accesses =
+    List.filter (fun mi -> mi.Lower.cls = Lower.Data_access && mi.Lower.safe) lowered.Lower.mitems
+  in
+  Alcotest.(check int) "one safe access" 1 (List.length safe_accesses)
+
+let test_pass_manager_order_and_verify () =
+  let m = build_loop_accum () in
+  let ran =
+    Pass.run
+      [
+        Pass.make ~name:"annotate" (fun m -> Ir_types.mark_function_safe m "main");
+        Pass.make ~name:"noop" (fun _ -> ());
+      ]
+      m
+  in
+  Alcotest.(check (list string)) "order" [ "annotate"; "noop" ] ran;
+  let breaking =
+    Pass.make ~name:"breaker" (fun m ->
+        match m.Ir_types.funcs with
+        | f :: _ -> f.Ir_types.blocks <- []
+        | [] -> ())
+  in
+  Alcotest.(check bool) "broken module detected" true
+    (try
+       ignore (Pass.run [ breaking ] m);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sensitive_globals_above_split () =
+  let m, _, _ = build_pointsto_module () in
+  let lowered = Lower.lower m in
+  Alcotest.(check bool) "secret above 64TB" true
+    (Lower.global_va lowered "secret" >= X86sim.Layout.sensitive_base);
+  Alcotest.(check bool) "pub below 64TB" true
+    (Lower.global_va lowered "pub" < X86sim.Layout.sensitive_base)
+
+let test_printer_mentions_annotations () =
+  let m, exact_store, _ = build_pointsto_module () in
+  Ir_types.mark_safe_access m exact_store;
+  let s = Printer.modul_to_string m in
+  Alcotest.(check bool) "prints !safe" true
+    (let n = String.length s in
+     let rec go i = i + 5 <= n && (String.sub s i 5 = "!safe" || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    Alcotest.test_case "verifier accepts good module" `Quick test_verifier_accepts_good_module;
+    Alcotest.test_case "verifier rejects fall-through" `Quick test_verifier_rejects_fallthrough;
+    Alcotest.test_case "verifier rejects unknown callee" `Quick
+      test_verifier_rejects_unknown_callee;
+    Alcotest.test_case "builder rejects duplicates" `Quick test_builder_rejects_duplicates;
+    Alcotest.test_case "interp: loop over memory" `Quick test_interp_loop;
+    Alcotest.test_case "interp: calls and indirect calls" `Quick test_interp_call_and_indirect;
+    Alcotest.test_case "interp: out-of-bounds faults" `Quick test_interp_out_of_bounds_faults;
+    Alcotest.test_case "interp: fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "static points-to" `Quick test_static_pointsto;
+    Alcotest.test_case "dynamic points-to refines static" `Quick
+      test_dynamic_pointsto_refines_static;
+    Alcotest.test_case "dynamic points-to under-approximates" `Quick
+      test_dynamic_pointsto_underapproximates;
+    Alcotest.test_case "lowered matches interp" `Quick test_lowered_matches_interp;
+    Alcotest.test_case "lowered calls" `Quick test_lowered_calls_and_indirect;
+    Alcotest.test_case "lowered spills" `Quick test_lowered_spills;
+    Alcotest.test_case "reserved scratch untouched" `Quick
+      test_lowered_never_uses_reserved_scratch;
+    Alcotest.test_case "data access classification" `Quick test_data_access_classification;
+    Alcotest.test_case "safe flag propagates" `Quick test_safe_flag_propagates;
+    Alcotest.test_case "pass manager" `Quick test_pass_manager_order_and_verify;
+    Alcotest.test_case "sensitive globals above split" `Quick test_sensitive_globals_above_split;
+    Alcotest.test_case "printer annotations" `Quick test_printer_mentions_annotations;
+  ]

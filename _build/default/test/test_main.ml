@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "memsentry"
+    [
+      ("util", Test_util.suite);
+      ("aesni", Test_aesni.suite);
+      ("x86sim", Test_x86sim.suite);
+      ("isolation-hw", Test_isolation_hw.suite);
+      ("ir", Test_ir.suite);
+      ("memsentry", Test_memsentry.suite);
+      ("workloads", Test_workloads.suite);
+      ("defenses", Test_defenses.suite);
+      ("attacks", Test_attacks.suite);
+      ("differential", Test_differential.suite);
+      ("multi-domain", Test_multi_domain.suite);
+      ("asm", Test_asm.suite);
+      ("memory-system", Test_memory_system.suite);
+      ("calibration", Test_calibration.suite);
+      ("sandbox-verifier", Test_verifier_sandbox.suite);
+      ("optimizer", Test_opt.suite);
+      ("fig2-encode", Test_fig2_and_encode.suite);
+      ("edges", Test_coverage_edges.suite);
+    ]

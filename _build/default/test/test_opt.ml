@@ -1,0 +1,167 @@
+(* The IR optimizer: each pass does its job, composed optimization
+   preserves semantics (differentially, against the interpreter and the
+   lowered machine), memory accesses and annotations survive, and
+   optimized workloads still instrument correctly. *)
+
+open Ir.Ir_types
+open Ms_util
+
+let count_instrs m = Ir.Ir_types.instr_count m
+
+(* acc = (3 + 4) * 2 stored to g; plus a dead chain. *)
+let build_foldable () =
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"g" ~size:16 ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let x = Ir.Builder.emit_binop b Add (Const 3) (Const 4) in
+  let y = Ir.Builder.emit_binop b Mul (Var x) (Const 2) in
+  let dead1 = Ir.Builder.emit_binop b Xor (Const 9) (Const 5) in
+  let _dead2 = Ir.Builder.emit_binop b Add (Var dead1) (Const 1) in
+  let g = Ir.Builder.emit_addr_of_global b "g" in
+  Ir.Builder.emit_store b ~base:(Var g) ~offset:0 ~src:(Var y);
+  Ir.Builder.emit_ret b (Some (Var y));
+  Ir.Builder.finish b
+
+let test_constant_fold () =
+  let m = build_foldable () in
+  let n = Ir.Opt.constant_fold m in
+  Alcotest.(check bool) "folded some" true (n >= 2);
+  let r = Ir.Interp.run m in
+  Alcotest.(check (option int)) "still computes 14" (Some 14) r.Ir.Interp.return_value
+
+let test_dce_removes_dead_chain () =
+  let m = build_foldable () in
+  let before = count_instrs m in
+  let stats = Ir.Opt.optimize m in
+  Alcotest.(check bool) "eliminated the dead chain" true (stats.Ir.Opt.eliminated >= 2);
+  Alcotest.(check bool) "module shrank" true (count_instrs m < before);
+  let r = Ir.Interp.run m in
+  Alcotest.(check (option int)) "semantics preserved" (Some 14) r.Ir.Interp.return_value
+
+let test_stores_never_removed () =
+  let m = build_foldable () in
+  ignore (Ir.Opt.optimize m);
+  let stores = ref 0 in
+  Ir.Ir_types.iter_instrs m (fun _ _ ins ->
+      match ins.kind with Store _ -> incr stores | _ -> ());
+  Alcotest.(check int) "store survived" 1 !stores;
+  let r = Ir.Interp.run m in
+  Alcotest.(check int) "memory state intact" 14 (Ir.Interp.read_word r "g" 0)
+
+let test_copy_propagation () =
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"g" ~size:16 ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let x = Ir.Builder.emit_assign b (Const 21) in
+  let y = Ir.Builder.emit_assign b (Var x) in
+  let z = Ir.Builder.emit_binop b Add (Var y) (Var y) in
+  Ir.Builder.emit_ret b (Some (Var z));
+  let m = Ir.Builder.finish b in
+  let p = Ir.Opt.copy_propagate m in
+  Alcotest.(check bool) "propagated" true (p >= 2);
+  let stats = Ir.Opt.optimize m in
+  Alcotest.(check bool) "copies then die" true (stats.Ir.Opt.eliminated >= 1);
+  let r = Ir.Interp.run m in
+  Alcotest.(check (option int)) "42" (Some 42) r.Ir.Interp.return_value
+
+let test_annotations_survive () =
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"s" ~size:16 ~sensitive:true ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let s = Ir.Builder.emit_addr_of_global b "s" in
+  Ir.Builder.emit_store b ~base:(Var s) ~offset:0 ~src:(Const 7);
+  let marked = Ir.Builder.last_id b in
+  Ir.Builder.emit_ret b None;
+  let m = Ir.Builder.finish b in
+  Ir.Ir_types.mark_safe_access m marked;
+  ignore (Ir.Opt.optimize m);
+  let still = ref false in
+  Ir.Ir_types.iter_instrs m (fun _ _ ins ->
+      if ins.id = marked && ins.safe_access then still := true);
+  Alcotest.(check bool) "safe flag survived optimization" true !still
+
+(* Differential: optimization must not change observable behaviour, on the
+   interpreter and through the full lowering + machine pipeline. *)
+let recipe_gen =
+  QCheck.Gen.(map (fun seed -> seed) (int_range 1 1_000_000))
+
+let build_random seed =
+  let rng = Prng.create ~seed in
+  let b = Ir.Builder.create () in
+  Ir.Builder.add_global b ~name:"g" ~size:128 ();
+  Ir.Builder.start_func b ~name:"main" ~nparams:0;
+  let acc = Ir.Builder.emit_assign b (Const (seed land 0xFFF)) in
+  let g = Ir.Builder.emit_addr_of_global b "g" in
+  for _ = 1 to 5 + Prng.int rng 15 do
+    match Prng.int rng 5 with
+    | 0 ->
+      (* foldable constant chain *)
+      let c = Ir.Builder.emit_binop b Add (Const (Prng.int rng 100)) (Const (Prng.int rng 100)) in
+      Ir.Builder.emit_binop_into b acc Add (Var acc) (Var c)
+    | 1 ->
+      (* copy then use *)
+      let c = Ir.Builder.emit_assign b (Var acc) in
+      Ir.Builder.emit_binop_into b acc Xor (Var acc) (Var c)
+    | 2 ->
+      (* dead work *)
+      ignore (Ir.Builder.emit_binop b Mul (Const 3) (Const (Prng.int rng 50)))
+    | 3 -> Ir.Builder.emit_store b ~base:(Var g) ~offset:(8 * Prng.int rng 8) ~src:(Var acc)
+    | _ ->
+      Ir.Builder.emit_load_into b acc ~base:(Var g) ~offset:(8 * Prng.int rng 8);
+      Ir.Builder.emit_binop_into b acc Add (Var acc) (Const 1)
+  done;
+  Ir.Builder.emit_ret b (Some (Var acc));
+  Ir.Builder.finish b
+
+let observe_interp m =
+  let r = Ir.Interp.run m in
+  (r.Ir.Interp.return_value, List.init 8 (fun k -> Ir.Interp.read_word r "g" (8 * k)))
+
+let prop_optimize_preserves_interp =
+  QCheck.Test.make ~name:"optimization preserves interpreter behaviour" ~count:150
+    (QCheck.make ~print:string_of_int recipe_gen) (fun seed ->
+      let plain = observe_interp (build_random seed) in
+      let m = build_random seed in
+      ignore (Ir.Opt.optimize m);
+      observe_interp m = plain)
+
+let prop_optimize_preserves_machine =
+  QCheck.Test.make ~name:"optimized module runs identically on the machine" ~count:40
+    (QCheck.make ~print:string_of_int recipe_gen) (fun seed ->
+      let run m =
+        let lowered = Ir.Lower.lower m in
+        let p = Memsentry.Framework.prepare_baseline lowered in
+        ignore (Memsentry.Framework.run p);
+        X86sim.Cpu.get_gpr p.Memsentry.Framework.cpu X86sim.Reg.rax land 0xFFFFFFFF
+      in
+      let plain = run (build_random seed) in
+      let m = build_random seed in
+      ignore (Ir.Opt.optimize m);
+      run m = plain)
+
+let test_optimizer_shrinks_workloads () =
+  let m = Workloads.Synth.generate ~iterations:3 (Workloads.Spec2006.find "perlbench") in
+  let before = count_instrs m in
+  let stats = Ir.Opt.optimize m in
+  Alcotest.(check bool)
+    (Printf.sprintf "some effect on %d instrs (folded %d, eliminated %d)" before
+       stats.Ir.Opt.folded stats.Ir.Opt.eliminated)
+    true
+    (stats.Ir.Opt.folded + stats.Ir.Opt.propagated + stats.Ir.Opt.eliminated >= 0);
+  (* And the optimized workload still instruments and runs under MPX. *)
+  let lowered = Ir.Lower.lower m in
+  let p = Memsentry.Framework.prepare (Memsentry.Framework.config Memsentry.Technique.Mpx) lowered in
+  Alcotest.(check bool) "instrumented optimized workload runs" true
+    (Memsentry.Framework.run p = X86sim.Cpu.Halted)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_fold;
+    Alcotest.test_case "dead code elimination" `Quick test_dce_removes_dead_chain;
+    Alcotest.test_case "stores never removed" `Quick test_stores_never_removed;
+    Alcotest.test_case "copy propagation" `Quick test_copy_propagation;
+    Alcotest.test_case "annotations survive" `Quick test_annotations_survive;
+    QCheck_alcotest.to_alcotest prop_optimize_preserves_interp;
+    QCheck_alcotest.to_alcotest prop_optimize_preserves_machine;
+    Alcotest.test_case "optimizer + instrumentation" `Quick test_optimizer_shrinks_workloads;
+  ]

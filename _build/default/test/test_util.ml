@@ -1,0 +1,154 @@
+(* ms_util: PRNG determinism, statistics, bit manipulation, table layout. *)
+
+open Ms_util
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams diverge" 0 !same
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_in () =
+  let t = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:3 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let feq = Alcotest.float 1e-9
+
+let test_geomean () =
+  Alcotest.check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check feq "singleton" 3.5 (Stats.geomean [ 3.5 ])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "zero" (Invalid_argument "Stats.geomean: non-positive element")
+    (fun () -> ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_mean_median () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check feq "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.check feq "p100" 100.0 (Stats.percentile 100.0 xs)
+
+let test_overhead () =
+  Alcotest.check feq "ratio" 1.5 (Stats.overhead ~baseline:2.0 ~measured:3.0);
+  Alcotest.check feq "pct" 50.0 (Stats.overhead_pct ~baseline:2.0 ~measured:3.0)
+
+let test_bitops_mask48 () =
+  Alcotest.(check int64) "masks high bits" 0xFFFF_FFFF_FFFFL (Bitops.mask48 (-1L));
+  Alcotest.(check int) "to_addr" 0x1234 (Bitops.to_addr 0x1234L)
+
+let test_bitops_bits () =
+  Alcotest.(check int) "middle field" 0xB (Bitops.bits ~lo:4 ~hi:7 0xABCL);
+  Alcotest.(check int) "low bit" 1 (Bitops.bits ~lo:0 ~hi:0 1L)
+
+let test_bitops_set_get () =
+  let v = Bitops.set_bit 5 true 0L in
+  Alcotest.(check bool) "set" true (Bitops.get_bit 5 v);
+  let v = Bitops.set_bit 5 false v in
+  Alcotest.(check bool) "cleared" false (Bitops.get_bit 5 v)
+
+let test_align () =
+  Alcotest.(check int) "down" 4096 (Bitops.align_down 4096 5000);
+  Alcotest.(check int) "up" 8192 (Bitops.align_up 4096 5000);
+  Alcotest.(check bool) "aligned" true (Bitops.is_aligned 4096 8192);
+  Alcotest.(check bool) "unaligned" false (Bitops.is_aligned 4096 8193)
+
+let test_table_render () =
+  let t = Table_fmt.create [ "name"; "value" ] in
+  Table_fmt.add_row t [ "alpha"; "1" ];
+  Table_fmt.add_sep t;
+  Table_fmt.add_row t [ "geomean"; "2" ];
+  let s = Table_fmt.render t in
+  let lines = String.split_on_char '\n' s in
+  let has_row prefix suffix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix + String.length suffix
+        && String.sub l 0 (String.length prefix) = prefix
+        && String.sub l (String.length l - String.length suffix) (String.length suffix) = suffix)
+      lines
+  in
+  Alcotest.(check bool) "alpha row" true (has_row "alpha" "1");
+  Alcotest.(check bool) "geomean row" true (has_row "geomean" "2");
+  Alcotest.(check int) "two separators" 2
+    (List.length (List.filter (fun l -> String.length l > 0 && l.[0] = '-') lines));
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table_fmt.add_row: too many cells")
+    (fun () -> Table_fmt.add_row t [ "a"; "b"; "c" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "+14.7%" (Table_fmt.cell_pct 1.147);
+  Alcotest.(check string) "x" "20.8x" (Table_fmt.cell_x 20.79);
+  Alcotest.(check string) "f" "1.50" (Table_fmt.cell_f 1.5)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.01 100.0))
+    (fun xs ->
+      let g = Stats.geomean xs in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let prop_align_up_ge =
+  QCheck.Test.make ~name:"align_up result is aligned and >= input" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun x ->
+      let a = Bitops.align_up 64 x in
+      a >= x && Bitops.is_aligned 64 a && a - x < 64)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int_in bounds" `Quick test_prng_int_in;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "geomean rejects <= 0" `Quick test_geomean_rejects_nonpositive;
+    Alcotest.test_case "mean/median" `Quick test_mean_median;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "overhead" `Quick test_overhead;
+    Alcotest.test_case "bitops mask48" `Quick test_bitops_mask48;
+    Alcotest.test_case "bitops bits" `Quick test_bitops_bits;
+    Alcotest.test_case "bitops set/get bit" `Quick test_bitops_set_get;
+    Alcotest.test_case "bitops align" `Quick test_align;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+    QCheck_alcotest.to_alcotest prop_align_up_ge;
+  ]

@@ -1,0 +1,132 @@
+(* The NaCl-style sandbox verifier: instrumented programs verify clean,
+   uninstrumented or tampered ones are rejected, and a defense's own
+   safe-region accesses surface as the audit list. *)
+
+open X86sim
+open Memsentry
+
+let workload () = Workloads.Synth.lowered ~iterations:3 (Workloads.Spec2006.find "gcc")
+
+let instrumented ~policy lowered =
+  let kind = Instr.Reads_and_writes in
+  match policy with
+  | Sandbox_verifier.Sfi_policy ->
+    Instr.address_based ~check:Instr_sfi.check ~kind lowered.Ir.Lower.mitems
+  | Sandbox_verifier.Mpx_policy ->
+    Instr.address_based ~check:Instr_mpx.check ~kind lowered.Ir.Lower.mitems
+  | Sandbox_verifier.Isboxing_policy -> Instr.address_based_lea32 ~kind lowered.Ir.Lower.mitems
+
+let test_instrumented_programs_verify () =
+  List.iter
+    (fun policy ->
+      let prog = Program.assemble (instrumented ~policy (workload ())) in
+      match Sandbox_verifier.verify ~policy prog with
+      | Sandbox_verifier.Clean -> ()
+      | Sandbox_verifier.Violations vs ->
+        Alcotest.fail
+          (Printf.sprintf "expected clean, got %d violations; first: %s" (List.length vs)
+             (List.hd vs).Sandbox_verifier.insn))
+    [ Sandbox_verifier.Sfi_policy; Sandbox_verifier.Mpx_policy; Sandbox_verifier.Isboxing_policy ]
+
+let test_uninstrumented_program_rejected () =
+  let lowered = workload () in
+  let prog = Program.assemble (Instr.strip lowered.Ir.Lower.mitems) in
+  let r = Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog in
+  Alcotest.(check bool) "many violations" true (Sandbox_verifier.violation_count r > 50)
+
+let test_tampered_instrumentation_rejected () =
+  (* Drop exactly one check from an otherwise fully instrumented program:
+     the verifier must find the hole. *)
+  let items = instrumented ~policy:Sandbox_verifier.Mpx_policy (workload ()) in
+  let dropped = ref false in
+  let tampered =
+    List.filter
+      (function
+        | Program.I (Insn.Bndcu _) when not !dropped ->
+          dropped := true;
+          false
+        | _ -> true)
+      items
+  in
+  Alcotest.(check bool) "a check was removed" true !dropped;
+  let r = Sandbox_verifier.verify ~policy:Sandbox_verifier.Mpx_policy (Program.assemble tampered) in
+  Alcotest.(check int) "exactly the hole is reported" 1 (Sandbox_verifier.violation_count r)
+
+let test_mpx_requires_sound_bound () =
+  let prog = Program.assemble (instrumented ~policy:Sandbox_verifier.Mpx_policy (workload ())) in
+  Alcotest.(check bool) "unsound bnd0 rejected" true
+    (try
+       ignore
+         (Sandbox_verifier.verify ~policy:Sandbox_verifier.Mpx_policy
+            ~bnd0_upper:(Layout.sensitive_base + 4096) prog);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shadow_stack_audit_surface () =
+  (* A shadow-stack-protected program instrumented for writes: the only
+     unverified writes must be the shadow-stack's own region accesses. *)
+  let region_va = Layout.sensitive_base + 0x1000_0000 in
+  let lowered =
+    Defenses.Shadow_stack.apply ~region_va
+      (Workloads.Synth.lowered ~iterations:2 (Workloads.Spec2006.find "sjeng"))
+  in
+  let items =
+    Instr.address_based ~check:Instr_sfi.check ~kind:Instr.Writes lowered.Ir.Lower.mitems
+  in
+  let prog = Program.assemble items in
+  match Sandbox_verifier.verify ~kind:Instr.Writes ~policy:Sandbox_verifier.Sfi_policy prog with
+  | Sandbox_verifier.Clean -> Alcotest.fail "expected the shadow accesses to be reported"
+  | Sandbox_verifier.Violations vs ->
+    (* Every reported write must mention the shadow region's address or go
+       through the shadow-stack pointer register (r13). *)
+    List.iter
+      (fun v ->
+        let s = v.Sandbox_verifier.insn in
+        let mentions sub =
+          let n = String.length sub and ls = String.length s in
+          let rec go i = i + n <= ls && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "audit entry is a shadow access: %s" s)
+          true
+          (mentions "r13" || mentions (Printf.sprintf "%#x" region_va)))
+      vs
+
+let test_cross_block_state_reset () =
+  (* A check before a label does not cover an access after it (anything
+     could jump to the label). *)
+  let src =
+    "main:\n\
+    \  mov rbx, 0x10000000\n\
+    \  lea r12, [rbx+8]\n\
+    \  mov r13, 0x3fffffffffff\n\
+    \  and r12, r13\n\
+     spot:\n\
+    \  mov rax, [r12]\n\
+    \  hlt\n"
+  in
+  let prog = Asm.parse_program src in
+  Alcotest.(check int) "verified state dropped at label" 1
+    (Sandbox_verifier.violation_count
+       (Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog))
+
+let test_constant_pointers_accepted () =
+  let src = "main:\n  mov rbx, 0x10000000\n  mov rax, [rbx]\n  mov [0x2000], rax\n  hlt\n" in
+  let prog = Asm.parse_program src in
+  Alcotest.(check int) "constants below the split are fine" 0
+    (Sandbox_verifier.violation_count
+       (Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog))
+
+let suite =
+  [
+    Alcotest.test_case "instrumented programs verify clean" `Quick
+      test_instrumented_programs_verify;
+    Alcotest.test_case "uninstrumented rejected" `Quick test_uninstrumented_program_rejected;
+    Alcotest.test_case "tampered instrumentation rejected" `Quick
+      test_tampered_instrumentation_rejected;
+    Alcotest.test_case "MPX bound soundness enforced" `Quick test_mpx_requires_sound_bound;
+    Alcotest.test_case "shadow stack audit surface" `Quick test_shadow_stack_audit_surface;
+    Alcotest.test_case "state reset across labels" `Quick test_cross_block_state_reset;
+    Alcotest.test_case "constant pointers accepted" `Quick test_constant_pointers_accepted;
+  ]

@@ -1,0 +1,209 @@
+(* The synthetic SPEC-like workload generator and measurement harness. *)
+
+open Workloads
+
+let perl () = Spec2006.find "perlbench"
+
+let test_all_profiles_validate () =
+  Alcotest.(check int) "19 benchmarks" 19 (List.length Spec2006.all);
+  List.iter Profile.validate Spec2006.all
+
+let test_find_by_short_and_long_name () =
+  Alcotest.(check string) "short" "429.mcf" (Spec2006.find "mcf").Profile.name;
+  Alcotest.(check string) "long" "429.mcf" (Spec2006.find "429.mcf").Profile.name;
+  Alcotest.(check bool) "missing" true
+    (try
+       ignore (Spec2006.find "nonesuch");
+       false
+     with Not_found -> true)
+
+let test_generation_deterministic () =
+  let p1 = Ir.Printer.modul_to_string (Synth.generate ~iterations:5 (perl ())) in
+  let p2 = Ir.Printer.modul_to_string (Synth.generate ~iterations:5 (perl ())) in
+  Alcotest.(check bool) "identical modules" true (p1 = p2)
+
+let test_generated_module_verifies () =
+  List.iter
+    (fun prof ->
+      let m = Synth.generate ~iterations:3 prof in
+      Alcotest.(check (list string)) (prof.Profile.name ^ " verifies") []
+        (List.map Ir.Verifier.error_to_string (Ir.Verifier.verify m)))
+    Spec2006.all
+
+let test_workload_terminates_and_counts () =
+  let r = Runner.run_baseline ~iterations:20 (perl ()) in
+  Alcotest.(check bool) "executed work" true (r.Runner.insns > 10_000);
+  Alcotest.(check bool) (Printf.sprintf "plausible ipc %.2f" r.Runner.ipc) true
+    (r.Runner.ipc > 0.2 && r.Runner.ipc < 4.0)
+
+let test_iterations_scale_work () =
+  let a = Runner.run_baseline ~iterations:10 (perl ()) in
+  let b = Runner.run_baseline ~iterations:20 (perl ()) in
+  let ratio = float_of_int b.Runner.insns /. float_of_int a.Runner.insns in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f" ratio) true (ratio > 1.6 && ratio < 2.4)
+
+let test_profile_rates_reflected () =
+  (* Call-heavy profile executes many calls; streaming profile almost none. *)
+  let counts prof =
+    let lowered = Synth.lowered ~iterations:10 prof in
+    let p = Memsentry.Framework.prepare_baseline lowered in
+    ignore (Memsentry.Framework.run p);
+    let c = p.Memsentry.Framework.cpu.X86sim.Cpu.counters in
+    (c.X86sim.Cpu.calls, c.X86sim.Cpu.insns)
+  in
+  let xc, xi = counts (Spec2006.find "xalancbmk") in
+  let lc, li = counts (Spec2006.find "lbm") in
+  let xrate = float_of_int xc /. float_of_int xi
+  and lrate = float_of_int lc /. float_of_int li in
+  Alcotest.(check bool)
+    (Printf.sprintf "xalan %.4f >> lbm %.4f" xrate lrate)
+    true
+    (xrate > 10.0 *. lrate)
+
+let test_sensitive_region_untouched_by_program () =
+  (* The program must never touch its safe region: running under MPK with
+     the region closed must not fault. *)
+  let lowered = Synth.lowered ~iterations:10 (perl ()) in
+  let cfg =
+    Memsentry.Framework.config ~switch_policy:Memsentry.Instr.At_call_ret
+      (Memsentry.Technique.Mpk Mpk.Pkey.No_access)
+  in
+  let p = Memsentry.Framework.prepare cfg lowered in
+  Alcotest.(check bool) "no faults" true (Memsentry.Framework.run p = X86sim.Cpu.Halted)
+
+let test_overheads_sane_and_ordered () =
+  let prof = perl () in
+  let mpx = Runner.overhead_of ~iterations:20 prof (Memsentry.Framework.config Memsentry.Technique.Mpx) in
+  let sfi = Runner.overhead_of ~iterations:20 prof (Memsentry.Framework.config Memsentry.Technique.Sfi) in
+  Alcotest.(check bool) (Printf.sprintf "mpx %.3f >= 1" mpx) true (mpx >= 1.0);
+  Alcotest.(check bool) (Printf.sprintf "mpx %.3f < sfi %.3f" mpx sfi) true (mpx < sfi);
+  Alcotest.(check bool) "sfi below 2x" true (sfi < 2.0)
+
+let test_sweep_and_geomean () =
+  let configs =
+    [
+      ("mpx", Memsentry.Framework.config Memsentry.Technique.Mpx);
+      ("sfi", Memsentry.Framework.config Memsentry.Technique.Sfi);
+    ]
+  in
+  let rows = Runner.sweep ~iterations:8 [ perl (); Spec2006.find "mcf" ] configs in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let geo = Runner.geomean_overheads rows in
+  Alcotest.(check (list string)) "columns" [ "mpx"; "sfi" ] (List.map fst geo);
+  List.iter (fun (_, v) -> Alcotest.(check bool) "geomean >= 1" true (v >= 0.95)) geo
+
+let test_region_size_knob () =
+  let small = Synth.lowered ~iterations:2 ~region_size:16 (perl ()) in
+  let big = Synth.lowered ~iterations:2 ~region_size:1024 (perl ()) in
+  let size l =
+    match Memsentry.Safe_region.of_sensitive_globals l with
+    | [ r ] -> r.Memsentry.Safe_region.size
+    | _ -> Alcotest.fail "expected one region"
+  in
+  Alcotest.(check int) "16" 16 (size small);
+  Alcotest.(check int) "1024" 1024 (size big);
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Synth.generate: region_size must be a positive multiple of 16")
+    (fun () -> ignore (Synth.generate ~region_size:20 (perl ())))
+
+let prop_any_profile_runs =
+  QCheck.Test.make ~name:"random profile variations generate and run" ~count:12
+    QCheck.(
+      quad (int_range 50 400) (int_range 10 200) (int_range 0 30) (int_range 0 300))
+    (fun (loads, stores, call_ret, fp_ops) ->
+      let prof =
+        {
+          Profile.name = "prop";
+          loads;
+          stores;
+          call_ret;
+          indirect = min call_ret 5;
+          syscalls = 0.05;
+          io_bound = false;
+          fp_ops;
+          working_set_bits = 18;
+          dep_chain = Profile.Med_ilp;
+          seed = (loads * 1000) + stores;
+        }
+      in
+      let r = Runner.run_baseline ~iterations:3 prof in
+      r.Runner.insns > 0 && r.Runner.cycles > 0.0)
+
+let test_server_profiles () =
+  Alcotest.(check int) "four servers" 4 (List.length Servers.all);
+  List.iter Profile.validate Servers.all;
+  List.iter
+    (fun prof -> Alcotest.(check bool) (prof.Profile.name ^ " io-bound") true prof.Profile.io_bound)
+    Servers.all;
+  Alcotest.(check string) "find" "redis-like" (Servers.find "redis-like").Profile.name
+
+let test_server_overheads_diluted () =
+  (* The §6 claim, as a test: an I/O-bound server sees materially lower
+     instrumentation overhead than a CPU-bound SPEC benchmark with a
+     similar mix. *)
+  let cfg = Memsentry.Framework.config Memsentry.Technique.Sfi in
+  let server = Runner.overhead_of ~iterations:15 (Servers.find "nginx-like") cfg in
+  let spec = Runner.overhead_of ~iterations:15 (Spec2006.find "perlbench") cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "server %.3f < spec %.3f" server spec)
+    true
+    (server -. 1.0 < (spec -. 1.0) /. 1.5)
+
+let test_io_syscall_costs_more () =
+  let base p = (Runner.run_baseline ~iterations:15 p).Runner.cycles in
+  let io = Servers.find "nginx-like" in
+  let cheap = { io with Profile.io_bound = false; name = "nginx-cheap-sys" } in
+  Alcotest.(check bool) "I/O syscalls dominate" true (base io > 1.3 *. base cheap)
+
+let test_every_profile_matches_its_rates () =
+  (* The generator's contract: executed event densities track the profile,
+     across the whole suite. Machine-level instruction counts run ~1.5-2x
+     the IR-level rates (addressing/lowering overhead), so densities are
+     compared per executed instruction against the profile scaled by the
+     measured expansion, with generous bands. *)
+  List.iter
+    (fun prof ->
+      let lowered = Synth.lowered ~iterations:8 prof in
+      let p = Memsentry.Framework.prepare_baseline lowered in
+      ignore (Memsentry.Framework.run p);
+      let c = p.Memsentry.Framework.cpu.X86sim.Cpu.counters in
+      let per_k n = 1000.0 *. float_of_int n /. float_of_int c.X86sim.Cpu.insns in
+      let name = prof.Profile.name in
+      let check what measured rate ~lo ~hi =
+        if rate > 0 then begin
+          let expected = float_of_int rate in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: %.1f/1k vs profile %d/1k" name what measured rate)
+            true
+            (measured >= lo *. expected && measured <= hi *. expected)
+        end
+      in
+      (* Calls and indirect branches are emitted 1:1 per profile unit. *)
+      check "calls" (per_k c.X86sim.Cpu.calls) prof.Profile.call_ret ~lo:0.3 ~hi:1.8;
+      check "indirect" (per_k c.X86sim.Cpu.ind_branches) prof.Profile.indirect ~lo:0.3 ~hi:2.0;
+      (* Loads include spill/call traffic, so only a lower bound is firm. *)
+      check "loads" (per_k c.X86sim.Cpu.loads) prof.Profile.loads ~lo:0.25 ~hi:2.0;
+      check "stores" (per_k c.X86sim.Cpu.stores) prof.Profile.stores ~lo:0.25 ~hi:3.0;
+      Alcotest.(check int) "no faults" 0 c.X86sim.Cpu.faults)
+    (Spec2006.all @ Servers.all)
+
+let suite =
+  [
+    Alcotest.test_case "profiles validate" `Quick test_all_profiles_validate;
+    Alcotest.test_case "all profiles match their rates" `Slow
+      test_every_profile_matches_its_rates;
+    Alcotest.test_case "server profiles" `Quick test_server_profiles;
+    Alcotest.test_case "server overheads diluted" `Quick test_server_overheads_diluted;
+    Alcotest.test_case "io syscalls cost" `Quick test_io_syscall_costs_more;
+    Alcotest.test_case "find by name" `Quick test_find_by_short_and_long_name;
+    Alcotest.test_case "deterministic generation" `Quick test_generation_deterministic;
+    Alcotest.test_case "generated modules verify" `Quick test_generated_module_verifies;
+    Alcotest.test_case "workload terminates" `Quick test_workload_terminates_and_counts;
+    Alcotest.test_case "iterations scale" `Quick test_iterations_scale_work;
+    Alcotest.test_case "profile rates reflected" `Quick test_profile_rates_reflected;
+    Alcotest.test_case "safe region untouched" `Quick test_sensitive_region_untouched_by_program;
+    Alcotest.test_case "overheads ordered" `Quick test_overheads_sane_and_ordered;
+    Alcotest.test_case "sweep and geomean" `Quick test_sweep_and_geomean;
+    Alcotest.test_case "region size knob" `Quick test_region_size_knob;
+    QCheck_alcotest.to_alcotest prop_any_profile_runs;
+  ]
