@@ -7,7 +7,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|attacks|bechamel|all]\n\
+    "usage: main.exe [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|attacks|bechamel|all]\n\
      \  --iterations N   workload loop iterations (default 40)";
   exit 1
 
@@ -26,12 +26,13 @@ let rec run_target = function
   | "domains" -> Domains.run ()
   | "servers" -> Servers.run ()
   | "codesize" -> Codesize.run ()
+  | "verify" -> Verify_stats.run ()
   | "bechamel" -> Bechamel_suite.run ()
   | "all" ->
     List.iter run_target_unit
       [
         "table1"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "extras";
-        "ablations"; "domains"; "servers"; "codesize"; "attacks";
+        "ablations"; "domains"; "servers"; "codesize"; "verify"; "attacks";
       ]
   | other ->
     Printf.eprintf "unknown target %S\n" other;

@@ -5,6 +5,7 @@
      report             the paper's survey tables (1-3)
      inspect BENCH      generated IR and lowering summary for a workload
      run BENCH          measure one workload under a technique
+     verify BENCH       statically verify instrumented output
      attacks            the threat-model experiment *)
 
 open Cmdliner
@@ -237,6 +238,52 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Run a workload and show the tail of its execution")
     Term.(const run $ bench_arg 0 $ last $ filt)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let run bench technique policy kind iterations lints =
+    let prof = try Workloads.Spec2006.find bench with Not_found ->
+      Printf.eprintf "unknown benchmark %S (try 'list')\n" bench;
+      exit 1
+    in
+    let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+    let lowered = Workloads.Synth.lowered ~iterations prof in
+    let p = Framework.prepare cfg lowered in
+    match Framework.verify_prepared p with
+    | None ->
+      Printf.eprintf "technique %s has no static verification policy\n"
+        (Technique.name technique);
+      exit 1
+    | Some report ->
+      Printf.printf "%s under %s (%s):\n" prof.Workloads.Profile.name
+        (Technique.name technique)
+        (Gate_analysis.policy_name (Option.get (Framework.policy_of_config cfg)));
+      Format.printf "%a" Gate_analysis.pp_report
+        (if lints then report else { report with Gate_analysis.lints = [] });
+      if report.Gate_analysis.violations <> [] then exit 1
+  in
+  let technique =
+    Arg.(value & opt technique_conv Technique.Mpx & info [ "technique"; "t" ] ~docv:"TECH"
+           ~doc:"Isolation technique to instrument with and verify against.")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Instr.At_safe_accesses & info [ "policy"; "p" ] ~docv:"POLICY"
+           ~doc:"Domain-switch policy for domain-based techniques.")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Instr.Reads_and_writes & info [ "kind"; "k" ] ~docv:"KIND"
+           ~doc:"Access kind for address-based techniques (r/w/rw).")
+  in
+  let lints =
+    Arg.(value & flag & info [ "lints" ] ~doc:"Also print non-fatal lint findings.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify a workload's instrumented output (NaCl-style for address-based \
+          techniques, ERIM-style gate integrity for domain-based ones); exit 1 on violations")
+    Term.(const run $ bench_arg 0 $ technique $ policy $ kind $ iterations_arg $ lints)
+
 (* --- attacks --- *)
 
 let attacks_cmd =
@@ -265,4 +312,7 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ list_cmd; report_cmd; inspect_cmd; run_cmd; disasm_cmd; trace_cmd; attacks_cmd ]))
+          [
+            list_cmd; report_cmd; inspect_cmd; run_cmd; disasm_cmd; trace_cmd; verify_cmd;
+            attacks_cmd;
+          ]))

@@ -1,0 +1,268 @@
+open X86sim
+
+type graph = {
+  nnodes : int;
+  entries : int list;
+  succs : int list array;
+  preds : int list array;
+}
+
+let graph ~nnodes ~entries ~succs =
+  let succs = Array.init nnodes succs in
+  let preds = Array.make nnodes [] in
+  Array.iteri (fun u -> List.iter (fun v -> preds.(v) <- u :: preds.(v))) succs;
+  { nnodes; entries; succs; preds }
+
+let reachable g =
+  let seen = Array.make g.nnodes false in
+  let stack = ref g.entries in
+  List.iter (fun e -> seen.(e) <- true) g.entries;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      List.iter
+        (fun s ->
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            stack := s :: !stack
+          end)
+        g.succs.(n)
+  done;
+  seen
+
+(* Iterative postorder DFS (explicit stack: instrumented programs can have
+   thousands of blocks in one chain). *)
+let rpo g =
+  let seen = Array.make g.nnodes false in
+  let order = ref [] in
+  let visit root =
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      (* stack of (node, remaining successors) *)
+      let stack = ref [ (root, g.succs.(root)) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (n, remaining) :: rest -> (
+          match remaining with
+          | [] ->
+            order := n :: !order;
+            stack := rest
+          | s :: more ->
+            stack := (n, more) :: rest;
+            if not seen.(s) then begin
+              seen.(s) <- true;
+              stack := (s, g.succs.(s)) :: !stack
+            end)
+      done
+    end
+  in
+  List.iter visit g.entries;
+  !order
+
+(* Cooper–Harvey–Kennedy iterative dominators, with a virtual root above
+   all entries so multi-entry graphs (call targets, address-taken labels)
+   get a well-defined forest. *)
+let idom g =
+  let root = g.nnodes in
+  let order = root :: rpo g in
+  let pos = Array.make (g.nnodes + 1) max_int in
+  List.iteri (fun i n -> pos.(n) <- i) order;
+  let idoms = Array.make (g.nnodes + 1) (-1) in
+  idoms.(root) <- root;
+  let is_entry = Array.make g.nnodes false in
+  List.iter (fun e -> is_entry.(e) <- true) g.entries;
+  let preds_with_root n = if is_entry.(n) then root :: g.preds.(n) else g.preds.(n) in
+  let rec intersect a b =
+    if a = b then a
+    else if pos.(a) > pos.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> root then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idoms.(p) = -1 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None (preds_with_root n)
+          in
+          match new_idom with
+          | None -> ()
+          | Some d ->
+            if idoms.(n) <> d then begin
+              idoms.(n) <- d;
+              changed := true
+            end
+        end)
+      (List.tl order)
+  done;
+  (* Strip the virtual root: entries and unreachable nodes report -1. *)
+  Array.init g.nnodes (fun n -> if idoms.(n) = root then -1 else idoms.(n))
+
+let dominates idoms a b =
+  let rec walk n = n = a || (idoms.(n) >= 0 && idoms.(n) <> n && walk idoms.(n)) in
+  walk b
+
+let back_edges g =
+  let idoms = idom g in
+  let live = reachable g in
+  let edges = ref [] in
+  Array.iteri
+    (fun u ss ->
+      if live.(u) then
+        List.iter (fun v -> if dominates idoms v u then edges := (u, v) :: !edges) ss)
+    g.succs;
+  List.rev !edges
+
+let solve g ~entry_state ~join ~equal ~transfer =
+  let ins = Array.make g.nnodes None in
+  let outs = Array.make g.nnodes None in
+  let queued = Array.make g.nnodes false in
+  let queue = Queue.create () in
+  let push n =
+    if not queued.(n) then begin
+      queued.(n) <- true;
+      Queue.add n queue
+    end
+  in
+  List.iter
+    (fun e ->
+      ins.(e) <- Some entry_state;
+      push e)
+    g.entries;
+  while not (Queue.is_empty queue) do
+    let n = Queue.take queue in
+    queued.(n) <- false;
+    match ins.(n) with
+    | None -> ()
+    | Some in_n ->
+      let out = transfer n in_n in
+      let out_changed =
+        match outs.(n) with None -> true | Some prev -> not (equal prev out)
+      in
+      if out_changed then begin
+        outs.(n) <- Some out;
+        List.iter
+          (fun s ->
+            let merged = match ins.(s) with None -> out | Some cur -> join cur out in
+            match ins.(s) with
+            | Some cur when equal cur merged -> ()
+            | _ ->
+              ins.(s) <- Some merged;
+              push s)
+          g.succs.(n)
+      end
+  done;
+  ins
+
+(* --- x86 program front end ------------------------------------------- *)
+
+type span = { first : int; last : int }
+
+type prog_cfg = {
+  graph : graph;
+  spans : span array;
+  block_of : int array;
+  prog : Program.t;
+}
+
+let of_program prog =
+  let code = Program.code prog in
+  let n = Array.length code in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  let mark i = if i >= 0 && i < n then leader.(i) <- true in
+  List.iter (fun (_, i) -> mark i) (Program.labels prog);
+  let call_targets = ref [] and taken = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Jmp t ->
+        mark t.Insn.tidx;
+        mark (i + 1)
+      | Insn.Jcc (_, t) ->
+        mark t.Insn.tidx;
+        mark (i + 1)
+      | Insn.Ret | Insn.Halt | Insn.Jmp_r _ -> mark (i + 1)
+      | Insn.Call t ->
+        mark t.Insn.tidx;
+        call_targets := t.Insn.tidx :: !call_targets
+      | Insn.Mov_label (_, t) ->
+        mark t.Insn.tidx;
+        taken := t.Insn.tidx :: !taken
+      | _ -> ())
+    code;
+  (* Block spans from leaders. *)
+  let spans = ref [] in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if leader.(i) then begin
+      spans := { first = !start; last = i - 1 } :: !spans;
+      start := i
+    end
+  done;
+  if n > 0 then spans := { first = !start; last = n - 1 } :: !spans;
+  let spans = Array.of_list (List.rev !spans) in
+  let nblocks = Array.length spans in
+  let block_of = Array.make (max n 1) 0 in
+  Array.iteri
+    (fun b s ->
+      for i = s.first to s.last do
+        block_of.(i) <- b
+      done)
+    spans;
+  let bo i = if i >= 0 && i < n then Some block_of.(i) else None in
+  let succs b =
+    let s = spans.(b) in
+    let fall = bo (s.last + 1) in
+    let targets =
+      match code.(s.last) with
+      | Insn.Jmp t -> [ bo t.Insn.tidx ]
+      | Insn.Jcc (_, t) -> [ bo t.Insn.tidx; fall ]
+      | Insn.Ret | Insn.Halt | Insn.Jmp_r _ -> []
+      | _ -> [ fall ]
+    in
+    List.filter_map Fun.id targets
+  in
+  let entries =
+    if n = 0 then []
+    else
+      List.sort_uniq compare
+        (List.filter_map bo (0 :: List.rev_append !call_targets !taken))
+  in
+  { graph = graph ~nnodes:nblocks ~entries ~succs; spans; block_of; prog }
+
+let insns_of pcfg b =
+  let s = pcfg.spans.(b) in
+  let code = Program.code pcfg.prog in
+  List.init (s.last - s.first + 1) (fun k -> (s.first + k, code.(s.first + k)))
+
+(* --- IR front end ------------------------------------------------------ *)
+
+type func_cfg = { fgraph : graph; fblocks : Ir_types.block array }
+
+let of_func (f : Ir_types.func) =
+  let fblocks = Array.of_list f.Ir_types.blocks in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Ir_types.blabel i) fblocks;
+  let succs i =
+    let b = fblocks.(i) in
+    match List.rev b.Ir_types.instrs with
+    | [] -> []
+    | last :: _ -> (
+      let id l = Hashtbl.find_opt index l in
+      match last.Ir_types.kind with
+      | Ir_types.Br l -> List.filter_map Fun.id [ id l ]
+      | Ir_types.Cbr { if_true; if_false; _ } ->
+        List.filter_map Fun.id [ id if_true; id if_false ]
+      | _ -> [])
+  in
+  let entries = if Array.length fblocks = 0 then [] else [ 0 ] in
+  { fgraph = graph ~nnodes:(Array.length fblocks) ~entries ~succs; fblocks }

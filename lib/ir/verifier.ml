@@ -70,8 +70,13 @@ let verify m =
                 if not (List.mem fn fnames) then
                   err where (Printf.sprintf "unknown function %S" fn)
               | Call { callee; args; dst } ->
-                if not (List.mem callee fnames) then
-                  err where (Printf.sprintf "unknown callee %S" callee);
+                (match List.find_opt (fun f -> f.fname = callee) m.funcs with
+                | None -> err where (Printf.sprintf "unknown callee %S" callee)
+                | Some target ->
+                  if List.length args > target.nparams then
+                    err where
+                      (Printf.sprintf "call to %S passes %d argument(s), callee takes %d"
+                         callee (List.length args) target.nparams));
                 if List.length args > max_params then err where "too many call arguments";
                 List.iter check_value args;
                 Option.iter check_var dst

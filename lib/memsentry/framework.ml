@@ -24,13 +24,35 @@ type prepared = {
   cfg : config;
 }
 
+let policy_of_config cfg =
+  match cfg.technique with
+  | Technique.Sfi -> Some Gate_analysis.Sfi_policy
+  | Technique.Mpx -> Some Gate_analysis.Mpx_policy
+  | Technique.Isboxing -> Some Gate_analysis.Isboxing_policy
+  | Technique.Mpk protection -> Some (Gate_analysis.Mpk_policy protection)
+  | Technique.Vmfunc -> Some Gate_analysis.Vmfunc_policy
+  | Technique.Crypt -> Some Gate_analysis.Crypt_policy
+  | Technique.Mprotect | Technique.Sgx -> None
+
+let verify_prepared p =
+  match policy_of_config p.cfg with
+  | None -> None
+  | Some policy ->
+    let kind =
+      match policy with
+      | Gate_analysis.Sfi_policy | Gate_analysis.Mpx_policy | Gate_analysis.Isboxing_policy ->
+        p.cfg.address_kind
+      | _ -> Instr.Reads_and_writes
+    in
+    Some (Gate_analysis.analyze ~kind ~policy p.program)
+
 let map_regions cpu regions =
   List.iter
     (fun (r : Safe_region.region) ->
       Mmu.map_range cpu.Cpu.mmu ~va:r.Safe_region.va ~len:r.Safe_region.size ~writable:true)
     regions
 
-let prepare ?(extra_regions = []) cfg (lowered : Ir.Lower.t) =
+let prepare ?(extra_regions = []) ?(verify = false) cfg (lowered : Ir.Lower.t) =
   let cpu = Cpu.create () in
   Ir.Lower.setup_memory cpu lowered;
   let regions = Safe_region.of_sensitive_globals lowered @ extra_regions in
@@ -79,7 +101,17 @@ let prepare ?(extra_regions = []) cfg (lowered : Ir.Lower.t) =
         (Technique.name cfg.technique) (List.length regions) (Program.length program)
         (List.length mitems));
   Cpu.load_program cpu program;
-  { cpu; program; regions; hypervisor; cfg }
+  let p = { cpu; program; regions; hypervisor; cfg } in
+  if verify then
+    (match verify_prepared p with
+    | Some { Gate_analysis.violations = _ :: _ as vs; _ } ->
+      invalid_arg
+        (Format.asprintf "Framework.prepare: instrumented output failed verification:@.%a"
+           (Format.pp_print_list (fun fmt (v : Gate_analysis.finding) ->
+                Format.fprintf fmt "  @%d  %s  (%s)" v.index v.insn v.reason))
+           vs)
+    | Some _ | None -> ());
+  p
 
 let prepare_baseline (lowered : Ir.Lower.t) =
   let cpu = Cpu.create () in

@@ -48,10 +48,25 @@ type prepared = {
   cfg : config;
 }
 
-val prepare : ?extra_regions:Safe_region.region list -> config -> Ir.Lower.t -> prepared
+val prepare :
+  ?extra_regions:Safe_region.region list -> ?verify:bool -> config -> Ir.Lower.t -> prepared
 (** Safe regions = the lowered module's sensitive globals plus
     [extra_regions] (which must already be mapped on a fresh CPU — they
-    are re-mapped here). Raises [Invalid_argument] for [Technique.Sgx]. *)
+    are re-mapped here). Raises [Invalid_argument] for [Technique.Sgx].
+
+    With [~verify:true] (default false), the instrumented program is run
+    through {!Gate_analysis} before loading and [Invalid_argument] is
+    raised if it does not verify — the NaCl-style "check the output, not
+    the compiler" deployment mode. *)
+
+val policy_of_config : config -> Gate_analysis.policy option
+(** The verification policy matching a technique; [None] for techniques
+    with nothing to statically verify ([Mprotect], [Sgx]). *)
+
+val verify_prepared : prepared -> Gate_analysis.report option
+(** Statically verify the prepared (already instrumented and assembled)
+    program under {!policy_of_config}. [None] when the technique has no
+    policy. *)
 
 val prepare_baseline : Ir.Lower.t -> prepared
 (** Uninstrumented build on an identical machine (the "1.0" of every

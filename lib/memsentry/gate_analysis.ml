@@ -1,0 +1,492 @@
+open X86sim
+
+type policy =
+  | Sfi_policy
+  | Mpx_policy
+  | Isboxing_policy
+  | Mpk_policy of Mpk.Pkey.protection
+  | Vmfunc_policy
+  | Crypt_policy
+
+let policy_name = function
+  | Sfi_policy -> "sfi"
+  | Mpx_policy -> "mpx"
+  | Isboxing_policy -> "isboxing"
+  | Mpk_policy _ -> "mpk"
+  | Vmfunc_policy -> "vmfunc"
+  | Crypt_policy -> "crypt"
+
+type finding = { index : int; insn : string; reason : string }
+
+type stats = {
+  blocks : int;
+  reachable_blocks : int;
+  checked_accesses : int;
+  proven_gates : int;
+  guarded_transfers : int;
+}
+
+type report = { violations : finding list; lints : finding list; stats : stats }
+
+let max_stack_disp = 4096
+
+(* --- abstract state ---------------------------------------------------- *)
+
+(* Per-register value: a known constant, an unknown-but-confined pointer
+   (below the split), or anything. *)
+type rval = Rtop | Rconst of int | Rconfined
+
+(* Gate state: the pkru value (MPK), the active EPT index (VMFUNC), or the
+   region's decryption state, 0 = encrypted/closed, 1 = plaintext/open
+   (crypt). *)
+type gval = Gconst of int | Gtop
+
+type st = { regs : rval array; bnd0 : bool; gate : gval }
+
+type ctx = {
+  policy : policy;
+  split : int;
+  bnd0_upper : int;
+  kind : Instr.access_kind;
+  mpk_key : int;
+}
+
+let confines ctx imm = imm >= 0 && imm < ctx.split
+
+let confined ctx = function
+  | Rconst c -> confines ctx c
+  | Rconfined -> true
+  | Rtop -> false
+
+let join_rval ctx a b =
+  match (a, b) with
+  | Rtop, _ | _, Rtop -> Rtop
+  | Rconst x, Rconst y when x = y -> a
+  | _ -> if confined ctx a && confined ctx b then Rconfined else Rtop
+
+let join_gval a b = match (a, b) with Gconst x, Gconst y when x = y -> a | _ -> Gtop
+
+let join ctx a b =
+  {
+    regs = Array.init Reg.gpr_count (fun i -> join_rval ctx a.regs.(i) b.regs.(i));
+    bnd0 = a.bnd0 && b.bnd0;
+    gate = join_gval a.gate b.gate;
+  }
+
+let equal_st a b =
+  a.bnd0 = b.bnd0 && a.gate = b.gate
+  && Array.for_all2 (fun x y -> x = y) a.regs b.regs
+
+let address_based = function
+  | Sfi_policy | Mpx_policy | Isboxing_policy -> true
+  | Mpk_policy _ | Vmfunc_policy | Crypt_policy -> false
+
+(* The closed gate value the loader establishes (and calls restore to). *)
+let closed_entry ctx =
+  match ctx.policy with
+  | Mpk_policy protection -> Gconst (Mpk.Pkey.pkru_close ~key:ctx.mpk_key ~protection)
+  | Vmfunc_policy -> Gconst Vmx.Sandbox.nonsensitive_ept
+  | Crypt_policy -> Gconst 0
+  | Sfi_policy | Mpx_policy | Isboxing_policy -> Gtop
+
+let entry_state ctx =
+  { regs = Array.make Reg.gpr_count Rtop; bnd0 = true; gate = closed_entry ctx }
+
+(* Does pkru value [v] keep the safe region protected per the configured
+   level? (AD disables everything; for integrity-only, WD suffices.) *)
+let pkru_protects ~key ~protection v =
+  let ad = v land (1 lsl (2 * key)) <> 0 in
+  let wd = v land (1 lsl ((2 * key) + 1)) <> 0 in
+  match protection with
+  | Mpk.Pkey.No_access -> ad
+  | Mpk.Pkey.Read_only -> ad || wd
+  | Mpk.Pkey.Read_write -> true
+
+let gate_closed ctx = function
+  | Gtop -> false
+  | Gconst v -> (
+    match ctx.policy with
+    | Mpk_policy protection -> pkru_protects ~key:ctx.mpk_key ~protection v
+    | Vmfunc_policy -> v = Vmx.Sandbox.nonsensitive_ept
+    | Crypt_policy -> v = 0
+    | Sfi_policy | Mpx_policy | Isboxing_policy -> true)
+
+(* Provably-open relative to the configured protection level: used for
+   double-open detection (never fires on Gtop — the unknown state was
+   already reported where it arose). *)
+let gate_open ctx = function
+  | Gtop -> false
+  | Gconst v -> (
+    match ctx.policy with
+    | Mpk_policy protection -> not (pkru_protects ~key:ctx.mpk_key ~protection v)
+    | Vmfunc_policy -> v = Vmx.Sandbox.sensitive_ept
+    | Crypt_policy -> v = 1
+    | Sfi_policy | Mpx_policy | Isboxing_policy -> false)
+
+(* --- memory-operand helpers ------------------------------------------- *)
+
+let is_stack (m : Insn.mem) =
+  m.Insn.base = Reg.rsp && m.Insn.index < 0 && m.Insn.disp >= 0
+  && m.Insn.disp <= max_stack_disp
+
+(* Exact effective address, when statically known. *)
+let addr_const st (m : Insn.mem) =
+  if m.Insn.index >= 0 then None
+  else if m.Insn.base < 0 then Some m.Insn.disp
+  else
+    match st.regs.(m.Insn.base) with
+    | Rconst c -> Some (c + m.Insn.disp)
+    | Rconfined | Rtop -> None
+
+(* The address-based acceptance rule (unchanged from the original linear
+   verifier, so the audit surface stays identical): stack traffic, a
+   confined register with no displacement, or a confined absolute
+   address. *)
+let access_ok ctx st (m : Insn.mem) =
+  if is_stack m then true
+  else if m.Insn.base >= 0 && m.Insn.index < 0 && m.Insn.disp = 0 then
+    confined ctx st.regs.(m.Insn.base)
+  else if m.Insn.base < 0 && m.Insn.index < 0 then confines ctx m.Insn.disp
+  else false
+
+let kind_matches ctx insn =
+  match ctx.kind with
+  | Instr.Reads -> Insn.is_mem_read insn
+  | Instr.Writes -> Insn.is_mem_write insn
+  | Instr.Reads_and_writes -> true
+
+(* --- counters collected during the reporting pass ---------------------- *)
+
+type acc = {
+  mutable checked : int;
+  mutable gates : int;
+  mutable transfers : int;
+  mutable viol : finding list;
+  mutable lint : finding list;
+}
+
+let silent () = { checked = 0; gates = 0; transfers = 0; viol = []; lint = [] }
+
+(* --- the per-instruction transfer + check ------------------------------ *)
+
+(* [step] is used twice: silently during the fixpoint, and with a live
+   [acc] during the reporting pass over the solved in-states. *)
+let step ctx ~live acc idx insn st =
+  let flag reason =
+    if live then acc.viol <- { index = idx; insn = Insn.to_string_named insn; reason } :: acc.viol
+  in
+  let lint reason =
+    if live then acc.lint <- { index = idx; insn = Insn.to_string_named insn; reason } :: acc.lint
+  in
+  let count f = if live then f () in
+  (* 1. Check the access against the state before the instruction's own
+     register effects. *)
+  let is_write = function
+    | Insn.Store _ | Insn.Store_i _ | Insn.Movdqa_store _ | Insn.Bndmov_store _ -> true
+    | _ -> false
+  in
+  let is_vector = function
+    | Insn.Movdqa_load _ | Insn.Movdqa_store _ | Insn.Bndmov_load _ | Insn.Bndmov_store _ ->
+      true
+    | _ -> false
+  in
+  let check_access m =
+    if address_based ctx.policy then begin
+      if kind_matches ctx insn then
+        if access_ok ctx st m then begin
+          if not (is_stack m) then count (fun () -> acc.checked <- acc.checked + 1)
+        end
+        else flag "unverified-access: memory access through an unverified pointer"
+    end
+    else
+      (* Domain-based: only accesses with a provably sensitive effective
+         address are constrained — they need an open gate. The crypt
+         gate's own 16-byte AES traffic is exempt (it is the gate). *)
+      match addr_const st m with
+      | Some a when a >= ctx.split && not (is_stack m) -> (
+        match ctx.policy with
+        | Crypt_policy ->
+          if not (is_vector insn) then
+            if st.gate = Gconst 1 then count (fun () -> acc.checked <- acc.checked + 1)
+            else flag "closed-gate-access: safe-region access while the region is encrypted"
+        | Mpk_policy _ -> (
+          match st.gate with
+          | Gconst v ->
+            let ad = v land (1 lsl (2 * ctx.mpk_key)) <> 0 in
+            let wd = v land (1 lsl ((2 * ctx.mpk_key) + 1)) <> 0 in
+            if ad || (is_write insn && wd) then
+              flag "closed-gate-access: safe-region access with the pkru gate closed"
+            else count (fun () -> acc.checked <- acc.checked + 1)
+          | Gtop -> flag "closed-gate-access: safe-region access with unproven pkru state")
+        | Vmfunc_policy ->
+          if st.gate = Gconst Vmx.Sandbox.sensitive_ept then
+            count (fun () -> acc.checked <- acc.checked + 1)
+          else flag "closed-gate-access: safe-region access outside the sensitive EPT"
+        | Sfi_policy | Mpx_policy | Isboxing_policy -> ())
+      | _ -> ()
+  in
+  (match insn with
+  | Insn.Load (_, m)
+  | Insn.Store (m, _)
+  | Insn.Store_i (m, _)
+  | Insn.Movdqa_load (_, m)
+  | Insn.Movdqa_store (m, _)
+  | Insn.Bndmov_store (m, _)
+  | Insn.Bndmov_load (_, m) -> check_access m
+  | _ -> ());
+  (* A control transfer may not leave the gate open (ERIM's rule). *)
+  let check_transfer what =
+    if not (address_based ctx.policy) then
+      if gate_closed ctx st.gate then count (fun () -> acc.transfers <- acc.transfers + 1)
+      else flag (Printf.sprintf "open-gate-at-%s: gate not closed on a path reaching %s" what what)
+  in
+  (* 2. Transfer. *)
+  let st = { st with regs = Array.copy st.regs } in
+  let set r v = if r >= 0 then st.regs.(r) <- v in
+  let havoc_all () = Array.fill st.regs 0 Reg.gpr_count Rtop in
+  match insn with
+  | Insn.Mov_ri (d, imm) ->
+    set d (Rconst imm);
+    st
+  | Insn.Mov_rr (d, s) ->
+    set d st.regs.(s);
+    st
+  | Insn.Lea (d, _) ->
+    set d Rtop;
+    st
+  | Insn.Lea32 (d, _) ->
+    (* 32-bit effective addresses are below any realistic split. *)
+    set d (if ctx.policy = Isboxing_policy && ctx.split > 0x1_0000_0000 then Rconfined else Rtop);
+    st
+  | Insn.Load (d, _) | Insn.Pop d | Insn.Movq_rx (d, _) | Insn.Mov_label (d, _) ->
+    set d Rtop;
+    st
+  | Insn.Rdpkru ->
+    set Reg.rax Rtop;
+    st
+  | Insn.Alu_rr (Insn.And, d, s) ->
+    (* Masking with a confining nonnegative constant confines the result. *)
+    set d
+      (match st.regs.(s) with Rconst m when confines ctx m -> Rconfined | _ -> Rtop);
+    st
+  | Insn.Alu_ri (Insn.And, d, imm) ->
+    set d (if confines ctx imm then Rconfined else Rtop);
+    st
+  | Insn.Alu_rr (_, d, _) | Insn.Alu_ri (_, d, _) ->
+    set d Rtop;
+    st
+  | Insn.Bndcu (0, r) ->
+    (* A survived bndcu proves r <= bnd0_upper < split — if bnd0 still
+       holds the loader's bound. *)
+    if ctx.policy = Mpx_policy && st.bnd0 then set r Rconfined;
+    st
+  | Insn.Bndcu _ | Insn.Bndcl _ -> st
+  | Insn.Bnd_set (b, _, hi) -> if b = 0 then { st with bnd0 = hi <= ctx.bnd0_upper } else st
+  | Insn.Bndmov_load (b, _) -> if b = 0 then { st with bnd0 = false } else st
+  | Insn.Bndmov_store _ -> st
+  | Insn.Wrpkru -> (
+    match ctx.policy with
+    | Mpk_policy protection -> (
+      (match (st.regs.(Reg.rcx), st.regs.(Reg.rdx)) with
+      | Rconst 0, Rconst 0 -> ()
+      | _ -> flag "unproven-wrpkru: rcx and rdx are not provably zero");
+      match st.regs.(Reg.rax) with
+      | Rconst v ->
+        let opening = not (pkru_protects ~key:ctx.mpk_key ~protection v) in
+        if opening && gate_open ctx st.gate then
+          flag "double-open: wrpkru opens an already-open gate";
+        count (fun () -> acc.gates <- acc.gates + 1);
+        { st with gate = Gconst v }
+      | Rconfined | Rtop ->
+        flag "unproven-wrpkru: eax value not statically known";
+        { st with gate = Gtop })
+    | _ -> st)
+  | Insn.Vmfunc -> (
+    match ctx.policy with
+    | Vmfunc_policy -> (
+      (match st.regs.(Reg.rax) with
+      | Rconst 0 -> ()
+      | _ -> flag "unproven-vmfunc: eax is not provably 0");
+      match st.regs.(Reg.rcx) with
+      | Rconst idx ->
+        if idx = Vmx.Sandbox.sensitive_ept && gate_open ctx st.gate then
+          flag "double-open: vmfunc switches to the sensitive EPT twice";
+        count (fun () -> acc.gates <- acc.gates + 1);
+        { st with gate = Gconst idx }
+      | Rconfined | Rtop ->
+        flag "unproven-vmfunc: ecx EPT index not statically known";
+        { st with gate = Gtop })
+    | _ -> st)
+  | Insn.Aesdeclast _ when ctx.policy = Crypt_policy ->
+    if st.gate = Gconst 1 then lint "re-decrypt: aesdeclast while the region is already plaintext"
+    else count (fun () -> acc.gates <- acc.gates + 1);
+    { st with gate = Gconst 1 }
+  | Insn.Aesenclast _ when ctx.policy = Crypt_policy ->
+    if gate_open ctx st.gate then count (fun () -> acc.gates <- acc.gates + 1);
+    { st with gate = Gconst 0 }
+  | Insn.Syscall ->
+    check_transfer "syscall";
+    (* Kernel may write rax; it preserves pkru/EPT state. *)
+    set Reg.rax Rtop;
+    st
+  | Insn.Call _ | Insn.Call_r _ | Insn.Vmcall ->
+    check_transfer (match insn with Insn.Vmcall -> "vmcall" | _ -> "call");
+    (* Callee is a black box for register facts; verified callees restore
+       a closed gate before returning (checked at their rets). *)
+    havoc_all ();
+    { st with gate = closed_entry ctx }
+  | Insn.Ret ->
+    check_transfer "ret";
+    st
+  | Insn.Jmp_r _ ->
+    check_transfer "indirect-jump";
+    st
+  | Insn.Jmp _ | Insn.Jcc _ -> st
+  | Insn.Cpuid ->
+    havoc_all ();
+    st
+  | Insn.Store _ | Insn.Store_i _ | Insn.Push _ | Insn.Movdqa_load _ | Insn.Movdqa_store _
+  | Insn.Movq_xr _ | Insn.Pxor _ | Insn.Aesenc _ | Insn.Aesenclast _ | Insn.Aesdec _
+  | Insn.Aesdeclast _ | Insn.Aeskeygenassist _ | Insn.Aesimc _ | Insn.Vext_high _
+  | Insn.Vins_high _ | Insn.Fp_arith _ | Insn.Nop | Insn.Halt | Insn.Mfence | Insn.Cmp_rr _
+  | Insn.Cmp_ri _ | Insn.Test_rr _ -> st
+
+let is_gate_insn = function
+  | Insn.Wrpkru | Insn.Vmfunc | Insn.Bndcu _ | Insn.Bndcl _ | Insn.Aesenclast _
+  | Insn.Aesdeclast _ -> true
+  | Insn.Alu_ri (Insn.And, _, _) | Insn.Alu_rr (Insn.And, _, _) -> true
+  | _ -> false
+
+(* --- the analysis ------------------------------------------------------ *)
+
+let analyze ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~policy prog =
+  let split = Option.value split ~default:Layout.sensitive_base in
+  let bnd0_upper = Option.value bnd0_upper ~default:(split - 1) in
+  if policy = Mpx_policy && bnd0_upper >= split then
+    invalid_arg "Gate_analysis.analyze: bnd0 bound does not confine to the split";
+  let ctx = { policy; split; bnd0_upper; kind; mpk_key } in
+  let pcfg = Ir.Cfg.of_program prog in
+  let g = pcfg.Ir.Cfg.graph in
+  let nblocks = g.Ir.Cfg.nnodes in
+  let block_step ~live acc b st =
+    List.fold_left (fun st (idx, insn) -> step ctx ~live acc idx insn st) st
+      (Ir.Cfg.insns_of pcfg b)
+  in
+  let mute = silent () in
+  let ins =
+    Ir.Cfg.solve g ~entry_state:(entry_state ctx) ~join:(join ctx) ~equal:equal_st
+      ~transfer:(fun b st -> block_step ~live:false mute b st)
+  in
+  (* Reporting pass over the fixpoint. *)
+  let acc = silent () in
+  let outs = Array.make nblocks None in
+  let reachable_blocks = ref 0 in
+  Array.iteri
+    (fun b in_st ->
+      match in_st with
+      | Some st ->
+        incr reachable_blocks;
+        outs.(b) <- Some (block_step ~live:true acc b st)
+      | None ->
+        let span = pcfg.Ir.Cfg.spans.(b) in
+        let code = Program.code prog in
+        let has_gate = ref false in
+        for i = span.Ir.Cfg.first to span.Ir.Cfg.last do
+          if is_gate_insn code.(i) then has_gate := true
+        done;
+        acc.lint <-
+          {
+            index = span.Ir.Cfg.first;
+            insn = Insn.to_string_named code.(span.Ir.Cfg.first);
+            reason =
+              (if !has_gate then
+                 "unreachable-gate-code: block containing gate/check instructions is unreachable"
+               else "unreachable-code: block is unreachable from any entry point");
+          }
+          :: acc.lint)
+    ins;
+  (* Gates straddling loop back-edges. *)
+  if not (address_based policy) then
+    List.iter
+      (fun (u, _) ->
+        match outs.(u) with
+        | Some out when gate_open ctx out.gate ->
+          let span = pcfg.Ir.Cfg.spans.(u) in
+          acc.lint <-
+            {
+              index = span.Ir.Cfg.last;
+              insn = Insn.to_string_named (Program.code prog).(span.Ir.Cfg.last);
+              reason = "gate-across-back-edge: gate held open across a loop back-edge";
+            }
+            :: acc.lint
+        | _ -> ())
+      (Ir.Cfg.back_edges g);
+  {
+    violations = List.rev acc.viol;
+    lints = List.rev acc.lint;
+    stats =
+      {
+        blocks = nblocks;
+        reachable_blocks = !reachable_blocks;
+        checked_accesses = acc.checked;
+        proven_gates = acc.gates;
+        guarded_transfers = acc.transfers;
+      };
+  }
+
+(* --- IR-level instrumentation lints ------------------------------------ *)
+
+let lint_module (m : Ir.Ir_types.modul) =
+  let open Ir.Ir_types in
+  let pt = Ir.Pointsto.analyze m in
+  let sensitive = List.filter_map (fun g -> if g.sensitive then Some g.gname else None) m.globals in
+  let findings = ref [] in
+  let add id instr reason =
+    findings := { index = id; insn = Ir.Printer.instr_to_string instr; reason } :: !findings
+  in
+  iter_instrs m (fun _ _ instr ->
+      match instr.kind with
+      | Load _ | Store _ ->
+        let may = List.exists (fun g -> Ir.Pointsto.may_touch pt instr.id g) sensitive in
+        if may && not instr.safe_access then
+          add instr.id instr
+            "unannotated-sensitive-access: points-to says this access may touch a safe region \
+             but it carries no safe_access annotation"
+        else if (not may) && instr.safe_access then
+          add instr.id instr
+            "redundant-annotation: access marked safe_access but points-to proves it cannot \
+             touch a sensitive global"
+      | _ -> ());
+  (* Unreachable IR blocks never get their instrumentation exercised. *)
+  List.iter
+    (fun f ->
+      let fcfg = Ir.Cfg.of_func f in
+      let live = Ir.Cfg.reachable fcfg.Ir.Cfg.fgraph in
+      Array.iteri
+        (fun i b ->
+          if not live.(i) then
+            match b.instrs with
+            | instr :: _ ->
+              add instr.id instr
+                (Printf.sprintf
+                   "unreachable-code: block %S of %S is unreachable from the function entry"
+                   b.blabel f.fname)
+            | [] -> ())
+        fcfg.Ir.Cfg.fblocks)
+    m.funcs;
+  List.rev !findings
+
+let pp_report fmt r =
+  let s = r.stats in
+  Format.fprintf fmt "%d/%d blocks reachable; %d accesses checked, %d gates proven, %d transfers guarded@."
+    s.reachable_blocks s.blocks s.checked_accesses s.proven_gates s.guarded_transfers;
+  (match r.violations with
+  | [] -> Format.fprintf fmt "no violations@."
+  | vs ->
+    Format.fprintf fmt "%d violation(s):@." (List.length vs);
+    List.iter (fun v -> Format.fprintf fmt "  @%d  %s  (%s)@." v.index v.insn v.reason) vs);
+  match r.lints with
+  | [] -> ()
+  | ls ->
+    Format.fprintf fmt "%d lint(s):@." (List.length ls);
+    List.iter (fun v -> Format.fprintf fmt "  @%d  %s  (%s)@." v.index v.insn v.reason) ls

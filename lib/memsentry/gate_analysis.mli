@@ -1,0 +1,88 @@
+(** Gate-soundness static analysis of instrumented programs.
+
+    A forward abstract interpretation over the {!Ir.Cfg} of an assembled
+    program, with one abstract domain per isolation technique. Facts are
+    joined across control-flow edges (a check in one block covers the
+    blocks it dominates), replacing the older per-label state reset that
+    rejected valid cross-block instrumentation.
+
+    {b Address-based} policies (SFI / MPX / ISBoxing) track, per general
+    register, whether it provably holds a pointer confined to the
+    nonsensitive partition: a known constant below the split, the result
+    of masking with a confining constant, or a pointer that survived a
+    [bndcu] against a sound bound. Every matching data access must be
+    confined (NaCl-style, paper §7).
+
+    {b Domain-based} policies prove ERIM-style {e gate integrity}: the
+    abstract gate state (the [pkru] value for MPK, the active EPT index
+    for VMFUNC, the region's encryption state for crypt) must be {e
+    closed} on every path reaching a [call]/[ret]/[syscall]/indirect
+    branch, gates may not be double-opened, gate instructions must have
+    statically-known operands, and any access with a provably sensitive
+    effective address must execute under an open gate.
+
+    Function bodies entered only through [call] (direct targets and
+    address-taken labels) are verified under a havocked register state
+    with a closed gate — the assume/guarantee counterpart of checking
+    closure at every transfer. *)
+
+open X86sim
+
+type policy =
+  | Sfi_policy
+  | Mpx_policy
+  | Isboxing_policy
+  | Mpk_policy of Mpk.Pkey.protection
+      (** closed state must disable the safe-region key per the
+          protection level *)
+  | Vmfunc_policy
+  | Crypt_policy
+
+val policy_name : policy -> string
+
+type finding = { index : int; insn : string; reason : string }
+(** [index] is an instruction index ({!analyze}) or an IR instruction id
+    ({!lint_module}); [reason] starts with a stable kebab-case tag, e.g.
+    ["open-gate-at-ret"] or ["double-open"]. *)
+
+type stats = {
+  blocks : int;  (** basic blocks in the CFG *)
+  reachable_blocks : int;
+  checked_accesses : int;  (** accesses proven confined / correctly gated *)
+  proven_gates : int;  (** gate transitions with statically-known operands *)
+  guarded_transfers : int;  (** control transfers proven to run gate-closed *)
+}
+
+type report = { violations : finding list; lints : finding list; stats : stats }
+
+val max_stack_disp : int
+(** rsp-relative displacements up to this bound count as spill traffic. *)
+
+val analyze :
+  ?split:int ->
+  ?bnd0_upper:int ->
+  ?kind:Instr.access_kind ->
+  ?mpk_key:int ->
+  policy:policy ->
+  Program.t ->
+  report
+(** [split] defaults to {!X86sim.Layout.sensitive_base}; addresses at or
+    above it are the safe partition. [bnd0_upper] is the bound the loader
+    puts in bnd0 (default [split - 1]; must be [< split] for MPX —
+    [Invalid_argument] otherwise). [kind] restricts which accesses the
+    address-based policies must confine (default all). [mpk_key] is the
+    protection key guarding the safe region (default 1, matching
+    {!Instr_mpk.setup}).
+
+    Violations are fatal soundness holes. Lints are non-fatal findings:
+    unreachable (gate) code, gates held open across loop back-edges, and
+    redundant re-encryption/re-decryption. *)
+
+val lint_module : Ir.Ir_types.modul -> finding list
+(** IR-level instrumentation lints, keyed by instruction id: accesses the
+    points-to analysis says may touch a sensitive global but that carry no
+    [safe_access] annotation (they would fault under instrumentation), and
+    annotated accesses points-to proves can never touch one (wasted
+    gates); plus unreachable IR blocks. *)
+
+val pp_report : Format.formatter -> report -> unit

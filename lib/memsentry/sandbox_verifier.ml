@@ -1,122 +1,26 @@
-open X86sim
+type policy = Gate_analysis.policy =
+  | Sfi_policy
+  | Mpx_policy
+  | Isboxing_policy
+  | Mpk_policy of Mpk.Pkey.protection
+  | Vmfunc_policy
+  | Crypt_policy
 
-type policy = Sfi_policy | Mpx_policy | Isboxing_policy
-
-type violation = { index : int; insn : string; reason : string }
+type violation = Gate_analysis.finding = {
+  index : int;
+  insn : string;
+  reason : string;
+}
 
 type result = Clean | Violations of violation list
 
-(* Abstract register state. [Holds_mask] marks a register that provably
-   contains the partition mask constant; [Confined] a register that
-   provably holds a pointer below the split. *)
-type aval = Unknown | Holds_mask | Confined
+let verify_report ?split ?bnd0_upper ?kind ?mpk_key ~policy prog =
+  Gate_analysis.analyze ?split ?bnd0_upper ?kind ?mpk_key ~policy prog
 
-let max_stack_disp = 4096
-
-let verify ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ~policy prog =
-  let split = Option.value split ~default:Layout.sensitive_base in
-  let bnd0_upper = Option.value bnd0_upper ~default:(split - 1) in
-  if policy = Mpx_policy && bnd0_upper >= split then
-    invalid_arg "Sandbox_verifier.verify: bnd0 bound does not confine to the split";
-  let code = Program.code prog in
-  let label_indices =
-    List.fold_left (fun acc (_, i) -> i :: acc) [] (Program.labels prog)
-  in
-  let is_label_target = Array.make (Array.length code + 1) false in
-  List.iter (fun i -> if i <= Array.length code then is_label_target.(i) <- true) label_indices;
-  let state = Array.make Reg.gpr_count Unknown in
-  let reset () = Array.fill state 0 Reg.gpr_count Unknown in
-  let violations = ref [] in
-  let report index insn reason =
-    violations := { index; insn = Insn.to_string_named insn; reason } :: !violations
-  in
-  let confines_mask imm = imm >= 0 && imm < split in
-  (* Is [m] an acceptable stack access? *)
-  let is_stack (m : Insn.mem) =
-    m.Insn.base = Reg.rsp && m.Insn.index < 0 && m.Insn.disp >= 0
-    && m.Insn.disp <= max_stack_disp
-  in
-  (* Is [m] verified under the current abstract state? *)
-  let access_ok (m : Insn.mem) =
-    if is_stack m then true
-    else if m.Insn.base >= 0 && m.Insn.index < 0 && m.Insn.disp = 0 then
-      state.(m.Insn.base) = Confined
-    else if m.Insn.base < 0 && m.Insn.index < 0 then
-      (* absolute address *)
-      confines_mask m.Insn.disp
-    else false
-  in
-  let kind_matches insn =
-    match kind with
-    | Instr.Reads -> Insn.is_mem_read insn
-    | Instr.Writes -> Insn.is_mem_write insn
-    | Instr.Reads_and_writes -> true
-  in
-  let check_access idx insn m =
-    if kind_matches insn && not (access_ok m) then
-      report idx insn "memory access through an unverified pointer"
-  in
-  let clobber r = if r >= 0 then state.(r) <- Unknown in
-  let step idx (insn : Insn.t) =
-    (* Accesses are checked against the state *before* the instruction's
-       own register effects. *)
-    (match insn with
-    | Insn.Load (_, m)
-    | Insn.Store (m, _)
-    | Insn.Store_i (m, _)
-    | Insn.Movdqa_load (_, m)
-    | Insn.Movdqa_store (m, _)
-    | Insn.Bndmov_store (m, _)
-    | Insn.Bndmov_load (_, m) -> check_access idx insn m
-    | _ -> ());
-    (* Transfer function. *)
-    match insn with
-    | Insn.Mov_ri (d, imm) ->
-      state.(d) <-
-        (if imm = Layout.sfi_mask && Layout.sfi_mask < split then Holds_mask
-         else if confines_mask imm then Confined
-         else Unknown)
-    | Insn.Mov_rr (d, s) -> state.(d) <- state.(s)
-    | Insn.Lea (d, _) -> clobber d
-    | Insn.Lea32 (d, _) ->
-      (* 32-bit effective addresses are below any realistic split. *)
-      state.(d) <- (if policy = Isboxing_policy && split > 0x1_0000_0000 then Confined else Unknown)
-    | Insn.Load (d, _) | Insn.Pop d | Insn.Movq_rx (d, _) | Insn.Mov_label (d, _) -> clobber d
-    | Insn.Rdpkru -> clobber Reg.rax
-    | Insn.Alu_rr (Insn.And, d, s) ->
-      if policy = Sfi_policy && state.(s) = Holds_mask then state.(d) <- Confined
-      else clobber d
-    | Insn.Alu_ri (Insn.And, d, imm) ->
-      if policy = Sfi_policy && confines_mask imm && imm >= 0 then state.(d) <- Confined
-      else clobber d
-    | Insn.Alu_rr (_, d, _) | Insn.Alu_ri (_, d, _) -> clobber d
-    | Insn.Bndcu (0, r) ->
-      (* A survived bndcu proves r <= bnd0_upper < split. *)
-      if policy = Mpx_policy then state.(r) <- Confined
-    | Insn.Bndcu _ | Insn.Bndcl _ | Insn.Bnd_set _ | Insn.Bndmov_store _ -> ()
-    | Insn.Bndmov_load _ -> ()
-    | Insn.Syscall ->
-      (* Kernel may write rax. *)
-      clobber Reg.rax
-    | Insn.Call _ | Insn.Call_r _ | Insn.Ret | Insn.Jmp _ | Insn.Jmp_r _ | Insn.Jcc _
-    | Insn.Vmcall | Insn.Cpuid ->
-      (* Control transfer or black box: drop everything. *)
-      reset ()
-    | Insn.Wrpkru | Insn.Vmfunc ->
-      (* These require fixed rax/rcx/rdx and do not write GPRs. *)
-      ()
-    | Insn.Store _ | Insn.Store_i _ | Insn.Push _ | Insn.Movdqa_load _ | Insn.Movdqa_store _
-    | Insn.Movq_xr _ | Insn.Pxor _ | Insn.Aesenc _ | Insn.Aesenclast _ | Insn.Aesdec _
-    | Insn.Aesdeclast _ | Insn.Aeskeygenassist _ | Insn.Aesimc _ | Insn.Vext_high _
-    | Insn.Vins_high _ | Insn.Fp_arith _ | Insn.Nop | Insn.Halt | Insn.Mfence | Insn.Cmp_rr _
-    | Insn.Cmp_ri _ | Insn.Test_rr _ -> ()
-  in
-  Array.iteri
-    (fun idx insn ->
-      if is_label_target.(idx) then reset ();
-      step idx insn)
-    code;
-  match List.rev !violations with [] -> Clean | vs -> Violations vs
+let verify ?split ?bnd0_upper ?kind ?mpk_key ~policy prog =
+  match (verify_report ?split ?bnd0_upper ?kind ?mpk_key ~policy prog).Gate_analysis.violations with
+  | [] -> Clean
+  | vs -> Violations vs
 
 let violation_count = function Clean -> 0 | Violations vs -> List.length vs
 

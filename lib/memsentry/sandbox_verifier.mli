@@ -1,12 +1,15 @@
-(** NaCl-style static verification of address-based instrumentation.
+(** NaCl-style static verification of instrumented programs.
 
     Native Client's key idea (paper §7 \[56, 70\]) is to {e verify} the
     sandboxed binary instead of trusting the compiler: a small checker
-    proves that every memory access is confined. This module provides that
-    checker for this machine: a linear abstract interpretation over the
-    final instruction stream which tracks, per register, whether it
-    provably holds a pointer confined to the nonsensitive partition —
-    established by the recognized patterns:
+    proves that every memory access is confined. This module is the
+    stable front door to that checker; the analysis itself lives in
+    {!Gate_analysis} — a forward dataflow over the program's {!Ir.Cfg}
+    which joins facts across control-flow edges, so a check in one basic
+    block covers every block it dominates.
+
+    Address-based policies accept accesses proven confined by the
+    recognized patterns:
 
     - SFI: [mov r13, 0x3fffffffffff] followed by [and r, r13] (or the
       immediate form [and r, mask]);
@@ -14,12 +17,17 @@
     - ISBoxing: [lea32 r, ...] (a 32-bit address is below any split);
     - constants: [mov r, imm] with [0 <= imm < split].
 
-    The analysis is deliberately conservative: all knowledge is dropped at
-    labels (anything can jump there) and after calls and branches, so a
-    clean verdict holds on every execution path. Stack traffic
-    (rsp-relative with a bounded displacement, push/pop/call/ret) is
-    accepted, matching the paper's observation that spills need no
-    instrumentation.
+    Domain-based policies ({!Gate_analysis.Mpk_policy},
+    [Vmfunc_policy], [Crypt_policy]) instead prove ERIM-style gate
+    integrity: the gate is closed on every path reaching a
+    [call]/[ret]/[syscall]/indirect branch, never double-opened, and
+    provably-sensitive accesses happen only under an open gate.
+
+    Stack traffic (rsp-relative with a bounded displacement,
+    push/pop/call/ret) is accepted, matching the paper's observation that
+    spills need no instrumentation. Function bodies reachable only via
+    [call] are analyzed as secondary entry points with havocked registers
+    and a closed gate.
 
     Accesses that do not verify are returned as {!violation}s. For a
     program instrumented with no [safe] annotations the list is empty; a
@@ -27,9 +35,19 @@
     the checker shrinks the trusted computing base to an audit of exactly
     those locations. *)
 
-type policy = Sfi_policy | Mpx_policy | Isboxing_policy
+type policy = Gate_analysis.policy =
+  | Sfi_policy
+  | Mpx_policy
+  | Isboxing_policy
+  | Mpk_policy of Mpk.Pkey.protection
+  | Vmfunc_policy
+  | Crypt_policy
 
-type violation = { index : int; insn : string; reason : string }
+type violation = Gate_analysis.finding = {
+  index : int;
+  insn : string;
+  reason : string;
+}
 
 type result = Clean | Violations of violation list
 
@@ -37,6 +55,7 @@ val verify :
   ?split:int ->
   ?bnd0_upper:int ->
   ?kind:Instr.access_kind ->
+  ?mpk_key:int ->
   policy:policy ->
   X86sim.Program.t ->
   result
@@ -45,7 +64,22 @@ val verify :
     [split - 1]) and must satisfy [bnd0_upper < split] for MPX verification
     to be sound — checked, [Invalid_argument] otherwise. [kind] restricts
     which accesses must verify (default all): an integrity-only deployment
-    (shadow stack) only needs [Writes] confined. *)
+    (shadow stack) only needs [Writes] confined. [mpk_key] is the pkey
+    guarding the safe region (default 1, matching {!Instr_mpk.setup}).
+
+    [Clean] means no violations; lints do not affect the verdict. Use
+    {!verify_report} for the full {!Gate_analysis.report} including lints
+    and statistics. *)
+
+val verify_report :
+  ?split:int ->
+  ?bnd0_upper:int ->
+  ?kind:Instr.access_kind ->
+  ?mpk_key:int ->
+  policy:policy ->
+  X86sim.Program.t ->
+  Gate_analysis.report
+(** Same analysis, full structured report. *)
 
 val violation_count : result -> int
 

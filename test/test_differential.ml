@@ -29,7 +29,11 @@ let arb_recipe =
         r.loop_iters r.use_call)
     gen_recipe
 
-let build_program (r : recipe) =
+(* [sensitive:false] builds the same program shape without the safe-region
+   accesses — used by the verifier property tests, where annotated safe
+   accesses are (by design) the address-based techniques' audit surface
+   rather than verification failures. *)
+let build_program ?(sensitive = true) (r : recipe) =
   let rng = Ms_util.Prng.create ~seed:r.seed in
   let b = Ir.Builder.create () in
   Ir.Builder.add_global b ~name:"g" ~size:256 ();
@@ -47,8 +51,10 @@ let build_program (r : recipe) =
   let g = Ir.Builder.emit_addr_of_global b "g" in
   let sens = Ir.Builder.emit_addr_of_global b "sens" in
   (* One annotated access to the sensitive global. *)
-  Ir.Builder.emit_store b ~base:(Var sens) ~offset:0 ~src:(Var acc);
-  safe_ids := Ir.Builder.last_id b :: !safe_ids;
+  if sensitive then begin
+    Ir.Builder.emit_store b ~base:(Var sens) ~offset:0 ~src:(Var acc);
+    safe_ids := Ir.Builder.last_id b :: !safe_ids
+  end;
   Ir.Builder.emit_br b "loop";
   Ir.Builder.start_block b "loop";
   for _ = 1 to r.n_ops do
@@ -75,8 +81,14 @@ let build_program (r : recipe) =
   Ir.Builder.emit_cbr b Gt (Var it) (Const 0) ~if_true:"loop" ~if_false:"done";
   Ir.Builder.start_block b "done";
   (* Read the sensitive value back through a second annotated access. *)
-  let sv = Ir.Builder.emit_load b ~base:(Var sens) ~offset:0 in
-  safe_ids := Ir.Builder.last_id b :: !safe_ids;
+  let sv =
+    if sensitive then begin
+      let sv = Ir.Builder.emit_load b ~base:(Var sens) ~offset:0 in
+      safe_ids := Ir.Builder.last_id b :: !safe_ids;
+      sv
+    end
+    else Ir.Builder.emit_assign b (Const 0)
+  in
   let final = Ir.Builder.emit_binop b Add (Var acc) (Var sv) in
   Ir.Builder.emit_ret b (Some (Var final));
   let m = Ir.Builder.finish b in

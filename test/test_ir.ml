@@ -56,6 +56,33 @@ let test_verifier_rejects_unknown_callee () =
   Alcotest.(check bool) "unknown callee" true
     (List.exists (fun e -> e.Verifier.what = "unknown callee \"ghost\"") (Verifier.verify m))
 
+let test_verifier_rejects_arity_overflow () =
+  let open Ir_types in
+  let b = Builder.create () in
+  Builder.start_func b ~name:"helper" ~nparams:1;
+  Builder.emit_ret b (Some (Var 0));
+  Builder.start_func b ~name:"main" ~nparams:0;
+  ignore (Builder.emit_call b "helper" [ Const 1; Const 2 ]);
+  Builder.emit_ret b None;
+  let m = Builder.finish b in
+  Alcotest.(check bool) "arg count beyond nparams flagged" true
+    (List.exists
+       (fun e -> e.Verifier.what = "call to \"helper\" passes 2 argument(s), callee takes 1")
+       (Verifier.verify m))
+
+let test_verifier_rejects_mid_block_terminator () =
+  let b = Builder.create () in
+  Builder.start_func b ~name:"main" ~nparams:0;
+  Builder.emit_ret b None;
+  (* Keep emitting into the same block: the ret is no longer last. *)
+  ignore (Builder.emit_assign b (Ir_types.Const 1));
+  Builder.emit_ret b None;
+  let m = Builder.finish b in
+  Alcotest.(check bool) "terminator not last flagged" true
+    (List.exists
+       (fun e -> e.Verifier.what = "block \"entry\": terminator not last")
+       (Verifier.verify m))
+
 let test_builder_rejects_duplicates () =
   let b = Builder.create () in
   Builder.add_global b ~name:"g" ~size:8 ();
@@ -323,6 +350,10 @@ let suite =
     Alcotest.test_case "verifier rejects fall-through" `Quick test_verifier_rejects_fallthrough;
     Alcotest.test_case "verifier rejects unknown callee" `Quick
       test_verifier_rejects_unknown_callee;
+    Alcotest.test_case "verifier rejects arity overflow" `Quick
+      test_verifier_rejects_arity_overflow;
+    Alcotest.test_case "verifier rejects mid-block terminator" `Quick
+      test_verifier_rejects_mid_block_terminator;
     Alcotest.test_case "builder rejects duplicates" `Quick test_builder_rejects_duplicates;
     Alcotest.test_case "interp: loop over memory" `Quick test_interp_loop;
     Alcotest.test_case "interp: calls and indirect calls" `Quick test_interp_call_and_indirect;

@@ -16,6 +16,7 @@ let () =
       ("memory-system", Test_memory_system.suite);
       ("calibration", Test_calibration.suite);
       ("sandbox-verifier", Test_verifier_sandbox.suite);
+      ("gate-analysis", Test_gate_analysis.suite);
       ("optimizer", Test_opt.suite);
       ("fig2-encode", Test_fig2_and_encode.suite);
       ("edges", Test_coverage_edges.suite);

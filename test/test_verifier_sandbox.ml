@@ -15,6 +15,7 @@ let instrumented ~policy lowered =
   | Sandbox_verifier.Mpx_policy ->
     Instr.address_based ~check:Instr_mpx.check ~kind lowered.Ir.Lower.mitems
   | Sandbox_verifier.Isboxing_policy -> Instr.address_based_lea32 ~kind lowered.Ir.Lower.mitems
+  | _ -> invalid_arg "address-based policies only"
 
 let test_instrumented_programs_verify () =
   List.iter
@@ -93,9 +94,11 @@ let test_shadow_stack_audit_surface () =
           (mentions "r13" || mentions (Printf.sprintf "%#x" region_va)))
       vs
 
-let test_cross_block_state_reset () =
-  (* A check before a label does not cover an access after it (anything
-     could jump to the label). *)
+let test_cross_block_check_covers () =
+  (* Regression for the old linear verifier's label reset: a check in one
+     block covers the access in the next when every path to the label goes
+     through it — the CFG engine joins facts across the edge instead of
+     dropping them. *)
   let src =
     "main:\n\
     \  mov rbx, 0x10000000\n\
@@ -107,7 +110,48 @@ let test_cross_block_state_reset () =
     \  hlt\n"
   in
   let prog = Asm.parse_program src in
-  Alcotest.(check int) "verified state dropped at label" 1
+  Alcotest.(check int) "dominating check covers the next block" 0
+    (Sandbox_verifier.violation_count
+       (Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog))
+
+let test_join_rejects_unchecked_path () =
+  (* The same label reached from a second path that skips the check: the
+     join must drop the fact and the access must be reported. *)
+  let src =
+    "main:\n\
+    \  mov rbx, 0x10000000\n\
+    \  lea r12, [rbx+8]\n\
+    \  cmp rbx, 0\n\
+    \  je spot\n\
+    \  mov r13, 0x3fffffffffff\n\
+    \  and r12, r13\n\
+     spot:\n\
+    \  mov rax, [r12]\n\
+    \  hlt\n"
+  in
+  let prog = Asm.parse_program src in
+  Alcotest.(check int) "one unchecked path poisons the join" 1
+    (Sandbox_verifier.violation_count
+       (Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog))
+
+let test_check_covers_loop_body () =
+  (* A mask hoisted above a loop covers the access inside it: the back
+     edge re-joins the same state, so the fixpoint keeps the fact. *)
+  let src =
+    "main:\n\
+    \  mov rbx, 0x10000000\n\
+    \  mov r13, 0x3fffffffffff\n\
+    \  and rbx, r13\n\
+    \  mov rcx, 4\n\
+     loop:\n\
+    \  mov rax, [rbx]\n\
+    \  sub rcx, 1\n\
+    \  cmp rcx, 0\n\
+    \  jne loop\n\
+    \  hlt\n"
+  in
+  let prog = Asm.parse_program src in
+  Alcotest.(check int) "hoisted check covers the loop body" 0
     (Sandbox_verifier.violation_count
        (Sandbox_verifier.verify ~policy:Sandbox_verifier.Sfi_policy prog))
 
@@ -127,6 +171,8 @@ let suite =
       test_tampered_instrumentation_rejected;
     Alcotest.test_case "MPX bound soundness enforced" `Quick test_mpx_requires_sound_bound;
     Alcotest.test_case "shadow stack audit surface" `Quick test_shadow_stack_audit_surface;
-    Alcotest.test_case "state reset across labels" `Quick test_cross_block_state_reset;
+    Alcotest.test_case "dominating check covers next block" `Quick test_cross_block_check_covers;
+    Alcotest.test_case "unchecked path poisons the join" `Quick test_join_rejects_unchecked_path;
+    Alcotest.test_case "hoisted check covers loop body" `Quick test_check_covers_loop_body;
     Alcotest.test_case "constant pointers accepted" `Quick test_constant_pointers_accepted;
   ]
