@@ -5,6 +5,18 @@ open Memsentry
 
 let iterations = ref 40
 
+(* JSON accumulator for --json: targets record their results here and
+   main.exe writes one object at exit. Recording is unconditional — it is
+   cheap, and only main decides whether a file gets written. *)
+let json_results : (string * Json.t) list ref = ref []
+
+let record_json name j = json_results := (name, j) :: !json_results
+
+let results_json () =
+  Json.Obj [ ("iterations", Json.Int !iterations); ("results", Json.Obj (List.rev !json_results)) ]
+
+let write_json file = Json.to_file file (results_json ())
+
 (* Strip the numeric SPEC prefix for compact rows. *)
 let short name =
   match String.index_opt name '.' with
@@ -12,8 +24,9 @@ let short name =
   | None -> name
 
 (* Run a sweep and print it as one figure: benchmarks as rows, configs as
-   columns, geomean + the paper's reference geomeans at the bottom. *)
-let print_figure ~title ~configs ~paper_geomeans () =
+   columns, geomean + the paper's reference geomeans at the bottom. With
+   [name], the figure's data is also recorded for --json. *)
+let print_figure ?name ~title ~configs ~paper_geomeans () =
   let rows = Workloads.Runner.sweep ~iterations:!iterations Workloads.Spec2006.all configs in
   let headers = "benchmark" :: List.map fst configs in
   let t = Table_fmt.create headers in
@@ -29,6 +42,25 @@ let print_figure ~title ~configs ~paper_geomeans () =
   Printf.printf "%s\n(normalized run time; 1.00 = uninstrumented baseline)\n" title;
   Table_fmt.print t;
   print_newline ();
+  (match name with
+  | None -> ()
+  | Some name ->
+    let overheads row = Json.Obj (List.map (fun (c, v) -> (c, Json.Float v)) row) in
+    record_json name
+      (Json.Obj
+         [
+           ("title", Json.String title);
+           ( "rows",
+             Json.List
+               (List.map
+                  (fun (bench, row) ->
+                    Json.Obj
+                      [ ("benchmark", Json.String bench); ("overheads", overheads row) ])
+                  rows) );
+           ("geomean", overheads geo);
+           ( "paper_geomean",
+             overheads (List.combine (List.map fst configs) paper_geomeans) );
+         ]));
   geo
 
 let mpk_cfg policy = Framework.config ~switch_policy:policy (Technique.Mpk Mpk.Pkey.No_access)

@@ -18,6 +18,6 @@ let paper = [ 1.028; 1.04; 1.12; 1.171; 1.147; 1.196 ]
 
 let run () =
   ignore
-    (Bench_common.print_figure
+    (Bench_common.print_figure ~name:"fig3"
        ~title:"Figure 3: address-based instrumentation (SFI vs MPX) on SPEC-like workloads"
        ~configs ~paper_geomeans:paper ())

@@ -5,7 +5,7 @@ open Memsentry
 
 let run () =
   ignore
-    (Bench_common.print_figure
+    (Bench_common.print_figure ~name:"fig4"
        ~title:"Figure 4: domain switch at every call and ret (shadow stack)"
        ~configs:(Bench_common.domain_configs Instr.At_call_ret)
        ~paper_geomeans:[ 2.30; 4.57; 3.17 ] ())

@@ -5,7 +5,7 @@ open Memsentry
 
 let run () =
   ignore
-    (Bench_common.print_figure
+    (Bench_common.print_figure ~name:"fig5"
        ~title:"Figure 5: domain switch at every indirect branch (CFI / layout rand.)"
        ~configs:(Bench_common.domain_configs Instr.At_indirect_branches)
        ~paper_geomeans:[ 1.34; 1.82; 1.60 ] ())

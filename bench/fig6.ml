@@ -4,7 +4,7 @@ open Memsentry
 
 let run () =
   ignore
-    (Bench_common.print_figure
+    (Bench_common.print_figure ~name:"fig6"
        ~title:"Figure 6: domain switch at every system call"
        ~configs:(Bench_common.domain_configs Instr.At_syscalls)
        ~paper_geomeans:[ 1.011; 1.055; 1.22 ] ())

@@ -8,7 +8,8 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|attacks|bechamel|all]\n\
-     \  --iterations N   workload loop iterations (default 40)";
+     \  --iterations N   workload loop iterations (default 40)\n\
+     \  --json FILE      also write machine-readable results (figures 3-6, table 4)";
   exit 1
 
 let rec run_target = function
@@ -43,6 +44,7 @@ and run_target_unit t =
   print_newline ()
 
 let () =
+  let json_file = ref None in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse targets = function
     | [] -> List.rev targets
@@ -51,9 +53,17 @@ let () =
       | Some v when v > 0 -> Bench_common.iterations := v
       | Some _ | None -> usage ());
       parse targets rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse targets rest
     | ("-h" | "--help") :: _ -> usage ()
     | t :: rest -> parse (t :: targets) rest
   in
   let targets = parse [] args in
   let targets = if targets = [] then [ "all" ] else targets in
-  List.iter run_target targets
+  List.iter run_target targets;
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    Bench_common.write_json file;
+    Printf.printf "results written to %s\n" file

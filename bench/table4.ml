@@ -172,7 +172,15 @@ let ymm_to_xmm () = marginal ~base:[] (List.init 11 (fun r -> Insn.Vext_high (1,
 
 let run () =
   let t = Table_fmt.create [ "instruction / operation"; "cycles"; "paper" ] in
-  let row name v paper = Table_fmt.add_row t [ name; Table_fmt.cell_f v; paper ] in
+  let recorded = ref [] in
+  let row name v paper =
+    recorded :=
+      Json.Obj
+        [ ("operation", Json.String name); ("cycles", Json.Float v);
+          ("paper", Json.String paper) ]
+      :: !recorded;
+    Table_fmt.add_row t [ name; Table_fmt.cell_f v; paper ]
+  in
   row "L1 cache access (dependent chase)" (chase_latency ~spread:8 ~len:4096) "4";
   row "L2 cache access" (chase_latency ~spread:4096 ~len:(192 * 1024)) "12";
   row "L3 cache access" (chase_latency ~spread:4096 ~len:(4 * 1024 * 1024)) "44";
@@ -197,4 +205,5 @@ let run () =
   print_endline "(*: the paper's MPK row measured a non-enforcing xmm-move stand-in;";
   print_endline " ours executes real serializing wrpkru pairs — see EXPERIMENTS.md)";
   Table_fmt.print t;
-  print_newline ()
+  print_newline ();
+  Bench_common.record_json "table4" (Json.List (List.rev !recorded))

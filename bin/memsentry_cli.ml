@@ -5,6 +5,7 @@
      report             the paper's survey tables (1-3)
      inspect BENCH      generated IR and lowering summary for a workload
      run BENCH          measure one workload under a technique
+     profile BENCH      per-gate-site attribution table (+ JSON / Chrome trace)
      verify BENCH       statically verify instrumented output
      attacks            the threat-model experiment *)
 
@@ -154,6 +155,96 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Measure one workload under one technique")
     Term.(const run $ bench_arg 0 $ technique $ policy $ kind $ iterations_arg $ stats)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run bench workload technique policy kind iterations json_out trace_out =
+    let name =
+      match workload, bench with
+      | Some w, _ -> w
+      | None, Some b -> b
+      | None, None ->
+        Printf.eprintf "profile: name a workload (positional or --workload)\n";
+        exit 1
+    in
+    let prof = try Workloads.Spec2006.find name with Not_found ->
+      Printf.eprintf "unknown benchmark %S (try 'list')\n" name;
+      exit 1
+    in
+    let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+    let base = Workloads.Runner.run_baseline ~iterations prof in
+    let profiler, inst = Workloads.Runner.profile ~iterations prof cfg in
+    let overhead = inst.Workloads.Runner.cycles /. base.Workloads.Runner.cycles in
+    Printf.printf "%s under %s (%d iterations): %.0f cycles, overhead %.3fx\n\n"
+      prof.Workloads.Profile.name (Technique.name technique) iterations
+      inst.Workloads.Runner.cycles overhead;
+    print_string (Report.site_table profiler);
+    let spans = Profiler.spans profiler in
+    if spans <> [] then begin
+      let h = Profiler.residency_histogram profiler in
+      Printf.printf "\n%d domain residencies (%d unmatched exits): cycles p50 %.0f, p95 %.0f, p99 %.0f\n"
+        (List.length spans) (Profiler.unmatched_exits profiler)
+        (Ms_util.Metrics.p50 h) (Ms_util.Metrics.p95 h) (Ms_util.Metrics.p99 h)
+    end;
+    let full_json () =
+      match Profiler.to_json profiler with
+      | Ms_util.Json.Obj fields ->
+        Ms_util.Json.Obj
+          (("workload", Ms_util.Json.String prof.Workloads.Profile.name)
+           :: ("iterations", Ms_util.Json.Int iterations)
+           :: ("baseline_cycles", Ms_util.Json.Float base.Workloads.Runner.cycles)
+           :: ("overhead", Ms_util.Json.Float overhead)
+           :: fields)
+      | other -> other
+    in
+    (match json_out with
+    | None -> ()
+    | Some "-" -> print_endline (Ms_util.Json.to_string ~pretty:true (full_json ()))
+    | Some file ->
+      Ms_util.Json.to_file file (full_json ());
+      Printf.printf "\nprofile written to %s\n" file);
+    match trace_out with
+    | None -> ()
+    | Some file ->
+      Ms_util.Json.to_file file (Profiler.trace_json profiler);
+      Printf.printf "trace written to %s (load in chrome://tracing or Perfetto)\n" file
+  in
+  let bench =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Workload name, e.g. mcf or 403.gcc.")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload"; "w" ] ~docv:"BENCHMARK"
+           ~doc:"Workload name (alternative to the positional argument).")
+  in
+  let technique =
+    Arg.(value & opt technique_conv (Technique.Mpk Mpk.Pkey.No_access)
+         & info [ "technique"; "t" ] ~docv:"TECH" ~doc:"Isolation technique (see 'list').")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Instr.At_call_ret & info [ "policy"; "p" ] ~docv:"POLICY"
+           ~doc:"Domain-switch policy for domain-based techniques.")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Instr.Reads_and_writes & info [ "kind"; "k" ] ~docv:"KIND"
+           ~doc:"Access kind for address-based techniques (r/w/rw).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full profile as JSON ('-' for stdout).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write domain-residency spans as Chrome trace-event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one workload under one technique with the gate-site profiler attached and print \
+          the per-site attribution table (crossings, checks, cycles, misses)")
+    Term.(const run $ bench $ workload $ technique $ policy $ kind $ iterations_arg $ json_out
+          $ trace_out)
 
 (* --- disasm --- *)
 
@@ -313,6 +404,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            list_cmd; report_cmd; inspect_cmd; run_cmd; disasm_cmd; trace_cmd; verify_cmd;
-            attacks_cmd;
+            list_cmd; report_cmd; inspect_cmd; run_cmd; profile_cmd; disasm_cmd; trace_cmd;
+            verify_cmd; attacks_cmd;
           ]))

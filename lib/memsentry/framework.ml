@@ -22,6 +22,7 @@ type prepared = {
   regions : Safe_region.region list;
   hypervisor : Vmx.Hypervisor.t option;
   cfg : config;
+  sitemap : Sitemap.t;
 }
 
 let policy_of_config cfg =
@@ -58,38 +59,43 @@ let prepare ?(extra_regions = []) ?(verify = false) cfg (lowered : Ir.Lower.t) =
   let regions = Safe_region.of_sensitive_globals lowered @ extra_regions in
   map_regions cpu extra_regions;
   let mitems = lowered.Ir.Lower.mitems in
-  let items, hypervisor =
+  let technique = Technique.name cfg.technique in
+  let (items, sitemap), hypervisor =
     match cfg.technique with
     | Technique.Sfi ->
       Instr_sfi.setup cpu;
-      (Instr.address_based ~check:Instr_sfi.check ~kind:cfg.address_kind mitems, None)
+      ( Instr.address_based_sites ~check:Instr_sfi.check ~kind:cfg.address_kind ~technique
+          ~label:"sfi-mask" mitems,
+        None )
     | Technique.Mpx ->
       Instr_mpx.setup cpu;
-      (Instr.address_based ~check:Instr_mpx.check ~kind:cfg.address_kind mitems, None)
+      ( Instr.address_based_sites ~check:Instr_mpx.check ~kind:cfg.address_kind ~technique
+          ~label:"mpx-check" mitems,
+        None )
     | Technique.Mpk protection ->
       let st = Instr_mpk.setup cpu ~protection regions in
-      ( Instr.domain_based ~enter:(Instr_mpk.enter st) ~leave:(Instr_mpk.leave st)
-          ~policy:cfg.switch_policy mitems,
+      ( Instr.domain_based_sites ~enter:(Instr_mpk.enter st) ~leave:(Instr_mpk.leave st)
+          ~policy:cfg.switch_policy ~technique ~label:"wrpkru-pair" mitems,
         None )
     | Technique.Vmfunc ->
       let st = Instr_vmfunc.setup cpu regions in
-      ( Instr.domain_based ~enter:Instr_vmfunc.enter ~leave:Instr_vmfunc.leave
-          ~policy:cfg.switch_policy mitems,
+      ( Instr.domain_based_sites ~enter:Instr_vmfunc.enter ~leave:Instr_vmfunc.leave
+          ~policy:cfg.switch_policy ~technique ~label:"vmfunc-pair" mitems,
         Some (Instr_vmfunc.hypervisor st) )
     | Technique.Crypt ->
       let st = Instr_crypt.setup cpu ~key_location:cfg.crypt_keys ~seed:cfg.crypt_seed regions in
-      ( Instr.domain_based ~enter:(Instr_crypt.enter st) ~leave:(Instr_crypt.leave st)
-          ~policy:cfg.switch_policy mitems,
+      ( Instr.domain_based_sites ~enter:(Instr_crypt.enter st) ~leave:(Instr_crypt.leave st)
+          ~policy:cfg.switch_policy ~technique ~label:"aes-bracket" mitems,
         None )
     | Technique.Mprotect ->
       let st = Instr_mprotect.setup cpu regions in
-      ( Instr.domain_based ~enter:(Instr_mprotect.enter st) ~leave:(Instr_mprotect.leave st)
-          ~policy:cfg.switch_policy mitems,
+      ( Instr.domain_based_sites ~enter:(Instr_mprotect.enter st) ~leave:(Instr_mprotect.leave st)
+          ~policy:cfg.switch_policy ~technique ~label:"mprotect-pair" mitems,
         None )
     | Technique.Isboxing ->
       (* Free truncation to 4 GiB; safe regions live above the 64 TiB split,
          far outside the reachable window. No machine setup needed. *)
-      (Instr.address_based_lea32 ~kind:cfg.address_kind mitems, None)
+      (Instr.address_based_lea32_sites ~kind:cfg.address_kind ~technique mitems, None)
     | Technique.Sgx ->
       invalid_arg
         "Framework.prepare: SGX isolation requires restructuring code into an enclave; use \
@@ -101,7 +107,7 @@ let prepare ?(extra_regions = []) ?(verify = false) cfg (lowered : Ir.Lower.t) =
         (Technique.name cfg.technique) (List.length regions) (Program.length program)
         (List.length mitems));
   Cpu.load_program cpu program;
-  let p = { cpu; program; regions; hypervisor; cfg } in
+  let p = { cpu; program; regions; hypervisor; cfg; sitemap } in
   if verify then
     (match verify_prepared p with
     | Some { Gate_analysis.violations = _ :: _ as vs; _ } ->
@@ -124,6 +130,7 @@ let prepare_baseline (lowered : Ir.Lower.t) =
     regions = Safe_region.of_sensitive_globals lowered;
     hypervisor = None;
     cfg = config Technique.Sfi;
+    sitemap = Sitemap.create ();
   }
 
 let run ?fuel p = Cpu.run ?fuel p.cpu

@@ -46,6 +46,9 @@ type prepared = {
   regions : Safe_region.region list;
   hypervisor : Vmx.Hypervisor.t option;  (** [Vmfunc] only *)
   cfg : config;
+  sitemap : Sitemap.t;
+      (** Where the pass put its instrumentation (empty for baselines);
+          feeds {!Profiler}. *)
 }
 
 val prepare :

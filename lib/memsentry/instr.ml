@@ -50,24 +50,69 @@ let rewrite_access_lea32 insn =
     [ Insn.Lea32 (scratch, m); Insn.Movdqa_store (Insn.mem ~base:scratch 0, x) ]
   | other -> [ other ]
 
-let address_based_gen ~rewrite ~kind mitems =
-  List.concat_map
+(* Emission context: items in reverse plus the final index of the next
+   instruction, so every emitted instruction can be tagged in the sitemap
+   with the rip it will have after {!Program.assemble} (labels occupy no
+   slot). *)
+type emitter = { sm : Sitemap.t; mutable out : Program.item list; mutable idx : int }
+
+let emitter () = { sm = Sitemap.create (); out = []; idx = 0 }
+
+let emit_label e l = e.out <- l :: e.out
+
+let emit_insn e x =
+  e.out <- Program.I x :: e.out;
+  e.idx <- e.idx + 1
+
+let emit_tagged e ~site ~role x =
+  Sitemap.tag e.sm ~rip:e.idx ~site ~role;
+  emit_insn e x
+
+let finish e = (List.rev e.out, e.sm)
+
+let address_based_sites_gen ~rewrite ~kind ~technique ~label mitems =
+  let e = emitter () in
+  List.iter
     (fun (mi : Ir.Lower.mitem) ->
       match mi.Ir.Lower.item with
-      | Program.Label _ as l -> [ l ]
+      | Program.Label _ as l -> emit_label e l
       | Program.I insn ->
-        if
-          mi.Ir.Lower.cls = Ir.Lower.Data_access
-          && (not mi.Ir.Lower.safe)
-          && kind_matches kind insn
-        then List.map (fun x -> Program.I x) (rewrite insn)
-        else [ Program.I insn ])
-    mitems
+        let seq =
+          if
+            mi.Ir.Lower.cls = Ir.Lower.Data_access
+            && (not mi.Ir.Lower.safe)
+            && kind_matches kind insn
+          then rewrite insn
+          else [ insn ]
+        in
+        (match seq with
+        | [ only ] -> emit_insn e only
+        | _ ->
+          (* The rewritten access is the last instruction of the sequence;
+             everything before it is inserted check code. *)
+          let n = List.length seq in
+          let site =
+            Sitemap.new_site e.sm ~label ~technique ~orig_rip:(e.idx + n - 1)
+          in
+          List.iteri
+            (fun i x ->
+              if i < n - 1 then emit_tagged e ~site ~role:Sitemap.Check x
+              else emit_insn e x)
+            seq))
+    mitems;
+  finish e
 
-let address_based_lea32 ~kind mitems = address_based_gen ~rewrite:rewrite_access_lea32 ~kind mitems
+let address_based_sites ~check ~kind ~technique ?(label = "check") mitems =
+  address_based_sites_gen ~rewrite:(rewrite_access check) ~kind ~technique ~label mitems
+
+let address_based_lea32_sites ~kind ~technique ?(label = "lea32") mitems =
+  address_based_sites_gen ~rewrite:rewrite_access_lea32 ~kind ~technique ~label mitems
+
+let address_based_lea32 ~kind mitems =
+  fst (address_based_lea32_sites ~kind ~technique:"ISBoxing" mitems)
 
 let address_based ~check ~kind mitems =
-  address_based_gen ~rewrite:(rewrite_access check) ~kind mitems
+  fst (address_based_sites ~check ~kind ~technique:"?" mitems)
 
 let is_switch_point policy (mi : Ir.Lower.mitem) insn =
   match policy with
@@ -78,26 +123,42 @@ let is_switch_point policy (mi : Ir.Lower.mitem) insn =
   | At_syscalls -> ( match insn with Insn.Syscall -> true | _ -> false)
   | At_safe_accesses -> mi.Ir.Lower.cls = Ir.Lower.Data_access && mi.Ir.Lower.safe
 
-let domain_based ~enter ~leave ~policy mitems =
-  let wrap = List.map (fun x -> Program.I x) in
-  List.concat_map
+let domain_based_sites ~enter ~leave ~policy ~technique ?(label = "switch") mitems =
+  let e = emitter () in
+  let n_enter = List.length enter and n_leave = List.length leave in
+  List.iter
     (fun (mi : Ir.Lower.mitem) ->
       match mi.Ir.Lower.item with
-      | Program.Label _ as l -> [ l ]
+      | Program.Label _ as l -> emit_label e l
       | Program.I insn ->
         if is_switch_point policy mi insn then
           match policy with
           | At_safe_accesses ->
             (* Semantically meaningful bracketing: open, access, close. *)
-            wrap enter @ [ Program.I insn ] @ wrap leave
+            let site =
+              Sitemap.new_site e.sm ~label ~technique ~orig_rip:(e.idx + n_enter)
+            in
+            List.iter (emit_tagged e ~site ~role:Sitemap.Gate_open) enter;
+            emit_insn e insn;
+            List.iter (emit_tagged e ~site ~role:Sitemap.Gate_close) leave
           | At_call_ret | At_indirect_branches | At_syscalls ->
             (* Cost-equivalent placement of one open+close pair per switch
                point (the Figures 4-6 methodology): the pair runs before
                the instruction so control transfers never leave the
                sensitive domain enabled. *)
-            wrap enter @ wrap leave @ [ Program.I insn ]
-        else [ Program.I insn ])
-    mitems
+            let site =
+              Sitemap.new_site e.sm ~label ~technique
+                ~orig_rip:(e.idx + n_enter + n_leave)
+            in
+            List.iter (emit_tagged e ~site ~role:Sitemap.Gate_open) enter;
+            List.iter (emit_tagged e ~site ~role:Sitemap.Gate_close) leave;
+            emit_insn e insn
+        else emit_insn e insn)
+    mitems;
+  finish e
+
+let domain_based ~enter ~leave ~policy mitems =
+  fst (domain_based_sites ~enter ~leave ~policy ~technique:"?" mitems)
 
 let strip mitems = List.map (fun (mi : Ir.Lower.mitem) -> mi.Ir.Lower.item) mitems
 

@@ -51,6 +51,43 @@ val domain_based :
   Ir.Lower.mitem list ->
   Program.item list
 
+(** {2 Site-tagged variants}
+
+    Same rewriting, but each also returns a {!Sitemap.t}: one site per
+    rewritten location, every {e inserted} instruction tagged with
+    [(site, role)] under the index it will have in the assembled program.
+    The plain functions above are these with the sitemap discarded. *)
+
+val address_based_sites :
+  check:(Reg.gpr -> Insn.t list) ->
+  kind:access_kind ->
+  technique:string ->
+  ?label:string ->
+  Ir.Lower.mitem list ->
+  Program.item list * Sitemap.t
+(** Check instructions are tagged {!Sitemap.Check}; the rewritten access
+    itself (original program work) stays untagged. [label] defaults to
+    ["check"]. *)
+
+val address_based_lea32_sites :
+  kind:access_kind ->
+  technique:string ->
+  ?label:string ->
+  Ir.Lower.mitem list ->
+  Program.item list * Sitemap.t
+
+val domain_based_sites :
+  enter:Insn.t list ->
+  leave:Insn.t list ->
+  policy:switch_policy ->
+  technique:string ->
+  ?label:string ->
+  Ir.Lower.mitem list ->
+  Program.item list * Sitemap.t
+(** [enter] instructions are tagged {!Sitemap.Gate_open}, [leave] ones
+    {!Sitemap.Gate_close}; the switch-point instruction stays untagged.
+    [label] defaults to ["switch"]. *)
+
 val strip : Ir.Lower.mitem list -> Program.item list
 (** No instrumentation (the baseline build). *)
 

@@ -1,0 +1,240 @@
+open X86sim
+
+type row = {
+  site : Sitemap.site;
+  mutable crossings : int;
+  mutable checks : int;
+  mutable cycles : float;
+  mutable tlb_misses : int;
+  mutable cache_misses : int;
+  mutable faults : int;
+}
+
+type residual = {
+  mutable r_cycles : float;
+  mutable r_tlb_misses : int;
+  mutable r_cache_misses : int;
+  mutable r_faults : int;
+}
+
+type t = {
+  prepared : Framework.prepared;
+  stats : row array;
+  app : residual;
+  span_rec : Tracer.spans;
+  synthetic : bool;
+  technique : string;
+  mutable prev_class : (int * Sitemap.role) option;
+  mutable prev_cycles : float;
+  mutable step_hook : int option;
+  mutable event_hook : int option;
+}
+
+(* MPK and VMFUNC gates are single instructions the CPU itself reports;
+   crypt and mprotect gates are plain instruction sequences, so the
+   profiler injects [Event.Seq] gate events for them at the sitemap
+   boundaries. Address-based techniques have checks, not gates. *)
+let injects_seq_gates = function
+  | Technique.Crypt | Technique.Mprotect -> true
+  | Technique.Sfi | Technique.Mpx | Technique.Isboxing | Technique.Mpk _ | Technique.Vmfunc
+  | Technique.Sgx ->
+    false
+
+let attach (p : Framework.prepared) =
+  let cpu = p.Framework.cpu in
+  let sm = p.Framework.sitemap in
+  let stats =
+    Array.of_list
+      (List.map
+         (fun site ->
+           { site; crossings = 0; checks = 0; cycles = 0.0; tlb_misses = 0; cache_misses = 0; faults = 0 })
+         (Sitemap.sites sm))
+  in
+  let t =
+    {
+      prepared = p;
+      stats;
+      app = { r_cycles = 0.0; r_tlb_misses = 0; r_cache_misses = 0; r_faults = 0 };
+      span_rec = Tracer.record_spans cpu;
+      synthetic = injects_seq_gates p.Framework.cfg.Framework.technique;
+      technique = Technique.name p.Framework.cfg.Framework.technique;
+      prev_class = None;
+      prev_cycles = Cpu.cycles cpu;
+      step_hook = None;
+      event_hook = None;
+    }
+  in
+  let on_step (c : Cpu.t) _insn =
+    let now = Cpu.cycles c in
+    (* The cycles since the previous fetch belong to the previous
+       instruction's site (pipeline effects included). *)
+    (match t.prev_class with
+    | Some (id, _) -> t.stats.(id).cycles <- t.stats.(id).cycles +. (now -. t.prev_cycles)
+    | None -> t.app.r_cycles <- t.app.r_cycles +. (now -. t.prev_cycles));
+    t.prev_cycles <- now;
+    let cls = Sitemap.classify sm c.Cpu.rip in
+    (* A crossing/check fires on the transition into a tagged range, so a
+       straight-line enter sequence counts once however long it is. *)
+    (if cls <> t.prev_class then
+       match cls with
+       | Some (id, Sitemap.Gate_open) ->
+         t.stats.(id).crossings <- t.stats.(id).crossings + 1;
+         if t.synthetic then
+           Cpu.emit c (Event.Gate_enter { rip = c.Cpu.rip; gate = Event.Seq t.technique })
+       | Some (id, Sitemap.Gate_close) ->
+         t.stats.(id).crossings <- t.stats.(id).crossings + 1;
+         if t.synthetic then
+           Cpu.emit c (Event.Gate_exit { rip = c.Cpu.rip; gate = Event.Seq t.technique })
+       | Some (id, Sitemap.Check) -> t.stats.(id).checks <- t.stats.(id).checks + 1
+       | None -> ());
+    t.prev_class <- cls
+  in
+  let on_event ev =
+    let attribute ~tlb ~cache ~fault rip =
+      match Sitemap.classify sm rip with
+      | Some (id, _) ->
+        let s = t.stats.(id) in
+        s.tlb_misses <- s.tlb_misses + tlb;
+        s.cache_misses <- s.cache_misses + cache;
+        s.faults <- s.faults + fault
+      | None ->
+        t.app.r_tlb_misses <- t.app.r_tlb_misses + tlb;
+        t.app.r_cache_misses <- t.app.r_cache_misses + cache;
+        t.app.r_faults <- t.app.r_faults + fault
+    in
+    match ev with
+    | Event.Tlb_miss { rip; _ } -> attribute ~tlb:1 ~cache:0 ~fault:0 rip
+    | Event.Cache_miss { rip; _ } -> attribute ~tlb:0 ~cache:1 ~fault:0 rip
+    | Event.Fault { rip; _ } -> attribute ~tlb:0 ~cache:0 ~fault:1 rip
+    | Event.Gate_enter _ | Event.Gate_exit _ | Event.Vm_exit _ -> ()
+  in
+  t.step_hook <- Some (Cpu.add_step_hook cpu on_step);
+  t.event_hook <- Some (Cpu.add_event_hook cpu on_event);
+  t
+
+let stop t =
+  let cpu = t.prepared.Framework.cpu in
+  (match t.step_hook with
+  | Some id ->
+    Cpu.remove_step_hook cpu id;
+    t.step_hook <- None;
+    (* Account the tail: cycles since the last fetch. *)
+    let now = Cpu.cycles cpu in
+    (match t.prev_class with
+    | Some (id, _) -> t.stats.(id).cycles <- t.stats.(id).cycles +. (now -. t.prev_cycles)
+    | None -> t.app.r_cycles <- t.app.r_cycles +. (now -. t.prev_cycles));
+    t.prev_cycles <- now
+  | None -> ());
+  (match t.event_hook with
+  | Some id ->
+    Cpu.remove_event_hook cpu id;
+    t.event_hook <- None
+  | None -> ());
+  Tracer.stop t.span_rec
+
+let rows t = Array.to_list t.stats
+let residual t = t.app
+let total_crossings t = Array.fold_left (fun acc r -> acc + r.crossings) 0 t.stats
+let total_checks t = Array.fold_left (fun acc r -> acc + r.checks) 0 t.stats
+
+let overhead_cycles t = Array.fold_left (fun acc r -> acc +. r.cycles) 0.0 t.stats
+
+let spans t = Tracer.spans t.span_rec
+let unmatched_exits t = Tracer.unmatched_exits t.span_rec
+
+let site_of_rip t rip = Sitemap.lookup t.prepared.Framework.sitemap rip
+
+let metrics t =
+  let reg = Ms_util.Metrics.registry () in
+  Array.iter
+    (fun r ->
+      let labels =
+        [
+          ("site", string_of_int r.site.Sitemap.id);
+          ("label", r.site.Sitemap.label);
+          ("technique", r.site.Sitemap.technique);
+        ]
+      in
+      let set name v = Ms_util.Metrics.incr ~by:v (Ms_util.Metrics.counter reg ~labels name) in
+      set "gate_crossings" r.crossings;
+      set "checks" r.checks;
+      set "tlb_misses" r.tlb_misses;
+      set "cache_misses" r.cache_misses;
+      set "faults" r.faults)
+    t.stats;
+  let residency =
+    Ms_util.Metrics.histogram reg ~labels:[ ("technique", t.technique) ] "residency_cycles"
+  in
+  List.iter (fun s -> Ms_util.Metrics.observe residency (Tracer.span_cycles s)) (spans t);
+  reg
+
+let residency_histogram t =
+  let reg = metrics t in
+  Ms_util.Metrics.histogram reg ~labels:[ ("technique", t.technique) ] "residency_cycles"
+
+let annotate t (s : Tracer.span) =
+  match site_of_rip t s.Tracer.enter_rip with
+  | Some (site, _) ->
+    [
+      ("site", Ms_util.Json.Int site.Sitemap.id);
+      ("label", Ms_util.Json.String site.Sitemap.label);
+      ("technique", Ms_util.Json.String site.Sitemap.technique);
+    ]
+  | None -> []
+
+let trace_json t =
+  Chrome_trace.to_json
+    ~process_name:(Printf.sprintf "memsentry:%s" t.technique)
+    ~annotate:(annotate t) (spans t)
+
+let row_json r =
+  let open Ms_util.Json in
+  Obj
+    [
+      ("site", Int r.site.Sitemap.id);
+      ("label", String r.site.Sitemap.label);
+      ("technique", String r.site.Sitemap.technique);
+      ("orig_rip", Int r.site.Sitemap.orig_rip);
+      ("crossings", Int r.crossings);
+      ("checks", Int r.checks);
+      ("cycles", Float r.cycles);
+      ("tlb_misses", Int r.tlb_misses);
+      ("cache_misses", Int r.cache_misses);
+      ("faults", Int r.faults);
+    ]
+
+let to_json t =
+  let open Ms_util.Json in
+  let residency = residency_histogram t in
+  Obj
+    [
+      ("technique", String t.technique);
+      ("sites", List (List.map row_json (rows t)));
+      ( "app",
+        Obj
+          [
+            ("cycles", Float t.app.r_cycles);
+            ("tlb_misses", Int t.app.r_tlb_misses);
+            ("cache_misses", Int t.app.r_cache_misses);
+            ("faults", Int t.app.r_faults);
+          ] );
+      ( "totals",
+        Obj
+          [
+            ("crossings", Int (total_crossings t));
+            ("checks", Int (total_checks t));
+            ("overhead_cycles", Float (overhead_cycles t));
+            ("spans", Int (List.length (spans t)));
+            ("unmatched_exits", Int (unmatched_exits t));
+          ] );
+      ( "residency",
+        Obj
+          [
+            ("count", Int (Ms_util.Metrics.count residency));
+            ("sum_cycles", Float (Ms_util.Metrics.sum residency));
+            ("p50", Float (Ms_util.Metrics.p50 residency));
+            ("p95", Float (Ms_util.Metrics.p95 residency));
+            ("p99", Float (Ms_util.Metrics.p99 residency));
+          ] );
+      ("perf", Perf_report.to_json (Perf_report.capture t.prepared.Framework.cpu));
+    ]

@@ -117,6 +117,48 @@ let table3 () =
        Technique.all);
   "Table 3: limitations of memory isolation techniques\n" ^ Table_fmt.render t
 
+let site_table prof =
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Right; Table_fmt.Left; Table_fmt.Right; Table_fmt.Right;
+               Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+               Table_fmt.Right; Table_fmt.Right ]
+      [ "Site"; "Label"; "@rip"; "Crossings"; "Checks"; "Cycles"; "Cyc/event"; "TLB miss";
+        "$ miss"; "Faults" ]
+  in
+  let cyc f = Printf.sprintf "%.0f" f in
+  List.iter
+    (fun (r : Profiler.row) ->
+      let events = r.Profiler.crossings + r.Profiler.checks in
+      Table_fmt.add_row t
+        [
+          string_of_int r.Profiler.site.Sitemap.id;
+          r.Profiler.site.Sitemap.label;
+          string_of_int r.Profiler.site.Sitemap.orig_rip;
+          string_of_int r.Profiler.crossings;
+          string_of_int r.Profiler.checks;
+          cyc r.Profiler.cycles;
+          (if events = 0 then "-" else cyc (r.Profiler.cycles /. float_of_int events));
+          string_of_int r.Profiler.tlb_misses;
+          string_of_int r.Profiler.cache_misses;
+          string_of_int r.Profiler.faults;
+        ])
+    (Profiler.rows prof);
+  let app = Profiler.residual prof in
+  Table_fmt.add_row t
+    [ "-"; "(app)"; "-"; "-"; "-"; cyc app.Profiler.r_cycles; "-";
+      string_of_int app.Profiler.r_tlb_misses; string_of_int app.Profiler.r_cache_misses;
+      string_of_int app.Profiler.r_faults ];
+  Table_fmt.add_row t
+    [
+      ""; "total"; "";
+      string_of_int (Profiler.total_crossings prof);
+      string_of_int (Profiler.total_checks prof);
+      cyc (Profiler.overhead_cycles prof);
+      ""; ""; ""; "";
+    ];
+  Table_fmt.render t
+
 let print_all () =
   print_string (table1 ());
   print_newline ();

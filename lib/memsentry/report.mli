@@ -30,4 +30,10 @@ val table1 : unit -> string
 val table2 : unit -> string
 val table3 : unit -> string
 
+val site_table : Profiler.t -> string
+(** Per-gate-site attribution table from a stopped profiler: crossings,
+    checks, cycles (plus per-event average), attributed TLB/cache misses
+    and faults per site, then an application residual row and a totals
+    row. The "Cycles" total is overhead cycles only (inserted code). *)
+
 val print_all : unit -> unit

@@ -1,0 +1,287 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    (* Shortest representation that round-trips, kept recognizably a float
+       (a bare "1" would re-parse as Int). *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s else s ^ ".0"
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  let indent n = Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl d =
+    if pretty then begin
+      Buffer.add_char b '\n';
+      indent d
+    end
+  in
+  let rec go d = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (d + 1);
+          go (d + 1) x)
+        items;
+      nl d;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (d + 1);
+          escape_string b k;
+          Buffer.add_char b ':';
+          if pretty then Buffer.add_char b ' ';
+          go (d + 1) x)
+        fields;
+      nl d;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: recursive descent over a string with one index.            *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char b '"'; advance st
+      | Some '\\' -> Buffer.add_char b '\\'; advance st
+      | Some '/' -> Buffer.add_char b '/'; advance st
+      | Some 'n' -> Buffer.add_char b '\n'; advance st
+      | Some 'r' -> Buffer.add_char b '\r'; advance st
+      | Some 't' -> Buffer.add_char b '\t'; advance st
+      | Some 'b' -> Buffer.add_char b '\b'; advance st
+      | Some 'f' -> Buffer.add_char b '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+        let hex = String.sub st.src st.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+        in
+        st.pos <- st.pos + 4;
+        (* Encode the code point as UTF-8 (BMP only; surrogate pairs are
+           not produced by our printer). *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> fail st "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char b c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  if text = "" then fail st "expected a number";
+  let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* Integer overflow: fall back to float like other parsers do. *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields (f :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (f :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) xs ys
+  | _ -> false
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ~pretty:true v);
+      output_char oc '\n')

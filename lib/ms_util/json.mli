@@ -1,0 +1,42 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry surfaces (profile output, Chrome trace-event files, the
+    benchmark harness's [--json] mode) need machine-readable output, and the
+    toolchain ships no JSON library — so this module is the repo's JSON
+    substrate. It covers the full data model (objects, arrays, strings with
+    escapes, ints, floats, bools, null) and round-trips its own output:
+    [of_string (to_string v)] is structurally equal to [v] for every value
+    this repository emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default false) adds newlines and two-space
+    indentation. Floats are printed with enough digits to round-trip;
+    non-finite floats are emitted as [null] (JSON has no representation
+    for them). *)
+
+val of_string : string -> t
+(** Parse one JSON value (leading/trailing whitespace allowed).
+    Numbers without [.], [e] or [E] parse as [Int]; others as [Float].
+    Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for absent fields or non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality. [Int] and [Float] never compare equal (parse
+    preserves the distinction); float comparison is exact. *)
+
+val to_file : string -> t -> unit
+(** Write [to_string ~pretty:true] plus a trailing newline to a file. *)

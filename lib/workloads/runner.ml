@@ -31,6 +31,14 @@ let run_with ?iterations prof (cfg : Framework.config) =
   let lowered = Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof in
   finish prof.Profile.name (Framework.prepare cfg lowered)
 
+let profile ?iterations prof (cfg : Framework.config) =
+  let lowered = Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof in
+  let p = Framework.prepare cfg lowered in
+  let profiler = Profiler.attach p in
+  let r = finish prof.Profile.name p in
+  Profiler.stop profiler;
+  (profiler, r)
+
 let overhead_of ?iterations prof cfg =
   let base = run_baseline ?iterations prof in
   let inst = run_with ?iterations prof cfg in

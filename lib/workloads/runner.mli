@@ -22,6 +22,15 @@ val run_with : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> run
 val overhead_of : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> float
 (** [run_with / run_baseline] cycle ratio (1.0 = no overhead). *)
 
+val profile :
+  ?iterations:int ->
+  Profile.t ->
+  Memsentry.Framework.config ->
+  Memsentry.Profiler.t * run_result
+(** Like {!run_with}, but with a {!Memsentry.Profiler} attached for the
+    whole run. The returned profiler is already stopped: its per-site
+    table, spans and JSON/trace exports are ready to read. *)
+
 val sweep :
   ?iterations:int ->
   Profile.t list ->

@@ -13,12 +13,15 @@ type level = {
   mutable hits : int;
 }
 
+type served = L1 | L2 | L3 | Dram
+
 type t = {
   l1 : level;
   l2 : level;
   l3 : level;
   mutable dram : int;
   mutable clock : int;
+  mutable last : served;
 }
 
 let create () =
@@ -28,6 +31,7 @@ let create () =
     l3 = { sets = 8192; ways = 16; tags = Array.make 131072 (-1); stamps = Array.make 131072 0; hits = 0 };
     dram = 0;
     clock = 0;
+    last = L1;
   }
 
 (* Probe one level; on hit refresh LRU, on miss install with LRU eviction. *)
@@ -59,13 +63,27 @@ let probe lvl line clock =
 let access t ~addr =
   t.clock <- t.clock + 1;
   let line = addr lsr line_bits in
-  if probe t.l1 line t.clock then lat_l1
-  else if probe t.l2 line t.clock then lat_l2
-  else if probe t.l3 line t.clock then lat_l3
+  if probe t.l1 line t.clock then begin
+    t.last <- L1;
+    lat_l1
+  end
+  else if probe t.l2 line t.clock then begin
+    t.last <- L2;
+    lat_l2
+  end
+  else if probe t.l3 line t.clock then begin
+    t.last <- L3;
+    lat_l3
+  end
   else begin
     t.dram <- t.dram + 1;
+    t.last <- Dram;
     lat_dram
   end
+
+let last_served t = t.last
+
+let served_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Dram -> "DRAM"
 
 let flush t =
   Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);

@@ -9,6 +9,10 @@
 
 type t
 
+type served = L1 | L2 | L3 | Dram
+(** The level that finally served an access — the telemetry subsystem's
+    per-access miss attribution. *)
+
 val create : unit -> t
 (** Skylake-like geometry: L1 32 KiB/8-way, L2 256 KiB/8-way,
     L3 8 MiB/16-way, 64-byte lines. *)
@@ -18,6 +22,12 @@ val access : t -> addr:int -> int
     updating LRU state and filling on miss (write-allocate; writes and
     reads cost the same here, store latency being hidden by the pipeline
     model). *)
+
+val last_served : t -> served
+(** Which level served the most recent {!access} ([L1] before any access).
+    Read by the CPU right after the access to emit miss events. *)
+
+val served_name : served -> string
 
 val flush : t -> unit
 

@@ -1,0 +1,49 @@
+module J = Ms_util.Json
+
+let span_event ?(annotate = fun _ -> []) (s : Tracer.span) =
+  let args =
+    [
+      ("enter_rip", J.Int s.Tracer.enter_rip);
+      ("exit_rip", J.Int s.Tracer.exit_rip);
+      ("depth", J.Int s.Tracer.depth);
+      ("closed", J.Bool s.Tracer.closed);
+    ]
+    @ annotate s
+  in
+  J.Obj
+    [
+      ("name", J.String s.Tracer.gate);
+      ("cat", J.String "domain-residency");
+      ("ph", J.String "X");
+      (* The trace-event clock is microseconds; we map one simulated cycle
+         to one "microsecond" so durations read directly as cycles. *)
+      ("ts", J.Float s.Tracer.enter_cycles);
+      ("dur", J.Float (Tracer.span_cycles s));
+      ("pid", J.Int 1);
+      ("tid", J.Int 1);
+      ("args", J.Obj args);
+    ]
+
+let metadata_event ~name ~value =
+  J.Obj
+    [
+      ("name", J.String name);
+      ("ph", J.String "M");
+      ("pid", J.Int 1);
+      ("tid", J.Int 1);
+      ("args", J.Obj [ ("name", J.String value) ]);
+    ]
+
+let to_json ?(process_name = "memsentry-sim") ?annotate spans =
+  let events =
+    metadata_event ~name:"process_name" ~value:process_name
+    :: metadata_event ~name:"thread_name" ~value:"safe-region residency"
+    :: List.map (span_event ?annotate) spans
+  in
+  J.Obj [ ("traceEvents", J.List events); ("displayTimeUnit", J.String "ms") ]
+
+let to_string ?process_name ?annotate spans =
+  J.to_string ~pretty:true (to_json ?process_name ?annotate spans)
+
+let write ?process_name ?annotate ~file spans =
+  J.to_file file (to_json ?process_name ?annotate spans)

@@ -1,0 +1,33 @@
+(** Chrome trace-event export of domain-residency spans.
+
+    Produces the JSON object format understood by [chrome://tracing] and
+    Perfetto: a [traceEvents] array of complete ("ph":"X") events, one per
+    {!Tracer.span}, with [ts]/[dur] in simulated cycles (mapped 1:1 onto
+    the format's microsecond clock). Loading the file shows when the safe
+    region was open over the run — the visual counterpart of the paper's
+    observation that domain-crossing frequency dominates overhead. *)
+
+val span_event : ?annotate:(Tracer.span -> (string * Ms_util.Json.t) list) -> Tracer.span -> Ms_util.Json.t
+(** One complete event. [annotate] appends extra ["args"] fields (the
+    profiler adds the gate-site id and technique label). *)
+
+val to_json :
+  ?process_name:string ->
+  ?annotate:(Tracer.span -> (string * Ms_util.Json.t) list) ->
+  Tracer.span list ->
+  Ms_util.Json.t
+(** The whole trace: metadata events naming the process/thread, then one
+    event per span. *)
+
+val to_string :
+  ?process_name:string ->
+  ?annotate:(Tracer.span -> (string * Ms_util.Json.t) list) ->
+  Tracer.span list ->
+  string
+
+val write :
+  ?process_name:string ->
+  ?annotate:(Tracer.span -> (string * Ms_util.Json.t) list) ->
+  file:string ->
+  Tracer.span list ->
+  unit

@@ -44,7 +44,9 @@ type t = {
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
   mutable fault_handler : t -> Fault.t -> fault_action;
-  mutable on_step : (t -> Insn.t -> unit) option;
+  mutable step_hooks : (int * (t -> Insn.t -> unit)) list;
+  mutable event_hooks : (int * (Event.t -> unit)) list;
+  mutable next_hook_id : int;
 }
 
 (* Cost-model constants, calibrated against the paper's Table 4. *)
@@ -140,11 +142,52 @@ let create ?(stack_pages = 64) () =
       vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
       ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
       fault_handler = (fun _ _ -> Fault_reraise);
-      on_step = None;
+      step_hooks = [];
+      event_hooks = [];
+      next_hook_id = 0;
     }
   in
   t.gpr.(Reg.rsp) <- Layout.stack_top - 64;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Hooks and event emission                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_hook_id t =
+  let id = t.next_hook_id in
+  t.next_hook_id <- id + 1;
+  id
+
+let add_step_hook t f =
+  let id = fresh_hook_id t in
+  t.step_hooks <- t.step_hooks @ [ (id, f) ];
+  id
+
+let remove_step_hook t id = t.step_hooks <- List.remove_assoc id t.step_hooks
+
+let add_event_hook t f =
+  let id = fresh_hook_id t in
+  t.event_hooks <- t.event_hooks @ [ (id, f) ];
+  id
+
+let remove_event_hook t id = t.event_hooks <- List.remove_assoc id t.event_hooks
+
+let has_event_hooks t = t.event_hooks <> []
+
+let emit t ev = List.iter (fun (_, f) -> f ev) t.event_hooks
+
+(* Memory-event emission, called right after an MMU access while [t.rip]
+   still points at the responsible instruction. The [event_hooks] guard
+   keeps the un-instrumented hot path allocation-free. *)
+let emit_mem t va =
+  if t.event_hooks <> [] then begin
+    if t.mmu.Mmu.last_tlb_miss then emit t (Event.Tlb_miss { rip = t.rip; va });
+    match Cache.last_served t.mmu.Mmu.cache with
+    | Cache.L1 -> ()
+    | (Cache.L2 | Cache.L3 | Cache.Dram) as level ->
+      emit t (Event.Cache_miss { rip = t.rip; va; level })
+  end
 
 let load_program t prog =
   t.program <- prog;
@@ -208,6 +251,7 @@ let push t v =
   t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) - 8;
   let va = t.gpr.(Reg.rsp) in
   let _lat = Mmu.write64 t.mmu ~va v in
+  emit_mem t va;
   let completion =
     Pipeline.issue_t t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~port:Pipeline.p_store ()
   in
@@ -216,6 +260,7 @@ let push t v =
 let pop t =
   let va = t.gpr.(Reg.rsp) in
   let v, lat = Mmu.read64 t.mmu ~va in
+  emit_mem t va;
   Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~dep:(load_dep t va)
     ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
   t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) + 8;
@@ -251,6 +296,7 @@ let exec t (insn : Insn.t) =
   | Insn.Load (d, m) ->
     let va = ea t m in
     let v, lat = Mmu.read64 t.mmu ~va in
+    emit_mem t va;
     t.gpr.(d) <- v;
     c.loads <- c.loads + 1;
     Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
@@ -259,6 +305,7 @@ let exec t (insn : Insn.t) =
   | Insn.Store (m, s) ->
     let va = ea t m in
     let _lat = Mmu.write64 t.mmu ~va t.gpr.(s) in
+    emit_mem t va;
     c.stores <- c.stores + 1;
     let completion =
       Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_gpr s)
@@ -269,6 +316,7 @@ let exec t (insn : Insn.t) =
   | Insn.Store_i (m, i) ->
     let va = ea t m in
     let _lat = Mmu.write64 t.mmu ~va i in
+    emit_mem t va;
     c.stores <- c.stores + 1;
     let completion =
       Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~port:Pipeline.p_store ()
@@ -356,6 +404,7 @@ let exec t (insn : Insn.t) =
          overhead on syscall-heavy code. *)
       c.vmcalls <- c.vmcalls + 1;
       c.vm_exits <- c.vm_exits + 1;
+      if t.event_hooks <> [] then emit t (Event.Vm_exit { rip = t.rip; reason = "syscall" });
       Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ()
     end
     else Pipeline.issue t.pipe ~serialize:true ~lat:syscall_cost ~port:Pipeline.p_special ();
@@ -392,6 +441,7 @@ let exec t (insn : Insn.t) =
     let a = ea t m in
     let _ = Mmu.write64 t.mmu ~va:a t.bnd_lower.(b) in
     let _ = Mmu.write64 t.mmu ~va:(a + 8) t.bnd_upper.(b) in
+    emit_mem t a;
     c.stores <- c.stores + 1;
     let completion =
       Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_bnd b)
@@ -403,6 +453,7 @@ let exec t (insn : Insn.t) =
     let a = ea t m in
     let lo, lat1 = Mmu.read64 t.mmu ~va:a in
     let hi, _ = Mmu.read64 t.mmu ~va:(a + 8) in
+    emit_mem t a;
     t.bnd_lower.(b) <- lo;
     t.bnd_upper.(b) <- hi;
     c.loads <- c.loads + 1;
@@ -414,6 +465,14 @@ let exec t (insn : Insn.t) =
       Fault.raise_fault (Fault.Gp_fault "wrpkru requires rcx = rdx = 0");
     c.wrpkrus <- c.wrpkrus + 1;
     set_pkru t t.gpr.(Reg.rax);
+    if t.event_hooks <> [] then begin
+      (* pkru = 0 means every key is permissive: the sensitive domain is
+         open. Any restriction bit set means it is (being) closed. *)
+      let gate = Event.Pkru (pkru t) in
+      emit t
+        (if pkru t = 0 then Event.Gate_enter { rip = t.rip; gate }
+         else Event.Gate_exit { rip = t.rip; gate })
+    end;
     Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rax) ~d1:Reg.pipe_pkru
       ~serialize:t.wrpkru_serialize ~lat:wrpkru_cost ~port:Pipeline.p_special ();
     t.rip <- next
@@ -432,6 +491,14 @@ let exec t (insn : Insn.t) =
       Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "vmfunc: EPTP index %d out of range" idx));
     t.mmu.Mmu.ept_index <- idx;
     c.vmfuncs <- c.vmfuncs + 1;
+    if t.event_hooks <> [] then begin
+      (* EPT 0 is the non-sensitive view by the Vmx.Sandbox convention;
+         switching to any other EPTP opens a sensitive view. *)
+      let gate = Event.Ept idx in
+      emit t
+        (if idx <> 0 then Event.Gate_enter { rip = t.rip; gate }
+         else Event.Gate_exit { rip = t.rip; gate })
+    end;
     Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rax) ~s2:(Reg.pipe_gpr Reg.rcx)
       ~serialize:true ~lat:vmfunc_cost ~port:Pipeline.p_special ();
     t.rip <- next
@@ -440,12 +507,14 @@ let exec t (insn : Insn.t) =
       Fault.raise_fault (Fault.Undefined "vmcall outside VMX non-root mode");
     c.vmcalls <- c.vmcalls + 1;
     c.vm_exits <- c.vm_exits + 1;
+    if t.event_hooks <> [] then emit t (Event.Vm_exit { rip = t.rip; reason = "vmcall" });
     Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ();
     t.vmcall_handler t;
     t.rip <- next
   | Insn.Movdqa_load (x, m) ->
     let va = ea t m in
     let b, lat = Mmu.read_block16 t.mmu ~va in
+    emit_mem t va;
     set_xmm t x b;
     c.loads <- c.loads + 1;
     Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_xmm x)
@@ -454,6 +523,7 @@ let exec t (insn : Insn.t) =
   | Insn.Movdqa_store (m, x) ->
     let va = ea t m in
     let _lat = Mmu.write_block16 t.mmu ~va (get_xmm t x) in
+    emit_mem t va;
     c.stores <- c.stores + 1;
     let completion =
       Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_xmm x)
@@ -522,6 +592,7 @@ let exec t (insn : Insn.t) =
 
 let deliver t f saved_rip =
   t.counters.faults <- t.counters.faults + 1;
+  if t.event_hooks <> [] then emit t (Event.Fault { rip = saved_rip; fault = f });
   match t.fault_handler t f with
   | Fault_halt -> t.halted <- true
   | Fault_skip -> t.rip <- saved_rip + 1
@@ -531,12 +602,14 @@ let step t =
   if not t.halted then begin
     let saved = t.rip in
     let insn = Program.fetch t.program saved in
-    (match t.on_step with Some f -> f t insn | None -> ());
+    List.iter (fun (_, f) -> f t insn) t.step_hooks;
     t.counters.insns <- t.counters.insns + 1;
     let rec attempt n =
       try exec t insn with
       | Fault.Fault (Fault.Ept_violation { gpa; access; _ } as f) ->
         t.counters.vm_exits <- t.counters.vm_exits + 1;
+        if t.event_hooks <> [] then
+          emit t (Event.Vm_exit { rip = saved; reason = "ept-violation" });
         Pipeline.issue t.pipe ~serialize:true ~lat:ept_violation_cost
           ~port:Pipeline.p_special ();
         if n < 8 && t.ept_violation_handler t ~gpa ~access then begin

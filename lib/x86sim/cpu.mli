@@ -67,7 +67,15 @@ type t = {
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
   mutable fault_handler : t -> Fault.t -> fault_action;
-  mutable on_step : (t -> Insn.t -> unit) option;
+  mutable step_hooks : (int * (t -> Insn.t -> unit)) list;
+      (** Pre-execution observers, run in registration order on every
+          instruction. Managed with {!add_step_hook} / {!remove_step_hook};
+          several observers (tracer, profiler, analyses) coexist. *)
+  mutable event_hooks : (int * (Event.t -> unit)) list;
+      (** Subscribers to typed machine {!Event.t}s. When empty (the
+          default) the CPU skips all event construction, keeping the
+          uninstrumented hot path free of telemetry cost. *)
+  mutable next_hook_id : int;
 }
 
 val create : ?stack_pages:int -> unit -> t
@@ -76,6 +84,33 @@ val create : ?stack_pages:int -> unit -> t
 
 val load_program : t -> Program.t -> unit
 (** Install a program and set [rip] to the ["main"] label (or 0). *)
+
+(** {2 Hooks and events}
+
+    Both hook lists are composable: any number of observers may attach,
+    each gets back an id for targeted removal, and registration order is
+    call order. *)
+
+val add_step_hook : t -> (t -> Insn.t -> unit) -> int
+(** Attach an observer called before each instruction executes (with the
+    machine state as of fetch: [rip] still points at the instruction). *)
+
+val remove_step_hook : t -> int -> unit
+(** Remove by id; unknown ids are ignored. *)
+
+val add_event_hook : t -> (Event.t -> unit) -> int
+(** Subscribe to typed events: gate enters/exits ([wrpkru]/[vmfunc]),
+    faults, TLB misses, cache fills below L1, and VM exits. *)
+
+val remove_event_hook : t -> int -> unit
+
+val has_event_hooks : t -> bool
+
+val emit : t -> Event.t -> unit
+(** Broadcast an event to all subscribers. The CPU calls this internally
+    for hardware-observable events; software layers (the MemSentry
+    profiler) use it to inject [Event.Seq] gate events for techniques
+    whose gates are instruction sequences with no architectural marker. *)
 
 val cycles : t -> float
 (** Cycles accumulated by the pipeline model. *)

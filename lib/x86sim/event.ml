@@ -1,0 +1,31 @@
+type gate = Pkru of int | Ept of int | Seq of string
+
+type t =
+  | Gate_enter of { rip : int; gate : gate }
+  | Gate_exit of { rip : int; gate : gate }
+  | Fault of { rip : int; fault : Fault.t }
+  | Tlb_miss of { rip : int; va : int }
+  | Cache_miss of { rip : int; va : int; level : Cache.served }
+  | Vm_exit of { rip : int; reason : string }
+
+let rip = function
+  | Gate_enter { rip; _ }
+  | Gate_exit { rip; _ }
+  | Fault { rip; _ }
+  | Tlb_miss { rip; _ }
+  | Cache_miss { rip; _ }
+  | Vm_exit { rip; _ } -> rip
+
+let gate_name = function
+  | Pkru v -> Printf.sprintf "pkru=0x%x" v
+  | Ept i -> Printf.sprintf "ept=%d" i
+  | Seq s -> s
+
+let to_string = function
+  | Gate_enter { rip; gate } -> Printf.sprintf "@%-6d gate-enter %s" rip (gate_name gate)
+  | Gate_exit { rip; gate } -> Printf.sprintf "@%-6d gate-exit  %s" rip (gate_name gate)
+  | Fault { rip; fault } -> Printf.sprintf "@%-6d fault      %s" rip (Fault.to_string fault)
+  | Tlb_miss { rip; va } -> Printf.sprintf "@%-6d tlb-miss   va=0x%x" rip va
+  | Cache_miss { rip; va; level } ->
+    Printf.sprintf "@%-6d %s-fill    va=0x%x" rip (Cache.served_name level) va
+  | Vm_exit { rip; reason } -> Printf.sprintf "@%-6d vm-exit    %s" rip reason

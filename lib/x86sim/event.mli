@@ -1,0 +1,43 @@
+(** Typed machine events — the telemetry channel of the simulator.
+
+    Every event carries the [rip] (instruction index) of the responsible
+    instruction, which is what lets the MemSentry profiler attribute cost
+    back to the gate site the instrumentation pass inserted — the repo's
+    analogue of the paper's PIN-based per-site dynamic analysis (§5.5).
+
+    The CPU emits hardware-observable events: gate transitions for
+    instructions with an architectural gate semantic ([wrpkru], [vmfunc]),
+    fault deliveries, TLB misses and the cache level that served each data
+    access (from the MMU/cache models), and VM exits (from the
+    virtualization path). Software layers may inject their own gate events
+    through {!Cpu.emit} for techniques whose gates are instruction
+    {e sequences} rather than single instructions (crypt's AES bracketing,
+    mprotect's syscalls). *)
+
+type gate =
+  | Pkru of int  (** [wrpkru]: the new pkru value (0 = domain open). *)
+  | Ept of int  (** [vmfunc]: the new EPT index (0 = non-sensitive). *)
+  | Seq of string
+      (** A software-sequence gate (e.g. ["crypt"], ["mprotect"]), injected
+          by the instrumentation-aware profiler rather than the CPU. *)
+
+type t =
+  | Gate_enter of { rip : int; gate : gate }
+      (** The sensitive domain opened (pkru fully permissive, EPT switched
+          to a sensitive view, or a software open-sequence began). *)
+  | Gate_exit of { rip : int; gate : gate }
+  | Fault of { rip : int; fault : Fault.t }
+  | Tlb_miss of { rip : int; va : int }
+  | Cache_miss of { rip : int; va : int; level : Cache.served }
+      (** A data access served below L1; [level] is where it finally hit
+          ([L2], [L3] or [Dram]). *)
+  | Vm_exit of { rip : int; reason : string }
+
+val rip : t -> int
+(** The responsible instruction of any event. *)
+
+val gate_name : gate -> string
+(** Stable label for a gate, e.g. ["pkru=0"], ["ept=1"], ["crypt"]. *)
+
+val to_string : t -> string
+(** One-line rendering for logs and traces. *)

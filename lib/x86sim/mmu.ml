@@ -7,6 +7,7 @@ type t = {
   mutable ept_list : Ept.t array;
   mutable ept_index : int;
   mutable ept_on : bool;
+  mutable last_tlb_miss : bool;
 }
 
 let page_size = Physmem.page_size
@@ -25,6 +26,7 @@ let create () =
     ept_list = [||];
     ept_index = 0;
     ept_on = false;
+    last_tlb_miss = false;
   }
 
 let walk_cost t =
@@ -106,10 +108,13 @@ let translate t ~va ~access =
   let pt_gen = Pagetable.generation t.pt and ept_gen = ept_gen t in
   let entry, latency =
     match Tlb.probe t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen with
-    | Some hit -> (hit, 0)
+    | Some hit ->
+      t.last_tlb_miss <- false;
+      (hit, 0)
     | None ->
       let hit = fill t ~vpn ~access in
       Tlb.insert t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen hit;
+      t.last_tlb_miss <- true;
       (hit, walk_cost t)
   in
   if not (pkey_allows t ~key:entry.Tlb.pkey ~access) then

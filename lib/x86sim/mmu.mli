@@ -24,6 +24,10 @@ type t = {
   mutable ept_list : Ept.t array;  (** EPTP list; empty unless virtualized. *)
   mutable ept_index : int;  (** Active EPT (set by [vmfunc]). *)
   mutable ept_on : bool;
+  mutable last_tlb_miss : bool;
+      (** Whether the most recent {!translate} missed the TLB and walked the
+          tables. Read by the CPU right after an access to emit telemetry
+          events. *)
 }
 
 val create : unit -> t

@@ -16,19 +16,24 @@ type t = {
   aes_ops : int;
   faults : int;
   l1_hit_rate : float;
+  l2_hit_rate : float;
+  l3_hit_rate : float;
   tlb_hit_rate : float;
   dram_accesses : int;
 }
 
-let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+(* A level nothing reached served every request it got: report 1.0, not a
+   0/0 nan that poisons downstream aggregation. *)
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
 
 let capture (cpu : Cpu.t) =
   let c = cpu.Cpu.counters in
   let cache = cpu.Cpu.mmu.Mmu.cache in
   let tlb = cpu.Cpu.mmu.Mmu.tlb in
-  let cache_accesses =
-    Cache.l1_hits cache + Cache.l2_hits cache + Cache.l3_hits cache + Cache.dram_accesses cache
-  in
+  let l1 = Cache.l1_hits cache
+  and l2 = Cache.l2_hits cache
+  and l3 = Cache.l3_hits cache
+  and dram = Cache.dram_accesses cache in
   {
     insns = c.Cpu.insns;
     cycles = Cpu.cycles cpu;
@@ -46,9 +51,11 @@ let capture (cpu : Cpu.t) =
     vm_exits = c.Cpu.vm_exits;
     aes_ops = c.Cpu.aes_ops;
     faults = c.Cpu.faults;
-    l1_hit_rate = ratio (Cache.l1_hits cache) cache_accesses;
+    l1_hit_rate = ratio l1 (l1 + l2 + l3 + dram);
+    l2_hit_rate = ratio l2 (l2 + l3 + dram);
+    l3_hit_rate = ratio l3 (l3 + dram);
     tlb_hit_rate = ratio (Tlb.hits tlb) (Tlb.hits tlb + Tlb.misses tlb);
-    dram_accesses = Cache.dram_accesses cache;
+    dram_accesses = dram;
   }
 
 let to_string r =
@@ -60,12 +67,39 @@ let to_string r =
       Printf.sprintf "calls/rets     %8d / %d   (indirect branches %d)" r.calls r.rets
         r.ind_branches;
       Printf.sprintf "syscalls       %12d" r.syscalls;
-      Printf.sprintf "L1 hit rate    %12.1f%%   (DRAM accesses %d)" (100.0 *. r.l1_hit_rate)
+      Printf.sprintf "L1 hit rate    %12.1f%%   (L2 %.1f%%, L3 %.1f%%, DRAM accesses %d)"
+        (100.0 *. r.l1_hit_rate) (100.0 *. r.l2_hit_rate) (100.0 *. r.l3_hit_rate)
         r.dram_accesses;
       Printf.sprintf "TLB hit rate   %12.1f%%" (100.0 *. r.tlb_hit_rate);
       Printf.sprintf "protection     %d bndck, %d wrpkru, %d vmfunc, %d vmcall, %d vmexit, %d aes"
         r.bnd_checks r.wrpkrus r.vmfuncs r.vmcalls r.vm_exits r.aes_ops;
       Printf.sprintf "faults         %12d" r.faults;
+    ]
+
+let to_json r =
+  Ms_util.Json.Obj
+    [
+      ("insns", Ms_util.Json.Int r.insns);
+      ("cycles", Ms_util.Json.Float r.cycles);
+      ("ipc", Ms_util.Json.Float r.ipc);
+      ("loads", Ms_util.Json.Int r.loads);
+      ("stores", Ms_util.Json.Int r.stores);
+      ("calls", Ms_util.Json.Int r.calls);
+      ("rets", Ms_util.Json.Int r.rets);
+      ("ind_branches", Ms_util.Json.Int r.ind_branches);
+      ("syscalls", Ms_util.Json.Int r.syscalls);
+      ("bnd_checks", Ms_util.Json.Int r.bnd_checks);
+      ("wrpkrus", Ms_util.Json.Int r.wrpkrus);
+      ("vmfuncs", Ms_util.Json.Int r.vmfuncs);
+      ("vmcalls", Ms_util.Json.Int r.vmcalls);
+      ("vm_exits", Ms_util.Json.Int r.vm_exits);
+      ("aes_ops", Ms_util.Json.Int r.aes_ops);
+      ("faults", Ms_util.Json.Int r.faults);
+      ("l1_hit_rate", Ms_util.Json.Float r.l1_hit_rate);
+      ("l2_hit_rate", Ms_util.Json.Float r.l2_hit_rate);
+      ("l3_hit_rate", Ms_util.Json.Float r.l3_hit_rate);
+      ("tlb_hit_rate", Ms_util.Json.Float r.tlb_hit_rate);
+      ("dram_accesses", Ms_util.Json.Int r.dram_accesses);
     ]
 
 let print cpu = print_endline (to_string (capture cpu))

@@ -20,6 +20,8 @@ type t = {
   aes_ops : int;
   faults : int;
   l1_hit_rate : float;  (** of all data-cache accesses *)
+  l2_hit_rate : float;  (** of accesses that missed L1 *)
+  l3_hit_rate : float;  (** of accesses that missed L2 *)
   tlb_hit_rate : float;
   dram_accesses : int;
 }
@@ -28,5 +30,11 @@ val capture : Cpu.t -> t
 
 val to_string : t -> string
 (** Multi-line human-readable rendering. *)
+
+val to_json : t -> Ms_util.Json.t
+(** Stable machine-readable form: an object with one field per record
+    field, counters as [Int], rates/cycles as [Float]. Hit rates for
+    levels that saw no traffic are 1.0 (never nan), so the JSON is always
+    valid and aggregatable. *)
 
 val print : Cpu.t -> unit

@@ -20,4 +20,5 @@ let () =
       ("optimizer", Test_opt.suite);
       ("fig2-encode", Test_fig2_and_encode.suite);
       ("edges", Test_coverage_edges.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -224,14 +224,21 @@ let test_tracer_filter () =
   Alcotest.(check int) "only the five stores" 5 (Tracer.total t);
   Alcotest.(check bool) "renders" true (String.length (Tracer.to_string t) > 0)
 
-let test_tracer_refuses_double_hook () =
+let test_tracer_coexists () =
+  (* Tracing must not displace other step hooks (or another tracer): all
+     observers see the full stream, and detaching one leaves the rest. *)
   let cpu = traced_cpu () in
-  let _t = Tracer.attach cpu in
-  Alcotest.(check bool) "second attach rejected" true
-    (try
-       ignore (Tracer.attach cpu);
-       false
-     with Invalid_argument _ -> true)
+  let steps = ref 0 in
+  let id = Cpu.add_step_hook cpu (fun _ _ -> incr steps) in
+  let t1 = Tracer.attach cpu in
+  let t2 = Tracer.attach ~filter:Insn.is_mem_write cpu in
+  ignore (Cpu.run cpu);
+  Alcotest.(check int) "analysis hook saw every step" 18 !steps;
+  Alcotest.(check int) "first tracer saw every step" 18 (Tracer.total t1);
+  Alcotest.(check int) "filtered tracer saw the stores" 5 (Tracer.total t2);
+  Tracer.detach t1;
+  Cpu.remove_step_hook cpu id;
+  Alcotest.(check int) "detach is selective" 1 (List.length cpu.Cpu.step_hooks)
 
 (* --- perf report --- *)
 
@@ -277,5 +284,5 @@ let suite =
     Alcotest.test_case "perf report" `Quick test_perf_report;
     Alcotest.test_case "tracer ring buffer" `Quick test_tracer_ring;
     Alcotest.test_case "tracer filter" `Quick test_tracer_filter;
-    Alcotest.test_case "tracer double hook" `Quick test_tracer_refuses_double_hook;
+    Alcotest.test_case "tracer coexists with hooks" `Quick test_tracer_coexists;
   ]
