@@ -5,6 +5,11 @@ open Memsentry
 
 let iterations = ref 40
 
+(* Worker domains for the figure/table sweeps. Each (benchmark, config)
+   simulation owns its Cpu.t, so they fan out safely; results are joined
+   in deterministic order, making the output independent of [jobs]. *)
+let jobs = ref 1
+
 (* JSON accumulator for --json: targets record their results here and
    main.exe writes one object at exit. Recording is unconditional — it is
    cheap, and only main decides whether a file gets written. *)
@@ -27,7 +32,9 @@ let short name =
    columns, geomean + the paper's reference geomeans at the bottom. With
    [name], the figure's data is also recorded for --json. *)
 let print_figure ?name ~title ~configs ~paper_geomeans () =
-  let rows = Workloads.Runner.sweep ~iterations:!iterations Workloads.Spec2006.all configs in
+  let rows =
+    Workloads.Runner.sweep ~iterations:!iterations ~jobs:!jobs Workloads.Spec2006.all configs
+  in
   let headers = "benchmark" :: List.map fst configs in
   let t = Table_fmt.create headers in
   List.iter

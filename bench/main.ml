@@ -7,8 +7,10 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|attacks|bechamel|all]\n\
+    "usage: main.exe \
+     [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|attacks|bechamel|simspeed|all]\n\
      \  --iterations N   workload loop iterations (default 40)\n\
+     \  --jobs N         run independent simulations on N domains (default 1)\n\
      \  --json FILE      also write machine-readable results (figures 3-6, table 4)";
   exit 1
 
@@ -29,6 +31,7 @@ let rec run_target = function
   | "codesize" -> Codesize.run ()
   | "verify" -> Verify_stats.run ()
   | "bechamel" -> Bechamel_suite.run ()
+  | "simspeed" -> Simspeed.run ()
   | "all" ->
     List.iter run_target_unit
       [
@@ -51,6 +54,11 @@ let () =
     | "--iterations" :: n :: rest ->
       (match int_of_string_opt n with
       | Some v when v > 0 -> Bench_common.iterations := v
+      | Some _ | None -> usage ());
+      parse targets rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v > 0 -> Bench_common.jobs := v
       | Some _ | None -> usage ());
       parse targets rest
     | "--json" :: file :: rest ->

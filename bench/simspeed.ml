@@ -1,0 +1,173 @@
+(* Simulator-speed benchmark: how fast the simulator itself runs, measured
+   in MIPS (millions of *simulated* instructions per wall-clock second).
+
+   This is a meta-benchmark: it measures the engine, not the modeled
+   hardware. It is what bounds how many iterations/configs the figure
+   sweeps can afford, so we track it across PRs in BENCH_simspeed.json:
+   the file keeps the first recorded run as "baseline" and overwrites
+   "latest" on every run, so before/after of an optimization is always
+   visible in one place.
+
+   Only the execution phase ([Framework.run]) is timed: program lowering
+   and [Framework.prepare] are one-time setup, amortized away in any
+   long-running use of the simulator, and timing them would let setup
+   churn mask engine regressions. Minor-heap words allocated per simulated
+   instruction during the timed phase are reported alongside MIPS — the
+   honesty metric for the allocation-free fast path (0.00 means the
+   engine's steady state never touches the GC).
+
+   Three rows bracket the engine's operating modes:
+   - baseline: uninstrumented workload, no hooks — the pure fast path;
+   - MPK: instrumented workload, no hooks — fast path plus gate traffic;
+   - MPK+hooks: step+event hooks attached — the instrumented slow path. *)
+
+open Ms_util
+open Memsentry
+
+let out_file = "BENCH_simspeed.json"
+
+(* A spread of profiles: pointer-chasing (low ILP), cache-resident high
+   ILP, and call-heavy — so the MIPS number is not dominated by one
+   instruction mix. *)
+let profile_names = [ "429.mcf"; "456.hmmer"; "453.povray" ]
+
+let profiles =
+  List.filter
+    (fun p -> List.mem p.Workloads.Profile.name profile_names)
+    Workloads.Spec2006.all
+
+(* The figure sweeps default to 40 iterations per run; a single 40-iteration
+   run is over in ~10 ms, far too short to time reliably. Scale up by 10x
+   (and take the best of [reps] attempts) so one mode runs for a few
+   hundred ms. [--iterations] still scales the measurement for CI smoke. *)
+let speed_iterations () = !Bench_common.iterations * 10
+let reps = 3
+
+let mips insns secs = if secs <= 0.0 then 0.0 else float_of_int insns /. secs /. 1e6
+
+(* Run one mode over all profiles; return (total simulated insns, wall
+   seconds, minor words per simulated instruction), all measured over the
+   timed [Framework.run] phase only. Wall time and words/insn are each the
+   best of [reps] sweeps — robust against scheduler and GC-timing noise.
+   Each rep re-prepares (untimed): [Framework.run] consumes its prepared
+   state. *)
+let measure_mode prepare_one =
+  let sweep () =
+    List.fold_left
+      (fun (insns, secs, words) prof ->
+        let p = prepare_one prof in
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        (match Framework.run p with
+        | X86sim.Cpu.Halted -> ()
+        | X86sim.Cpu.Out_of_fuel -> failwith "simspeed: out of fuel");
+        let t1 = Unix.gettimeofday () in
+        let w1 = Gc.minor_words () in
+        let n = p.Framework.cpu.X86sim.Cpu.counters.X86sim.Cpu.insns in
+        (insns + n, secs +. (t1 -. t0), words +. (w1 -. w0)))
+      (0, 0.0, 0.0) profiles
+  in
+  let first = sweep () in
+  let rec best (bi, bs, bw) n =
+    if n = 0 then (bi, bs, bw /. float_of_int (max bi 1))
+    else
+      let _, s, w = sweep () in
+      best (bi, Float.min bs s, Float.min bw w) (n - 1)
+  in
+  best first (reps - 1)
+
+let prepare_baseline prof =
+  let iterations = speed_iterations () in
+  Framework.prepare_baseline (Workloads.Synth.lowered ~iterations prof)
+
+let prepare_mpk cfg prof =
+  let iterations = speed_iterations () in
+  Framework.prepare cfg (Workloads.Synth.lowered ~iterations prof)
+
+let prepare_hooked cfg prof =
+  let p = prepare_mpk cfg prof in
+  (* A step hook and an event hook that observe but do not interfere:
+     exactly what the differential property test holds fixed. *)
+  let steps = ref 0 and events = ref 0 in
+  ignore (X86sim.Cpu.add_step_hook p.Framework.cpu (fun _ _ -> incr steps));
+  ignore (X86sim.Cpu.add_event_hook p.Framework.cpu (fun _ -> incr events));
+  p
+
+let json_of_mode (name, insns, secs, words) =
+  ( name,
+    Json.Obj
+      [
+        ("insns", Json.Int insns);
+        ("wall_s", Json.Float secs);
+        ("mips", Json.Float (mips insns secs));
+        ("minor_words_per_insn", Json.Float words);
+      ] )
+
+let read_existing () =
+  if Sys.file_exists out_file then (
+    let ic = open_in_bin out_file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    try Some (Json.of_string s) with Json.Parse_error _ -> None)
+  else None
+
+let run () =
+  let iterations = speed_iterations () in
+  let mpk = Bench_common.mpk_cfg Instr.At_safe_accesses in
+  let modes =
+    [
+      ("baseline", measure_mode prepare_baseline);
+      ("MPK", measure_mode (prepare_mpk mpk));
+      ("MPK+hooks", measure_mode (prepare_hooked mpk));
+    ]
+  in
+  let rows = List.map (fun (n, (i, s, w)) -> (n, i, s, w)) modes in
+  let t = Table_fmt.create [ "mode"; "sim insns"; "wall s"; "MIPS"; "words/insn" ] in
+  List.iter
+    (fun (n, insns, secs, words) ->
+      Table_fmt.add_row t
+        [
+          n;
+          string_of_int insns;
+          Printf.sprintf "%.3f" secs;
+          Printf.sprintf "%.2f" (mips insns secs);
+          Printf.sprintf "%.2f" words;
+        ])
+    rows;
+  Printf.printf "Simulator speed (simulated MIPS; %d workload iterations, %d profiles)\n"
+    iterations (List.length profiles);
+  Table_fmt.print t;
+  let this_run =
+    Json.Obj
+      (("iterations", Json.Int iterations)
+      :: ("profiles", Json.List (List.map (fun p -> Json.String p) profile_names))
+      :: List.map json_of_mode rows)
+  in
+  let baseline =
+    match read_existing () with
+    | Some j -> ( match Json.member "baseline" j with Some b -> b | None -> this_run)
+    | None -> this_run
+  in
+  let total sel j =
+    match Json.member sel j with
+    | Some m -> (
+      match Json.member "mips" m with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> 0.0)
+    | None -> 0.0
+  in
+  let speedup =
+    let b = total "baseline" baseline in
+    if b > 0.0 then total "baseline" this_run /. b else 1.0
+  in
+  Json.to_file out_file
+    (Json.Obj
+       [
+         ("metric", Json.String "simulated-MIPS");
+         ("baseline", baseline);
+         ("latest", this_run);
+         ("speedup_vs_baseline", Json.Float speedup);
+       ]);
+  Printf.printf "baseline-mode speedup vs recorded baseline: %.2fx (%s)\n" speedup out_file

@@ -44,19 +44,45 @@ let overhead_of ?iterations prof cfg =
   let inst = run_with ?iterations prof cfg in
   inst.cycles /. base.cycles
 
-let sweep ?iterations profiles configs =
-  List.map
-    (fun prof ->
-      let base = run_baseline ?iterations prof in
-      let row =
-        List.map
-          (fun (cname, cfg) ->
-            let r = run_with ?iterations prof cfg in
-            (cname, r.cycles /. base.cycles))
-          configs
+let sweep_row ?iterations prof configs =
+  let base = run_baseline ?iterations prof in
+  let row =
+    List.map
+      (fun (cname, cfg) ->
+        let r = run_with ?iterations prof cfg in
+        (cname, r.cycles /. base.cycles))
+      configs
+  in
+  (prof.Profile.name, row)
+
+(* With [jobs] > 1, profiles are claimed from a shared atomic counter by
+   that many worker domains. Every simulation builds its own machine
+   (Cpu/Mmu/caches), so rows are independent; results land in an array
+   indexed by profile position and are read back in order after all
+   domains join, which makes the output bit-identical to a [jobs:1] run
+   regardless of scheduling. *)
+let sweep ?iterations ?(jobs = 1) profiles configs =
+  if jobs <= 1 then List.map (fun prof -> sweep_row ?iterations prof configs) profiles
+  else begin
+    let profs = Array.of_list profiles in
+    let n = Array.length profs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (sweep_row ?iterations profs.(i) configs);
+          claim ()
+        end
       in
-      (prof.Profile.name, row))
-    profiles
+      claim ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map (function Some row -> row | None -> assert false) results)
+  end
 
 let geomean_overheads rows =
   match rows with

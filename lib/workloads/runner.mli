@@ -33,12 +33,18 @@ val profile :
 
 val sweep :
   ?iterations:int ->
+  ?jobs:int ->
   Profile.t list ->
   (string * Memsentry.Framework.config) list ->
   (string * (string * float) list) list
 (** [sweep profiles configs]: for each profile, the overhead under every
     named config — the data behind one figure. Result: per-profile rows
-    [(profile, [(config_name, overhead); ...])]. *)
+    [(profile, [(config_name, overhead); ...])].
+
+    [jobs] (default 1) fans the per-profile work out over that many
+    domains. Each simulation owns its machine state, and rows are joined
+    in profile order, so the result — and therefore every figure and
+    [--json] byte — is identical for any [jobs] value. *)
 
 val geomean_overheads : (string * (string * float) list) list -> (string * float) list
 (** Column geomeans of a {!sweep} result. *)

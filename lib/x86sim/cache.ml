@@ -38,12 +38,17 @@ let create () =
 let probe lvl line clock =
   let set = line land (lvl.sets - 1) in
   let base = set * lvl.ways in
-  let rec find w =
-    if w = lvl.ways then -1
-    else if lvl.tags.(base + w) = line then w
-    else find (w + 1)
-  in
-  let w = find 0 in
+  (* Linear scan as a loop, not a local [rec] function: a local recursive
+     function becomes a heap closure over [lvl]/[line]/[base] on every
+     probe, the last allocation on the memory fast path. The refs compile
+     to registers. *)
+  let w = ref (-1) in
+  let i = ref 0 in
+  while !w < 0 && !i < lvl.ways do
+    if lvl.tags.(base + !i) = line then w := !i;
+    incr i
+  done;
+  let w = !w in
   if w >= 0 then begin
     lvl.stamps.(base + w) <- clock;
     lvl.hits <- lvl.hits + 1;

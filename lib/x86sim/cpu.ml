@@ -35,19 +35,39 @@ type t = {
   mutable mmap_cursor : int;
   mmu : Mmu.t;
   pipe : Pipeline.t;
-  line_ready : (int, float) Hashtbl.t;
-      (* store-to-load ordering: completion time of the last store per
-         64-byte line (VA-keyed; there is no aliasing in this machine) *)
+  pio : float array;
+      (* [Pipeline.io pipe], cached: the float parameter/result channel of
+         [Pipeline.issue_fast]. Indexed reads/writes never box, unlike
+         float-returning accessors. *)
+  sb_line : int array;
+      (* store buffer, direct-mapped by 64-byte line (VA-keyed; there is no
+         aliasing in this machine): [sb_line] holds the line tag (-1 =
+         empty), [sb_ready] the cycle the stored data becomes forwardable.
+         Bounded, unlike the Hashtbl it replaces, so memory stays flat on
+         arbitrarily long runs; a colliding store simply evicts the older
+         line's entry, which can only relax (never add) an ordering edge
+         for a store so old it no longer constrains the present. *)
+  sb_ready : float array;
   counters : counters;
   mutable program : Program.t;
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
   mutable fault_handler : t -> Fault.t -> fault_action;
-  mutable step_hooks : (int * (t -> Insn.t -> unit)) list;
-  mutable event_hooks : (int * (Event.t -> unit)) list;
+  mutable step_hooks : (int * (t -> Insn.t -> unit)) array;
+      (* registered hooks live in [0, n_step_hooks); the arrays are
+         append-amortized dynamic arrays so registration is O(1) and
+         iteration is index-based (no per-step closure or list walk) *)
+  mutable n_step_hooks : int;
+  mutable event_hooks : (int * (Event.t -> unit)) array;
+  mutable n_event_hooks : int;
   mutable next_hook_id : int;
 }
+
+(* Store-buffer capacity in 64-byte lines. Power of two (direct-mapped
+   index is a mask). 4096 lines = 256 KiB of tracked stores — far beyond
+   the window in which a store's completion time can still gate a load. *)
+let sb_slots = 4096
 
 (* Cost-model constants, calibrated against the paper's Table 4. *)
 let syscall_cost = 108.0
@@ -80,6 +100,24 @@ let get_xmm t i = Bytes.sub t.xmm (32 * i) 16
 let set_xmm t i b = Bytes.blit b 0 t.xmm (32 * i) 16
 let get_ymm_high t i = Bytes.sub t.xmm ((32 * i) + 16) 16
 let set_ymm_high t i b = Bytes.blit b 0 t.xmm ((32 * i) + 16) 16
+
+(* Unboxed 64-bit access into the vector-register file. As compiler
+   primitives chained through [Int64] primitives, the values stay in
+   registers (see the note in physmem.ml); the stdlib [Bytes.get_int64_le]
+   equivalents would box one [int64] per lane. Offsets into [t.xmm] are
+   8-aligned by construction. *)
+external xmm_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+external xmm_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
+
+(* dst <- dst xor src over one 16-byte lane, in place: the hot vector op
+   ([Fp_arith]/[Pxor] stand-in semantics) without the three 16-byte
+   temporaries that [get_xmm]/[Aes.xor_block]/[set_xmm] would allocate.
+   xor is endianness-agnostic, so native-endian lanes are fine. *)
+let xmm_xor_into t d s =
+  let xmm = t.xmm in
+  let db = 32 * d and sb = 32 * s in
+  xmm_set64 xmm db (Int64.logxor (xmm_get64 xmm db) (xmm_get64 xmm sb));
+  xmm_set64 xmm (db + 8) (Int64.logxor (xmm_get64 xmm (db + 8)) (xmm_get64 xmm (sb + 8)))
 
 let pkru t = t.mmu.Mmu.pkru
 let set_pkru t v = t.mmu.Mmu.pkru <- v land 0xFFFFFFFF
@@ -119,6 +157,7 @@ let create ?(stack_pages = 64) () =
   let mmu = Mmu.create () in
   let stack_len = stack_pages * Physmem.page_size in
   Mmu.map_range mmu ~va:(Layout.stack_top - stack_len) ~len:stack_len ~writable:true;
+  let pipe = Pipeline.create () in
   let t =
     {
       gpr = Array.make Reg.gpr_count 0;
@@ -134,16 +173,20 @@ let create ?(stack_pages = 64) () =
       wrpkru_serialize = true;
       mmap_cursor = Layout.mmap_base;
       mmu;
-      pipe = Pipeline.create ();
-      line_ready = Hashtbl.create 4096;
+      pipe;
+      pio = Pipeline.io pipe;
+      sb_line = Array.make sb_slots (-1);
+      sb_ready = Array.make sb_slots 0.0;
       counters = new_counters ();
       program = Program.assemble [ Program.I Insn.Halt ];
       syscall_handler = default_syscall_handler;
       vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
       ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
       fault_handler = (fun _ _ -> Fault_reraise);
-      step_hooks = [];
-      event_hooks = [];
+      step_hooks = [||];
+      n_step_hooks = 0;
+      event_hooks = [||];
+      n_event_hooks = 0;
       next_hook_id = 0;
     }
   in
@@ -159,29 +202,68 @@ let fresh_hook_id t =
   t.next_hook_id <- id + 1;
   id
 
+(* Amortized-O(1) ordered append: grow by doubling, slide on removal.
+   Registration order is the array order, so iteration order matches the
+   old list semantics without the old [l @ [x]] quadratic re-copying. *)
+let hook_append arr n entry dummy =
+  let arr =
+    if n < Array.length arr then arr
+    else begin
+      let bigger = Array.make (max 4 (2 * Array.length arr)) dummy in
+      Array.blit arr 0 bigger 0 n;
+      bigger
+    end
+  in
+  arr.(n) <- entry;
+  arr
+
+let hook_remove arr n id dummy =
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let (hid, _) as h = arr.(i) in
+    if hid <> id then begin
+      arr.(!j) <- h;
+      incr j
+    end
+  done;
+  for i = !j to n - 1 do
+    arr.(i) <- dummy (* drop closure references past the live prefix *)
+  done;
+  !j
+
+let dummy_step_hook : int * (t -> Insn.t -> unit) = (-1, fun _ _ -> ())
+let dummy_event_hook : int * (Event.t -> unit) = (-1, fun _ -> ())
+
 let add_step_hook t f =
   let id = fresh_hook_id t in
-  t.step_hooks <- t.step_hooks @ [ (id, f) ];
+  t.step_hooks <- hook_append t.step_hooks t.n_step_hooks (id, f) dummy_step_hook;
+  t.n_step_hooks <- t.n_step_hooks + 1;
   id
 
-let remove_step_hook t id = t.step_hooks <- List.remove_assoc id t.step_hooks
+let remove_step_hook t id =
+  t.n_step_hooks <- hook_remove t.step_hooks t.n_step_hooks id dummy_step_hook
 
 let add_event_hook t f =
   let id = fresh_hook_id t in
-  t.event_hooks <- t.event_hooks @ [ (id, f) ];
+  t.event_hooks <- hook_append t.event_hooks t.n_event_hooks (id, f) dummy_event_hook;
+  t.n_event_hooks <- t.n_event_hooks + 1;
   id
 
-let remove_event_hook t id = t.event_hooks <- List.remove_assoc id t.event_hooks
+let remove_event_hook t id =
+  t.n_event_hooks <- hook_remove t.event_hooks t.n_event_hooks id dummy_event_hook
 
-let has_event_hooks t = t.event_hooks <> []
+let has_event_hooks t = t.n_event_hooks > 0
 
-let emit t ev = List.iter (fun (_, f) -> f ev) t.event_hooks
+let emit t ev =
+  for i = 0 to t.n_event_hooks - 1 do
+    (snd t.event_hooks.(i)) ev
+  done
 
 (* Memory-event emission, called right after an MMU access while [t.rip]
-   still points at the responsible instruction. The [event_hooks] guard
+   still points at the responsible instruction. The [n_event_hooks] guard
    keeps the un-instrumented hot path allocation-free. *)
 let emit_mem t va =
-  if t.event_hooks <> [] then begin
+  if t.n_event_hooks > 0 then begin
     if t.mmu.Mmu.last_tlb_miss then emit t (Event.Tlb_miss { rip = t.rip; va });
     match Cache.last_served t.mmu.Mmu.cache with
     | Cache.L1 -> ()
@@ -217,10 +299,23 @@ let ea t (m : Insn.mem) =
    value ~5 cycles after the store executes (Skylake-like). *)
 let forward_delay = 5.0
 
-let note_store t va completion = Hashtbl.replace t.line_ready (va lsr 6) (completion +. forward_delay)
+(* Record the just-issued store's completion (still sitting in the
+   pipeline's io slot) against its cache line. Called right after the
+   store's [Pipeline.issue_fast]. *)
+let note_store t va =
+  let line = va lsr 6 in
+  let s = line land (sb_slots - 1) in
+  t.sb_line.(s) <- line;
+  t.sb_ready.(s) <- t.pio.(Pipeline.io_comp) +. forward_delay
 
-let load_dep t va =
-  match Hashtbl.find_opt t.line_ready (va lsr 6) with Some x -> x | None -> 0.0
+(* Arm the next issue's dependency floor with the forwarding time of the
+   youngest store to this line, if still tracked. Writes the pipeline's
+   io slot (which self-resets) instead of returning a float: a float
+   return from a non-inlined function is a heap allocation. *)
+let set_load_dep t va =
+  let line = va lsr 6 in
+  let s = line land (sb_slots - 1) in
+  if t.sb_line.(s) = line then t.pio.(Pipeline.io_dep) <- t.sb_ready.(s)
 
 let mem_src1 (m : Insn.mem) = if m.base >= 0 then Reg.pipe_gpr m.base else Reg.pipe_none
 let mem_src2 (m : Insn.mem) = if m.index >= 0 then Reg.pipe_gpr m.index else Reg.pipe_none
@@ -245,24 +340,26 @@ let alu_apply (op : Insn.alu) a b =
   | Insn.Shr -> a lsr (b land 63)
   | Insn.Imul -> a * b
 
-let alu_lat (op : Insn.alu) = match op with Insn.Imul -> 3.0 | _ -> 1.0
+let alu_lat (op : Insn.alu) = match op with Insn.Imul -> 3 | _ -> 1
+
+let nr = Reg.pipe_none
 
 let push t v =
   t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) - 8;
   let va = t.gpr.(Reg.rsp) in
-  let _lat = Mmu.write64 t.mmu ~va v in
+  Mmu.write64_fast t.mmu ~va v;
   emit_mem t va;
-  let completion =
-    Pipeline.issue_t t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~port:Pipeline.p_store ()
-  in
-  note_store t va completion
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+      ~lat:1 ~port:Pipeline.p_store;
+  note_store t va
 
 let pop t =
   let va = t.gpr.(Reg.rsp) in
-  let v, lat = Mmu.read64 t.mmu ~va in
+  let v = Mmu.read64_fast t.mmu ~va in
   emit_mem t va;
-  Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~dep:(load_dep t va)
-    ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+  set_load_dep t va;
+  Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr Reg.rsp) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+       ~lat:t.mmu.Mmu.last_lat ~port:Pipeline.p_load;
   t.gpr.(Reg.rsp) <- t.gpr.(Reg.rsp) + 8;
   v
 
@@ -270,123 +367,128 @@ let aes_binop t f d s ~lat =
   let result = f (get_xmm t d) (get_xmm t s) in
   set_xmm t d result;
   t.counters.aes_ops <- t.counters.aes_ops + 1;
-  Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
-    ~lat ~port:Pipeline.p_aes ()
+  Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~s3:nr
+       ~d1:(Reg.pipe_xmm d) ~d2:nr ~lat ~port:Pipeline.p_aes
 
 let exec t (insn : Insn.t) =
   let c = t.counters in
   let next = t.rip + 1 in
   match insn with
   | Insn.Nop ->
-    Pipeline.issue t.pipe ~lat:0.0 ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:0
+         ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Halt -> t.halted <- true
   | Insn.Mov_rr (d, s) ->
     t.gpr.(d) <- t.gpr.(s);
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr s) ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr s) ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr d)
+         ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Mov_ri (d, i) ->
     t.gpr.(d) <- i;
-    Pipeline.issue t.pipe ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr d) ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Mov_label (d, tgt) ->
     t.gpr.(d) <- tgt.Insn.tidx;
-    Pipeline.issue t.pipe ~d1:(Reg.pipe_gpr d) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr d) ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Load (d, m) ->
     let va = ea t m in
-    let v, lat = Mmu.read64 t.mmu ~va in
+    let v = Mmu.read64_fast t.mmu ~va in
     emit_mem t va;
     t.gpr.(d) <- v;
     c.loads <- c.loads + 1;
-    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
-      ~dep:(load_dep t va) ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+    set_load_dep t va;
+    Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr
+         ~d1:(Reg.pipe_gpr d) ~d2:nr ~lat:t.mmu.Mmu.last_lat ~port:Pipeline.p_load;
     t.rip <- next
   | Insn.Store (m, s) ->
     let va = ea t m in
-    let _lat = Mmu.write64 t.mmu ~va t.gpr.(s) in
+    Mmu.write64_fast t.mmu ~va t.gpr.(s);
     emit_mem t va;
     c.stores <- c.stores + 1;
-    let completion =
-      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_gpr s)
-        ~port:Pipeline.p_store ()
-    in
-    note_store t va completion;
+        Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_gpr s)
+        ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_store;
+    note_store t va;
     t.rip <- next
   | Insn.Store_i (m, i) ->
     let va = ea t m in
-    let _lat = Mmu.write64 t.mmu ~va i in
+    Mmu.write64_fast t.mmu ~va i;
     emit_mem t va;
     c.stores <- c.stores + 1;
-    let completion =
-      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~port:Pipeline.p_store ()
-    in
-    note_store t va completion;
+        Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr ~d1:nr ~d2:nr
+        ~lat:1 ~port:Pipeline.p_store;
+    note_store t va;
     t.rip <- next
   | Insn.Lea (d, m) ->
     t.gpr.(d) <- ea t m;
-    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
-      ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr
+         ~d1:(Reg.pipe_gpr d) ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Lea32 (d, m) ->
     (* Address-size prefix: truncation happens in address generation. *)
     t.gpr.(d) <- ea t m land 0xFFFFFFFF;
-    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_gpr d)
-      ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr
+         ~d1:(Reg.pipe_gpr d) ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Alu_rr (op, d, s) ->
     let r = alu_apply op t.gpr.(d) t.gpr.(s) in
     t.gpr.(d) <- r;
     t.cmp <- r;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr d) ~s2:(Reg.pipe_gpr s) ~d1:(Reg.pipe_gpr d)
-      ~d2:Reg.pipe_flags ~lat:(alu_lat op) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr d) ~s2:(Reg.pipe_gpr s) ~s3:nr
+         ~d1:(Reg.pipe_gpr d) ~d2:Reg.pipe_flags ~lat:(alu_lat op)
+         ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Alu_ri (op, d, i) ->
     let r = alu_apply op t.gpr.(d) i in
     t.gpr.(d) <- r;
     t.cmp <- r;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr d) ~d1:(Reg.pipe_gpr d) ~d2:Reg.pipe_flags
-      ~lat:(alu_lat op) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr d) ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr d)
+         ~d2:Reg.pipe_flags ~lat:(alu_lat op) ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Cmp_rr (a, b) ->
     t.cmp <- t.gpr.(a) - t.gpr.(b);
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~d1:Reg.pipe_flags
-      ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~s3:nr
+         ~d1:Reg.pipe_flags ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Cmp_ri (a, i) ->
     t.cmp <- t.gpr.(a) - i;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~d1:Reg.pipe_flags ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr a) ~s2:nr ~s3:nr ~d1:Reg.pipe_flags
+         ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Test_rr (a, b) ->
     t.cmp <- t.gpr.(a) land t.gpr.(b);
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~d1:Reg.pipe_flags
-      ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr a) ~s2:(Reg.pipe_gpr b) ~s3:nr
+         ~d1:Reg.pipe_flags ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Jmp tgt ->
-    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+         ~port:Pipeline.p_branch;
     t.rip <- tgt.Insn.tidx
   | Insn.Jcc (cond, tgt) ->
-    Pipeline.issue t.pipe ~s1:Reg.pipe_flags ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:Reg.pipe_flags ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_branch;
     t.rip <- (if eval_cond t cond then tgt.Insn.tidx else next)
   | Insn.Jmp_r r ->
     c.ind_branches <- c.ind_branches + 1;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_branch;
     t.rip <- t.gpr.(r)
   | Insn.Call tgt ->
     c.calls <- c.calls + 1;
     push t next;
-    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+         ~port:Pipeline.p_branch;
     t.rip <- tgt.Insn.tidx
   | Insn.Call_r r ->
     c.calls <- c.calls + 1;
     c.ind_branches <- c.ind_branches + 1;
     push t next;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_branch;
     t.rip <- t.gpr.(r)
   | Insn.Ret ->
     c.rets <- c.rets + 1;
     let v = pop t in
-    Pipeline.issue t.pipe ~port:Pipeline.p_branch ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+         ~port:Pipeline.p_branch;
     t.rip <- v
   | Insn.Push r ->
     c.stores <- c.stores + 1;
@@ -404,7 +506,7 @@ let exec t (insn : Insn.t) =
          overhead on syscall-heavy code. *)
       c.vmcalls <- c.vmcalls + 1;
       c.vm_exits <- c.vm_exits + 1;
-      if t.event_hooks <> [] then emit t (Event.Vm_exit { rip = t.rip; reason = "syscall" });
+      if t.n_event_hooks > 0 then emit t (Event.Vm_exit { rip = t.rip; reason = "syscall" });
       Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ()
     end
     else Pipeline.issue t.pipe ~serialize:true ~lat:syscall_cost ~port:Pipeline.p_special ();
@@ -419,11 +521,12 @@ let exec t (insn : Insn.t) =
   | Insn.Bnd_set (b, lo, hi) ->
     t.bnd_lower.(b) <- lo;
     t.bnd_upper.(b) <- hi;
-    Pipeline.issue t.pipe ~d1:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:(Reg.pipe_bnd b) ~d2:nr ~lat:1 ~port:Pipeline.p_mpx;
     t.rip <- next
   | Insn.Bndcu (b, r) ->
     c.bnd_checks <- c.bnd_checks + 1;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~s3:nr ~d1:nr
+         ~d2:nr ~lat:1 ~port:Pipeline.p_mpx;
     if t.bnd_enabled && t.gpr.(r) > t.bnd_upper.(b) then
       Fault.raise_fault
         (Fault.Bound_violation
@@ -431,41 +534,48 @@ let exec t (insn : Insn.t) =
     t.rip <- next
   | Insn.Bndcl (b, r) ->
     c.bnd_checks <- c.bnd_checks + 1;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~port:Pipeline.p_mpx ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:(Reg.pipe_bnd b) ~s3:nr ~d1:nr
+         ~d2:nr ~lat:1 ~port:Pipeline.p_mpx;
     if t.bnd_enabled && t.gpr.(r) < t.bnd_lower.(b) then
       Fault.raise_fault
         (Fault.Bound_violation
            { value = t.gpr.(r); lower = t.bnd_lower.(b); upper = t.bnd_upper.(b); reg = b });
     t.rip <- next
   | Insn.Bndmov_store (m, b) ->
+    (* Two 8-byte stores; each gets its own memory-event attribution (the
+       first access's TLB/cache outcome used to be overwritten by the
+       second before the single trailing emit). *)
     let a = ea t m in
-    let _ = Mmu.write64 t.mmu ~va:a t.bnd_lower.(b) in
-    let _ = Mmu.write64 t.mmu ~va:(a + 8) t.bnd_upper.(b) in
+    Mmu.write64_fast t.mmu ~va:a t.bnd_lower.(b);
     emit_mem t a;
+    Mmu.write64_fast t.mmu ~va:(a + 8) t.bnd_upper.(b);
+    emit_mem t (a + 8);
     c.stores <- c.stores + 1;
-    let completion =
-      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_bnd b)
-        ~port:Pipeline.p_store ()
-    in
-    note_store t a completion;
+        Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_bnd b)
+        ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_store;
+    note_store t a;
     t.rip <- next
   | Insn.Bndmov_load (b, m) ->
     let a = ea t m in
-    let lo, lat1 = Mmu.read64 t.mmu ~va:a in
-    let hi, _ = Mmu.read64 t.mmu ~va:(a + 8) in
+    let lo = Mmu.read64_fast t.mmu ~va:a in
+    let lat1 = t.mmu.Mmu.last_lat in
     emit_mem t a;
+    let hi = Mmu.read64_fast t.mmu ~va:(a + 8) in
+    emit_mem t (a + 8);
     t.bnd_lower.(b) <- lo;
     t.bnd_upper.(b) <- hi;
     c.loads <- c.loads + 1;
-    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_bnd b)
-      ~dep:(load_dep t a) ~lat:(float_of_int lat1) ~port:Pipeline.p_load ();
+    set_load_dep t a;
+    Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr
+         ~d1:(Reg.pipe_bnd b) ~d2:nr ~lat:lat1
+         ~port:Pipeline.p_load;
     t.rip <- next
   | Insn.Wrpkru ->
     if t.gpr.(Reg.rcx) <> 0 || t.gpr.(Reg.rdx) <> 0 then
       Fault.raise_fault (Fault.Gp_fault "wrpkru requires rcx = rdx = 0");
     c.wrpkrus <- c.wrpkrus + 1;
     set_pkru t t.gpr.(Reg.rax);
-    if t.event_hooks <> [] then begin
+    if t.n_event_hooks > 0 then begin
       (* pkru = 0 means every key is permissive: the sensitive domain is
          open. Any restriction bit set means it is (being) closed. *)
       let gate = Event.Pkru (pkru t) in
@@ -479,7 +589,8 @@ let exec t (insn : Insn.t) =
   | Insn.Rdpkru ->
     if t.gpr.(Reg.rcx) <> 0 then Fault.raise_fault (Fault.Gp_fault "rdpkru requires rcx = 0");
     t.gpr.(Reg.rax) <- pkru t;
-    Pipeline.issue t.pipe ~s1:Reg.pipe_pkru ~d1:(Reg.pipe_gpr Reg.rax) ~port:Pipeline.p_alu ();
+    Pipeline.issue_fast t.pipe ~s1:Reg.pipe_pkru ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr Reg.rax)
+         ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Vmfunc ->
     if not t.virtualized then
@@ -491,7 +602,7 @@ let exec t (insn : Insn.t) =
       Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "vmfunc: EPTP index %d out of range" idx));
     t.mmu.Mmu.ept_index <- idx;
     c.vmfuncs <- c.vmfuncs + 1;
-    if t.event_hooks <> [] then begin
+    if t.n_event_hooks > 0 then begin
       (* EPT 0 is the non-sensitive view by the Vmx.Sandbox convention;
          switching to any other EPTP opens a sensitive view. *)
       let gate = Event.Ept idx in
@@ -507,64 +618,66 @@ let exec t (insn : Insn.t) =
       Fault.raise_fault (Fault.Undefined "vmcall outside VMX non-root mode");
     c.vmcalls <- c.vmcalls + 1;
     c.vm_exits <- c.vm_exits + 1;
-    if t.event_hooks <> [] then emit t (Event.Vm_exit { rip = t.rip; reason = "vmcall" });
+    if t.n_event_hooks > 0 then emit t (Event.Vm_exit { rip = t.rip; reason = "vmcall" });
     Pipeline.issue t.pipe ~serialize:true ~lat:vmcall_cost ~port:Pipeline.p_special ();
     t.vmcall_handler t;
     t.rip <- next
   | Insn.Movdqa_load (x, m) ->
     let va = ea t m in
-    let b, lat = Mmu.read_block16 t.mmu ~va in
+    Mmu.read_block16_into t.mmu ~va ~dst:t.xmm ~dpos:(32 * x);
     emit_mem t va;
-    set_xmm t x b;
     c.loads <- c.loads + 1;
-    Pipeline.issue t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~d1:(Reg.pipe_xmm x)
-      ~dep:(load_dep t va) ~lat:(float_of_int lat) ~port:Pipeline.p_load ();
+    set_load_dep t va;
+    Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:nr
+         ~d1:(Reg.pipe_xmm x) ~d2:nr ~lat:t.mmu.Mmu.last_lat ~port:Pipeline.p_load;
     t.rip <- next
   | Insn.Movdqa_store (m, x) ->
     let va = ea t m in
-    let _lat = Mmu.write_block16 t.mmu ~va (get_xmm t x) in
+    Mmu.write_block16_from t.mmu ~va ~src:t.xmm ~spos:(32 * x);
     emit_mem t va;
     c.stores <- c.stores + 1;
-    let completion =
-      Pipeline.issue_t t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_xmm x)
-        ~port:Pipeline.p_store ()
-    in
-    note_store t va completion;
+        Pipeline.issue_fast t.pipe ~s1:(mem_src1 m) ~s2:(mem_src2 m) ~s3:(Reg.pipe_xmm x)
+        ~d1:nr ~d2:nr ~lat:1 ~port:Pipeline.p_store;
+    note_store t va;
     t.rip <- next
   | Insn.Movq_xr (x, r) ->
-    let b = Bytes.make 16 '\000' in
-    Bytes.set_int64_le b 0 (Int64.of_int t.gpr.(r));
-    set_xmm t x b;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_gpr r) ~d1:(Reg.pipe_xmm x) ~lat:2.0
-      ~port:Pipeline.p_alu ();
+    (* Low lane <- gpr (little-endian, as the rest of the register file
+       expects), high lane <- 0 — without building a 16-byte temporary. *)
+    if Sys.big_endian then Bytes.set_int64_le t.xmm (32 * x) (Int64.of_int t.gpr.(r))
+    else xmm_set64 t.xmm (32 * x) (Int64.of_int t.gpr.(r));
+    xmm_set64 t.xmm ((32 * x) + 8) 0L;
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:(Reg.pipe_xmm x)
+         ~d2:nr ~lat:2 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Movq_rx (r, x) ->
-    t.gpr.(r) <- Int64.to_int (Bytes.get_int64_le t.xmm (32 * x));
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm x) ~d1:(Reg.pipe_gpr r) ~lat:2.0
-      ~port:Pipeline.p_alu ();
+    t.gpr.(r) <-
+      (if Sys.big_endian then Int64.to_int (Bytes.get_int64_le t.xmm (32 * x))
+       else Int64.to_int (xmm_get64 t.xmm (32 * x)));
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm x) ~s2:nr ~s3:nr ~d1:(Reg.pipe_gpr r)
+         ~d2:nr ~lat:2 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Pxor (d, s) ->
-    set_xmm t d (Aesni.Aes.xor_block (get_xmm t d) (get_xmm t s));
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
-      ~port:Pipeline.p_alu ();
+    xmm_xor_into t d s;
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~s3:nr
+         ~d1:(Reg.pipe_xmm d) ~d2:nr ~lat:1 ~port:Pipeline.p_alu;
     t.rip <- next
   | Insn.Aesenc (d, s) ->
-    aes_binop t Aesni.Aes.aesenc d s ~lat:4.0;
+    aes_binop t Aesni.Aes.aesenc d s ~lat:4;
     t.rip <- next
   | Insn.Aesenclast (d, s) ->
-    aes_binop t Aesni.Aes.aesenclast d s ~lat:4.0;
+    aes_binop t Aesni.Aes.aesenclast d s ~lat:4;
     t.rip <- next
   | Insn.Aesdec (d, s) ->
-    aes_binop t Aesni.Aes.aesdec d s ~lat:4.0;
+    aes_binop t Aesni.Aes.aesdec d s ~lat:4;
     t.rip <- next
   | Insn.Aesdeclast (d, s) ->
-    aes_binop t Aesni.Aes.aesdeclast d s ~lat:4.0;
+    aes_binop t Aesni.Aes.aesdeclast d s ~lat:4;
     t.rip <- next
   | Insn.Aeskeygenassist (d, s, imm) ->
     set_xmm t d (Aesni.Aes.aeskeygenassist (get_xmm t s) imm);
     c.aes_ops <- c.aes_ops + 1;
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:12.0
-      ~port:Pipeline.p_aes ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm s) ~s2:nr ~s3:nr ~d1:(Reg.pipe_xmm d)
+         ~d2:nr ~lat:12 ~port:Pipeline.p_aes;
     t.rip <- next
   | Insn.Aesimc (d, s) ->
     set_xmm t d (Aesni.Aes.aesimc (get_xmm t s));
@@ -575,57 +688,141 @@ let exec t (insn : Insn.t) =
     t.rip <- next
   | Insn.Vext_high (d, s) ->
     set_xmm t d (get_ymm_high t s);
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:3.0
-      ~port:Pipeline.p_special ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm s) ~s2:nr ~s3:nr ~d1:(Reg.pipe_xmm d)
+         ~d2:nr ~lat:3 ~port:Pipeline.p_special;
     t.rip <- next
   | Insn.Vins_high (d, s) ->
     set_ymm_high t d (get_xmm t s);
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~s2:(Reg.pipe_xmm d) ~d1:(Reg.pipe_xmm d)
-      ~lat:3.0 ~port:Pipeline.p_special ();
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm s) ~s2:(Reg.pipe_xmm d) ~s3:nr
+         ~d1:(Reg.pipe_xmm d) ~d2:nr ~lat:3 ~port:Pipeline.p_special;
     t.rip <- next
   | Insn.Fp_arith (d, s) ->
     (* Deterministic stand-in semantics: dst <- dst xor src (low lane). *)
-    set_xmm t d (Aesni.Aes.xor_block (get_xmm t d) (get_xmm t s));
-    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d)
-      ~lat:4.0 ~port:Pipeline.p_fp ();
+    xmm_xor_into t d s;
+    Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_xmm d) ~s2:(Reg.pipe_xmm s) ~s3:nr
+         ~d1:(Reg.pipe_xmm d) ~d2:nr ~lat:4 ~port:Pipeline.p_fp;
     t.rip <- next
 
 let deliver t f saved_rip =
   t.counters.faults <- t.counters.faults + 1;
-  if t.event_hooks <> [] then emit t (Event.Fault { rip = saved_rip; fault = f });
+  if t.n_event_hooks > 0 then emit t (Event.Fault { rip = saved_rip; fault = f });
   match t.fault_handler t f with
   | Fault_halt -> t.halted <- true
   | Fault_skip -> t.rip <- saved_rip + 1
   | Fault_reraise -> raise (Fault.Fault f)
 
+(* Execute one fetched instruction with fault handling and EPT-retry. A
+   top-level recursive function (not a closure inside [step]): the closure
+   version allocated on every step, fault or not. *)
+let rec exec_attempt t insn saved n =
+  try exec t insn with
+  | Fault.Fault (Fault.Ept_violation { gpa; access; _ } as f) ->
+    t.counters.vm_exits <- t.counters.vm_exits + 1;
+    if t.n_event_hooks > 0 then emit t (Event.Vm_exit { rip = saved; reason = "ept-violation" });
+    Pipeline.issue t.pipe ~serialize:true ~lat:ept_violation_cost ~port:Pipeline.p_special ();
+    if n < 8 && t.ept_violation_handler t ~gpa ~access then begin
+      t.rip <- saved;
+      exec_attempt t insn saved (n + 1)
+    end
+    else deliver t f saved
+  | Fault.Fault f -> deliver t f saved
+
 let step t =
   if not t.halted then begin
     let saved = t.rip in
     let insn = Program.fetch t.program saved in
-    List.iter (fun (_, f) -> f t insn) t.step_hooks;
+    for i = 0 to t.n_step_hooks - 1 do
+      (snd t.step_hooks.(i)) t insn
+    done;
     t.counters.insns <- t.counters.insns + 1;
-    let rec attempt n =
-      try exec t insn with
-      | Fault.Fault (Fault.Ept_violation { gpa; access; _ } as f) ->
-        t.counters.vm_exits <- t.counters.vm_exits + 1;
-        if t.event_hooks <> [] then
-          emit t (Event.Vm_exit { rip = saved; reason = "ept-violation" });
-        Pipeline.issue t.pipe ~serialize:true ~lat:ept_violation_cost
-          ~port:Pipeline.p_special ();
-        if n < 8 && t.ept_violation_handler t ~gpa ~access then begin
-          t.rip <- saved;
-          attempt (n + 1)
-        end
-        else deliver t f saved
-      | Fault.Fault f -> deliver t f saved
-    in
-    attempt 0
+    exec_attempt t insn saved 0
   end
+
+(* Raised (and translated back to [Program.fetch]'s fault) when the fast
+   loop's inlined fetch lands outside the code array, so that fault keeps
+   propagating to [run]'s caller exactly as [step]'s out-of-try fetch
+   does, instead of being delivered like an execution fault. *)
+exception Fetch_out_of_code
+
+(* The no-hook fast loop: [step] minus the hook scan, minus the
+   per-instruction exception frame (one [try] per fault, not per
+   instruction), and with the fetch inlined over the hoisted code array.
+   Unwinding to a single handler is sound because every [exec] arm
+   updates [t.rip] only after its last faulting operation, so when a
+   [Fault.Fault] arrives here [t.rip] still names the faulting
+   instruction.
+
+   Entered only while both hook lists are empty. The emptiness re-check
+   per iteration is two integer loads — what it buys is that handlers
+   (syscall/fault/vmcall) attaching a hook mid-run fall back to the
+   instrumented loop at the next instruction boundary. *)
+let run_fast t budget =
+  (* EPT-retry bookkeeping across fault unwinds, mirroring
+     [exec_attempt]'s recursion depth: a chain of consecutive retries of
+     one instruction holds [t.counters.insns] constant (the retry
+     decrement below cancels the re-count), so a stale marker can never
+     match once any instruction has completed. *)
+  let retry_marker = ref (-1) and retries = ref 0 in
+  let live = ref true in
+  try
+    while !live do
+      try
+        let prog = ref t.program in
+        let code = ref (Program.code !prog) in
+        while
+          (not t.halted) && !budget > 0 && t.n_step_hooks = 0 && t.n_event_hooks = 0
+        do
+          (* Handlers may swap the program mid-run; a pointer compare per
+             instruction keeps the hoisted array honest. *)
+          if t.program != !prog then begin
+            prog := t.program;
+            code := Program.code !prog
+          end;
+          let rip = t.rip in
+          let insn =
+            if rip >= 0 && rip < Array.length !code then Array.unsafe_get !code rip
+            else raise Fetch_out_of_code
+          in
+          t.counters.insns <- t.counters.insns + 1;
+          exec t insn;
+          decr budget
+        done;
+        live := false
+      with
+      | Fault.Fault (Fault.Ept_violation { gpa; access; _ } as f) ->
+        let saved = t.rip in
+        t.counters.vm_exits <- t.counters.vm_exits + 1;
+        if t.n_event_hooks > 0 then
+          emit t (Event.Vm_exit { rip = saved; reason = "ept-violation" });
+        Pipeline.issue t.pipe ~serialize:true ~lat:ept_violation_cost ~port:Pipeline.p_special ();
+        let n = if !retry_marker = t.counters.insns then !retries else 0 in
+        if n < 8 && t.ept_violation_handler t ~gpa ~access then begin
+          retry_marker := t.counters.insns;
+          retries := n + 1;
+          t.rip <- saved;
+          (* The loop re-counts the instruction on retry; cancel it so a
+             retried instruction is counted once, as in [exec_attempt]. *)
+          t.counters.insns <- t.counters.insns - 1
+        end
+        else begin
+          deliver t f saved;
+          decr budget
+        end
+      | Fault.Fault f ->
+        deliver t f t.rip;
+        decr budget
+    done
+  with Fetch_out_of_code ->
+    (* Re-raise as the proper fault, from outside the handler above. *)
+    ignore (Program.fetch t.program t.rip)
 
 let run ?(fuel = 50_000_000) t =
   let budget = ref fuel in
   while (not t.halted) && !budget > 0 do
-    step t;
-    decr budget
+    if t.n_step_hooks = 0 && t.n_event_hooks = 0 then run_fast t budget
+    else begin
+      step t;
+      decr budget
+    end
   done;
   if t.halted then Halted else Out_of_fuel

@@ -58,25 +58,41 @@ type t = {
   mutable mmap_cursor : int;
   mmu : Mmu.t;
   pipe : Pipeline.t;
-  line_ready : (int, float) Hashtbl.t;
-      (** Store-to-load ordering: completion time of the last store per
-          64-byte line (VA-keyed; the machine has no aliasing). *)
+  pio : float array;
+      (** [Pipeline.io pipe], cached at creation: the unboxed float
+          parameter/result channel shared with {!Pipeline.issue_fast}. *)
+  sb_line : int array;
+      (** Store-to-load ordering, as a bounded direct-mapped store buffer:
+          [sb_line.(s)] is the 64-byte line address occupying slot [s]
+          ([-1] = empty), [sb_ready.(s)] its store completion time
+          (VA-keyed; the machine has no aliasing). A colliding store evicts
+          the previous occupant, which can only drop an ordering edge for a
+          line whose store retired at least {!val-sb_slots} lines ago. *)
+  sb_ready : float array;
   counters : counters;
   mutable program : Program.t;
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
   mutable fault_handler : t -> Fault.t -> fault_action;
-  mutable step_hooks : (int * (t -> Insn.t -> unit)) list;
+  mutable step_hooks : (int * (t -> Insn.t -> unit)) array;
       (** Pre-execution observers, run in registration order on every
-          instruction. Managed with {!add_step_hook} / {!remove_step_hook};
-          several observers (tracer, profiler, analyses) coexist. *)
-  mutable event_hooks : (int * (Event.t -> unit)) list;
-      (** Subscribers to typed machine {!Event.t}s. When empty (the
-          default) the CPU skips all event construction, keeping the
-          uninstrumented hot path free of telemetry cost. *)
+          instruction. Dense prefix of length [n_step_hooks]; slots past
+          that hold a dummy. Managed with {!add_step_hook} /
+          {!remove_step_hook}; several observers (tracer, profiler,
+          analyses) coexist. *)
+  mutable n_step_hooks : int;
+  mutable event_hooks : (int * (Event.t -> unit)) array;
+      (** Subscribers to typed machine {!Event.t}s, same dense-prefix
+          layout. When [n_event_hooks] is 0 (the default) the CPU skips
+          all event construction, keeping the uninstrumented hot path free
+          of telemetry cost. *)
+  mutable n_event_hooks : int;
   mutable next_hook_id : int;
 }
+
+val sb_slots : int
+(** Store-buffer capacity (power of two). *)
 
 val create : ?stack_pages:int -> unit -> t
 (** A fresh machine with a mapped stack ([stack_pages] pages, default 64),

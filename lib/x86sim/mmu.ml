@@ -1,6 +1,7 @@
 type t = {
   phys : Physmem.t;
   pt : Pagetable.t;
+  pt_gen_cell : int ref; (* Pagetable.generation_cell pt, cached *)
   tlb : Tlb.t;
   cache : Cache.t;
   mutable pkru : int;
@@ -8,6 +9,7 @@ type t = {
   mutable ept_index : int;
   mutable ept_on : bool;
   mutable last_tlb_miss : bool;
+  mutable last_lat : int;
 }
 
 let page_size = Physmem.page_size
@@ -15,11 +17,13 @@ let page_bits = 12
 
 let create () =
   let phys = Physmem.create () in
+  (* The radix tables live in the machine's own frame pool, as a real
+     kernel's do. *)
+  let pt = Pagetable.create ~phys () in
   {
     phys;
-    (* The radix tables live in the machine's own frame pool, as a real
-       kernel's do. *)
-    pt = Pagetable.create ~phys ();
+    pt;
+    pt_gen_cell = Pagetable.generation_cell pt;
     tlb = Tlb.create ();
     cache = Cache.create ();
     pkru = 0;
@@ -27,6 +31,7 @@ let create () =
     ept_index = 0;
     ept_on = false;
     last_tlb_miss = false;
+    last_lat = 0;
   }
 
 let walk_cost t =
@@ -77,83 +82,134 @@ let pkey_allows t ~key ~(access : Fault.access) =
     | Fault.Read | Fault.Exec -> not ad
     | Fault.Write -> not (ad || wd)
 
-let fill t ~vpn ~(access : Fault.access) =
+(* Walk the page table (and EPT when on) for [vpn] and install the result
+   into the TLB, without materializing pte/hit records: the raw encoded
+   leaf entry is decoded field-wise straight into {!Tlb.insert_fields}.
+   One call per TLB miss. *)
+let fill t ~vpn ~(access : Fault.access) ~pt_gen ~ept_gen =
   let va = vpn lsl page_bits in
-  match Pagetable.find t.pt ~vpn with
-  | None -> Fault.raise_fault (Fault.Page_fault { va; access; reason = "not present" })
-  | Some pte ->
-    let gfn = pte.frame in
-    if t.ept_on then begin
-      let ept = t.ept_list.(t.ept_index) in
-      match Ept.find ept ~gfn with
-      | None ->
-        Fault.raise_fault (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access })
-      | Some (hfn, perm) ->
-        if not perm.Ept.readable then
-          Fault.raise_fault
-            (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access });
-        {
-          Tlb.hfn;
-          readable = pte.readable;
-          writable = pte.writable && perm.Ept.writable;
-          pkey = pte.pkey;
-        }
-    end
-    else { Tlb.hfn = gfn; readable = pte.readable; writable = pte.writable; pkey = pte.pkey }
+  let e = Pagetable.find_entry t.pt ~vpn in
+  if not (Pagetable.entry_present e) then
+    Fault.raise_fault (Fault.Page_fault { va; access; reason = "not present" });
+  let gfn = Pagetable.entry_frame e in
+  if t.ept_on then begin
+    let ept = t.ept_list.(t.ept_index) in
+    match Ept.find ept ~gfn with
+    | None ->
+      Fault.raise_fault
+        (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access })
+    | Some (hfn, perm) ->
+      if not perm.Ept.readable then
+        Fault.raise_fault
+          (Fault.Ept_violation { gpa = gfn lsl page_bits; ept_index = t.ept_index; access });
+      Tlb.insert_fields t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen ~hfn
+        ~readable:(Pagetable.entry_readable e)
+        ~writable:(Pagetable.entry_writable e && perm.Ept.writable)
+        ~pkey:(Pagetable.entry_pkey e)
+  end
+  else
+    Tlb.insert_fields t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen ~hfn:gfn
+      ~readable:(Pagetable.entry_readable e)
+      ~writable:(Pagetable.entry_writable e)
+      ~pkey:(Pagetable.entry_pkey e)
 
 let ept_gen t = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0
 
-let translate t ~va ~access =
+(* Allocation-free translation: the result physical address is returned
+   directly and the TLB-walk latency is left in [t.last_lat]. The hot path
+   (one call per simulated memory access) must not build the tuple/record
+   results the convenience wrappers below expose. *)
+let translate_va t ~va ~(access : Fault.access) =
   let vpn = va lsr page_bits in
-  let pt_gen = Pagetable.generation t.pt and ept_gen = ept_gen t in
-  let entry, latency =
-    match Tlb.probe t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen with
-    | Some hit ->
+  let pt_gen = !(t.pt_gen_cell) and ept_gen = ept_gen t in
+  let s = Tlb.probe_slot t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen in
+  (* After a miss the freshly-filled entry sits in the vpn's (direct-mapped)
+     slot, so both arms land on slot accessors and no intermediate
+     record/tuple is materialized. *)
+  let s =
+    if s >= 0 then begin
       t.last_tlb_miss <- false;
-      (hit, 0)
-    | None ->
-      let hit = fill t ~vpn ~access in
-      Tlb.insert t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen hit;
+      t.last_lat <- 0;
+      s
+    end
+    else begin
+      fill t ~vpn ~access ~pt_gen ~ept_gen;
       t.last_tlb_miss <- true;
-      (hit, walk_cost t)
+      t.last_lat <- walk_cost t;
+      Tlb.slot_index t.tlb ~vpn
+    end
   in
-  if not (pkey_allows t ~key:entry.Tlb.pkey ~access) then
-    Fault.raise_fault (Fault.Pkey_violation { va; key = entry.Tlb.pkey; access });
-  if not entry.Tlb.readable then
+  (* One packed read instead of four per-field accessor calls; layout
+     documented at {!Tlb.slot_info}. *)
+  let info = Tlb.slot_info t.tlb s in
+  let pkey = (info lsr 2) land 0xF in
+  if not (pkey_allows t ~key:pkey ~access) then
+    Fault.raise_fault (Fault.Pkey_violation { va; key = pkey; access });
+  if info land 2 = 0 then
     Fault.raise_fault (Fault.Page_fault { va; access; reason = "PROT_NONE page" });
   (match access with
-  | Fault.Write when not entry.Tlb.writable ->
+  | Fault.Write when info land 1 = 0 ->
     Fault.raise_fault (Fault.Page_fault { va; access; reason = "write to read-only page" })
   | Fault.Write | Fault.Read | Fault.Exec -> ());
-  ((entry.Tlb.hfn lsl page_bits) lor (va land (page_size - 1)), latency)
+  ((info lsr 6) lsl page_bits) lor (va land (page_size - 1))
+
+let translate t ~va ~access =
+  let pa = translate_va t ~va ~access in
+  (pa, t.last_lat)
+
+let read64_fast t ~va =
+  let pa = translate_va t ~va ~access:Fault.Read in
+  t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
+  Physmem.read64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1))
+
+let write64_fast t ~va v =
+  let pa = translate_va t ~va ~access:Fault.Write in
+  t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
+  Physmem.write64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) v
 
 let read64 t ~va =
-  let pa, lat = translate t ~va ~access:Fault.Read in
-  let lat = lat + Cache.access t.cache ~addr:pa in
-  (Physmem.read64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)), lat)
+  let v = read64_fast t ~va in
+  (v, t.last_lat)
 
 let write64 t ~va v =
-  let pa, lat = translate t ~va ~access:Fault.Write in
-  let lat = lat + Cache.access t.cache ~addr:pa in
-  Physmem.write64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) v;
-  lat
+  write64_fast t ~va v;
+  t.last_lat
 
 let check_block16 va =
   if va land 15 <> 0 then
     Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "unaligned 16-byte access at 0x%x" va))
 
-let read_block16 t ~va =
+(* 16-byte accesses are alignment-checked, so they never cross a page:
+   one translation covers the whole block, and the blit-through variants
+   below move it without allocating an intermediate buffer. *)
+let read_block16_into t ~va ~dst ~dpos =
   check_block16 va;
-  let pa, lat = translate t ~va ~access:Fault.Read in
-  let lat = lat + Cache.access t.cache ~addr:pa in
-  (Physmem.read_block16 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)), lat)
+  let pa = translate_va t ~va ~access:Fault.Read in
+  t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
+  Physmem.read_block16_into t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) ~dst
+    ~dpos
+
+let write_block16_from t ~va ~src ~spos =
+  check_block16 va;
+  let pa = translate_va t ~va ~access:Fault.Write in
+  t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
+  Physmem.write_block16_from t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) ~src
+    ~spos
+
+let read_block16_fast t ~va =
+  let b = Bytes.create 16 in
+  read_block16_into t ~va ~dst:b ~dpos:0;
+  b
+
+let write_block16_fast t ~va b = write_block16_from t ~va ~src:b ~spos:0
+
+let read_block16 t ~va =
+  let b = read_block16_fast t ~va in
+  (b, t.last_lat)
 
 let write_block16 t ~va b =
-  check_block16 va;
-  let pa, lat = translate t ~va ~access:Fault.Write in
-  let lat = lat + Cache.access t.cache ~addr:pa in
-  Physmem.write_block16 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) b;
-  lat
+  write_block16_fast t ~va b;
+  t.last_lat
 
 (* Raw access path: page-table only, no pkey/EPT/permission checks, no cost.
    Models kernel access and pre-established attacker read/write primitives. *)

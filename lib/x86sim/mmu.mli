@@ -18,6 +18,9 @@
 type t = {
   phys : Physmem.t;
   pt : Pagetable.t;
+  pt_gen_cell : int ref;
+      (** [Pagetable.generation_cell pt], cached at creation: the
+          translation hot path reads the generation through this cell. *)
   tlb : Tlb.t;
   cache : Cache.t;
   mutable pkru : int;  (** 32-bit: bits 2k / 2k+1 = AD / WD for key k. *)
@@ -28,6 +31,11 @@ type t = {
       (** Whether the most recent {!translate} missed the TLB and walked the
           tables. Read by the CPU right after an access to emit telemetry
           events. *)
+  mutable last_lat : int;
+      (** Latency in cycles of the most recent access (TLB walk plus cache,
+          for the [*_fast] accessors). Scratch result field: the CPU's
+          per-instruction path reads it instead of receiving a freshly
+          allocated tuple. *)
 }
 
 val create : unit -> t
@@ -61,17 +69,43 @@ val translate : t -> va:int -> access:Fault.access -> int * int
 (** [(pa, latency)] or a fault. The latency covers TLB miss cost only;
     cache latency is added by the word accessors. *)
 
+val translate_va : t -> va:int -> access:Fault.access -> int
+(** Allocation-free {!translate}: returns the physical address and leaves
+    the walk latency in [last_lat]. *)
+
 val read64 : t -> va:int -> int * int
 (** [(value, latency)]. *)
 
 val write64 : t -> va:int -> int -> int
 (** Returns latency. *)
 
+val read64_fast : t -> va:int -> int
+(** {!read64} without the result tuple: the value is returned, the total
+    latency (walk + cache) is left in [last_lat]. The simulator hot loop
+    uses these; the tuple-returning forms are wrappers for everyone else. *)
+
+val write64_fast : t -> va:int -> int -> unit
+(** {!write64} with the latency left in [last_lat]. *)
+
 val read_block16 : t -> va:int -> Bytes.t * int
 (** 16-byte read; must not cross a page boundary (GP fault otherwise,
     matching movdqa's 16-byte alignment requirement). *)
 
 val write_block16 : t -> va:int -> Bytes.t -> int
+
+val read_block16_into : t -> va:int -> dst:Bytes.t -> dpos:int -> unit
+(** Allocation-free {!read_block16_fast}: blit the block straight into
+    [dst] at [dpos]; latency left in [last_lat]. *)
+
+val write_block16_from : t -> va:int -> src:Bytes.t -> spos:int -> unit
+(** Allocation-free {!write_block16_fast}: blit the block straight from
+    [src] at [spos]; latency left in [last_lat]. *)
+
+val read_block16_fast : t -> va:int -> Bytes.t
+(** {!read_block16} with the latency left in [last_lat]. *)
+
+val write_block16_fast : t -> va:int -> Bytes.t -> unit
+(** {!write_block16} with the latency left in [last_lat]. *)
 
 (** {2 Raw access (no permission checks, no timing)}
 

@@ -19,19 +19,27 @@ let encode ~frame ~present ~readable ~writable ~pkey =
   lor (frame lsl 12)
   lor (pkey lsl 59)
 
+(* Field accessors on the raw encoding: the page-walk hot path decodes
+   entries with these instead of materializing a [pte] record. *)
+let entry_present entry = entry land e_present <> 0
+let entry_readable entry = entry land e_readable <> 0
+let entry_writable entry = entry land e_writable <> 0
+let entry_frame entry = (entry lsr 12) land 0x7FFF_FFFF_FFFF
+let entry_pkey entry = (entry lsr 59) land 0xF
+
 let decode entry =
   {
-    frame = (entry lsr 12) land 0x7FFF_FFFF_FFFF;
-    present = entry land e_present <> 0;
-    readable = entry land e_readable <> 0;
-    writable = entry land e_writable <> 0;
-    pkey = (entry lsr 59) land 0xF;
+    frame = entry_frame entry;
+    present = entry_present entry;
+    readable = entry_readable entry;
+    writable = entry_writable entry;
+    pkey = entry_pkey entry;
   }
 
 type t = {
   phys : Physmem.t;
   root : int;
-  mutable gen : int;
+  gen : int ref; (* shared with MMUs via [generation_cell] *)
   mutable nframes : int;
   mutable live : int;  (* present leaf entries *)
 }
@@ -39,14 +47,19 @@ type t = {
 let create ?phys () =
   let phys = match phys with Some p -> p | None -> Physmem.create () in
   let root = Physmem.alloc_frame phys in
-  { phys; root; gen = 0; nframes = 1; live = 0 }
+  { phys; root; gen = ref 0; nframes = 1; live = 0 }
 
 let root_frame t = t.root
-let generation t = t.gen
+let generation t = !(t.gen)
+
+(* The generation counter as a shared cell: the MMU reads it on every
+   translation, and dereferencing a cached ref is one load where the
+   [generation] call is a cross-module application. *)
+let generation_cell t = t.gen
 let table_frames t = t.nframes
 let mapped_count t = t.live
 
-let bump t = t.gen <- t.gen + 1
+let bump t = incr t.gen
 
 let read_entry t ~table ~idx = Physmem.read64 t.phys ~frame:table ~off:(8 * idx)
 let write_entry t ~table ~idx v = Physmem.write64 t.phys ~frame:table ~off:(8 * idx) v
@@ -59,7 +72,7 @@ let rec descend t ~table ~vpn ~level ~alloc =
     let idx = index_of vpn level in
     let entry = read_entry t ~table ~idx in
     if entry land e_present <> 0 then
-      descend t ~table:((decode entry).frame) ~vpn ~level:(level - 1) ~alloc
+      descend t ~table:(entry_frame entry) ~vpn ~level:(level - 1) ~alloc
     else if not alloc then None
     else begin
       let next = Physmem.alloc_frame t.phys in
@@ -96,12 +109,31 @@ let unmap t ~vpn =
       write_entry t ~table:leaf ~idx (old land lnot e_present)
     end
 
+(* Allocation-free walk: the raw encoded leaf entry, or 0 when any level
+   is absent or the leaf is not present (0 has the present bit clear, so
+   the two cases need no distinguishing). One call per TLB miss — the
+   option/tuple/record tower of {!find} would be several heap blocks per
+   walk. *)
+let find_entry t ~vpn =
+  let table = ref t.root in
+  let level = ref (walk_levels - 1) in
+  let dead = ref false in
+  while !level > 0 && not !dead do
+    let e = read_entry t ~table:!table ~idx:(index_of vpn !level) in
+    if e land e_present = 0 then dead := true
+    else begin
+      table := entry_frame e;
+      decr level
+    end
+  done;
+  if !dead then 0
+  else
+    let e = read_entry t ~table:!table ~idx:(index_of vpn 0) in
+    if e land e_present = 0 then 0 else e
+
 let find t ~vpn =
-  match leaf_entry t ~vpn ~alloc:false with
-  | None -> None
-  | Some (leaf, idx) ->
-    let pte = decode (read_entry t ~table:leaf ~idx) in
-    if pte.present then Some pte else None
+  let e = find_entry t ~vpn in
+  if entry_present e then Some (decode e) else None
 
 let update_leaf t ~vpn f =
   bump t;

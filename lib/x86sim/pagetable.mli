@@ -45,6 +45,17 @@ val unmap : t -> vpn:int -> unit
 (** Clear the present bit. *)
 
 val find : t -> vpn:int -> pte option
+
+val find_entry : t -> vpn:int -> int
+(** Allocation-free {!find}: the raw encoded leaf entry for [vpn], or [0]
+    when the page is unmapped or not present. Decode with the [entry_*]
+    accessors below; called once per TLB miss. *)
+
+val entry_present : int -> bool
+val entry_readable : int -> bool
+val entry_writable : int -> bool
+val entry_frame : int -> int
+val entry_pkey : int -> int
 (** Walk the four levels; [None] when any level is missing or the leaf is
     not present. *)
 
@@ -58,6 +69,11 @@ val set_pkey : t -> vpn:int -> key:int -> unit
 
 val generation : t -> int
 (** Incremented by every [map]/[unmap]/[protect]/[set_pkey]. *)
+
+val generation_cell : t -> int ref
+(** The generation counter itself, for callers (the MMU) that read it on
+    every translation: dereferencing the cached cell replaces a
+    cross-module call per access. Treat as read-only. *)
 
 val mapped_count : t -> int
 

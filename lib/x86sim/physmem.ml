@@ -21,14 +21,34 @@ let frame_bytes t n =
   if n < 0 || n >= t.used then invalid_arg (Printf.sprintf "Physmem.frame_bytes: frame %d" n);
   t.frames.(n)
 
-let read64 t ~frame ~off = Int64.to_int (Bytes.get_int64_le (frame_bytes t frame) off)
+(* Bounds-checked 64-bit native-endian access as compiler primitives.
+   [Bytes.get_int64_le] is an ordinary stdlib function, so calling it
+   boxes its [int64] result — one heap allocation per simulated memory
+   access. Used as primitives chained into [Int64.to_int]/[of_int], the
+   value stays unboxed. The big-endian fallback keeps the little-endian
+   simulated memory image portable. *)
+external get_64ne : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+external set_64ne : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
 
-let write64 t ~frame ~off v = Bytes.set_int64_le (frame_bytes t frame) off (Int64.of_int v)
+let read64 t ~frame ~off =
+  if Sys.big_endian then Int64.to_int (Bytes.get_int64_le (frame_bytes t frame) off)
+  else Int64.to_int (get_64ne (frame_bytes t frame) off)
+
+let write64 t ~frame ~off v =
+  if Sys.big_endian then Bytes.set_int64_le (frame_bytes t frame) off (Int64.of_int v)
+  else set_64ne (frame_bytes t frame) off (Int64.of_int v)
 
 let read8 t ~frame ~off = Bytes.get_uint8 (frame_bytes t frame) off
 let write8 t ~frame ~off v = Bytes.set_uint8 (frame_bytes t frame) off v
 
 let read_block16 t ~frame ~off = Bytes.sub (frame_bytes t frame) off 16
+
+(* Blit-through variants: move a 16-byte block between frame memory and a
+   caller-owned buffer without materializing an intermediate [Bytes.t] —
+   the vector-register file is such a buffer, so xmm loads/stores stay
+   allocation-free. *)
+let read_block16_into t ~frame ~off ~dst ~dpos = Bytes.blit (frame_bytes t frame) off dst dpos 16
+let write_block16_from t ~frame ~off ~src ~spos = Bytes.blit src spos (frame_bytes t frame) off 16
 
 let write_block16 t ~frame ~off b =
   if Bytes.length b <> 16 then invalid_arg "Physmem.write_block16: need 16 bytes";

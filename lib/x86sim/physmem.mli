@@ -30,4 +30,10 @@ val write8 : t -> frame:int -> off:int -> int -> unit
 val read_block16 : t -> frame:int -> off:int -> Bytes.t
 (** 16-byte read (xmm load); [off] must be within the frame. *)
 
+val read_block16_into : t -> frame:int -> off:int -> dst:Bytes.t -> dpos:int -> unit
+(** Blit a 16-byte block into [dst] at [dpos] — no intermediate buffer. *)
+
+val write_block16_from : t -> frame:int -> off:int -> src:Bytes.t -> spos:int -> unit
+(** Blit a 16-byte block from [src] at [spos] — no intermediate buffer. *)
+
 val write_block16 : t -> frame:int -> off:int -> Bytes.t -> unit

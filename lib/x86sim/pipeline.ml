@@ -21,22 +21,37 @@ let fetch_width = 4.0
    core can do. 224 entries approximates Skylake. *)
 let rob_size = 224
 
+(* Indices into [clk]. All per-issue float state lives in one float array
+   rather than mutable record fields or function arguments: OCaml (without
+   flambda) boxes every float stored to a mixed record field, passed to, or
+   returned from a non-inlined function — several heap allocations per
+   simulated instruction. Float-array loads and stores are always unboxed,
+   so [clk] doubles as the parameter/result channel of {!issue_core}:
+   callers deposit dep/lat/busy, the core leaves the completion time. *)
+let i_fetch = 0 (* fetch front *)
+let i_maxc = 1 (* latest completion *)
+let io_dep = 2 (* in: extra dependency floor (store-to-load forwarding) *)
+let io_lat = 3 (* in: result latency *)
+let io_busy = 4 (* in: unit occupancy *)
+let io_comp = 5 (* out: completion time of the last issued instruction *)
+let clk_size = 6
+
 type t = {
   ready : float array; (* per pipeline register id *)
   units : float array array; (* per port, per unit: next-free time *)
   rob : float array; (* completion times of the last rob_size insns *)
-  mutable fetch : float;
-  mutable max_completion : float;
+  clk : float array; (* clocks + issue parameter/result slots, see above *)
   mutable insns : int;
 }
+
+let io t = t.clk
 
 let create () =
   {
     ready = Array.make Reg.pipe_count 0.0;
     units = Array.init port_count (fun p -> Array.make units_per_port.(p) 0.0);
     rob = Array.make rob_size 0.0;
-    fetch = 0.0;
-    max_completion = 0.0;
+    clk = Array.make clk_size 0.0;
     insns = 0;
   }
 
@@ -44,43 +59,70 @@ let reset t =
   Array.fill t.ready 0 (Array.length t.ready) 0.0;
   Array.iter (fun u -> Array.fill u 0 (Array.length u) 0.0) t.units;
   Array.fill t.rob 0 rob_size 0.0;
-  t.fetch <- 0.0;
-  t.max_completion <- 0.0;
+  Array.fill t.clk 0 clk_size 0.0;
   t.insns <- 0
 
-let src_ready t r acc = if r < 0 then acc else Float.max acc t.ready.(r)
+(* Stdlib [Float.max] is a function call, which boxes both arguments and
+   the result; this stays local (and small enough to inline) so the floats
+   stay in registers. Identical to [Float.max] on our domain: completion
+   times are never NaN and never negative zero. *)
+let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
 
-let issue_t t ?(s1 = -1) ?(s2 = -1) ?(s3 = -1) ?(d1 = -1) ?(d2 = -1) ?(dep = 0.0) ?(lat = 1.0)
-    ?busy ?(serialize = false) ~port () =
+(* The one scoreboard update. Reads dep/lat/busy from the io slots, leaves
+   the completion time in [clk.(io_comp)], and re-arms [io_dep] to 0 so
+   only consumers with a real memory dependency pay a store to set it.
+   Shared by the fast path and the labeled wrappers so the two can never
+   drift numerically. *)
+let issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port =
+  let clk = t.clk in
   let slot = t.insns mod rob_size in
   t.insns <- t.insns + 1;
-  let floor_time = Float.max dep (Float.max t.fetch t.rob.(slot)) in
-  let earliest = src_ready t s1 (src_ready t s2 (src_ready t s3 floor_time)) in
-  let earliest = if serialize then Float.max earliest t.max_completion else earliest in
+  let floor_time = fmax clk.(io_dep) (fmax clk.(i_fetch) t.rob.(slot)) in
+  clk.(io_dep) <- 0.0;
+  let earliest = if s3 >= 0 then fmax floor_time t.ready.(s3) else floor_time in
+  let earliest = if s2 >= 0 then fmax earliest t.ready.(s2) else earliest in
+  let earliest = if s1 >= 0 then fmax earliest t.ready.(s1) else earliest in
+  let earliest = if serialize then fmax earliest clk.(i_maxc) else earliest in
   (* Pick the execution unit that frees up first. *)
   let units = t.units.(port) in
   let best = ref 0 in
   for i = 1 to Array.length units - 1 do
     if units.(i) < units.(!best) then best := i
   done;
-  let t0 = Float.max earliest units.(!best) in
-  let completion = t0 +. lat in
+  let t0 = fmax earliest units.(!best) in
+  let completion = t0 +. clk.(io_lat) in
   t.rob.(slot) <- completion;
-  units.(!best) <- t0 +. (match busy with Some b -> b | None -> recip_throughput.(port));
+  units.(!best) <- t0 +. clk.(io_busy);
   if d1 >= 0 then t.ready.(d1) <- completion;
   if d2 >= 0 then t.ready.(d2) <- completion;
-  if completion > t.max_completion then t.max_completion <- completion;
-  t.fetch <- t.fetch +. (1.0 /. fetch_width);
-  if serialize && completion > t.fetch then t.fetch <- completion;
-  completion
+  if completion > clk.(i_maxc) then clk.(i_maxc) <- completion;
+  clk.(i_fetch) <- clk.(i_fetch) +. (1.0 /. fetch_width);
+  if serialize && completion > clk.(i_fetch) then clk.(i_fetch) <- completion;
+  clk.(io_comp) <- completion
+
+let issue_fast t ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
+  let clk = t.clk in
+  clk.(io_lat) <- float_of_int lat;
+  clk.(io_busy) <- recip_throughput.(port);
+  issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize:false ~port
+
+let issue_t t ?(s1 = -1) ?(s2 = -1) ?(s3 = -1) ?(d1 = -1) ?(d2 = -1) ?(dep = 0.0) ?(lat = 1.0)
+    ?busy ?(serialize = false) ~port () =
+  let clk = t.clk in
+  clk.(io_dep) <- dep;
+  clk.(io_lat) <- lat;
+  clk.(io_busy) <- (match busy with Some b -> b | None -> recip_throughput.(port));
+  issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port;
+  clk.(io_comp)
 
 let issue t ?s1 ?s2 ?s3 ?d1 ?d2 ?dep ?lat ?busy ?serialize ~port () =
   ignore (issue_t t ?s1 ?s2 ?s3 ?d1 ?d2 ?dep ?lat ?busy ?serialize ~port ())
 
-let cycles t = Float.max t.fetch t.max_completion
+let cycles t = fmax t.clk.(i_fetch) t.clk.(i_maxc)
 
 let instructions t = t.insns
 
 let ipc t =
   let c = cycles t in
   if c <= 0.0 then 0.0 else float_of_int t.insns /. c
+

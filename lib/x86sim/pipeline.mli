@@ -74,6 +74,31 @@ val issue :
   unit
 (** {!issue_t} with the completion time discarded. *)
 
+val issue_fast :
+  t -> s1:int -> s2:int -> s3:int -> d1:int -> d2:int -> lat:int -> port:int -> unit
+(** {!issue_t} for the per-instruction hot path: every argument is a
+    mandatory immediate (pass [Reg.pipe_none] explicitly; [lat] in whole
+    cycles), so no [Some] boxes — and no float boxes — are built per call.
+    Floats cross the boundary through the {!io} scratch array instead:
+    write a store-to-load forwarding floor to [io.(io_dep)] before the
+    call (it self-resets to 0 after each issue), read the completion time
+    from [io.(io_comp)] after. Covers the non-serializing,
+    default-occupancy case — serializing or microcoded instructions use
+    the labeled forms. Numerically identical to {!issue_t}: both delegate
+    to one core. *)
+
+val io : t -> float array
+(** The float parameter/result channel shared with {!issue_fast}. Fetch it
+    once and keep it: float-array indexing never boxes, unlike float
+    returns from accessor functions. Slots other than [io_dep]/[io_comp]
+    are private to the pipeline. *)
+
+val io_dep : int
+(** [io] slot: extra dependency floor consumed by the next issue. *)
+
+val io_comp : int
+(** [io] slot: completion time left by the last issue. *)
+
 val cycles : t -> float
 (** Total cycles elapsed so far (max of fetch front and latest completion). *)
 

@@ -10,6 +10,7 @@ type t = {
   readables : bool array;
   writables : bool array;
   pkeys : int array;
+  infos : int array; (* packed hfn/pkey/permission mirror, see slot_info *)
   mutable hit_count : int;
   mutable miss_count : int;
 }
@@ -27,19 +28,48 @@ let create ?(slots = 1024) () =
     readables = Array.make slots false;
     writables = Array.make slots false;
     pkeys = Array.make slots 0;
+    infos = Array.make slots 0;
     hit_count = 0;
     miss_count = 0;
   }
 
 let slot_of t vpn = vpn land (t.slots - 1)
 
-let probe t ~vpn ~ept ~pt_gen ~ept_gen =
+(* Allocation-free probe: the hot path calls this once per memory access,
+   so a hit must not build a [hit] record (one heap block per simulated
+   load/store otherwise). Returns the slot index, or -1 on miss; the
+   caller reads the entry's fields through the slot accessors below. *)
+let probe_slot t ~vpn ~ept ~pt_gen ~ept_gen =
   let s = slot_of t vpn in
   if
     t.vpns.(s) = vpn && t.epts.(s) = ept && t.pt_gens.(s) = pt_gen
     && t.ept_gens.(s) = ept_gen
   then begin
     t.hit_count <- t.hit_count + 1;
+    s
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    -1
+  end
+
+let slot_index t ~vpn = slot_of t vpn
+
+(* Packed entry: hfn lsl 6 | pkey lsl 2 | readable lsl 1 | writable.
+   Computed once at insert so the translation hot path reads the whole
+   entry with a single cross-module call (the per-field accessors below
+   would be four). *)
+let slot_info t s = t.infos.(s)
+
+let slot_hfn t s = t.hfns.(s)
+let slot_readable t s = t.readables.(s)
+let slot_writable t s = t.writables.(s)
+let slot_pkey t s = t.pkeys.(s)
+
+let probe t ~vpn ~ept ~pt_gen ~ept_gen =
+  let s = probe_slot t ~vpn ~ept ~pt_gen ~ept_gen in
+  if s < 0 then None
+  else
     Some
       {
         hfn = t.hfns.(s);
@@ -47,22 +77,25 @@ let probe t ~vpn ~ept ~pt_gen ~ept_gen =
         writable = t.writables.(s);
         pkey = t.pkeys.(s);
       }
-  end
-  else begin
-    t.miss_count <- t.miss_count + 1;
-    None
-  end
 
-let insert t ~vpn ~ept ~pt_gen ~ept_gen hit =
+let insert_fields t ~vpn ~ept ~pt_gen ~ept_gen ~hfn ~readable ~writable ~pkey =
   let s = slot_of t vpn in
   t.vpns.(s) <- vpn;
   t.epts.(s) <- ept;
   t.pt_gens.(s) <- pt_gen;
   t.ept_gens.(s) <- ept_gen;
-  t.hfns.(s) <- hit.hfn;
-  t.readables.(s) <- hit.readable;
-  t.writables.(s) <- hit.writable;
-  t.pkeys.(s) <- hit.pkey
+  t.hfns.(s) <- hfn;
+  t.readables.(s) <- readable;
+  t.writables.(s) <- writable;
+  t.pkeys.(s) <- pkey;
+  t.infos.(s) <-
+    (hfn lsl 6) lor (pkey lsl 2)
+    lor (if readable then 2 else 0)
+    lor if writable then 1 else 0
+
+let insert t ~vpn ~ept ~pt_gen ~ept_gen hit =
+  insert_fields t ~vpn ~ept ~pt_gen ~ept_gen ~hfn:hit.hfn ~readable:hit.readable
+    ~writable:hit.writable ~pkey:hit.pkey
 
 let flush t = Array.fill t.vpns 0 t.slots (-1)
 

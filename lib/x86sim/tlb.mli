@@ -27,7 +27,39 @@ val probe : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> hit option
 (** Lookup; counts a hit or miss. Entries from other EPT indices or stale
     generations miss. *)
 
+val probe_slot : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> int
+(** Allocation-free {!probe}: returns the slot index on a hit (read it with
+    the [slot_*] accessors before any other TLB operation) or [-1] on a
+    miss. Same hit/miss accounting as {!probe}. *)
+
+val slot_index : t -> vpn:int -> int
+(** The (direct-mapped) slot a vpn maps to — where {!insert} just put it. *)
+
+val slot_info : t -> int -> int
+(** The whole entry packed into one int —
+    [hfn lsl 6 lor pkey lsl 2 lor readable lsl 1 lor writable] — so the
+    per-access translation path pays one call, not four. *)
+
+val slot_hfn : t -> int -> int
+val slot_readable : t -> int -> bool
+val slot_writable : t -> int -> bool
+val slot_pkey : t -> int -> int
+
 val insert : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> hit -> unit
+
+val insert_fields :
+  t ->
+  vpn:int ->
+  ept:int ->
+  pt_gen:int ->
+  ept_gen:int ->
+  hfn:int ->
+  readable:bool ->
+  writable:bool ->
+  pkey:int ->
+  unit
+(** {!insert} with the entry spread into scalar arguments, so the TLB-fill
+    path need not build a [hit] record. *)
 
 val flush : t -> unit
 (** Full invalidation (CR3 write / mprotect shootdown). *)

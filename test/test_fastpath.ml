@@ -1,0 +1,156 @@
+(* The no-hook fast loop and the hooked per-step loop are two paths
+   through the same engine ([Cpu.run_fast] vs [Cpu.step]); attaching an
+   observe-only hook must not change a single modeled number. Random
+   programs pin that down differentially: identical cycle count, counters,
+   final registers and memory, with and without hooks, uninstrumented and
+   under MPK instrumentation.
+
+   Also covers the direct-mapped store buffer's capacity edge: two store
+   lines that collide in a slot must evict (not merge), and only the
+   resident line supplies store-to-load forwarding. *)
+
+open Memsentry
+
+type outcome = {
+  cycles : float;
+  counters : X86sim.Cpu.counters;
+  gprs : int array;
+  mem_g : int;
+}
+
+(* Run a prepared machine to completion and snapshot everything the two
+   paths must agree on. [hooks] attaches observe-only step+event hooks,
+   which forces every instruction through the instrumented [step] loop. *)
+let snapshot ?cfg ~hooks recipe =
+  let m = Test_differential.build_program recipe in
+  let lowered = Ir.Lower.lower m in
+  let p =
+    match cfg with
+    | None -> Framework.prepare_baseline lowered
+    | Some c -> Framework.prepare c lowered
+  in
+  let cpu = p.Framework.cpu in
+  let steps = ref 0 and events = ref 0 in
+  if hooks then begin
+    ignore (X86sim.Cpu.add_step_hook cpu (fun _ _ -> incr steps));
+    ignore (X86sim.Cpu.add_event_hook cpu (fun _ -> incr events))
+  end;
+  (match Framework.run p with
+  | X86sim.Cpu.Halted -> ()
+  | X86sim.Cpu.Out_of_fuel -> Alcotest.fail "fastpath run out of fuel");
+  if hooks && !steps = 0 then Alcotest.fail "step hook never fired";
+  {
+    cycles = X86sim.Cpu.cycles cpu;
+    counters = cpu.X86sim.Cpu.counters;
+    gprs = Array.init X86sim.Reg.gpr_count (X86sim.Cpu.get_gpr cpu);
+    mem_g =
+      X86sim.Mmu.peek64 cpu.X86sim.Cpu.mmu ~va:(Ir.Lower.global_va lowered "g");
+  }
+
+let same_outcome a b =
+  a.cycles = b.cycles && a.counters = b.counters && a.gprs = b.gprs && a.mem_g = b.mem_g
+
+let prop_fast_equals_hooked =
+  QCheck.Test.make ~name:"no-hook fast loop = hooked loop (baseline)" ~count:60
+    Test_differential.arb_recipe (fun r ->
+      same_outcome (snapshot ~hooks:false r) (snapshot ~hooks:true r))
+
+let prop_fast_equals_hooked_mpk =
+  QCheck.Test.make ~name:"no-hook fast loop = hooked loop (MPK instrumented)" ~count:40
+    Test_differential.arb_recipe (fun r ->
+      let cfg = Framework.config (Technique.Mpk Mpk.Pkey.No_access) in
+      same_outcome (snapshot ~cfg ~hooks:false r) (snapshot ~cfg ~hooks:true r))
+
+(* --- store-buffer capacity edge ---------------------------------------- *)
+
+(* Two 64-byte lines exactly [sb_slots] lines apart map to the same
+   direct-mapped slot. *)
+let va_a = 0x100000
+let va_b = va_a + (X86sim.Cpu.sb_slots * 64)
+
+let run_asm text =
+  let cpu = X86sim.Cpu.create () in
+  X86sim.Mmu.map_range cpu.X86sim.Cpu.mmu ~va:va_a ~len:4096 ~writable:true;
+  X86sim.Mmu.map_range cpu.X86sim.Cpu.mmu ~va:va_b ~len:4096 ~writable:true;
+  X86sim.Cpu.load_program cpu (X86sim.Asm.parse_program text);
+  (match X86sim.Cpu.run cpu with
+  | X86sim.Cpu.Halted -> ()
+  | X86sim.Cpu.Out_of_fuel -> Alcotest.fail "asm program out of fuel");
+  cpu
+
+let store_buffer_eviction () =
+  let cpu =
+    run_asm
+      (Printf.sprintf
+         "main:\n  mov rbx, %d\n  mov rcx, %d\n  mov [rbx], rax\n  mov [rcx], rax\n  hlt\n"
+         va_a va_b)
+  in
+  let slot = va_a lsr 6 land (X86sim.Cpu.sb_slots - 1) in
+  Alcotest.(check int) "colliding store evicted the earlier line" (va_b lsr 6)
+    cpu.X86sim.Cpu.sb_line.(slot);
+  Alcotest.(check bool) "evicting store left a ready time" true
+    (cpu.X86sim.Cpu.sb_ready.(slot) > 0.0)
+
+let store_buffer_forwarding_only_resident () =
+  (* Store A, then a colliding store B, then load one of them. Only the
+     resident line (B) can forward, so loading B must not finish earlier
+     than loading A, which reads through the cache with no forwarding
+     dependency. *)
+  let prog target =
+    Printf.sprintf
+      "main:\n\
+      \  mov rbx, %d\n\
+      \  mov rcx, %d\n\
+      \  mov [rbx], rax\n\
+      \  mov [rcx], rax\n\
+      \  mov rdx, [%s]\n\
+      \  hlt\n"
+      va_a va_b target
+  in
+  let evicted = X86sim.Cpu.cycles (run_asm (prog "rbx")) in
+  let resident = X86sim.Cpu.cycles (run_asm (prog "rcx")) in
+  Alcotest.(check bool)
+    (Printf.sprintf "forwarding stall only from resident line (%.2f <= %.2f)" evicted resident)
+    true (evicted <= resident)
+
+let store_buffer_bounded () =
+  (* Streaming stores over more distinct lines than the buffer has slots
+     must stay within the fixed arrays (no growth, no error) and leave at
+     most [sb_slots] lines tracked. *)
+  let lines = X86sim.Cpu.sb_slots + 8 in
+  let cpu = X86sim.Cpu.create () in
+  X86sim.Mmu.map_range cpu.X86sim.Cpu.mmu ~va:va_a ~len:(lines * 64) ~writable:true;
+  X86sim.Cpu.load_program cpu
+    (X86sim.Asm.parse_program
+       (Printf.sprintf
+          "main:\n\
+          \  mov rbx, %d\n\
+          \  mov rcx, %d\n\
+          loop:\n\
+          \  mov [rbx], rax\n\
+          \  add rbx, 64\n\
+          \  sub rcx, 1\n\
+          \  cmp rcx, 0\n\
+          \  jne loop\n\
+          \  hlt\n"
+          va_a lines));
+  (match X86sim.Cpu.run cpu with
+  | X86sim.Cpu.Halted -> ()
+  | X86sim.Cpu.Out_of_fuel -> Alcotest.fail "streaming stores out of fuel");
+  Alcotest.(check int) "store-buffer arrays stay at capacity" X86sim.Cpu.sb_slots
+    (Array.length cpu.X86sim.Cpu.sb_line);
+  (* The first 8 lines were overwritten by the wrap-around tail. *)
+  let slot0 = va_a lsr 6 land (X86sim.Cpu.sb_slots - 1) in
+  Alcotest.(check int) "wrapped slot holds the latest colliding line"
+    ((va_a lsr 6) + X86sim.Cpu.sb_slots)
+    cpu.X86sim.Cpu.sb_line.(slot0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_fast_equals_hooked;
+    QCheck_alcotest.to_alcotest prop_fast_equals_hooked_mpk;
+    Alcotest.test_case "store-buffer collision evicts" `Quick store_buffer_eviction;
+    Alcotest.test_case "forwarding only from resident line" `Quick
+      store_buffer_forwarding_only_resident;
+    Alcotest.test_case "store buffer bounded under streaming" `Quick store_buffer_bounded;
+  ]

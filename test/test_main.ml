@@ -11,6 +11,7 @@ let () =
       ("defenses", Test_defenses.suite);
       ("attacks", Test_attacks.suite);
       ("differential", Test_differential.suite);
+      ("fastpath", Test_fastpath.suite);
       ("multi-domain", Test_multi_domain.suite);
       ("asm", Test_asm.suite);
       ("memory-system", Test_memory_system.suite);
