@@ -11,7 +11,9 @@ let usage () =
      [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|attacks|bechamel|simspeed|all]\n\
      \  --iterations N   workload loop iterations (default 40)\n\
      \  --jobs N         run independent simulations on N domains (default 1)\n\
-     \  --json FILE      also write machine-readable results (figures 3-6, table 4)";
+     \  --json FILE      also write machine-readable results (figures 3-6, table 4)\n\
+     \  --speed-guard F  simspeed only: fail if measured MIPS < F x the committed\n\
+     \                   BENCH_simspeed.json latest (CI perf-regression gate)";
   exit 1
 
 let rec run_target = function
@@ -63,6 +65,11 @@ let () =
       parse targets rest
     | "--json" :: file :: rest ->
       json_file := Some file;
+      parse targets rest
+    | "--speed-guard" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some v when v > 0.0 -> Simspeed.guard_factor := Some v
+      | Some _ | None -> usage ());
       parse targets rest
     | ("-h" | "--help") :: _ -> usage ()
     | t :: rest -> parse (t :: targets) rest

@@ -4,9 +4,16 @@
    This is a meta-benchmark: it measures the engine, not the modeled
    hardware. It is what bounds how many iterations/configs the figure
    sweeps can afford, so we track it across PRs in BENCH_simspeed.json:
-   the file keeps the first recorded run as "baseline" and overwrites
-   "latest" on every run, so before/after of an optimization is always
+   the file keeps the first recorded run as "baseline", a "history" list
+   of per-PR snapshots (carried through verbatim; entries are added by
+   hand when a PR lands, so local reruns don't spam it), and overwrites
+   "latest" on every run — the whole optimization trajectory stays
    visible in one place.
+
+   With [guard_factor] set (the [--speed-guard F] CLI flag), the run
+   additionally acts as a perf-regression gate: it fails (exit 1) if the
+   freshly measured baseline-mode MIPS drops below F times the
+   baseline-mode MIPS recorded in the committed file's "latest" entry.
 
    Only the execution phase ([Framework.run]) is timed: program lowering
    and [Framework.prepare] are one-time setup, amortized away in any
@@ -26,6 +33,10 @@ open Memsentry
 
 let out_file = "BENCH_simspeed.json"
 
+(* When [Some f], fail the run if measured baseline-mode MIPS < f times the
+   committed "latest" baseline-mode MIPS. Set via main.exe --speed-guard. *)
+let guard_factor : float option ref = ref None
+
 (* A spread of profiles: pointer-chasing (low ILP), cache-resident high
    ILP, and call-heavy — so the MIPS number is not dominated by one
    instruction mix. *)
@@ -37,11 +48,14 @@ let profiles =
     Workloads.Spec2006.all
 
 (* The figure sweeps default to 40 iterations per run; a single 40-iteration
-   run is over in ~10 ms, far too short to time reliably. Scale up by 10x
-   (and take the best of [reps] attempts) so one mode runs for a few
-   hundred ms. [--iterations] still scales the measurement for CI smoke. *)
-let speed_iterations () = !Bench_common.iterations * 10
-let reps = 3
+   run is over in ~10 ms, far too short to time reliably. Scale up by 30x
+   (and take the best of [reps] attempts) so one mode's timed phase runs
+   long enough that per-sweep warm-up (first-touch of the simulated memory
+   image) and timer quantization stop biasing the rate low — at a 10x
+   scale the steady-state MIPS read ~6% under a 30x run on the same host.
+   [--iterations] still scales the measurement down for CI smoke. *)
+let speed_iterations () = !Bench_common.iterations * 30
+let reps = 5
 
 let mips insns secs = if secs <= 0.0 then 0.0 else float_of_int insns /. secs /. 1e6
 
@@ -144,10 +158,15 @@ let run () =
       :: ("profiles", Json.List (List.map (fun p -> Json.String p) profile_names))
       :: List.map json_of_mode rows)
   in
+  let prior = read_existing () in
+  let member_of name = function Some j -> Json.member name j | None -> None in
   let baseline =
-    match read_existing () with
-    | Some j -> ( match Json.member "baseline" j with Some b -> b | None -> this_run)
-    | None -> this_run
+    match member_of "baseline" prior with Some b -> b | None -> this_run
+  in
+  (* Per-PR snapshots are carried through verbatim: entries are appended by
+     hand when a PR lands, so ad-hoc local runs don't grow the list. *)
+  let history =
+    match member_of "history" prior with Some h -> h | None -> Json.List []
   in
   let total sel j =
     match Json.member sel j with
@@ -158,6 +177,9 @@ let run () =
       | _ -> 0.0)
     | None -> 0.0
   in
+  let recorded_latest_mips =
+    match member_of "latest" prior with Some l -> total "baseline" l | None -> 0.0
+  in
   let speedup =
     let b = total "baseline" baseline in
     if b > 0.0 then total "baseline" this_run /. b else 1.0
@@ -167,7 +189,24 @@ let run () =
        [
          ("metric", Json.String "simulated-MIPS");
          ("baseline", baseline);
+         ("history", history);
          ("latest", this_run);
          ("speedup_vs_baseline", Json.Float speedup);
        ]);
-  Printf.printf "baseline-mode speedup vs recorded baseline: %.2fx (%s)\n" speedup out_file
+  Printf.printf "baseline-mode speedup vs recorded baseline: %.2fx (%s)\n" speedup out_file;
+  match !guard_factor with
+  | None -> ()
+  | Some f ->
+    let measured = total "baseline" this_run in
+    let floor_mips = f *. recorded_latest_mips in
+    if recorded_latest_mips <= 0.0 then
+      Printf.printf "speed guard: no recorded latest to compare against, skipping\n"
+    else if measured < floor_mips then begin
+      Printf.eprintf
+        "speed guard FAILED: measured %.2f MIPS < %.2f (%.2fx of recorded %.2f MIPS)\n" measured
+        floor_mips f recorded_latest_mips;
+      exit 1
+    end
+    else
+      Printf.printf "speed guard OK: measured %.2f MIPS >= %.2f (%.2fx of recorded %.2f MIPS)\n"
+        measured floor_mips f recorded_latest_mips

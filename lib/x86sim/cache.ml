@@ -10,6 +10,13 @@ type level = {
   ways : int;
   tags : int array; (* sets*ways, -1 = invalid *)
   stamps : int array; (* LRU timestamps *)
+  mru : int array;
+      (* per set: the way hit or installed last. Purely an access hint —
+         probes check it before scanning, and with temporal locality it
+         almost always matches, collapsing the common L1 hit from an
+         up-to-[ways] tag scan to one compare. Never consulted for
+         hit/miss or victim decisions, so outcomes are identical with or
+         without it (a stale hint just falls back to the scan). *)
   mutable hits : int;
 }
 
@@ -24,11 +31,21 @@ type t = {
   mutable last : served;
 }
 
+let level ~sets ~ways =
+  {
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    mru = Array.make sets 0;
+    hits = 0;
+  }
+
 let create () =
   {
-    l1 = { sets = 64; ways = 8; tags = Array.make 512 (-1); stamps = Array.make 512 0; hits = 0 };
-    l2 = { sets = 512; ways = 8; tags = Array.make 4096 (-1); stamps = Array.make 4096 0; hits = 0 };
-    l3 = { sets = 8192; ways = 16; tags = Array.make 131072 (-1); stamps = Array.make 131072 0; hits = 0 };
+    l1 = level ~sets:64 ~ways:8;
+    l2 = level ~sets:512 ~ways:8;
+    l3 = level ~sets:8192 ~ways:16;
     dram = 0;
     clock = 0;
     last = L1;
@@ -38,31 +55,47 @@ let create () =
 let probe lvl line clock =
   let set = line land (lvl.sets - 1) in
   let base = set * lvl.ways in
-  (* Linear scan as a loop, not a local [rec] function: a local recursive
-     function becomes a heap closure over [lvl]/[line]/[base] on every
-     probe, the last allocation on the memory fast path. The refs compile
-     to registers. *)
-  let w = ref (-1) in
-  let i = ref 0 in
-  while !w < 0 && !i < lvl.ways do
-    if lvl.tags.(base + !i) = line then w := !i;
-    incr i
-  done;
-  let w = !w in
-  if w >= 0 then begin
-    lvl.stamps.(base + w) <- clock;
+  let tags = lvl.tags and stamps = lvl.stamps in
+  let h = Array.unsafe_get lvl.mru set in
+  if Array.unsafe_get tags (base + h) = line then begin
+    (* MRU hint hit: with temporal locality this is the overwhelmingly
+       common case, one compare instead of the scan below. *)
+    Array.unsafe_set stamps (base + h) clock;
     lvl.hits <- lvl.hits + 1;
     true
   end
   else begin
-    (* install over LRU victim *)
-    let victim = ref 0 in
-    for i = 1 to lvl.ways - 1 do
-      if lvl.stamps.(base + i) < lvl.stamps.(base + !victim) then victim := i
+    (* Linear scan as a loop, not a local [rec] function: a local recursive
+       function becomes a heap closure over [lvl]/[line]/[base] on every
+       probe, the last allocation on the memory fast path. The refs compile
+       to registers. Accesses are unchecked: [base + i < sets * ways], the
+       array length, by construction — and this scan runs once per level per
+       simulated memory access. *)
+    let w = ref (-1) in
+    let i = ref 0 in
+    while !w < 0 && !i < lvl.ways do
+      if Array.unsafe_get tags (base + !i) = line then w := !i;
+      incr i
     done;
-    lvl.tags.(base + !victim) <- line;
-    lvl.stamps.(base + !victim) <- clock;
-    false
+    let w = !w in
+    if w >= 0 then begin
+      Array.unsafe_set stamps (base + w) clock;
+      Array.unsafe_set lvl.mru set w;
+      lvl.hits <- lvl.hits + 1;
+      true
+    end
+    else begin
+      (* install over LRU victim *)
+      let victim = ref 0 in
+      for i = 1 to lvl.ways - 1 do
+        if Array.unsafe_get stamps (base + i) < Array.unsafe_get stamps (base + !victim) then
+          victim := i
+      done;
+      Array.unsafe_set tags (base + !victim) line;
+      Array.unsafe_set stamps (base + !victim) clock;
+      Array.unsafe_set lvl.mru set !victim;
+      false
+    end
   end
 
 let access t ~addr =

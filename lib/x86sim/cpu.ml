@@ -50,6 +50,10 @@ type t = {
   sb_ready : float array;
   counters : counters;
   mutable program : Program.t;
+  mutable tcache : Ublock.cache;
+      (* predecoded basic-block translations of [program]; swapped when
+         the program changes identity, generation-bumped by
+         [flush_translations] *)
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -158,6 +162,7 @@ let create ?(stack_pages = 64) () =
   let stack_len = stack_pages * Physmem.page_size in
   Mmu.map_range mmu ~va:(Layout.stack_top - stack_len) ~len:stack_len ~writable:true;
   let pipe = Pipeline.create () in
+  let program = Program.assemble [ Program.I Insn.Halt ] in
   let t =
     {
       gpr = Array.make Reg.gpr_count 0;
@@ -178,7 +183,8 @@ let create ?(stack_pages = 64) () =
       sb_line = Array.make sb_slots (-1);
       sb_ready = Array.make sb_slots 0.0;
       counters = new_counters ();
-      program = Program.assemble [ Program.I Insn.Halt ];
+      program;
+      tcache = Ublock.create program;
       syscall_handler = default_syscall_handler;
       vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
       ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
@@ -273,8 +279,11 @@ let emit_mem t va =
 
 let load_program t prog =
   t.program <- prog;
+  if not (Ublock.owns t.tcache prog) then t.tcache <- Ublock.create prog;
   t.halted <- false;
   t.rip <- (if Program.has_label prog "main" then Program.label_index prog "main" else 0)
+
+let flush_translations t = Ublock.invalidate t.tcache
 
 let cycles t = Pipeline.cycles t.pipe
 
@@ -304,9 +313,12 @@ let forward_delay = 5.0
    store's [Pipeline.issue_fast]. *)
 let note_store t va =
   let line = va lsr 6 in
+  (* [s] is masked into [0, sb_slots) and the arrays are sb_slots long by
+     construction, so the accesses here and in [set_load_dep] skip the
+     bounds check: together they run once per simulated load or store. *)
   let s = line land (sb_slots - 1) in
-  t.sb_line.(s) <- line;
-  t.sb_ready.(s) <- t.pio.(Pipeline.io_comp) +. forward_delay
+  Array.unsafe_set t.sb_line s line;
+  Array.unsafe_set t.sb_ready s (t.pio.(Pipeline.io_comp) +. forward_delay)
 
 (* Arm the next issue's dependency floor with the forwarding time of the
    youngest store to this line, if still tracked. Writes the pipeline's
@@ -315,7 +327,8 @@ let note_store t va =
 let set_load_dep t va =
   let line = va lsr 6 in
   let s = line land (sb_slots - 1) in
-  if t.sb_line.(s) = line then t.pio.(Pipeline.io_dep) <- t.sb_ready.(s)
+  if Array.unsafe_get t.sb_line s = line then
+    t.pio.(Pipeline.io_dep) <- Array.unsafe_get t.sb_ready s
 
 let mem_src1 (m : Insn.mem) = if m.base >= 0 then Reg.pipe_gpr m.base else Reg.pipe_none
 let mem_src2 (m : Insn.mem) = if m.index >= 0 then Reg.pipe_gpr m.index else Reg.pipe_none
@@ -738,24 +751,338 @@ let step t =
     exec_attempt t insn saved 0
   end
 
+(* ------------------------------------------------------------------ *)
+(* Translated execution (predecoded basic blocks)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective address of a general-shape predecoded memory operand
+   (-1 = absent register, as in [Insn.mem]). *)
+let[@inline] ea_gen t base index scale disp =
+  (if base >= 0 then t.gpr.(base) else 0)
+  + (if index >= 0 then t.gpr.(index) * scale else 0)
+  + disp
+
+(* Execute one predecoded micro-op: the corresponding [exec] arm minus
+   the decode (operands and issue metadata are frozen in the uop), minus
+   the [rip] bookkeeping (the block loop owns it), and minus the
+   [emit_mem] probes (translated execution only runs with zero event
+   hooks, and nothing inside a block body can attach one). Mutation
+   order within each arm matches [exec] exactly, so a fault unwinds with
+   identical partial state. *)
+let exec_uop t (u : Ublock.uop) =
+  let c = t.counters in
+  match u with
+  | Ublock.Unop { meta } -> Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Umov_rr { d; s; meta } ->
+    t.gpr.(d) <- t.gpr.(s);
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Umov_ri { d; imm; meta } ->
+    t.gpr.(d) <- imm;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uload_bd { d; base; disp; meta } ->
+    let va = t.gpr.(base) + disp in
+    let v = Mmu.read64_fast t.mmu ~va in
+    t.gpr.(d) <- v;
+    c.loads <- c.loads + 1;
+    set_load_dep t va;
+    Pipeline.issue_packed t.pipe ~meta ~lat:t.mmu.Mmu.last_lat
+  | Ublock.Uload_gen { d; base; index; scale; disp; meta } ->
+    let va = ea_gen t base index scale disp in
+    let v = Mmu.read64_fast t.mmu ~va in
+    t.gpr.(d) <- v;
+    c.loads <- c.loads + 1;
+    set_load_dep t va;
+    Pipeline.issue_packed t.pipe ~meta ~lat:t.mmu.Mmu.last_lat
+  | Ublock.Ustore_bd { s; base; disp; meta } ->
+    let va = t.gpr.(base) + disp in
+    Mmu.write64_fast t.mmu ~va t.gpr.(s);
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t va
+  | Ublock.Ustore_gen { s; base; index; scale; disp; meta } ->
+    let va = ea_gen t base index scale disp in
+    Mmu.write64_fast t.mmu ~va t.gpr.(s);
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t va
+  | Ublock.Ustorei_bd { imm; base; disp; meta } ->
+    let va = t.gpr.(base) + disp in
+    Mmu.write64_fast t.mmu ~va imm;
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t va
+  | Ublock.Ustorei_gen { imm; base; index; scale; disp; meta } ->
+    let va = ea_gen t base index scale disp in
+    Mmu.write64_fast t.mmu ~va imm;
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t va
+  | Ublock.Ulea { d; base; index; scale; disp; meta } ->
+    t.gpr.(d) <- ea_gen t base index scale disp;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ulea32 { d; base; index; scale; disp; meta } ->
+    t.gpr.(d) <- ea_gen t base index scale disp land 0xFFFFFFFF;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ualu_rr { op; d; s; meta } ->
+    let r = alu_apply op t.gpr.(d) t.gpr.(s) in
+    t.gpr.(d) <- r;
+    t.cmp <- r;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ualu_ri { op; d; imm; meta } ->
+    let r = alu_apply op t.gpr.(d) imm in
+    t.gpr.(d) <- r;
+    t.cmp <- r;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ucmp_rr { a; b; meta } ->
+    t.cmp <- t.gpr.(a) - t.gpr.(b);
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ucmp_ri { a; imm; meta } ->
+    t.cmp <- t.gpr.(a) - imm;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Utest_rr { a; b; meta } ->
+    t.cmp <- t.gpr.(a) land t.gpr.(b);
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Upush { s } ->
+    c.stores <- c.stores + 1;
+    push t t.gpr.(s)
+  | Ublock.Upop { d } ->
+    c.loads <- c.loads + 1;
+    t.gpr.(d) <- pop t
+  | Ublock.Ubnd_set { b; lo; hi; meta } ->
+    t.bnd_lower.(b) <- lo;
+    t.bnd_upper.(b) <- hi;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ubndc { upper; b; r; meta } ->
+    c.bnd_checks <- c.bnd_checks + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    if
+      t.bnd_enabled
+      && (if upper then t.gpr.(r) > t.bnd_upper.(b) else t.gpr.(r) < t.bnd_lower.(b))
+    then
+      Fault.raise_fault
+        (Fault.Bound_violation
+           { value = t.gpr.(r); lower = t.bnd_lower.(b); upper = t.bnd_upper.(b); reg = b })
+  | Ublock.Ubndmov_store { b; base; index; scale; disp; meta } ->
+    let a = ea_gen t base index scale disp in
+    Mmu.write64_fast t.mmu ~va:a t.bnd_lower.(b);
+    Mmu.write64_fast t.mmu ~va:(a + 8) t.bnd_upper.(b);
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t a
+  | Ublock.Ubndmov_load { b; base; index; scale; disp; meta } ->
+    let a = ea_gen t base index scale disp in
+    let lo = Mmu.read64_fast t.mmu ~va:a in
+    let lat1 = t.mmu.Mmu.last_lat in
+    let hi = Mmu.read64_fast t.mmu ~va:(a + 8) in
+    t.bnd_lower.(b) <- lo;
+    t.bnd_upper.(b) <- hi;
+    c.loads <- c.loads + 1;
+    set_load_dep t a;
+    Pipeline.issue_packed t.pipe ~meta ~lat:lat1
+  | Ublock.Urdpkru { meta } ->
+    if t.gpr.(Reg.rcx) <> 0 then Fault.raise_fault (Fault.Gp_fault "rdpkru requires rcx = 0");
+    t.gpr.(Reg.rax) <- pkru t;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Umovdqa_load { x; base; index; scale; disp; meta } ->
+    let va = ea_gen t base index scale disp in
+    Mmu.read_block16_into t.mmu ~va ~dst:t.xmm ~dpos:(32 * x);
+    c.loads <- c.loads + 1;
+    set_load_dep t va;
+    Pipeline.issue_packed t.pipe ~meta ~lat:t.mmu.Mmu.last_lat
+  | Ublock.Umovdqa_store { x; base; index; scale; disp; meta } ->
+    let va = ea_gen t base index scale disp in
+    Mmu.write_block16_from t.mmu ~va ~src:t.xmm ~spos:(32 * x);
+    c.stores <- c.stores + 1;
+    Pipeline.issue_packed_static t.pipe ~meta;
+    note_store t va
+  | Ublock.Umovq_xr { x; r; meta } ->
+    if Sys.big_endian then Bytes.set_int64_le t.xmm (32 * x) (Int64.of_int t.gpr.(r))
+    else xmm_set64 t.xmm (32 * x) (Int64.of_int t.gpr.(r));
+    xmm_set64 t.xmm ((32 * x) + 8) 0L;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Umovq_rx { r; x; meta } ->
+    t.gpr.(r) <-
+      (if Sys.big_endian then Int64.to_int (Bytes.get_int64_le t.xmm (32 * x))
+       else Int64.to_int (xmm_get64 t.xmm (32 * x)));
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uxmm_xor { d; s; meta } ->
+    xmm_xor_into t d s;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uaes { f; d; s } -> aes_binop t f d s ~lat:4
+  | Ublock.Uaeskeygen { d; s; imm; meta } ->
+    set_xmm t d (Aesni.Aes.aeskeygenassist (get_xmm t s) imm);
+    c.aes_ops <- c.aes_ops + 1;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uaesimc { d; s } ->
+    set_xmm t d (Aesni.Aes.aesimc (get_xmm t s));
+    c.aes_ops <- c.aes_ops + 1;
+    Pipeline.issue t.pipe ~s1:(Reg.pipe_xmm s) ~d1:(Reg.pipe_xmm d) ~lat:8.0 ~busy:8.0
+      ~port:Pipeline.p_aes ()
+  | Ublock.Uvext_high { d; s; meta } ->
+    set_xmm t d (get_ymm_high t s);
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uvins_high { d; s; meta } ->
+    set_ymm_high t d (get_xmm t s);
+    Pipeline.issue_packed_static t.pipe ~meta
+
+(* Follow a static chain edge out of [blk]: honor the cached successor
+   link when generation-fresh, otherwise look the target up (compiling on
+   demand) and memoize the link. A target outside the code array ends the
+   chain — the dispatch loop re-raises it as the fetch fault. *)
+let follow_static cache (blk : Ublock.block) bcell chaining target ~taken =
+  let nb = if taken then blk.Ublock.succ_taken else blk.Ublock.succ_fall in
+  if nb != Ublock.dummy_block && nb.Ublock.bgen = Ublock.generation cache then bcell := nb
+  else if target >= 0 && target < Ublock.code_length cache then begin
+    let nb = Ublock.get cache target in
+    if taken then blk.Ublock.succ_taken <- nb else blk.Ublock.succ_fall <- nb;
+    bcell := nb
+  end
+  else chaining := false
+
+(* Indirect-branch targets change between executions, so they are never
+   memoized in the block — just looked up. *)
+let follow_dynamic cache bcell chaining target =
+  if target >= 0 && target < Ublock.code_length cache then bcell := Ublock.get cache target
+  else chaining := false
+
+(* Execute translated blocks starting at [b0], following chain links
+   until fuel runs out, the CPU halts, a serializing terminator needs the
+   interpreter, or control leaves the code array. Counting discipline is
+   the interpreter loop's: [insns] incremented before executing each
+   instruction (so a fault unwinds with it counted), [budget] decremented
+   after it completes. [t.rip] is re-armed before every uop and before
+   the terminator, so faults always unwind with [rip] naming the faulting
+   instruction and the EPT-retry handler can resume precisely. *)
+let exec_block_chain t cache b0 budget =
+  let c = t.counters in
+  let bcell = ref b0 in
+  let chaining = ref true in
+  while !chaining do
+    let blk = !bcell in
+    let uops = blk.Ublock.uops in
+    let n = Array.length uops in
+    let entry = blk.Ublock.entry in
+    let i = ref 0 in
+    while !i < n && !budget > 0 do
+      t.rip <- entry + !i;
+      c.insns <- c.insns + 1;
+      exec_uop t (Array.unsafe_get uops !i);
+      decr budget;
+      incr i
+    done;
+    if !i < n || !budget <= 0 then begin
+      (* Fuel exhausted: resume at the first unexecuted instruction
+         (the terminator itself when [i = n], since [term_idx = entry + n]). *)
+      t.rip <- entry + !i;
+      chaining := false
+    end
+    else begin
+      t.rip <- blk.Ublock.term_idx;
+      match blk.Ublock.term with
+      | Ublock.Term_fall_off ->
+        (* Ran off the end of the code array: the dispatch loop turns
+           this rip into the fault [Program.fetch] raises, uncounted,
+           exactly as the interpreter loop's fetch would. *)
+        chaining := false
+      | Ublock.Term_halt ->
+        c.insns <- c.insns + 1;
+        t.halted <- true;
+        decr budget;
+        chaining := false
+      | Ublock.Term_jmp { target } ->
+        c.insns <- c.insns + 1;
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- target;
+        decr budget;
+        follow_static cache blk bcell chaining target ~taken:true
+      | Ublock.Term_jcc { cond; target } ->
+        c.insns <- c.insns + 1;
+        Pipeline.issue_fast t.pipe ~s1:Reg.pipe_flags ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        decr budget;
+        if eval_cond t cond then begin
+          t.rip <- target;
+          follow_static cache blk bcell chaining target ~taken:true
+        end
+        else begin
+          let fall = blk.Ublock.term_idx + 1 in
+          t.rip <- fall;
+          follow_static cache blk bcell chaining fall ~taken:false
+        end
+      | Ublock.Term_call { target } ->
+        c.insns <- c.insns + 1;
+        c.calls <- c.calls + 1;
+        push t (blk.Ublock.term_idx + 1);
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- target;
+        decr budget;
+        follow_static cache blk bcell chaining target ~taken:true
+      | Ublock.Term_call_r { r } ->
+        c.insns <- c.insns + 1;
+        c.calls <- c.calls + 1;
+        c.ind_branches <- c.ind_branches + 1;
+        push t (blk.Ublock.term_idx + 1);
+        Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        (* Read the target after the push: [r] may be rsp. *)
+        let target = t.gpr.(r) in
+        t.rip <- target;
+        decr budget;
+        follow_dynamic cache bcell chaining target
+      | Ublock.Term_jmp_r { r } ->
+        c.insns <- c.insns + 1;
+        c.ind_branches <- c.ind_branches + 1;
+        Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        let target = t.gpr.(r) in
+        t.rip <- target;
+        decr budget;
+        follow_dynamic cache bcell chaining target
+      | Ublock.Term_ret ->
+        c.insns <- c.insns + 1;
+        c.rets <- c.rets + 1;
+        let v = pop t in
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- v;
+        decr budget;
+        follow_dynamic cache bcell chaining v
+      | Ublock.Term_exec insn ->
+        c.insns <- c.insns + 1;
+        exec t insn;
+        decr budget;
+        (* Serializing/handler instruction: its handler may have attached
+           hooks or swapped the program, so always fall back to the
+           dispatch loop, which re-checks both. *)
+        chaining := false
+    end
+  done
+
 (* Raised (and translated back to [Program.fetch]'s fault) when the fast
-   loop's inlined fetch lands outside the code array, so that fault keeps
+   loop's block dispatch lands outside the code array, so that fault keeps
    propagating to [run]'s caller exactly as [step]'s out-of-try fetch
    does, instead of being delivered like an execution fault. *)
 exception Fetch_out_of_code
 
 (* The no-hook fast loop: [step] minus the hook scan, minus the
    per-instruction exception frame (one [try] per fault, not per
-   instruction), and with the fetch inlined over the hoisted code array.
-   Unwinding to a single handler is sound because every [exec] arm
-   updates [t.rip] only after its last faulting operation, so when a
-   [Fault.Fault] arrives here [t.rip] still names the faulting
-   instruction.
+   instruction), and with fetch+decode amortized away entirely — control
+   dispatches into predecoded basic blocks ([Ublock]) that chain to their
+   successors, so the per-instruction work is a tag dispatch over uops
+   rather than a fetch and a full [Insn.t] match. Unwinding to a single
+   handler is sound because the block executor re-arms [t.rip] before
+   every uop (and [exec] arms update it only after their last faulting
+   operation), so when a [Fault.Fault] arrives here [t.rip] still names
+   the faulting instruction.
 
    Entered only while both hook lists are empty. The emptiness re-check
-   per iteration is two integer loads — what it buys is that handlers
+   per chain entry is two integer loads — what it buys is that handlers
    (syscall/fault/vmcall) attaching a hook mid-run fall back to the
-   instrumented loop at the next instruction boundary. *)
+   instrumented loop at the next dispatch boundary; every instruction
+   that can run a handler terminates its block chain, so no hook change
+   can go unnoticed within a chain. *)
 let run_fast t budget =
   (* EPT-retry bookkeeping across fault unwinds, mirroring
      [exec_attempt]'s recursion depth: a chain of consecutive retries of
@@ -767,25 +1094,18 @@ let run_fast t budget =
   try
     while !live do
       try
-        let prog = ref t.program in
-        let code = ref (Program.code !prog) in
         while
           (not t.halted) && !budget > 0 && t.n_step_hooks = 0 && t.n_event_hooks = 0
         do
-          (* Handlers may swap the program mid-run; a pointer compare per
-             instruction keeps the hoisted array honest. *)
-          if t.program != !prog then begin
-            prog := t.program;
-            code := Program.code !prog
-          end;
+          (* Handlers may swap the program mid-run; cache identity is
+             re-checked at every chain entry (chains end at every
+             handler-running instruction). *)
+          if not (Ublock.owns t.tcache t.program) then t.tcache <- Ublock.create t.program;
+          let cache = t.tcache in
           let rip = t.rip in
-          let insn =
-            if rip >= 0 && rip < Array.length !code then Array.unsafe_get !code rip
-            else raise Fetch_out_of_code
-          in
-          t.counters.insns <- t.counters.insns + 1;
-          exec t insn;
-          decr budget
+          if rip >= 0 && rip < Ublock.code_length cache then
+            exec_block_chain t cache (Ublock.get cache rip) budget
+          else raise Fetch_out_of_code
         done;
         live := false
       with

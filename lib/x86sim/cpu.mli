@@ -71,6 +71,12 @@ type t = {
   sb_ready : float array;
   counters : counters;
   mutable program : Program.t;
+  mutable tcache : Ublock.cache;
+      (** Predecoded basic-block translations of [program] (see
+          {!Ublock}): the no-hook fast loop executes these instead of
+          re-decoding [Insn.t]s. Swapped automatically when [program]
+          changes identity; {!flush_translations} invalidates it after
+          in-place mutation of the code array. *)
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -100,6 +106,12 @@ val create : ?stack_pages:int -> unit -> t
 
 val load_program : t -> Program.t -> unit
 (** Install a program and set [rip] to the ["main"] label (or 0). *)
+
+val flush_translations : t -> unit
+(** Invalidate every cached basic-block translation (generation bump).
+    Required only after mutating the installed program's code array in
+    place; installing a different program via {!load_program} or
+    assigning [program] re-keys the cache automatically. *)
 
 (** {2 Hooks and events}
 

@@ -121,29 +121,32 @@ let ept_gen t = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0
    results the convenience wrappers below expose. *)
 let translate_va t ~va ~(access : Fault.access) =
   let vpn = va lsr page_bits in
-  let pt_gen = !(t.pt_gen_cell) and ept_gen = ept_gen t in
-  let s = Tlb.probe_slot t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen in
-  (* After a miss the freshly-filled entry sits in the vpn's (direct-mapped)
-     slot, so both arms land on slot accessors and no intermediate
-     record/tuple is materialized. *)
-  let s =
-    if s >= 0 then begin
+  let pt_gen = !(t.pt_gen_cell) in
+  (* [ept_gen t] open-coded: with EPT off (the common configuration) the
+     generation is the constant 0 and the call was pure per-access
+     overhead. *)
+  let ept_gen = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0 in
+  (* One fused call on the hit path; after a miss the freshly-filled entry
+     sits in the vpn's (direct-mapped) slot, so both arms produce the
+     packed entry word and no intermediate record/tuple is materialized. *)
+  let info = Tlb.probe_info t.tlb ~vpn ~ept:t.ept_index ~pt_gen ~ept_gen in
+  let info =
+    if info >= 0 then begin
       t.last_tlb_miss <- false;
       t.last_lat <- 0;
-      s
+      info
     end
     else begin
       fill t ~vpn ~access ~pt_gen ~ept_gen;
       t.last_tlb_miss <- true;
       t.last_lat <- walk_cost t;
-      Tlb.slot_index t.tlb ~vpn
+      Tlb.slot_info t.tlb (Tlb.slot_index t.tlb ~vpn)
     end
   in
-  (* One packed read instead of four per-field accessor calls; layout
-     documented at {!Tlb.slot_info}. *)
-  let info = Tlb.slot_info t.tlb s in
   let pkey = (info lsr 2) land 0xF in
-  if not (pkey_allows t ~key:pkey ~access) then
+  (* Inlined [pkey_allows] fast case (key 0, permissive pkru) so the
+     overwhelmingly common access pays no call here. *)
+  if (pkey <> 0 || t.pkru land 3 <> 0) && not (pkey_allows t ~key:pkey ~access) then
     Fault.raise_fault (Fault.Pkey_violation { va; key = pkey; access });
   if info land 2 = 0 then
     Fault.raise_fault (Fault.Page_fault { va; access; reason = "PROT_NONE page" });
@@ -160,12 +163,12 @@ let translate t ~va ~access =
 let read64_fast t ~va =
   let pa = translate_va t ~va ~access:Fault.Read in
   t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
-  Physmem.read64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1))
+  Physmem.read64_trusted t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1))
 
 let write64_fast t ~va v =
   let pa = translate_va t ~va ~access:Fault.Write in
   t.last_lat <- t.last_lat + Cache.access t.cache ~addr:pa;
-  Physmem.write64 t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) v
+  Physmem.write64_trusted t.phys ~frame:(pa lsr page_bits) ~off:(pa land (page_size - 1)) v
 
 let read64 t ~va =
   let v = read64_fast t ~va in

@@ -38,6 +38,19 @@ let write64 t ~frame ~off v =
   if Sys.big_endian then Bytes.set_int64_le (frame_bytes t frame) off (Int64.of_int v)
   else set_64ne (frame_bytes t frame) off (Int64.of_int v)
 
+(* Trusted-frame variants for the MMU's per-access hot path: the frame
+   number there comes out of a TLB entry, which only ever holds frames
+   handed out by [alloc_frame] (the pool never shrinks), so the
+   [frame_bytes] range check and its extra call are redundant. The byte
+   offset stays bounds-checked by the access primitive. *)
+let read64_trusted t ~frame ~off =
+  if Sys.big_endian then Int64.to_int (Bytes.get_int64_le (Array.unsafe_get t.frames frame) off)
+  else Int64.to_int (get_64ne (Array.unsafe_get t.frames frame) off)
+
+let write64_trusted t ~frame ~off v =
+  if Sys.big_endian then Bytes.set_int64_le (Array.unsafe_get t.frames frame) off (Int64.of_int v)
+  else set_64ne (Array.unsafe_get t.frames frame) off (Int64.of_int v)
+
 let read8 t ~frame ~off = Bytes.get_uint8 (frame_bytes t frame) off
 let write8 t ~frame ~off v = Bytes.set_uint8 (frame_bytes t frame) off v
 

@@ -24,6 +24,14 @@ val frame_bytes : t -> int -> Bytes.t
 val read64 : t -> frame:int -> off:int -> int
 val write64 : t -> frame:int -> off:int -> int -> unit
 
+val read64_trusted : t -> frame:int -> off:int -> int
+(** {!read64} minus the frame range check: for callers whose frame number
+    provably came from {!alloc_frame} (the MMU's TLB-backed hot path).
+    The byte offset remains bounds-checked. *)
+
+val write64_trusted : t -> frame:int -> off:int -> int -> unit
+(** {!write64} minus the frame range check; see {!read64_trusted}. *)
+
 val read8 : t -> frame:int -> off:int -> int
 val write8 : t -> frame:int -> off:int -> int -> unit
 

@@ -15,6 +15,11 @@ let units_per_port = [| 4; 2; 1; 1; 2; 1; 1; 2 |]
 let recip_throughput = [| 1.0; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
 let fetch_width = 4.0
 
+(* Evaluated once at module init: without flambda, [1.0 /. fetch_width]
+   inside {!issue_core} is a hardware float divide per simulated
+   instruction. Exact (power-of-two divisor), so timings are unchanged. *)
+let fetch_step = 1.0 /. fetch_width
+
 (* Reorder-buffer depth: instruction i cannot issue before instruction
    i - rob_size has completed. Without this bound a single long dependency
    chain would hide unlimited amounts of independent work, which no real
@@ -42,6 +47,10 @@ type t = {
   rob : float array; (* completion times of the last rob_size insns *)
   clk : float array; (* clocks + issue parameter/result slots, see above *)
   mutable insns : int;
+  mutable rob_next : int;
+      (* insns mod rob_size, maintained incrementally: rob_size is not a
+         power of two, so the direct mod is a hardware divide on every
+         issued instruction *)
 }
 
 let io t = t.clk
@@ -53,6 +62,7 @@ let create () =
     rob = Array.make rob_size 0.0;
     clk = Array.make clk_size 0.0;
     insns = 0;
+    rob_next = 0;
   }
 
 let reset t =
@@ -60,7 +70,8 @@ let reset t =
   Array.iter (fun u -> Array.fill u 0 (Array.length u) 0.0) t.units;
   Array.fill t.rob 0 rob_size 0.0;
   Array.fill t.clk 0 clk_size 0.0;
-  t.insns <- 0
+  t.insns <- 0;
+  t.rob_next <- 0
 
 (* Stdlib [Float.max] is a function call, which boxes both arguments and
    the result; this stays local (and small enough to inline) so the floats
@@ -73,38 +84,100 @@ let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
    only consumers with a real memory dependency pay a store to set it.
    Shared by the fast path and the labeled wrappers so the two can never
    drift numerically. *)
+(* Register/port/slot indices are validated at construction time (pack
+   asserts its ranges; ports are module constants; the rob slot is
+   maintained in [0, rob_size)), so the accesses below are unchecked:
+   at one call per simulated instruction, the bounds checks and the
+   [mod] divide were a measurable slice of whole-simulator time. *)
 let issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port =
   let clk = t.clk in
-  let slot = t.insns mod rob_size in
+  let ready = t.ready in
+  let slot = t.rob_next in
+  let nxt = slot + 1 in
+  t.rob_next <- (if nxt = rob_size then 0 else nxt);
   t.insns <- t.insns + 1;
-  let floor_time = fmax clk.(io_dep) (fmax clk.(i_fetch) t.rob.(slot)) in
-  clk.(io_dep) <- 0.0;
-  let earliest = if s3 >= 0 then fmax floor_time t.ready.(s3) else floor_time in
-  let earliest = if s2 >= 0 then fmax earliest t.ready.(s2) else earliest in
-  let earliest = if s1 >= 0 then fmax earliest t.ready.(s1) else earliest in
-  let earliest = if serialize then fmax earliest clk.(i_maxc) else earliest in
+  let floor_time =
+    fmax (Array.unsafe_get clk io_dep)
+      (fmax (Array.unsafe_get clk i_fetch) (Array.unsafe_get t.rob slot))
+  in
+  Array.unsafe_set clk io_dep 0.0;
+  let earliest = if s3 >= 0 then fmax floor_time (Array.unsafe_get ready s3) else floor_time in
+  let earliest = if s2 >= 0 then fmax earliest (Array.unsafe_get ready s2) else earliest in
+  let earliest = if s1 >= 0 then fmax earliest (Array.unsafe_get ready s1) else earliest in
+  let earliest = if serialize then fmax earliest (Array.unsafe_get clk i_maxc) else earliest in
   (* Pick the execution unit that frees up first. *)
-  let units = t.units.(port) in
+  let units = Array.unsafe_get t.units port in
   let best = ref 0 in
   for i = 1 to Array.length units - 1 do
-    if units.(i) < units.(!best) then best := i
+    if Array.unsafe_get units i < Array.unsafe_get units !best then best := i
   done;
-  let t0 = fmax earliest units.(!best) in
-  let completion = t0 +. clk.(io_lat) in
-  t.rob.(slot) <- completion;
-  units.(!best) <- t0 +. clk.(io_busy);
-  if d1 >= 0 then t.ready.(d1) <- completion;
-  if d2 >= 0 then t.ready.(d2) <- completion;
-  if completion > clk.(i_maxc) then clk.(i_maxc) <- completion;
-  clk.(i_fetch) <- clk.(i_fetch) +. (1.0 /. fetch_width);
-  if serialize && completion > clk.(i_fetch) then clk.(i_fetch) <- completion;
-  clk.(io_comp) <- completion
+  let t0 = fmax earliest (Array.unsafe_get units !best) in
+  let completion = t0 +. Array.unsafe_get clk io_lat in
+  Array.unsafe_set t.rob slot completion;
+  Array.unsafe_set units !best (t0 +. Array.unsafe_get clk io_busy);
+  if d1 >= 0 then Array.unsafe_set ready d1 completion;
+  if d2 >= 0 then Array.unsafe_set ready d2 completion;
+  if completion > Array.unsafe_get clk i_maxc then Array.unsafe_set clk i_maxc completion;
+  Array.unsafe_set clk i_fetch (Array.unsafe_get clk i_fetch +. fetch_step);
+  if serialize && completion > Array.unsafe_get clk i_fetch then
+    Array.unsafe_set clk i_fetch completion;
+  Array.unsafe_set clk io_comp completion
 
 let issue_fast t ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
   let clk = t.clk in
   clk.(io_lat) <- float_of_int lat;
-  clk.(io_busy) <- recip_throughput.(port);
+  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
   issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize:false ~port
+
+(* Predecoded issue metadata: the five pipeline-register ids, the port and
+   (for static-latency instructions) the latency of one instruction packed
+   into a single immediate int at translation time, so the per-uop hot path
+   carries one word instead of six. Register ids are stored +1 (pipe_none =
+   -1 encodes as 0) in 6-bit fields; the port gets 3 bits; the latency
+   occupies the bits above [meta_lat_shift]. *)
+let meta_lat_shift = 33
+
+let pack ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
+  assert (s1 >= -1 && s1 < 63 && s2 >= -1 && s2 < 63 && s3 >= -1 && s3 < 63);
+  assert (d1 >= -1 && d1 < 63 && d2 >= -1 && d2 < 63);
+  assert (port >= 0 && port < port_count);
+  assert (lat >= 0);
+  (s1 + 1)
+  lor ((s2 + 1) lsl 6)
+  lor ((s3 + 1) lsl 12)
+  lor ((d1 + 1) lsl 18)
+  lor ((d2 + 1) lsl 24)
+  lor (port lsl 30)
+  lor (lat lsl meta_lat_shift)
+
+let issue_packed t ~meta ~lat =
+  let clk = t.clk in
+  clk.(io_lat) <- float_of_int lat;
+  let port = (meta lsr 30) land 7 in
+  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
+  issue_core t
+    ~s1:((meta land 0x3F) - 1)
+    ~s2:(((meta lsr 6) land 0x3F) - 1)
+    ~s3:(((meta lsr 12) land 0x3F) - 1)
+    ~d1:(((meta lsr 18) land 0x3F) - 1)
+    ~d2:(((meta lsr 24) land 0x3F) - 1)
+    ~serialize:false ~port
+
+(* Not expressed via [issue_packed]: this is the single hottest call in
+   translated execution, and flattening it drops one call frame per
+   executed uop. *)
+let issue_packed_static t ~meta =
+  let clk = t.clk in
+  clk.(io_lat) <- float_of_int (meta lsr meta_lat_shift);
+  let port = (meta lsr 30) land 7 in
+  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
+  issue_core t
+    ~s1:((meta land 0x3F) - 1)
+    ~s2:(((meta lsr 6) land 0x3F) - 1)
+    ~s3:(((meta lsr 12) land 0x3F) - 1)
+    ~d1:(((meta lsr 18) land 0x3F) - 1)
+    ~d2:(((meta lsr 24) land 0x3F) - 1)
+    ~serialize:false ~port
 
 let issue_t t ?(s1 = -1) ?(s2 = -1) ?(s3 = -1) ?(d1 = -1) ?(d2 = -1) ?(dep = 0.0) ?(lat = 1.0)
     ?busy ?(serialize = false) ~port () =

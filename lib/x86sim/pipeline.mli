@@ -87,6 +87,23 @@ val issue_fast :
     the labeled forms. Numerically identical to {!issue_t}: both delegate
     to one core. *)
 
+val pack : s1:int -> s2:int -> s3:int -> d1:int -> d2:int -> lat:int -> port:int -> int
+(** Pack one instruction's issue metadata (pipeline-register ids as in
+    {!issue_fast}, port, and a static whole-cycle latency) into a single
+    immediate int. Computed once per instruction by the {!Ublock}
+    translator; consumed by {!issue_packed_static}. *)
+
+val issue_packed : t -> meta:int -> lat:int -> unit
+(** {!issue_fast} with the register ids and port taken from a {!pack}ed
+    [meta] word and the latency passed explicitly — the form used by
+    translated memory operations, whose latency is only known after the
+    MMU access. Numerically identical to {!issue_fast}: both delegate to
+    the same core. *)
+
+val issue_packed_static : t -> meta:int -> unit
+(** {!issue_packed} with the latency also taken from [meta] — the form
+    used by translated ALU-like operations whose latency is static. *)
+
 val io : t -> float array
 (** The float parameter/result channel shared with {!issue_fast}. Fetch it
     once and keep it: float-array indexing never boxes, unlike float

@@ -5,7 +5,10 @@ type t = { code : Insn.t array; label_tbl : (string, int) Hashtbl.t }
 let assemble items =
   let label_tbl = Hashtbl.create 64 in
   let count = List.fold_left (fun n -> function Label _ -> n | I _ -> n + 1) 0 items in
-  let code = Array.make (max count 1) Insn.Nop in
+  (* No padding for the empty program: [Array.make (max count 1)] would
+     give a label-only listing a phantom Nop at index 0, so executing it
+     silently retired an instruction instead of faulting at fetch. *)
+  let code = Array.make count Insn.Nop in
   let idx = ref 0 in
   List.iter
     (function

@@ -40,10 +40,14 @@ let slot_of t vpn = vpn land (t.slots - 1)
    load/store otherwise). Returns the slot index, or -1 on miss; the
    caller reads the entry's fields through the slot accessors below. *)
 let probe_slot t ~vpn ~ept ~pt_gen ~ept_gen =
+  (* [slot_of] masks into [0, slots), so the four lookups are unchecked:
+     this probe runs once per simulated memory access. *)
   let s = slot_of t vpn in
   if
-    t.vpns.(s) = vpn && t.epts.(s) = ept && t.pt_gens.(s) = pt_gen
-    && t.ept_gens.(s) = ept_gen
+    Array.unsafe_get t.vpns s = vpn
+    && Array.unsafe_get t.epts s = ept
+    && Array.unsafe_get t.pt_gens s = pt_gen
+    && Array.unsafe_get t.ept_gens s = ept_gen
   then begin
     t.hit_count <- t.hit_count + 1;
     s
@@ -54,6 +58,25 @@ let probe_slot t ~vpn ~ept ~pt_gen ~ept_gen =
   end
 
 let slot_index t ~vpn = slot_of t vpn
+
+(* {!probe_slot} and {!slot_info} fused: the translation hot path pays
+   one cross-module call per hit instead of two. Returns the packed
+   {!slot_info} word (always >= 0), or -1 on miss. *)
+let probe_info t ~vpn ~ept ~pt_gen ~ept_gen =
+  let s = slot_of t vpn in
+  if
+    Array.unsafe_get t.vpns s = vpn
+    && Array.unsafe_get t.epts s = ept
+    && Array.unsafe_get t.pt_gens s = pt_gen
+    && Array.unsafe_get t.ept_gens s = ept_gen
+  then begin
+    t.hit_count <- t.hit_count + 1;
+    Array.unsafe_get t.infos s
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    -1
+  end
 
 (* Packed entry: hfn lsl 6 | pkey lsl 2 | readable lsl 1 | writable.
    Computed once at insert so the translation hot path reads the whole

@@ -35,6 +35,12 @@ val probe_slot : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> int
 val slot_index : t -> vpn:int -> int
 (** The (direct-mapped) slot a vpn maps to — where {!insert} just put it. *)
 
+val probe_info : t -> vpn:int -> ept:int -> pt_gen:int -> ept_gen:int -> int
+(** {!probe_slot} and {!slot_info} fused into one call: returns the packed
+    {!slot_info} word on a hit (always non-negative) or [-1] on a miss.
+    Same hit/miss accounting as {!probe}. The per-access translation path
+    uses this so a TLB hit costs a single call. *)
+
 val slot_info : t -> int -> int
 (** The whole entry packed into one int —
     [hfn lsl 6 lor pkey lsl 2 lor readable lsl 1 lor writable] — so the

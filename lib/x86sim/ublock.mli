@@ -1,0 +1,141 @@
+(** Predecoded basic-block translation cache.
+
+    [Cpu.run]'s no-hook fast loop used to re-fetch an {!Insn.t} and walk
+    the full constructor match on every step, re-resolving operands,
+    pipeline ports and memory-op shape that are static for the lifetime of
+    a program. This module is the classic interpreter → threaded-code
+    step: each basic block of a {!Program.t} is compiled once into a flat
+    array of {!uop} micro-ops — operands resolved to register ids, issue
+    metadata ({!Pipeline.pack}ed register ids/port/latency) precomputed,
+    memory-op shape flattened into [base+disp] vs general addressing — and
+    the CPU executes cached blocks by direct array dispatch.
+
+    Structure:
+    - {b Keying}: blocks are keyed by entry instruction index in a
+      per-program array ([blocks]); jumping into the middle of an existing
+      block simply compiles a new (overlapping) block at that entry —
+      translations are pure functions of the code array, so overlap is
+      harmless.
+    - {b Chaining}: a block ends at its terminator (branch, call, ret,
+      halt, or a serializing instruction that must run through the
+      interpreter). Static terminators cache direct links to their
+      successor blocks ([succ_taken]/[succ_fall]), so steady-state
+      execution follows block→block pointers without re-looking-up the
+      cache.
+    - {b Invalidation}: the cache carries a generation counter; each block
+      records the generation it was compiled under, and blocks (and
+      chain links) whose generation is stale are recompiled on next entry.
+      [Cpu.load_program] switches caches when the program changes
+      identity; [Cpu.flush_translations] bumps the generation for the rare
+      case of in-place mutation of the code array.
+
+    The slow paths keep interpreter semantics by construction: attached
+    step/event hooks bypass translation entirely ([Cpu.step]), faults
+    unwind out of block execution with [Cpu.rip] still naming the faulting
+    instruction (every uop re-arms [rip] before executing), and
+    serializing/handler instructions ([syscall], [vmcall], [wrpkru], …)
+    are block terminators executed by the interpreter's own [exec]. *)
+
+(** One predecoded micro-op: one non-terminator instruction with operands
+    resolved and issue metadata precomputed. [meta] fields are
+    {!Pipeline.pack} words; memory operands appear either flattened
+    ([base]+[disp], the [_bd] shapes) or general ([base]/[index]/[scale]/
+    [disp] with -1 = absent register, as in {!Insn.mem}). *)
+type uop =
+  | Unop of { meta : int }
+  | Umov_rr of { d : int; s : int; meta : int }
+  | Umov_ri of { d : int; imm : int; meta : int }
+      (** Also [Mov_label], with the resolved target index as [imm]. *)
+  | Uload_bd of { d : int; base : int; disp : int; meta : int }
+  | Uload_gen of { d : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ustore_bd of { s : int; base : int; disp : int; meta : int }
+  | Ustore_gen of { s : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ustorei_bd of { imm : int; base : int; disp : int; meta : int }
+  | Ustorei_gen of { imm : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ulea of { d : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ulea32 of { d : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ualu_rr of { op : Insn.alu; d : int; s : int; meta : int }
+  | Ualu_ri of { op : Insn.alu; d : int; imm : int; meta : int }
+  | Ucmp_rr of { a : int; b : int; meta : int }
+  | Ucmp_ri of { a : int; imm : int; meta : int }
+  | Utest_rr of { a : int; b : int; meta : int }
+  | Upush of { s : int }
+  | Upop of { d : int }
+  | Ubnd_set of { b : int; lo : int; hi : int; meta : int }
+  | Ubndc of { upper : bool; b : int; r : int; meta : int }
+  | Ubndmov_store of { b : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Ubndmov_load of { b : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Urdpkru of { meta : int }
+  | Umovdqa_load of { x : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Umovdqa_store of { x : int; base : int; index : int; scale : int; disp : int; meta : int }
+  | Umovq_xr of { x : int; r : int; meta : int }
+  | Umovq_rx of { r : int; x : int; meta : int }
+  | Uxmm_xor of { d : int; s : int; meta : int }
+      (** [Pxor] (lat 1, ALU port) and [Fp_arith] (lat 4, FP port) share
+          xor-into semantics; the packed [meta] carries the difference. *)
+  | Uaes of { f : Bytes.t -> Bytes.t -> Bytes.t; d : int; s : int }
+      (** aesenc/aesenclast/aesdec/aesdeclast: the AES-NI binop resolved
+          to its implementation function (latency 4, AES port). *)
+  | Uaeskeygen of { d : int; s : int; imm : int; meta : int }
+  | Uaesimc of { d : int; s : int }
+  | Uvext_high of { d : int; s : int; meta : int }
+  | Uvins_high of { d : int; s : int; meta : int }
+
+(** How a block ends, with branch targets resolved to instruction
+    indices. [Term_exec] instructions (serializing/handler instructions:
+    [Syscall], [Mfence], [Cpuid], [Wrpkru], [Vmfunc], [Vmcall]) are
+    executed by the interpreter and end the chain, because their handlers
+    may attach hooks or swap the program. [Term_fall_off] marks a block
+    that runs off the end of the code array: executing it re-raises the
+    fetch fault of [Program.fetch]. *)
+type terminator =
+  | Term_halt
+  | Term_jmp of { target : int }
+  | Term_jcc of { cond : Insn.cond; target : int }
+  | Term_call of { target : int }
+  | Term_call_r of { r : int }
+  | Term_jmp_r of { r : int }
+  | Term_ret
+  | Term_exec of Insn.t
+  | Term_fall_off
+
+type block = {
+  entry : int;  (** instruction index of the first covered instruction *)
+  uops : uop array;
+      (** the straight-line body: uop [i] is instruction [entry + i] *)
+  term : terminator;
+  term_idx : int;  (** instruction index of the terminator, [entry + Array.length uops] *)
+  bgen : int;  (** generation this block was compiled under *)
+  mutable succ_taken : block;
+      (** chained successor for the taken branch direction (or the only
+          successor of jmp/call); {!dummy_block} until first followed,
+          honored only while [succ.bgen] matches the cache generation *)
+  mutable succ_fall : block;  (** chained fall-through successor *)
+}
+
+type cache
+
+val dummy_block : block
+(** The "absent" sentinel used for unfilled cache slots and chain links;
+    never executed. *)
+
+val create : Program.t -> cache
+(** An empty translation cache for [program]. Blocks are compiled on
+    first entry. *)
+
+val owns : cache -> Program.t -> bool
+(** Whether this cache translates exactly that program (physical
+    identity). *)
+
+val code_length : cache -> int
+
+val get : cache -> int -> block
+(** The block entered at instruction index [entry] (must be within the
+    code array), compiling it now if absent or generation-stale. *)
+
+val generation : cache -> int
+
+val invalidate : cache -> unit
+(** Bump the generation: every cached block and chain link becomes stale
+    and is recompiled on next entry. For in-place mutation of the code
+    array; program swaps are handled by cache identity ({!owns}). *)

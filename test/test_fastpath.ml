@@ -145,10 +145,342 @@ let store_buffer_bounded () =
     ((va_a lsr 6) + X86sim.Cpu.sb_slots)
     cpu.X86sim.Cpu.sb_line.(slot0)
 
+(* --- exhaustive per-constructor differential sweep --------------------- *)
+
+(* Random programs above give breadth; this sweep gives coverage: every
+   [Insn.t] constructor (and the interesting variants within one — each
+   ALU op, every condition taken and not taken, the addressing shapes,
+   and the architectural fault cases) runs once through the translated
+   no-hook fast path and once through the hooked interpreter loop, and
+   the complete architectural state must match: status, rip, flags,
+   cycle count, all counters, gprs, the full vector file, bound
+   registers, pkru, data memory and the touched stack. *)
+
+open X86sim
+
+let data_va = 0x200000
+
+type full_snap = {
+  f_status : string;
+  f_rip : int;
+  f_cmp : int;
+  f_cycles : float;
+  f_counters : Cpu.counters;
+  f_gprs : int array;
+  f_vec : Bytes.t;
+  f_bnd_lo : int array;
+  f_bnd_hi : int array;
+  f_pkru : int;
+  f_data : Bytes.t;
+  f_stack : Bytes.t;
+}
+
+let run_case ~hooks items =
+  let cpu = Cpu.create () in
+  Mmu.map_range cpu.Cpu.mmu ~va:data_va ~len:8192 ~writable:true;
+  for k = 0 to 31 do
+    Mmu.poke64 cpu.Cpu.mmu ~va:(data_va + (8 * k)) ((k + 1) * 0x0101010101)
+  done;
+  (* Deterministic nonzero register file (rsp keeps its stack pointer). *)
+  for r = 0 to Reg.gpr_count - 1 do
+    if r <> Reg.rsp then Cpu.set_gpr cpu r ((r * 3) + 7)
+  done;
+  for x = 0 to Reg.xmm_count - 1 do
+    Cpu.set_xmm cpu x (Bytes.init 16 (fun j -> Char.chr (((x * 16) + j) land 0xff)));
+    Cpu.set_ymm_high cpu x (Bytes.init 16 (fun j -> Char.chr ((0xa0 + x + j) land 0xff)))
+  done;
+  (* Fault cases terminate the run instead of unwinding, so a faulting
+     constructor snapshots exactly like a halting one. *)
+  cpu.Cpu.fault_handler <- (fun _ _ -> Cpu.Fault_halt);
+  let rsp0 = Cpu.get_gpr cpu Reg.rsp in
+  if hooks then begin
+    ignore (Cpu.add_step_hook cpu (fun _ _ -> ()));
+    ignore (Cpu.add_event_hook cpu (fun _ -> ()))
+  end;
+  Cpu.load_program cpu (Program.assemble items);
+  let status = match Cpu.run cpu with Cpu.Halted -> "halted" | Cpu.Out_of_fuel -> "fuel" in
+  {
+    f_status = status;
+    f_rip = cpu.Cpu.rip;
+    f_cmp = cpu.Cpu.cmp;
+    f_cycles = Cpu.cycles cpu;
+    f_counters = cpu.Cpu.counters;
+    f_gprs = Array.init Reg.gpr_count (Cpu.get_gpr cpu);
+    f_vec = Bytes.copy cpu.Cpu.xmm;
+    f_bnd_lo = Array.copy cpu.Cpu.bnd_lower;
+    f_bnd_hi = Array.copy cpu.Cpu.bnd_upper;
+    f_pkru = Cpu.pkru cpu;
+    f_data = Mmu.peek_bytes cpu.Cpu.mmu ~va:data_va ~len:256;
+    f_stack = Mmu.peek_bytes cpu.Cpu.mmu ~va:(rsp0 - 64) ~len:64;
+  }
+
+let diff_fields a b =
+  List.filter_map
+    (fun (n, eq) -> if eq then None else Some n)
+    [
+      ("status", a.f_status = b.f_status);
+      ("rip", a.f_rip = b.f_rip);
+      ("cmp", a.f_cmp = b.f_cmp);
+      ("cycles", a.f_cycles = b.f_cycles);
+      ("counters", a.f_counters = b.f_counters);
+      ("gprs", a.f_gprs = b.f_gprs);
+      ("vec", a.f_vec = b.f_vec);
+      ("bnd_lower", a.f_bnd_lo = b.f_bnd_lo);
+      ("bnd_upper", a.f_bnd_hi = b.f_bnd_hi);
+      ("pkru", a.f_pkru = b.f_pkru);
+      ("data", a.f_data = b.f_data);
+      ("stack", a.f_stack = b.f_stack);
+    ]
+
+(* Compile-time exhaustiveness guard: adding an [Insn.t] constructor
+   without extending [exhaustive_cases] below makes this match (no
+   wildcard) fail to compile. *)
+let _covered (x : Insn.t) =
+  match x with
+  | Insn.Nop | Insn.Halt | Insn.Mov_rr _ | Insn.Mov_ri _ | Insn.Mov_label _ | Insn.Load _
+  | Insn.Store _ | Insn.Store_i _ | Insn.Lea _ | Insn.Lea32 _ | Insn.Alu_rr _ | Insn.Alu_ri _
+  | Insn.Cmp_rr _ | Insn.Cmp_ri _ | Insn.Test_rr _ | Insn.Jmp _ | Insn.Jcc _ | Insn.Jmp_r _
+  | Insn.Call _ | Insn.Call_r _ | Insn.Ret | Insn.Push _ | Insn.Pop _ | Insn.Syscall
+  | Insn.Mfence | Insn.Cpuid | Insn.Bnd_set _ | Insn.Bndcu _ | Insn.Bndcl _
+  | Insn.Bndmov_store _ | Insn.Bndmov_load _ | Insn.Wrpkru | Insn.Rdpkru | Insn.Vmfunc
+  | Insn.Vmcall | Insn.Movdqa_load _ | Insn.Movdqa_store _ | Insn.Movq_xr _ | Insn.Movq_rx _
+  | Insn.Pxor _ | Insn.Aesenc _ | Insn.Aesenclast _ | Insn.Aesdec _ | Insn.Aesdeclast _
+  | Insn.Aeskeygenassist _ | Insn.Aesimc _ | Insn.Vext_high _ | Insn.Vins_high _
+  | Insn.Fp_arith _ ->
+    ()
+
+let exhaustive_cases : (string * (unit -> Program.item list)) list =
+  let i x = Program.I x and lbl s = Program.Label s in
+  let tgt = Insn.target in
+  let m = Insn.mem in
+  let abs = Insn.mem_abs in
+  let halt = [ i Insn.Halt ] in
+  let alu_name = function
+    | Insn.Add -> "add"
+    | Insn.Sub -> "sub"
+    | Insn.And -> "and"
+    | Insn.Or -> "or"
+    | Insn.Xor -> "xor"
+    | Insn.Shl -> "shl"
+    | Insn.Shr -> "shr"
+    | Insn.Imul -> "imul"
+  in
+  let cond_name = function
+    | Insn.Eq -> "eq"
+    | Insn.Ne -> "ne"
+    | Insn.Lt -> "lt"
+    | Insn.Le -> "le"
+    | Insn.Gt -> "gt"
+    | Insn.Ge -> "ge"
+  in
+  let all_alu = [ Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Shl; Insn.Shr; Insn.Imul ] in
+  let all_cond = [ Insn.Eq; Insn.Ne; Insn.Lt; Insn.Le; Insn.Gt; Insn.Ge ] in
+  [
+    ("nop", fun () -> i Insn.Nop :: halt);
+    ("halt", fun () -> halt);
+    ("mov_rr", fun () -> i (Insn.Mov_rr (Reg.rbx, Reg.rcx)) :: halt);
+    ("mov_ri", fun () -> i (Insn.Mov_ri (Reg.rbx, 0x1234_5678_9ab)) :: halt);
+    ("mov_label", fun () -> [ i (Insn.Mov_label (Reg.rbx, tgt "end")); lbl "end" ] @ halt);
+    ("load_abs", fun () -> i (Insn.Load (Reg.rbx, abs data_va)) :: halt);
+    ( "load_base_index_scale_disp",
+      fun () ->
+        [
+          i (Insn.Mov_ri (Reg.rbx, data_va));
+          i (Insn.Mov_ri (Reg.rcx, 2));
+          i (Insn.Load (Reg.rdx, m ~base:Reg.rbx ~index:Reg.rcx ~scale:8 8));
+        ]
+        @ halt );
+    ("load_unmapped_faults", fun () -> i (Insn.Load (Reg.rbx, abs 0x900000)) :: halt);
+    ( "store",
+      fun () ->
+        [ i (Insn.Mov_ri (Reg.rbx, data_va)); i (Insn.Store (m ~base:Reg.rbx 16, Reg.rcx)) ]
+        @ halt );
+    ("store_i", fun () -> i (Insn.Store_i (abs (data_va + 24), 0xfeed)) :: halt);
+    ("store_unmapped_faults", fun () -> i (Insn.Store (abs 0x900000, Reg.rcx)) :: halt);
+    ("lea", fun () -> i (Insn.Lea (Reg.rbx, m ~base:Reg.rcx ~index:Reg.rdx ~scale:4 100)) :: halt);
+    ( "lea32_truncates",
+      fun () ->
+        [ i (Insn.Mov_ri (Reg.rbx, 0x1_0000_0040)); i (Insn.Lea32 (Reg.rcx, m ~base:Reg.rbx 8)) ]
+        @ halt );
+    ("cmp_rr", fun () -> i (Insn.Cmp_rr (Reg.rbx, Reg.rcx)) :: halt);
+    ("cmp_ri", fun () -> i (Insn.Cmp_ri (Reg.rbx, 13)) :: halt);
+    ("test_rr", fun () -> i (Insn.Test_rr (Reg.rbx, Reg.rcx)) :: halt);
+    ( "jmp",
+      fun () -> [ i (Insn.Jmp (tgt "over")); i (Insn.Mov_ri (Reg.rdx, 111)); lbl "over" ] @ halt );
+    ( "jmp_r",
+      fun () ->
+        [
+          i (Insn.Mov_label (Reg.rbx, tgt "over"));
+          i (Insn.Jmp_r Reg.rbx);
+          i (Insn.Mov_ri (Reg.rdx, 111));
+          lbl "over";
+        ]
+        @ halt );
+    ( "call_ret",
+      fun () ->
+        [
+          i (Insn.Call (tgt "f"));
+          i (Insn.Jmp (tgt "end"));
+          lbl "f";
+          i (Insn.Mov_ri (Reg.rdx, 7));
+          i Insn.Ret;
+          lbl "end";
+        ]
+        @ halt );
+    ( "call_r",
+      fun () ->
+        [
+          i (Insn.Mov_label (Reg.rbx, tgt "f"));
+          i (Insn.Call_r Reg.rbx);
+          i (Insn.Jmp (tgt "end"));
+          lbl "f";
+          i (Insn.Mov_ri (Reg.rdx, 7));
+          i Insn.Ret;
+          lbl "end";
+        ]
+        @ halt );
+    ( "push_pop",
+      fun () -> [ i (Insn.Mov_ri (Reg.rbx, 0xdead)); i (Insn.Push Reg.rbx); i (Insn.Pop Reg.rcx) ] @ halt
+    );
+    ("syscall_nop", fun () -> [ i (Insn.Mov_ri (Reg.rax, Cpu.sys_nop)); i Insn.Syscall ] @ halt);
+    ("mfence", fun () -> i Insn.Mfence :: halt);
+    ("cpuid", fun () -> i Insn.Cpuid :: halt);
+    ("bnd_set", fun () -> i (Insn.Bnd_set (0, 10, 20)) :: halt);
+    ( "bndcu_pass",
+      fun () ->
+        [ i (Insn.Bnd_set (0, 0, 1000)); i (Insn.Mov_ri (Reg.rbx, 500)); i (Insn.Bndcu (0, Reg.rbx)) ]
+        @ halt );
+    ( "bndcu_violation",
+      fun () ->
+        [ i (Insn.Bnd_set (0, 0, 1000)); i (Insn.Mov_ri (Reg.rbx, 2000)); i (Insn.Bndcu (0, Reg.rbx)) ]
+        @ halt );
+    ( "bndcl_pass",
+      fun () ->
+        [ i (Insn.Bnd_set (0, 100, 1000)); i (Insn.Mov_ri (Reg.rbx, 500)); i (Insn.Bndcl (0, Reg.rbx)) ]
+        @ halt );
+    ( "bndcl_violation",
+      fun () ->
+        [ i (Insn.Bnd_set (0, 100, 1000)); i (Insn.Mov_ri (Reg.rbx, 50)); i (Insn.Bndcl (0, Reg.rbx)) ]
+        @ halt );
+    ( "bndmov_store_load",
+      fun () ->
+        [
+          i (Insn.Bnd_set (0, 7, 99));
+          i (Insn.Mov_ri (Reg.rbx, data_va));
+          i (Insn.Bndmov_store (m ~base:Reg.rbx 32, 0));
+          i (Insn.Bndmov_load (1, m ~base:Reg.rbx 32));
+        ]
+        @ halt );
+    ( "wrpkru",
+      fun () ->
+        [
+          i (Insn.Mov_ri (Reg.rax, 0b1100));
+          i (Insn.Mov_ri (Reg.rcx, 0));
+          i (Insn.Mov_ri (Reg.rdx, 0));
+          i Insn.Wrpkru;
+        ]
+        @ halt );
+    ("wrpkru_gp_faults", fun () -> [ i (Insn.Mov_ri (Reg.rcx, 1)); i Insn.Wrpkru ] @ halt);
+    ("rdpkru", fun () -> [ i (Insn.Mov_ri (Reg.rcx, 0)); i Insn.Rdpkru ] @ halt);
+    ("rdpkru_gp_faults", fun () -> [ i (Insn.Mov_ri (Reg.rcx, 2)); i Insn.Rdpkru ] @ halt);
+    ("vmfunc_outside_guest_faults", fun () -> i Insn.Vmfunc :: halt);
+    ("vmcall_outside_guest_faults", fun () -> i Insn.Vmcall :: halt);
+    ( "movdqa_load",
+      fun () ->
+        [ i (Insn.Mov_ri (Reg.rbx, data_va)); i (Insn.Movdqa_load (2, m ~base:Reg.rbx 0)) ] @ halt );
+    ( "movdqa_store",
+      fun () ->
+        [ i (Insn.Mov_ri (Reg.rbx, data_va)); i (Insn.Movdqa_store (m ~base:Reg.rbx 48, 1)) ] @ halt
+    );
+    ( "movdqa_unaligned_faults",
+      fun () ->
+        [ i (Insn.Mov_ri (Reg.rbx, data_va)); i (Insn.Movdqa_load (2, m ~base:Reg.rbx 8)) ] @ halt );
+    ("movq_xr", fun () -> [ i (Insn.Mov_ri (Reg.rbx, 0xabcdef)); i (Insn.Movq_xr (3, Reg.rbx)) ] @ halt);
+    ("movq_rx", fun () -> i (Insn.Movq_rx (Reg.rdx, 1)) :: halt);
+    ("pxor", fun () -> i (Insn.Pxor (1, 2)) :: halt);
+    ("aesenc", fun () -> i (Insn.Aesenc (1, 2)) :: halt);
+    ("aesenclast", fun () -> i (Insn.Aesenclast (1, 2)) :: halt);
+    ("aesdec", fun () -> i (Insn.Aesdec (1, 2)) :: halt);
+    ("aesdeclast", fun () -> i (Insn.Aesdeclast (1, 2)) :: halt);
+    ("aeskeygenassist", fun () -> i (Insn.Aeskeygenassist (3, 1, 0x1b)) :: halt);
+    ("aesimc", fun () -> i (Insn.Aesimc (3, 1)) :: halt);
+    ("vext_high", fun () -> i (Insn.Vext_high (2, 1)) :: halt);
+    ("vins_high", fun () -> i (Insn.Vins_high (2, 1)) :: halt);
+    ("fp_arith", fun () -> i (Insn.Fp_arith (1, 2)) :: halt);
+  ]
+  @ List.map
+      (fun op ->
+        ( "alu_rr_" ^ alu_name op,
+          fun () ->
+            [
+              i (Insn.Mov_ri (Reg.rbx, 1234));
+              i (Insn.Mov_ri (Reg.rcx, 3));
+              i (Insn.Alu_rr (op, Reg.rbx, Reg.rcx));
+            ]
+            @ halt ))
+      all_alu
+  @ List.map
+      (fun op ->
+        ( "alu_ri_" ^ alu_name op,
+          fun () -> [ i (Insn.Mov_ri (Reg.rbx, 1234)); i (Insn.Alu_ri (op, Reg.rbx, 5)) ] @ halt ))
+      all_alu
+  @ List.concat_map
+      (fun c ->
+        (* Compare against 5 from below, at, and above: each condition is
+           exercised both taken and not taken. *)
+        List.map
+          (fun (tag, lhs) ->
+            ( Printf.sprintf "jcc_%s_rbx%s" (cond_name c) tag,
+              fun () ->
+                [
+                  i (Insn.Mov_ri (Reg.rbx, lhs));
+                  i (Insn.Cmp_ri (Reg.rbx, 5));
+                  i (Insn.Jcc (c, tgt "over"));
+                  i (Insn.Mov_ri (Reg.rdx, 111));
+                  lbl "over";
+                ]
+                @ halt ))
+          [ ("3", 3); ("5", 5); ("7", 7) ])
+      all_cond
+
+let exhaustive_differential () =
+  List.iter
+    (fun (name, items) ->
+      let fast = run_case ~hooks:false (items ()) in
+      let hooked = run_case ~hooks:true (items ()) in
+      Alcotest.(check (list string)) name [] (diff_fields fast hooked))
+    exhaustive_cases
+
+(* --- translation-cache invalidation ------------------------------------ *)
+
+let reset_for_rerun cpu =
+  cpu.Cpu.halted <- false;
+  cpu.Cpu.rip <- 0
+
+let translation_invalidation () =
+  let cpu = Cpu.create () in
+  let prog = Program.assemble [ Program.I (Insn.Mov_ri (Reg.rax, 1)); Program.I Insn.Halt ] in
+  Cpu.load_program cpu prog;
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  Alcotest.(check int) "first run executes original code" 1 (Cpu.get_gpr cpu Reg.rax);
+  (* In-place mutation of the code array is invisible to the cached
+     translation until flushed — that is the documented contract. *)
+  (Program.code prog).(0) <- Insn.Mov_ri (Reg.rax, 2);
+  reset_for_rerun cpu;
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  Alcotest.(check int) "stale translation still executes old code" 1 (Cpu.get_gpr cpu Reg.rax);
+  Cpu.flush_translations cpu;
+  reset_for_rerun cpu;
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  Alcotest.(check int) "flush_translations picks up mutated code" 2 (Cpu.get_gpr cpu Reg.rax)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_fast_equals_hooked;
     QCheck_alcotest.to_alcotest prop_fast_equals_hooked_mpk;
+    Alcotest.test_case "every Insn constructor: translated = interpreted" `Quick
+      exhaustive_differential;
+    Alcotest.test_case "translation cache invalidation" `Quick translation_invalidation;
     Alcotest.test_case "store-buffer collision evicts" `Quick store_buffer_eviction;
     Alcotest.test_case "forwarding only from resident line" `Quick
       store_buffer_forwarding_only_resident;

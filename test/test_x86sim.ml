@@ -35,6 +35,22 @@ let test_assemble_undefined_label () =
   Alcotest.check_raises "undef" (Invalid_argument "Program.assemble: undefined label \"nowhere\"")
     (fun () -> ignore (Program.assemble [ i (Insn.Jmp (Insn.target "nowhere")) ]))
 
+(* A label-only listing assembles to zero instructions. It used to get a
+   phantom Nop pad (Array.make (max count 1)), so running it silently
+   retired one instruction before faulting at index 1 instead of faulting
+   at index 0 with nothing retired. *)
+let test_assemble_empty_program_faults () =
+  let prog = Program.assemble [ lbl "only" ] in
+  Alcotest.(check int) "no code" 0 (Program.length prog);
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu prog;
+  Alcotest.(check bool) "fetch at 0 faults" true
+    (try
+       ignore (Cpu.run cpu);
+       false
+     with Fault.Fault (Fault.Gp_fault _) -> true);
+  Alcotest.(check int) "nothing retired" 0 cpu.Cpu.counters.Cpu.insns
+
 let test_fetch_out_of_range () =
   let prog = Program.assemble [ i Insn.Halt ] in
   Alcotest.(check bool) "fetch raises" true
@@ -576,6 +592,7 @@ let suite =
     Alcotest.test_case "assemble resolves labels" `Quick test_assemble_resolves_labels;
     Alcotest.test_case "assemble rejects duplicate labels" `Quick test_assemble_duplicate_label;
     Alcotest.test_case "assemble rejects undefined labels" `Quick test_assemble_undefined_label;
+    Alcotest.test_case "empty program faults at fetch" `Quick test_assemble_empty_program_faults;
     Alcotest.test_case "fetch out of range" `Quick test_fetch_out_of_range;
     Alcotest.test_case "arithmetic" `Quick test_arith;
     Alcotest.test_case "logic and shifts" `Quick test_logic_shift;
