@@ -7,6 +7,7 @@
      run BENCH          measure one workload under a technique
      profile BENCH      per-gate-site attribution table (+ JSON / Chrome trace)
      verify BENCH       statically verify instrumented output
+     optimize BENCH     check-motion optimization + cost-model validation
      attacks            the threat-model experiment *)
 
 open Cmdliner
@@ -16,6 +17,7 @@ let technique_conv =
   let parse = function
     | "sfi" -> Ok Technique.Sfi
     | "mpx" -> Ok Technique.Mpx
+    | "isboxing" -> Ok Technique.Isboxing
     | "mpk" -> Ok (Technique.Mpk Mpk.Pkey.No_access)
     | "mpk-integrity" -> Ok (Technique.Mpk Mpk.Pkey.Read_only)
     | "vmfunc" -> Ok Technique.Vmfunc
@@ -331,27 +333,62 @@ let trace_cmd =
 
 (* --- verify --- *)
 
+let read_file file =
+  let ic = try open_in file with Sys_error e -> Printf.eprintf "%s\n" e; exit 1 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let verify_cmd =
-  let run bench technique policy kind iterations lints =
-    let prof = try Workloads.Spec2006.find bench with Not_found ->
-      Printf.eprintf "unknown benchmark %S (try 'list')\n" bench;
-      exit 1
+  let run bench asm technique policy kind iterations lints =
+    let name, report =
+      match asm with
+      | Some file ->
+        let prog = X86sim.Asm.parse_program (read_file file) in
+        let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+        (match Framework.policy_of_config cfg with
+        | None ->
+          Printf.eprintf "technique %s has no static verification policy\n"
+            (Technique.name technique);
+          exit 1
+        | Some pol -> (file, Gate_analysis.analyze ~kind ~policy:pol prog))
+      | None ->
+        let bench =
+          match bench with
+          | Some b -> b
+          | None ->
+            Printf.eprintf "verify: name a benchmark or pass --asm FILE\n";
+            exit 1
+        in
+        let prof = try Workloads.Spec2006.find bench with Not_found ->
+          Printf.eprintf "unknown benchmark %S (try 'list')\n" bench;
+          exit 1
+        in
+        let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+        let lowered = Workloads.Synth.lowered ~iterations prof in
+        let p = Framework.prepare cfg lowered in
+        (match Framework.verify_prepared p with
+        | None ->
+          Printf.eprintf "technique %s has no static verification policy\n"
+            (Technique.name technique);
+          exit 1
+        | Some report -> (prof.Workloads.Profile.name, report))
     in
     let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
-    let lowered = Workloads.Synth.lowered ~iterations prof in
-    let p = Framework.prepare cfg lowered in
-    match Framework.verify_prepared p with
-    | None ->
-      Printf.eprintf "technique %s has no static verification policy\n"
-        (Technique.name technique);
-      exit 1
-    | Some report ->
-      Printf.printf "%s under %s (%s):\n" prof.Workloads.Profile.name
-        (Technique.name technique)
-        (Gate_analysis.policy_name (Option.get (Framework.policy_of_config cfg)));
-      Format.printf "%a" Gate_analysis.pp_report
-        (if lints then report else { report with Gate_analysis.lints = [] });
-      if report.Gate_analysis.violations <> [] then exit 1
+    Printf.printf "%s under %s (%s):\n" name (Technique.name technique)
+      (Gate_analysis.policy_name (Option.get (Framework.policy_of_config cfg)));
+    Format.printf "%a" Gate_analysis.pp_report
+      (if lints then report else { report with Gate_analysis.lints = [] });
+    if report.Gate_analysis.violations <> [] then exit 1
+  in
+  let bench =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Workload name, e.g. mcf or 403.gcc.")
+  in
+  let asm =
+    Arg.(value & opt (some string) None & info [ "asm" ] ~docv:"FILE"
+           ~doc:"Verify this assembly file as-is instead of instrumenting a workload.")
   in
   let technique =
     Arg.(value & opt technique_conv Technique.Mpx & info [ "technique"; "t" ] ~docv:"TECH"
@@ -373,7 +410,246 @@ let verify_cmd =
        ~doc:
          "Statically verify a workload's instrumented output (NaCl-style for address-based \
           techniques, ERIM-style gate integrity for domain-based ones); exit 1 on violations")
-    Term.(const run $ bench_arg 0 $ technique $ policy $ kind $ iterations_arg $ lints)
+    Term.(const run $ bench $ asm $ technique $ policy $ kind $ iterations_arg $ lints)
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let corpus_configs =
+    [
+      ("SFI-w", Framework.config ~address_kind:Instr.Writes Technique.Sfi);
+      ("SFI-r", Framework.config ~address_kind:Instr.Reads Technique.Sfi);
+      ("SFI-rw", Framework.config ~address_kind:Instr.Reads_and_writes Technique.Sfi);
+      ("MPX-w", Framework.config ~address_kind:Instr.Writes Technique.Mpx);
+      ("MPX-r", Framework.config ~address_kind:Instr.Reads Technique.Mpx);
+      ("MPX-rw", Framework.config ~address_kind:Instr.Reads_and_writes Technique.Mpx);
+      ("ISBox-rw", Framework.config ~address_kind:Instr.Reads_and_writes Technique.Isboxing);
+    ]
+    @ List.concat_map
+        (fun (pname, policy) ->
+          List.map
+            (fun (tname, t) ->
+              (Printf.sprintf "%s@%s" tname pname, Framework.config ~switch_policy:policy t))
+            [ ("MPK", Technique.Mpk Mpk.Pkey.No_access); ("VMFUNC", Technique.Vmfunc);
+              ("crypt", Technique.Crypt) ])
+        [
+          ("call-ret", Instr.At_call_ret);
+          ("indirect", Instr.At_indirect_branches);
+          ("syscall", Instr.At_syscalls);
+        ]
+  in
+  (* One optimized build: run it under the profiler and cross-validate the
+     static cost model against the dynamic counts. *)
+  let optimized_run prof cfg iterations =
+    let p = Workloads.Runner.prepare_instrumented ~iterations ~optimize:true prof cfg in
+    let profiler = Profiler.attach p in
+    (match Framework.run p with
+    | X86sim.Cpu.Halted -> ()
+    | X86sim.Cpu.Out_of_fuel -> failwith "optimized program did not terminate");
+    Profiler.stop profiler;
+    let model = Cost_model.predict p.Framework.program p.Framework.sitemap in
+    let validation = Cost_model.validate model profiler in
+    let violations =
+      match Framework.verify_prepared p with
+      | Some r -> List.length r.Gate_analysis.violations
+      | None -> 0
+    in
+    (p, profiler, model, validation, violations)
+  in
+  let run bench asm technique policy kind iterations check stats all json_out =
+    let failed = ref false in
+    let results = ref [] in
+    (match (asm, all) with
+    | Some file, _ ->
+      (* Instrument + optimize a raw assembly file (address-based only). *)
+      let items = X86sim.Asm.parse (read_file file) in
+      let mitems =
+        List.map
+          (fun item ->
+            let cls =
+              match item with
+              | X86sim.Program.I i
+                when X86sim.Insn.is_mem_read i || X86sim.Insn.is_mem_write i -> (
+                match i with
+                | X86sim.Insn.Load _ | X86sim.Insn.Store _ | X86sim.Insn.Store_i _
+                | X86sim.Insn.Movdqa_load _ | X86sim.Insn.Movdqa_store _ ->
+                  Ir.Lower.Data_access
+                | _ -> Ir.Lower.Plain)
+              | _ -> Ir.Lower.Plain
+            in
+            { Ir.Lower.item; cls; safe = false })
+          items
+      in
+      let tname = Technique.name technique in
+      let (items, sm), pol =
+        match technique with
+        | Technique.Sfi ->
+          ( Instr.address_based_sites ~check:Instr_sfi.check ~kind ~technique:tname mitems,
+            Gate_analysis.Sfi_policy )
+        | Technique.Mpx ->
+          ( Instr.address_based_sites ~check:Instr_mpx.check ~kind ~technique:tname mitems,
+            Gate_analysis.Mpx_policy )
+        | Technique.Isboxing ->
+          ( Instr.address_based_lea32_sites ~kind ~technique:tname mitems,
+            Gate_analysis.Isboxing_policy )
+        | _ ->
+          Printf.eprintf "optimize --asm supports address-based techniques (sfi/mpx/isboxing)\n";
+          exit 1
+      in
+      (try
+         let r = Gate_opt.optimize ~policy:pol ~kind items sm in
+         Format.printf "%s under %s: %a@." file tname Gate_opt.pp_stats r.Gate_opt.stats;
+         if stats then print_string (X86sim.Asm.print_items r.Gate_opt.items);
+         if r.Gate_opt.report.Gate_analysis.violations <> [] then begin
+           Format.printf "%a" Gate_analysis.pp_report r.Gate_opt.report;
+           failed := true
+         end
+       with Gate_opt.Rejected msg ->
+         Printf.eprintf "%s\n" msg;
+         failed := true)
+    | None, true ->
+      List.iter
+        (fun (cname, cfg) ->
+          let agg = ref [] and viol = ref 0 and exact = ref 0 and bounded = ref 0
+          and out_of_bounds = ref 0 in
+          List.iter
+            (fun prof ->
+              try
+                let p, _, _, validation, v = optimized_run prof cfg iterations in
+                viol := !viol + v;
+                exact := !exact + validation.Cost_model.n_exact;
+                bounded := !bounded + validation.Cost_model.n_bounded;
+                out_of_bounds := !out_of_bounds + validation.Cost_model.n_violated;
+                match p.Framework.opt_stats with
+                | Some s -> agg := s :: !agg
+                | None -> ()
+              with Gate_opt.Rejected msg ->
+                Printf.eprintf "%s/%s: %s\n" cname prof.Workloads.Profile.name msg;
+                failed := true)
+            Workloads.Spec2006.all;
+          let sum f = List.fold_left (fun a s -> a + f s) 0 !agg in
+          let line =
+            Printf.sprintf
+              "%-16s sites %5d  static %4d  redundant %4d  hoisted %3d  coalesced %4d  \
+               violations %d  cost-model %d exact / %d bounded / %d out"
+              cname
+              (sum (fun s -> s.Gate_opt.sites_total))
+              (sum (fun s -> s.Gate_opt.eliminated_static))
+              (sum (fun s -> s.Gate_opt.eliminated_redundant))
+              (sum (fun s -> s.Gate_opt.hoisted))
+              (sum (fun s -> s.Gate_opt.coalesced_pairs))
+              !viol !exact !bounded !out_of_bounds
+          in
+          print_endline line;
+          if !viol > 0 || !out_of_bounds > 0 then failed := true;
+          results :=
+            ( cname,
+              Ms_util.Json.Obj
+                [
+                  ("sites", Ms_util.Json.Int (sum (fun s -> s.Gate_opt.sites_total)));
+                  ("eliminated_static",
+                   Ms_util.Json.Int (sum (fun s -> s.Gate_opt.eliminated_static)));
+                  ("eliminated_redundant",
+                   Ms_util.Json.Int (sum (fun s -> s.Gate_opt.eliminated_redundant)));
+                  ("hoisted", Ms_util.Json.Int (sum (fun s -> s.Gate_opt.hoisted)));
+                  ("coalesced_pairs",
+                   Ms_util.Json.Int (sum (fun s -> s.Gate_opt.coalesced_pairs)));
+                  ("violations", Ms_util.Json.Int !viol);
+                  ("cost_model_exact", Ms_util.Json.Int !exact);
+                  ("cost_model_bounded", Ms_util.Json.Int !bounded);
+                  ("cost_model_out_of_bounds", Ms_util.Json.Int !out_of_bounds);
+                ] )
+            :: !results)
+        corpus_configs
+    | None, false ->
+      let bench =
+        match bench with
+        | Some b -> b
+        | None ->
+          Printf.eprintf "optimize: name a benchmark, or pass --asm FILE or --all\n";
+          exit 1
+      in
+      let prof = try Workloads.Spec2006.find bench with Not_found ->
+        Printf.eprintf "unknown benchmark %S (try 'list')\n" bench;
+        exit 1
+      in
+      let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+      (try
+         let p, profiler, model, validation, violations =
+           optimized_run prof cfg iterations
+         in
+         (match p.Framework.opt_stats with
+         | Some s ->
+           Format.printf "%s under %s: %a@." prof.Workloads.Profile.name
+             (Technique.name technique) Gate_opt.pp_stats s
+         | None ->
+           Printf.printf "%s under %s: technique has no optimization policy\n"
+             prof.Workloads.Profile.name (Technique.name technique));
+         Printf.printf
+           "dynamic: %d checks, %d crossings; cost model: %d exact, %d bounded, %d out of \
+            bounds\n"
+           (Profiler.total_checks profiler)
+           (Profiler.total_crossings profiler)
+           validation.Cost_model.n_exact validation.Cost_model.n_bounded
+           validation.Cost_model.n_violated;
+         if stats then Format.printf "%a@." Cost_model.pp model;
+         if violations > 0 || validation.Cost_model.n_violated > 0 then failed := true
+       with Gate_opt.Rejected msg ->
+         Printf.eprintf "%s\n" msg;
+         failed := true));
+    (match json_out with
+    | Some file when !results <> [] ->
+      Ms_util.Json.to_file file (Ms_util.Json.Obj (List.rev !results));
+      Printf.printf "written to %s\n" file
+    | _ -> ());
+    if check && !failed then exit 1
+  in
+  let bench =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Workload name, e.g. mcf or 403.gcc.")
+  in
+  let asm =
+    Arg.(value & opt (some string) None & info [ "asm" ] ~docv:"FILE"
+           ~doc:"Instrument and optimize this assembly file (address-based techniques).")
+  in
+  let technique =
+    Arg.(value & opt technique_conv Technique.Sfi & info [ "technique"; "t" ] ~docv:"TECH"
+           ~doc:"Isolation technique (see 'list').")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Instr.At_safe_accesses & info [ "policy"; "p" ] ~docv:"POLICY"
+           ~doc:"Domain-switch policy for domain-based techniques.")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Instr.Reads_and_writes & info [ "kind"; "k" ] ~docv:"KIND"
+           ~doc:"Access kind for address-based techniques (r/w/rw).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit non-zero if the optimized output has any verification violation or the \
+                 cost model mis-predicts a dynamic count.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the per-site cost-model table (or the optimized assembly with --asm).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Optimize the full fig3-fig6 corpus (all 16 configurations x all workloads).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"With --all: write the per-config summary (including the static-vs-dynamic \
+                 cost-model comparison) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Run the check-motion optimizer (dataflow-proven elimination, loop hoisting, gate \
+          coalescing) on instrumented output, re-verify it, and cross-validate the static cost \
+          model against the profiler")
+    Term.(const run $ bench $ asm $ technique $ policy $ kind $ iterations_arg $ check $ stats
+          $ all $ json_out)
 
 (* --- attacks --- *)
 
@@ -405,5 +681,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; report_cmd; inspect_cmd; run_cmd; profile_cmd; disasm_cmd; trace_cmd;
-            verify_cmd; attacks_cmd;
+            verify_cmd; optimize_cmd; attacks_cmd;
           ]))

@@ -121,6 +121,105 @@ let back_edges g =
     g.succs;
   List.rev !edges
 
+(* Natural loops from the dominance-filtered back edges. Merging all back
+   edges that share a header gives the classic one-loop-per-header view;
+   the body is the header plus everything that reaches a latch backwards
+   without passing through the header. Irreducible cycles have no
+   dominating header, produce no back edge, and are simply not reported —
+   safe for consumers that treat "not a loop" conservatively. *)
+type loop = {
+  header : int;
+  body : int list;
+  latches : int list;
+  parent : int option;
+  depth : int;
+}
+
+let natural_loops g =
+  let edges = back_edges g in
+  let live = reachable g in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+      let cur = try Hashtbl.find by_header v with Not_found -> [] in
+      Hashtbl.replace by_header v (u :: cur))
+    edges;
+  let headers = List.sort_uniq compare (List.map snd edges) in
+  let raw =
+    List.map
+      (fun h ->
+        let latches = List.sort_uniq compare (Hashtbl.find by_header h) in
+        let inb = Array.make g.nnodes false in
+        inb.(h) <- true;
+        let stack = ref [] in
+        List.iter
+          (fun u ->
+            if not inb.(u) then begin
+              inb.(u) <- true;
+              stack := u :: !stack
+            end)
+          latches;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | n :: rest ->
+            stack := rest;
+            List.iter
+              (fun p ->
+                if live.(p) && not inb.(p) then begin
+                  inb.(p) <- true;
+                  stack := p :: !stack
+                end)
+              g.preds.(n)
+        done;
+        let body = List.filter (fun n -> inb.(n)) (List.init g.nnodes Fun.id) in
+        (h, latches, body))
+      headers
+  in
+  (* Nesting: the parent is the smallest other loop whose body contains
+     this loop's header. Index loops by position in the returned list. *)
+  let arr = Array.of_list raw in
+  let n = Array.length arr in
+  let size i = match arr.(i) with _, _, b -> List.length b in
+  let contains j h = match arr.(j) with _, _, b -> List.mem h b in
+  let parent = Array.make n None in
+  for i = 0 to n - 1 do
+    let h, _, _ = arr.(i) in
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if j <> i && contains j h && size j > size i then
+        match !best with
+        | Some k when size k <= size j -> ()
+        | _ -> best := Some j
+    done;
+    parent.(i) <- !best
+  done;
+  let depth = Array.make n 0 in
+  let rec depth_of i =
+    if depth.(i) > 0 then depth.(i)
+    else begin
+      let d = match parent.(i) with None -> 1 | Some p -> 1 + depth_of p in
+      depth.(i) <- d;
+      d
+    end
+  in
+  List.init n (fun i ->
+      let header, latches, body = arr.(i) in
+      { header; body; latches; parent = parent.(i); depth = depth_of i })
+
+let loop_depth_of_node g loops =
+  ignore g;
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun n ->
+          let cur = try Hashtbl.find best n with Not_found -> 0 in
+          if l.depth > cur then Hashtbl.replace best n l.depth)
+        l.body)
+    loops;
+  fun n -> try Hashtbl.find best n with Not_found -> 0
+
 let solve g ~entry_state ~join ~equal ~transfer =
   let ins = Array.make g.nnodes None in
   let outs = Array.make g.nnodes None in

@@ -43,6 +43,25 @@ val back_edges : graph -> (int * int) list
 (** Natural-loop back edges: graph edges [u -> v] where [v] dominates
     [u]. *)
 
+type loop = {
+  header : int;
+  body : int list;  (** ascending node ids, header included *)
+  latches : int list;  (** sources of the back edges into [header] *)
+  parent : int option;  (** index (in the returned list) of the innermost enclosing loop *)
+  depth : int;  (** nesting depth; 1 = outermost *)
+}
+
+val natural_loops : graph -> loop list
+(** One loop per header: all back edges sharing a header are merged, the
+    body is the header plus every node that reaches a latch backwards
+    without passing through the header. Irreducible cycles (no dominating
+    header) produce no back edge and are not reported — consumers must
+    treat absence conservatively. *)
+
+val loop_depth_of_node : graph -> loop list -> int -> int
+(** [loop_depth_of_node g loops] returns a lookup: the nesting depth of
+    the innermost loop containing a node (0 = not in any loop). *)
+
 val solve :
   graph ->
   entry_state:'st ->

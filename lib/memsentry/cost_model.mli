@@ -1,0 +1,59 @@
+(** Static cost model for instrumented programs.
+
+    Predicts, from the CFG alone, how many times one run of the program
+    executes each instrumentation site — as an {!interval}, because loop
+    trip counts and indirect-call fan-in are not statically known. A
+    site's {e checks} prediction is the execution interval of the block
+    its check sequence starts in; {e crossings} sum the site's gate open
+    and close runs. Blocks the model proves straight-line (loop depth 0,
+    on no cycle, in a region entered a known number of times) get
+    single-point intervals; {!validate} requires the {!Profiler}'s
+    dynamic counts to land inside every interval and therefore to match
+    those points exactly. *)
+
+open X86sim
+
+type interval = { lo : int; hi : int option }  (** [hi = None] is unbounded *)
+
+val exactly : int -> interval
+val add : interval -> interval -> interval
+val mul : interval -> interval -> interval
+val contains : interval -> int -> bool
+val is_exact : interval -> bool
+val pp_interval : Format.formatter -> interval -> unit
+
+type site_cost = { site : Sitemap.site; checks : interval; crossings : interval }
+
+type t = {
+  per_site : site_cost list;  (** site-id order *)
+  total_checks : interval;
+  total_crossings : interval;
+}
+
+val predict : Program.t -> Sitemap.t -> t
+(** The program must be the one the sitemap's rips refer to. *)
+
+type site_validation = {
+  v_site : Sitemap.site;
+  pred_checks : interval;
+  dyn_checks : int;
+  pred_crossings : interval;
+  dyn_crossings : int;
+  within : bool;
+  exact : bool;  (** both predictions were single points *)
+}
+
+type validation = {
+  sites : site_validation list;
+  ok : bool;  (** every dynamic count inside its interval *)
+  n_exact : int;
+  n_bounded : int;
+  n_violated : int;
+}
+
+val validate : t -> Profiler.t -> validation
+(** Compare against a stopped profiler from the same prepared program. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Ms_util.Json.t
+val validation_to_json : validation -> Ms_util.Json.t

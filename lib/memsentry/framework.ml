@@ -23,6 +23,7 @@ type prepared = {
   hypervisor : Vmx.Hypervisor.t option;
   cfg : config;
   sitemap : Sitemap.t;
+  opt_stats : Gate_opt.stats option;
 }
 
 let policy_of_config cfg =
@@ -53,7 +54,8 @@ let map_regions cpu regions =
       Mmu.map_range cpu.Cpu.mmu ~va:r.Safe_region.va ~len:r.Safe_region.size ~writable:true)
     regions
 
-let prepare ?(extra_regions = []) ?(verify = false) cfg (lowered : Ir.Lower.t) =
+let prepare ?(extra_regions = []) ?(verify = false) ?(optimize = false) cfg
+    (lowered : Ir.Lower.t) =
   let cpu = Cpu.create () in
   Ir.Lower.setup_memory cpu lowered;
   let regions = Safe_region.of_sensitive_globals lowered @ extra_regions in
@@ -101,13 +103,32 @@ let prepare ?(extra_regions = []) ?(verify = false) cfg (lowered : Ir.Lower.t) =
         "Framework.prepare: SGX isolation requires restructuring code into an enclave; use \
          Sgx_sim.Enclave directly"
   in
+  let items, sitemap, opt_stats =
+    if not optimize then (items, sitemap, None)
+    else
+      match policy_of_config cfg with
+      | None -> (items, sitemap, None)
+      | Some policy ->
+        let kind =
+          match policy with
+          | Gate_analysis.Sfi_policy | Gate_analysis.Mpx_policy | Gate_analysis.Isboxing_policy
+            ->
+            cfg.address_kind
+          | _ -> Instr.Reads_and_writes
+        in
+        let r = Gate_opt.optimize ~policy ~kind items sitemap in
+        Log.info (fun m ->
+            m "optimized %s: %a" (Technique.name cfg.technique) Gate_opt.pp_stats
+              r.Gate_opt.stats);
+        (r.Gate_opt.items, r.Gate_opt.sitemap, Some r.Gate_opt.stats)
+  in
   let program = Program.assemble items in
   Log.info (fun m ->
       m "prepared %s: %d regions, %d instructions (%d before instrumentation)"
         (Technique.name cfg.technique) (List.length regions) (Program.length program)
         (List.length mitems));
   Cpu.load_program cpu program;
-  let p = { cpu; program; regions; hypervisor; cfg; sitemap } in
+  let p = { cpu; program; regions; hypervisor; cfg; sitemap; opt_stats } in
   if verify then
     (match verify_prepared p with
     | Some { Gate_analysis.violations = _ :: _ as vs; _ } ->
@@ -131,6 +152,7 @@ let prepare_baseline (lowered : Ir.Lower.t) =
     hypervisor = None;
     cfg = config Technique.Sfi;
     sitemap = Sitemap.create ();
+    opt_stats = None;
   }
 
 let run ?fuel p = Cpu.run ?fuel p.cpu

@@ -49,10 +49,17 @@ type prepared = {
   sitemap : Sitemap.t;
       (** Where the pass put its instrumentation (empty for baselines);
           feeds {!Profiler}. *)
+  opt_stats : Gate_opt.stats option;
+      (** What {!Gate_opt} did, when [prepare ~optimize:true] ran it. *)
 }
 
 val prepare :
-  ?extra_regions:Safe_region.region list -> ?verify:bool -> config -> Ir.Lower.t -> prepared
+  ?extra_regions:Safe_region.region list ->
+  ?verify:bool ->
+  ?optimize:bool ->
+  config ->
+  Ir.Lower.t ->
+  prepared
 (** Safe regions = the lowered module's sensitive globals plus
     [extra_regions] (which must already be mapped on a fresh CPU — they
     are re-mapped here). Raises [Invalid_argument] for [Technique.Sgx].
@@ -60,7 +67,13 @@ val prepare :
     With [~verify:true] (default false), the instrumented program is run
     through {!Gate_analysis} before loading and [Invalid_argument] is
     raised if it does not verify — the NaCl-style "check the output, not
-    the compiler" deployment mode. *)
+    the compiler" deployment mode.
+
+    With [~optimize:true] (default false), {!Gate_opt.optimize} runs
+    between instrumentation and assembly: dataflow-proven checks are
+    eliminated or hoisted and adjacent gate pairs coalesced, with the
+    result re-verified ({!Gate_opt.Rejected} propagates if it does not).
+    Techniques with no policy ([Mprotect]) are loaded unchanged. *)
 
 val policy_of_config : config -> Gate_analysis.policy option
 (** The verification policy matching a technique; [None] for techniques

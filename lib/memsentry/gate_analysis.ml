@@ -32,9 +32,26 @@ let max_stack_disp = 4096
 
 (* --- abstract state ---------------------------------------------------- *)
 
-(* Per-register value: a known constant, an unknown-but-confined pointer
-   (below the split), or anything. *)
-type rval = Rtop | Rconst of int | Rconfined
+(* Per-register value: an inclusive interval (a singleton is a known
+   constant) or anything. Bounds are clamped to +-2^56 so effective-address
+   arithmetic (base + index*scale + disp, scale <= 8) cannot overflow
+   OCaml's 63-bit ints; anything wider degrades to Rtop. *)
+type rval = Rtop | Rrange of int * int
+
+let clamp_hi = 1 lsl 56
+let clamp_lo = -clamp_hi
+let norm lo hi = if lo < clamp_lo || hi > clamp_hi then Rtop else Rrange (lo, hi)
+let rconst c = norm c c
+let rsingle = function Rrange (l, h) when l = h -> Some l | _ -> None
+
+(* a [<=] b in the interval order. *)
+let rle a b =
+  match (a, b) with
+  | _, Rtop -> true
+  | Rtop, _ -> false
+  | Rrange (l1, h1), Rrange (l2, h2) -> l1 >= l2 && h1 <= h2
+
+let within r ~lo ~hi = match r with Rrange (l, h) -> l >= lo && h <= hi | Rtop -> false
 
 (* Gate state: the pkru value (MPK), the active EPT index (VMFUNC), or the
    region's decryption state, 0 = encrypted/closed, 1 = plaintext/open
@@ -52,23 +69,18 @@ type ctx = {
 }
 
 let confines ctx imm = imm >= 0 && imm < ctx.split
+let confined ctx r = within r ~lo:0 ~hi:(ctx.split - 1)
 
-let confined ctx = function
-  | Rconst c -> confines ctx c
-  | Rconfined -> true
-  | Rtop -> false
-
-let join_rval ctx a b =
+let join_rval a b =
   match (a, b) with
   | Rtop, _ | _, Rtop -> Rtop
-  | Rconst x, Rconst y when x = y -> a
-  | _ -> if confined ctx a && confined ctx b then Rconfined else Rtop
+  | Rrange (l1, h1), Rrange (l2, h2) -> Rrange (min l1 l2, max h1 h2)
 
 let join_gval a b = match (a, b) with Gconst x, Gconst y when x = y -> a | _ -> Gtop
 
-let join ctx a b =
+let join _ctx a b =
   {
-    regs = Array.init Reg.gpr_count (fun i -> join_rval ctx a.regs.(i) b.regs.(i));
+    regs = Array.init Reg.gpr_count (fun i -> join_rval a.regs.(i) b.regs.(i));
     bnd0 = a.bnd0 && b.bnd0;
     gate = join_gval a.gate b.gate;
   }
@@ -76,6 +88,38 @@ let join ctx a b =
 let equal_st a b =
   a.bnd0 = b.bnd0 && a.gate = b.gate
   && Array.for_all2 (fun x y -> x = y) a.regs b.regs
+
+(* Threshold widening: the interval lattice has infinite ascending chains,
+   so loop-header in-states are widened through the few bounds the
+   analysis actually cares about (the MPX bound, the split, the 32-bit
+   ceiling) before giving up to the clamp. Applied only at loop headers
+   (see [solve_pcfg]); plain joins elsewhere keep full precision at
+   diamonds. *)
+let widen_rval ctx old nw =
+  if rle nw old then old
+  else
+    match (old, nw) with
+    | Rtop, _ | _, Rtop -> Rtop
+    | Rrange (ol, oh), Rrange (nl, nh) ->
+      let hi =
+        if nh <= oh then oh
+        else
+          let ths =
+            List.sort compare [ 0; ctx.bnd0_upper; ctx.split - 1; 0xFFFF_FFFF; clamp_hi ]
+          in
+          (match List.find_opt (fun t -> t >= nh) ths with
+          | Some t -> t
+          | None -> clamp_hi + 1 (* -> Rtop via norm *))
+      in
+      let lo = if nl >= ol then ol else if nl >= 0 then 0 else clamp_lo in
+      norm lo hi
+
+let widen_st ctx old nw =
+  {
+    regs = Array.init Reg.gpr_count (fun i -> widen_rval ctx old.regs.(i) nw.regs.(i));
+    bnd0 = old.bnd0 && nw.bnd0;
+    gate = join_gval old.gate nw.gate;
+  }
 
 let address_based = function
   | Sfi_policy | Mpx_policy | Isboxing_policy -> true
@@ -129,25 +173,42 @@ let is_stack (m : Insn.mem) =
   m.Insn.base = Reg.rsp && m.Insn.index < 0 && m.Insn.disp >= 0
   && m.Insn.disp <= max_stack_disp
 
-(* Exact effective address, when statically known. *)
+(* Exact effective address, when statically known. Deliberately kept to
+   the base-register-singleton shape (no index) so the domain-based
+   sensitivity surface is unchanged from the original verifier. *)
 let addr_const st (m : Insn.mem) =
   if m.Insn.index >= 0 then None
   else if m.Insn.base < 0 then Some m.Insn.disp
   else
-    match st.regs.(m.Insn.base) with
-    | Rconst c -> Some (c + m.Insn.disp)
-    | Rconfined | Rtop -> None
+    match rsingle st.regs.(m.Insn.base) with
+    | Some c -> Some (c + m.Insn.disp)
+    | None -> None
 
-(* The address-based acceptance rule (unchanged from the original linear
-   verifier, so the audit surface stays identical): stack traffic, a
-   confined register with no displacement, or a confined absolute
-   address. *)
-let access_ok ctx st (m : Insn.mem) =
-  if is_stack m then true
-  else if m.Insn.base >= 0 && m.Insn.index < 0 && m.Insn.disp = 0 then
-    confined ctx st.regs.(m.Insn.base)
-  else if m.Insn.base < 0 && m.Insn.index < 0 then confines ctx m.Insn.disp
-  else false
+(* Interval of the full effective address base + index*scale + disp. *)
+let ea_range st (m : Insn.mem) =
+  let base = if m.Insn.base < 0 then Rrange (0, 0) else st.regs.(m.Insn.base) in
+  let idx =
+    if m.Insn.index < 0 then Rrange (0, 0)
+    else
+      match st.regs.(m.Insn.index) with
+      | Rtop -> Rtop
+      | Rrange (l, h) ->
+        let s = max m.Insn.scale 1 in
+        Rrange (l * s, h * s)
+  in
+  match (base, idx) with
+  | Rtop, _ | _, Rtop -> Rtop
+  | Rrange (bl, bh), Rrange (il, ih) -> norm (bl + il + m.Insn.disp) (bh + ih + m.Insn.disp)
+
+let reg_range st r = st.regs.(r)
+let bnd0_valid st = st.bnd0
+
+(* The address-based acceptance rule: stack traffic, or an effective
+   address whose full interval provably stays inside the nonsensitive
+   partition. This subsumes the original linear verifier's rules (confined
+   register with no displacement, confined absolute address) and adds what
+   the interval domain can now prove about compound operands. *)
+let access_ok ctx st (m : Insn.mem) = is_stack m || confined ctx (ea_range st m)
 
 let kind_matches ctx insn =
   match ctx.kind with
@@ -241,22 +302,43 @@ let step ctx ~live acc idx insn st =
       else flag (Printf.sprintf "open-gate-at-%s: gate not closed on a path reaching %s" what what)
   in
   (* 2. Transfer. *)
+  let pre = st in
   let st = { st with regs = Array.copy st.regs } in
   let set r v = if r >= 0 then st.regs.(r) <- v in
   let havoc_all () = Array.fill st.regs 0 Reg.gpr_count Rtop in
+  (* Masking with a nonnegative constant yields [0, mask]; an all-ones
+     mask over an input already inside it is the identity. *)
+  let masked d mask =
+    if mask < 0 then Rtop
+    else
+      let all_ones = mask land (mask + 1) = 0 in
+      match pre.regs.(d) with
+      | Rrange (l, h) when all_ones && l >= 0 && h <= mask -> pre.regs.(d)
+      | _ -> Rrange (0, mask)
+  in
+  (* A check applied to a value the dominating state already confines is
+     dead work — the optimizer's target, surfaced as a lint. *)
+  let redundant_check_lint what =
+    if address_based ctx.policy then
+      lint
+        (Printf.sprintf
+           "dominated-redundant-check: %s applied to an already-confined value" what)
+  in
   match insn with
   | Insn.Mov_ri (d, imm) ->
-    set d (Rconst imm);
+    set d (rconst imm);
     st
   | Insn.Mov_rr (d, s) ->
-    set d st.regs.(s);
+    set d pre.regs.(s);
     st
-  | Insn.Lea (d, _) ->
-    set d Rtop;
+  | Insn.Lea (d, m) ->
+    set d (ea_range pre m);
     st
-  | Insn.Lea32 (d, _) ->
-    (* 32-bit effective addresses are below any realistic split. *)
-    set d (if ctx.policy = Isboxing_policy && ctx.split > 0x1_0000_0000 then Rconfined else Rtop);
+  | Insn.Lea32 (d, m) ->
+    (* The hardware truncates the EA to 32 bits — below any realistic
+       split regardless of inputs. *)
+    let ea = ea_range pre m in
+    set d (if within ea ~lo:0 ~hi:0xFFFF_FFFF then ea else Rrange (0, 0xFFFF_FFFF));
     st
   | Insn.Load (d, _) | Insn.Pop d | Insn.Movq_rx (d, _) | Insn.Mov_label (d, _) ->
     set d Rtop;
@@ -265,20 +347,49 @@ let step ctx ~live acc idx insn st =
     set Reg.rax Rtop;
     st
   | Insn.Alu_rr (Insn.And, d, s) ->
-    (* Masking with a confining nonnegative constant confines the result. *)
-    set d
-      (match st.regs.(s) with Rconst m when confines ctx m -> Rconfined | _ -> Rtop);
+    (match rsingle pre.regs.(s) with
+    | Some m ->
+      if confines ctx m && confined ctx pre.regs.(d) then
+        redundant_check_lint "and-mask";
+      set d (masked d m)
+    | None -> set d Rtop);
     st
   | Insn.Alu_ri (Insn.And, d, imm) ->
-    set d (if confines ctx imm then Rconfined else Rtop);
+    if confines ctx imm && confined ctx pre.regs.(d) then redundant_check_lint "and-mask";
+    set d (masked d imm);
+    st
+  | Insn.Alu_ri (Insn.Add, d, imm) ->
+    set d (match pre.regs.(d) with Rtop -> Rtop | Rrange (l, h) -> norm (l + imm) (h + imm));
+    st
+  | Insn.Alu_ri (Insn.Sub, d, imm) ->
+    set d (match pre.regs.(d) with Rtop -> Rtop | Rrange (l, h) -> norm (l - imm) (h - imm));
+    st
+  | Insn.Alu_rr (Insn.Add, d, s) ->
+    set d
+      (match (pre.regs.(d), pre.regs.(s)) with
+      | Rrange (l1, h1), Rrange (l2, h2) -> norm (l1 + l2) (h1 + h2)
+      | _ -> Rtop);
+    st
+  | Insn.Alu_rr (Insn.Sub, d, s) ->
+    set d
+      (match (pre.regs.(d), pre.regs.(s)) with
+      | Rrange (l1, h1), Rrange (l2, h2) -> norm (l1 - h2) (h1 - l2)
+      | _ -> Rtop);
     st
   | Insn.Alu_rr (_, d, _) | Insn.Alu_ri (_, d, _) ->
     set d Rtop;
     st
   | Insn.Bndcu (0, r) ->
-    (* A survived bndcu proves r <= bnd0_upper < split — if bnd0 still
-       holds the loader's bound. *)
-    if ctx.policy = Mpx_policy && st.bnd0 then set r Rconfined;
+    (* A survived bndcu proves r <= bnd0_upper — if bnd0 still holds the
+       loader's bound. (As in the original verifier, the lower bound 0 is
+       an audit assumption: the hardware check is upper-only.) *)
+    if ctx.policy = Mpx_policy && st.bnd0 then begin
+      if confined ctx pre.regs.(r) then redundant_check_lint "bndcu";
+      set r
+        (match pre.regs.(r) with
+        | Rrange (l, h) when l >= 0 -> Rrange (l, min h ctx.bnd0_upper)
+        | _ -> Rrange (0, ctx.bnd0_upper))
+    end;
     st
   | Insn.Bndcu _ | Insn.Bndcl _ -> st
   | Insn.Bnd_set (b, _, hi) -> if b = 0 then { st with bnd0 = hi <= ctx.bnd0_upper } else st
@@ -287,33 +398,33 @@ let step ctx ~live acc idx insn st =
   | Insn.Wrpkru -> (
     match ctx.policy with
     | Mpk_policy protection -> (
-      (match (st.regs.(Reg.rcx), st.regs.(Reg.rdx)) with
-      | Rconst 0, Rconst 0 -> ()
+      (match (rsingle st.regs.(Reg.rcx), rsingle st.regs.(Reg.rdx)) with
+      | Some 0, Some 0 -> ()
       | _ -> flag "unproven-wrpkru: rcx and rdx are not provably zero");
-      match st.regs.(Reg.rax) with
-      | Rconst v ->
+      match rsingle st.regs.(Reg.rax) with
+      | Some v ->
         let opening = not (pkru_protects ~key:ctx.mpk_key ~protection v) in
         if opening && gate_open ctx st.gate then
           flag "double-open: wrpkru opens an already-open gate";
         count (fun () -> acc.gates <- acc.gates + 1);
         { st with gate = Gconst v }
-      | Rconfined | Rtop ->
+      | None ->
         flag "unproven-wrpkru: eax value not statically known";
         { st with gate = Gtop })
     | _ -> st)
   | Insn.Vmfunc -> (
     match ctx.policy with
     | Vmfunc_policy -> (
-      (match st.regs.(Reg.rax) with
-      | Rconst 0 -> ()
+      (match rsingle st.regs.(Reg.rax) with
+      | Some 0 -> ()
       | _ -> flag "unproven-vmfunc: eax is not provably 0");
-      match st.regs.(Reg.rcx) with
-      | Rconst idx ->
+      match rsingle st.regs.(Reg.rcx) with
+      | Some idx ->
         if idx = Vmx.Sandbox.sensitive_ept && gate_open ctx st.gate then
           flag "double-open: vmfunc switches to the sensitive EPT twice";
         count (fun () -> acc.gates <- acc.gates + 1);
         { st with gate = Gconst idx }
-      | Rconfined | Rtop ->
+      | None ->
         flag "unproven-vmfunc: ecx EPT index not statically known";
         { st with gate = Gtop })
     | _ -> st)
@@ -359,25 +470,76 @@ let is_gate_insn = function
 
 (* --- the analysis ------------------------------------------------------ *)
 
-let analyze ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~policy prog =
+type solution = { ctx : ctx; pcfg : Ir.Cfg.prog_cfg; states : st option array }
+
+let make_ctx ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~policy () =
   let split = Option.value split ~default:Layout.sensitive_base in
   let bnd0_upper = Option.value bnd0_upper ~default:(split - 1) in
   if policy = Mpx_policy && bnd0_upper >= split then
-    invalid_arg "Gate_analysis.analyze: bnd0 bound does not confine to the split";
-  let ctx = { policy; split; bnd0_upper; kind; mpk_key } in
-  let pcfg = Ir.Cfg.of_program prog in
+    invalid_arg "Gate_analysis: bnd0 bound does not confine to the split";
+  { policy; split; bnd0_upper; kind; mpk_key }
+
+let block_step ctx pcfg ~live acc b st =
+  List.fold_left (fun st (idx, insn) -> step ctx ~live acc idx insn st) st
+    (Ir.Cfg.insns_of pcfg b)
+
+(* Fixpoint over the program CFG. Loop headers get threshold widening:
+   the solver's generic worklist knows nothing about intervals, so the
+   transfer function widens its own input against the last widened state
+   it saw for that header, which bounds every ascending chain. The final
+   in-state stored for a header is the widened one, keeping the reporting
+   pass consistent with what the fixpoint actually propagated. *)
+let solve_pcfg ctx pcfg =
   let g = pcfg.Ir.Cfg.graph in
-  let nblocks = g.Ir.Cfg.nnodes in
-  let block_step ~live acc b st =
-    List.fold_left (fun st (idx, insn) -> step ctx ~live acc idx insn st) st
-      (Ir.Cfg.insns_of pcfg b)
+  let headers = Hashtbl.create 8 in
+  List.iter (fun (_, v) -> Hashtbl.replace headers v ()) (Ir.Cfg.back_edges g);
+  let wcache = Hashtbl.create 8 in
+  let widen_at b st =
+    if not (Hashtbl.mem headers b) then st
+    else
+      match Hashtbl.find_opt wcache b with
+      | None ->
+        Hashtbl.replace wcache b st;
+        st
+      | Some prev ->
+        let w = widen_st ctx prev st in
+        Hashtbl.replace wcache b w;
+        w
   in
   let mute = silent () in
   let ins =
     Ir.Cfg.solve g ~entry_state:(entry_state ctx) ~join:(join ctx) ~equal:equal_st
-      ~transfer:(fun b st -> block_step ~live:false mute b st)
+      ~transfer:(fun b st -> block_step ctx pcfg ~live:false mute b (widen_at b st))
   in
-  (* Reporting pass over the fixpoint. *)
+  let states =
+    Array.mapi
+      (fun b s ->
+        match s with
+        | None -> None
+        | Some st -> (
+          match Hashtbl.find_opt wcache b with Some w -> Some w | None -> Some st))
+      ins
+  in
+  { ctx; pcfg; states }
+
+let solve_program ?split ?bnd0_upper ?kind ?mpk_key ~policy pcfg =
+  solve_pcfg (make_ctx ?split ?bnd0_upper ?kind ?mpk_key ~policy ()) pcfg
+
+let block_in sol b = sol.states.(b)
+let step_insn sol idx insn st = step sol.ctx ~live:false (silent ()) idx insn st
+let split_of sol = sol.ctx.split
+let bnd0_upper_of sol = sol.ctx.bnd0_upper
+let value_confined sol r = confined sol.ctx r
+
+let access_below_split sol st (m : Insn.mem) =
+  is_stack m
+  || match ea_range st m with Rrange (_, h) -> h < sol.ctx.split | Rtop -> false
+
+let report_of_solution sol =
+  let ctx = sol.ctx and pcfg = sol.pcfg in
+  let prog = pcfg.Ir.Cfg.prog in
+  let g = pcfg.Ir.Cfg.graph in
+  let nblocks = g.Ir.Cfg.nnodes in
   let acc = silent () in
   let outs = Array.make nblocks None in
   let reachable_blocks = ref 0 in
@@ -386,7 +548,7 @@ let analyze ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~
       match in_st with
       | Some st ->
         incr reachable_blocks;
-        outs.(b) <- Some (block_step ~live:true acc b st)
+        outs.(b) <- Some (block_step ctx pcfg ~live:true acc b st)
       | None ->
         let span = pcfg.Ir.Cfg.spans.(b) in
         let code = Program.code prog in
@@ -404,9 +566,9 @@ let analyze ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~
                else "unreachable-code: block is unreachable from any entry point");
           }
           :: acc.lint)
-    ins;
+    sol.states;
   (* Gates straddling loop back-edges. *)
-  if not (address_based policy) then
+  if not (address_based ctx.policy) then
     List.iter
       (fun (u, _) ->
         match outs.(u) with
@@ -433,6 +595,10 @@ let analyze ?split ?bnd0_upper ?(kind = Instr.Reads_and_writes) ?(mpk_key = 1) ~
         guarded_transfers = acc.transfers;
       };
   }
+
+let analyze ?split ?bnd0_upper ?kind ?mpk_key ~policy prog =
+  let ctx = make_ctx ?split ?bnd0_upper ?kind ?mpk_key ~policy () in
+  report_of_solution (solve_pcfg ctx (Ir.Cfg.of_program prog))
 
 (* --- IR-level instrumentation lints ------------------------------------ *)
 

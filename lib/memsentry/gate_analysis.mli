@@ -78,6 +78,60 @@ val analyze :
     unreachable (gate) code, gates held open across loop back-edges, and
     redundant re-encryption/re-decryption. *)
 
+(** {2 Solver API for transformation passes}
+
+    {!Memsentry.Gate_opt} reuses the verifier's own abstract domain, so
+    anything it proves eliminable is by construction re-verifiable. The
+    per-register domain is an interval ([Rrange] with inclusive bounds; a
+    singleton is a known constant), with threshold widening at loop
+    headers to keep fixpoints finite. *)
+
+type rval = Rtop | Rrange of int * int
+
+type st
+(** Abstract machine state at one program point. *)
+
+type solution
+(** Solved fixpoint: per-block in-states plus the analysis context. *)
+
+val solve_program :
+  ?split:int ->
+  ?bnd0_upper:int ->
+  ?kind:Instr.access_kind ->
+  ?mpk_key:int ->
+  policy:policy ->
+  Ir.Cfg.prog_cfg ->
+  solution
+(** Run the fixpoint only (no reporting pass); parameters as {!analyze}. *)
+
+val block_in : solution -> int -> st option
+(** In-state of a block ([None] = unreachable). For loop headers this is
+    the widened state the fixpoint actually propagated. *)
+
+val step_insn : solution -> int -> X86sim.Insn.t -> st -> st
+(** Silent single-instruction transfer: [step_insn sol idx insn st]. *)
+
+val reg_range : st -> int -> rval
+val ea_range : st -> X86sim.Insn.mem -> rval
+(** Interval of the full effective address [base + index*scale + disp]. *)
+
+val within : rval -> lo:int -> hi:int -> bool
+(** Provably inside the inclusive bounds ([Rtop] is never within). *)
+
+val bnd0_valid : st -> bool
+(** Does bnd0 still hold the loader's sound bound at this point? *)
+
+val value_confined : solution -> rval -> bool
+(** Provably inside [[0, split)]. *)
+
+val access_below_split : solution -> st -> X86sim.Insn.mem -> bool
+(** Can this operand provably never reach the safe partition? (Stack
+    traffic, or EA upper bound below the split.) *)
+
+val is_stack : X86sim.Insn.mem -> bool
+val split_of : solution -> int
+val bnd0_upper_of : solution -> int
+
 val lint_module : Ir.Ir_types.modul -> finding list
 (** IR-level instrumentation lints, keyed by instruction id: accesses the
     points-to analysis says may touch a sensitive global but that carry no

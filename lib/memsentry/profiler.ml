@@ -85,7 +85,8 @@ let attach (p : Framework.prepared) =
          t.stats.(id).crossings <- t.stats.(id).crossings + 1;
          if t.synthetic then
            Cpu.emit c (Event.Gate_exit { rip = c.Cpu.rip; gate = Event.Seq t.technique })
-       | Some (id, Sitemap.Check) -> t.stats.(id).checks <- t.stats.(id).checks + 1
+       | Some (id, (Sitemap.Check | Sitemap.Hoisted_check)) ->
+         t.stats.(id).checks <- t.stats.(id).checks + 1
        | None -> ());
     t.prev_class <- cls
   in

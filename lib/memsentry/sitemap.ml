@@ -1,9 +1,10 @@
-type role = Gate_open | Gate_close | Check
+type role = Gate_open | Gate_close | Check | Hoisted_check
 
 let role_name = function
   | Gate_open -> "gate-open"
   | Gate_close -> "gate-close"
   | Check -> "check"
+  | Hoisted_check -> "hoisted-check"
 
 type site = { id : int; label : string; technique : string; orig_rip : int }
 

@@ -15,6 +15,9 @@ type role =
   | Gate_open  (** part of an [enter] sequence (domain opens). *)
   | Gate_close  (** part of a [leave] sequence. *)
   | Check  (** part of an address-based check/masking sequence. *)
+  | Hoisted_check
+      (** a check {!Memsentry.Gate_opt} moved to a loop preheader; counted
+          like [Check] by the profiler but attributable to the motion. *)
 
 val role_name : role -> string
 

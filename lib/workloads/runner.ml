@@ -27,21 +27,23 @@ let pool_for (cfg : Framework.config) =
   | Technique.Sfi | Technique.Mpx | Technique.Mpk _ | Technique.Vmfunc | Technique.Sgx
   | Technique.Mprotect | Technique.Isboxing -> None
 
-let run_with ?iterations prof (cfg : Framework.config) =
+let run_with ?iterations ?optimize prof (cfg : Framework.config) =
   let lowered = Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof in
-  finish prof.Profile.name (Framework.prepare cfg lowered)
+  finish prof.Profile.name (Framework.prepare ?optimize cfg lowered)
 
-let profile ?iterations prof (cfg : Framework.config) =
-  let lowered = Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof in
-  let p = Framework.prepare cfg lowered in
+let prepare_instrumented ?iterations ?optimize prof (cfg : Framework.config) =
+  Framework.prepare ?optimize cfg (Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof)
+
+let profile ?iterations ?optimize prof (cfg : Framework.config) =
+  let p = prepare_instrumented ?iterations ?optimize prof cfg in
   let profiler = Profiler.attach p in
   let r = finish prof.Profile.name p in
   Profiler.stop profiler;
   (profiler, r)
 
-let overhead_of ?iterations prof cfg =
+let overhead_of ?iterations ?optimize prof cfg =
   let base = run_baseline ?iterations prof in
-  let inst = run_with ?iterations prof cfg in
+  let inst = run_with ?iterations ?optimize prof cfg in
   inst.cycles /. base.cycles
 
 let sweep_row ?iterations prof configs =

@@ -17,13 +17,28 @@ type run_result = {
 
 val run_baseline : ?iterations:int -> Profile.t -> run_result
 
-val run_with : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> run_result
+val run_with :
+  ?iterations:int -> ?optimize:bool -> Profile.t -> Memsentry.Framework.config -> run_result
+(** [optimize] (default false) runs {!Memsentry.Gate_opt} on the
+    instrumented output before loading it. *)
 
-val overhead_of : ?iterations:int -> Profile.t -> Memsentry.Framework.config -> float
+val prepare_instrumented :
+  ?iterations:int ->
+  ?optimize:bool ->
+  Profile.t ->
+  Memsentry.Framework.config ->
+  Memsentry.Framework.prepared
+(** The prepared machine {!run_with} would execute, not yet run — for
+    callers that want the program/sitemap (static analysis, cost models)
+    with the workload built identically to the measured builds. *)
+
+val overhead_of :
+  ?iterations:int -> ?optimize:bool -> Profile.t -> Memsentry.Framework.config -> float
 (** [run_with / run_baseline] cycle ratio (1.0 = no overhead). *)
 
 val profile :
   ?iterations:int ->
+  ?optimize:bool ->
   Profile.t ->
   Memsentry.Framework.config ->
   Memsentry.Profiler.t * run_result

@@ -1,0 +1,21 @@
+; Exercise material for the check-motion optimizer (see test_gate_opt.ml
+; and the exit-code rules in test/dune):
+;   - the [rbx] access is through a constant heap pointer -> statically
+;     eliminable under every address-based technique;
+;   - the two [rdx] accesses share an operand with no clobber between
+;     them -> the second check is dominated-redundant;
+;   - the loop body access uses a loop-invariant unknown pointer -> the
+;     check can be hoisted to a preheader.
+main:
+  mov rbx, 0x10000000
+  mov rax, [rbx]
+  mov rdx, [0x2000]
+  mov rcx, [rdx]
+  mov r8, [rdx]
+  mov rcx, 4
+loop:
+  mov rax, [rdx+8]
+  sub rcx, 1
+  cmp rcx, 0
+  jne loop
+  hlt

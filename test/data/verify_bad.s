@@ -1,0 +1,7 @@
+; A data access through a pointer loaded from memory, with no confining
+; check: the static verifier must reject this under every address-based
+; policy (used by the exit-code tests in test/dune).
+main:
+  mov rbx, [0x2000]
+  mov rax, [rbx]
+  hlt

@@ -1,0 +1,10 @@
+; Hand-instrumented SFI pattern the static verifier must accept: the
+; pointer is masked into the low (untrusted) half of the address space
+; before the dereference (used by the exit-code tests in test/dune).
+main:
+  mov rbx, [0x2000]
+  lea r12, [rbx+8]
+  mov r13, 0x3FFFFFFFFFFF
+  and r12, r13
+  mov rax, [r12]
+  hlt

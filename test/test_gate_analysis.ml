@@ -37,13 +37,15 @@ let check_clean ~policy src =
 (* --- adversarial programs, one per policy ------------------------------ *)
 
 let test_sfi_unmasked_access () =
+  (* The pointer comes from memory, so no static range confines it — an
+     unmasked dereference must be rejected. *)
   check_rejected ~policy:Gate_analysis.Sfi_policy ~tag:"unverified-access"
-    "main:\n  mov rbx, 0x10000000\n  lea rbx, [rbx+8]\n  mov rax, [rbx]\n  hlt\n"
+    "main:\n  mov rbx, [0x2000]\n  lea rbx, [rbx+8]\n  mov rax, [rbx]\n  hlt\n"
 
 let test_mpx_check_on_wrong_register () =
   check_rejected ~policy:Gate_analysis.Mpx_policy ~tag:"unverified-access"
     "main:\n\
-    \  mov rbx, 0x123456\n\
+    \  mov rbx, [0x2000]\n\
     \  lea rbx, [rbx+8]\n\
     \  mov rcx, 0x1000\n\
     \  bndcu rcx, bnd0\n\
@@ -51,9 +53,10 @@ let test_mpx_check_on_wrong_register () =
     \  hlt\n"
 
 let test_isboxing_plain_lea_not_confining () =
-  (* Only lea32 truncates; a plain lea must not count as a check. *)
+  (* Only lea32 truncates; a plain lea over an unknown register must not
+     count as a check. *)
   check_rejected ~policy:Gate_analysis.Isboxing_policy ~tag:"unverified-access"
-    "main:\n  mov rbx, 0x10000000\n  lea rbx, [rbx+8]\n  mov rax, [rbx]\n  hlt\n"
+    "main:\n  mov rbx, [0x2000]\n  lea rbx, [rbx+8]\n  mov rax, [rbx]\n  hlt\n"
 
 let mpk = Gate_analysis.Mpk_policy Mpk.Pkey.No_access
 

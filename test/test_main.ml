@@ -18,6 +18,7 @@ let () =
       ("calibration", Test_calibration.suite);
       ("sandbox-verifier", Test_verifier_sandbox.suite);
       ("gate-analysis", Test_gate_analysis.suite);
+      ("gate-opt", Test_gate_opt.suite);
       ("optimizer", Test_opt.suite);
       ("fig2-encode", Test_fig2_and_encode.suite);
       ("edges", Test_coverage_edges.suite);

@@ -36,22 +36,39 @@ let test_uninstrumented_program_rejected () =
   Alcotest.(check bool) "many violations" true (Sandbox_verifier.violation_count r > 50)
 
 let test_tampered_instrumentation_rejected () =
-  (* Drop exactly one check from an otherwise fully instrumented program:
-     the verifier must find the hole. *)
+  (* Drop exactly one load-bearing check from an otherwise fully
+     instrumented program: the verifier must find the hole. Checks whose
+     pointer the interval domain confines statically (constant-derived
+     heap pointers) are genuinely redundant — removing one of those is not
+     a hole — so scan for the first check whose removal matters. *)
   let items = instrumented ~policy:Sandbox_verifier.Mpx_policy (workload ()) in
-  let dropped = ref false in
-  let tampered =
+  let n_checks =
+    List.length (List.filter (function Program.I (Insn.Bndcu _) -> true | _ -> false) items)
+  in
+  Alcotest.(check bool) "program has checks" true (n_checks > 0);
+  let drop_nth k =
+    let seen = ref 0 in
     List.filter
       (function
-        | Program.I (Insn.Bndcu _) when not !dropped ->
-          dropped := true;
-          false
+        | Program.I (Insn.Bndcu _) ->
+          let keep = !seen <> k in
+          incr seen;
+          keep
         | _ -> true)
       items
   in
-  Alcotest.(check bool) "a check was removed" true !dropped;
-  let r = Sandbox_verifier.verify ~policy:Sandbox_verifier.Mpx_policy (Program.assemble tampered) in
-  Alcotest.(check int) "exactly the hole is reported" 1 (Sandbox_verifier.violation_count r)
+  let rec find k =
+    if k >= n_checks then None
+    else
+      let r =
+        Sandbox_verifier.verify ~policy:Sandbox_verifier.Mpx_policy
+          (Program.assemble (drop_nth k))
+      in
+      match Sandbox_verifier.violation_count r with 0 -> find (k + 1) | c -> Some c
+  in
+  match find 0 with
+  | None -> Alcotest.fail "no load-bearing check found: every removal went unnoticed"
+  | Some c -> Alcotest.(check int) "exactly the hole is reported" 1 c
 
 let test_mpx_requires_sound_bound () =
   let prog = Program.assemble (instrumented ~policy:Sandbox_verifier.Mpx_policy (workload ())) in
@@ -119,7 +136,7 @@ let test_join_rejects_unchecked_path () =
      join must drop the fact and the access must be reported. *)
   let src =
     "main:\n\
-    \  mov rbx, 0x10000000\n\
+    \  mov rbx, [0x2000]\n\
     \  lea r12, [rbx+8]\n\
     \  cmp rbx, 0\n\
     \  je spot\n\
