@@ -8,7 +8,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|gateopt|attacks|bechamel|simspeed|all]\n\
+     [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|gateopt|attacks|bechamel|simspeed|edgeprof|all]\n\
      \  --iterations N   workload loop iterations (default 40)\n\
      \  --jobs N         run independent simulations on N domains (default 1)\n\
      \  --json FILE      also write machine-readable results (figures 3-6, table 4)\n\
@@ -35,6 +35,7 @@ let rec run_target = function
   | "gateopt" -> Gateopt.run ()
   | "bechamel" -> Bechamel_suite.run ()
   | "simspeed" -> Simspeed.run ()
+  | "edgeprof" -> Edgeprof.run ()
   | "all" ->
     List.iter run_target_unit
       [

@@ -117,6 +117,22 @@ let json_of_mode (name, insns, secs, words) =
         ("minor_words_per_insn", Json.Float words);
       ] )
 
+(* Provenance stamp for the recorded entries: when and at which commit a
+   number was measured, so history entries are self-describing. *)
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
 let read_existing () =
   if Sys.file_exists out_file then (
     let ic = open_in_bin out_file in
@@ -154,7 +170,9 @@ let run () =
   Table_fmt.print t;
   let this_run =
     Json.Obj
-      (("iterations", Json.Int iterations)
+      (("date", Json.String (iso_date ()))
+      :: ("commit", Json.String (git_commit ()))
+      :: ("iterations", Json.Int iterations)
       :: ("profiles", Json.List (List.map (fun p -> Json.String p) profile_names))
       :: List.map json_of_mode rows)
   in

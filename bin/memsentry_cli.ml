@@ -2,10 +2,13 @@
 
    Subcommands:
      list               benchmarks and techniques
-     report             the paper's survey tables (1-3)
+     report             the paper's survey tables (1-3), or — given a
+                        workload — the fast-path CPI-stack / hot-block /
+                        hot-edge report (+ flamegraph/speedscope export)
      inspect BENCH      generated IR and lowering summary for a workload
      run BENCH          measure one workload under a technique
      profile BENCH      per-gate-site attribution table (+ JSON / Chrome trace)
+     perf-diff OLD NEW  compare two fast-path profile JSONs for regressions
      verify BENCH       statically verify instrumented output
      optimize BENCH     check-motion optimization + cost-model validation
      attacks            the threat-model experiment *)
@@ -79,12 +82,172 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List workloads and techniques") Term.(const run $ const ())
 
+let read_file file =
+  let ic = try open_in file with Sys_error e -> Printf.eprintf "%s\n" e; exit 1 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 (* --- report --- *)
 
+let find_bench name =
+  try Workloads.Spec2006.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %S (try 'list')\n" name;
+    exit 1
+
 let report_cmd =
-  let run () = Report.print_all () in
-  Cmd.v (Cmd.info "report" ~doc:"Print the survey tables (paper Tables 1-3)")
-    Term.(const run $ const ())
+  let fastpath_report bench technique policy kind iterations top json_out flame_out
+      speedscope_out =
+    let prof = find_bench bench in
+    let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+    let p = Workloads.Runner.prepare_instrumented ~iterations prof cfg in
+    Fastprof.install p;
+    (match Framework.run p with
+    | X86sim.Cpu.Halted -> ()
+    | X86sim.Cpu.Out_of_fuel ->
+      Printf.eprintf "%s did not terminate\n" bench;
+      exit 1);
+    let fp = Fastprof.capture ~workload:prof.Workloads.Profile.name p in
+    Printf.printf
+      "%s under %s (%d iterations), engine: fast path (translated blocks, no hooks)\n"
+      prof.Workloads.Profile.name (Technique.name technique) iterations;
+    Printf.printf
+      "%.0f cycles over %d instructions; %d blocks compiled, %d cache invalidations\n\n"
+      fp.Fastprof.p_cycles fp.Fastprof.p_insns fp.Fastprof.p_compiles
+      fp.Fastprof.p_invalidations;
+    print_endline "CPI stack (cycles per attribution row and class):";
+    print_string (Report.cpi_table fp);
+    Printf.printf "\naccounted %.0f of %.0f total cycles\n" (Fastprof.total_cycles fp)
+      fp.Fastprof.p_cycles;
+    Printf.printf "\nhot blocks (top %d):\n" top;
+    print_string (Report.hot_blocks_table ~top fp);
+    Printf.printf "\nhot edges (top %d):\n" top;
+    print_string (Report.hot_edges_table ~top fp);
+    (match json_out with
+    | None -> ()
+    | Some "-" -> print_endline (Ms_util.Json.to_string ~pretty:true (Fastprof.to_json fp))
+    | Some file ->
+      Ms_util.Json.to_file file (Fastprof.to_json fp);
+      Printf.printf "\nprofile written to %s\n" file);
+    (match flame_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Ms_util.Flamegraph.emit_collapsed (Fastprof.stacks fp));
+      close_out oc;
+      Printf.printf "collapsed stacks written to %s (feed to flamegraph.pl)\n" file);
+    match speedscope_out with
+    | None -> ()
+    | Some file ->
+      Ms_util.Json.to_file file
+        (Ms_util.Flamegraph.to_speedscope
+           ~name:(Printf.sprintf "%s/%s" prof.Workloads.Profile.name (Technique.name technique))
+           ~unit:"none" (Fastprof.stacks fp));
+      Printf.printf "speedscope profile written to %s\n" file
+  in
+  let run bench technique policy kind iterations top json_out flame_out speedscope_out =
+    match bench with
+    | None -> Report.print_all ()
+    | Some bench ->
+      fastpath_report bench technique policy kind iterations top json_out flame_out
+        speedscope_out
+  in
+  let bench =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Workload to profile on the fast path; omit for the survey tables.")
+  in
+  let technique =
+    Arg.(value & opt technique_conv (Technique.Mpk Mpk.Pkey.No_access)
+         & info [ "technique"; "t" ] ~docv:"TECH" ~doc:"Isolation technique (see 'list').")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Instr.At_call_ret & info [ "policy"; "p" ] ~docv:"POLICY"
+           ~doc:"Domain-switch policy for domain-based techniques.")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Instr.Reads_and_writes & info [ "kind"; "k" ] ~docv:"KIND"
+           ~doc:"Access kind for address-based techniques (r/w/rw).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot block/edge tables.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the fast-path profile as JSON ('-' for stdout); input of perf-diff.")
+  in
+  let flame_out =
+    Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE"
+           ~doc:"Write the CPI stacks as collapsed/folded flamegraph lines.")
+  in
+  let speedscope_out =
+    Arg.(value & opt (some string) None & info [ "speedscope" ] ~docv:"FILE"
+           ~doc:"Write the CPI stacks as a speedscope JSON profile.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Print the survey tables (paper Tables 1-3); with a BENCHMARK, run it on the \
+          fast path and print the always-on counter report (CPI stack per gate site, hot \
+          blocks, hot edges) with optional flamegraph/speedscope/JSON export")
+    Term.(const run $ bench $ technique $ policy $ kind $ iterations_arg $ top $ json_out
+          $ flame_out $ speedscope_out)
+
+(* --- perf-diff --- *)
+
+let perf_diff_cmd =
+  let run before_file after_file threshold check =
+    let load file =
+      try Fastprof.of_json (Ms_util.Json.of_string (read_file file)) with
+      | Ms_util.Json.Parse_error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+      | Invalid_argument e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+    in
+    let before = load before_file and after = load after_file in
+    Printf.printf "before: %s/%s  %.0f cycles\nafter:  %s/%s  %.0f cycles  (%.3fx)\n"
+      before.Fastprof.p_workload before.Fastprof.p_technique before.Fastprof.p_cycles
+      after.Fastprof.p_workload after.Fastprof.p_technique after.Fastprof.p_cycles
+      (if before.Fastprof.p_cycles > 0.0 then after.Fastprof.p_cycles /. before.Fastprof.p_cycles
+       else nan);
+    match Fastprof.diff ~threshold ~before ~after with
+    | [] -> Printf.printf "no per-site regressions above %.1f%%\n" (100.0 *. threshold)
+    | regs ->
+      Printf.printf "%d per-site regression(s) above %.1f%%:\n" (List.length regs)
+        (100.0 *. threshold);
+      List.iter
+        (fun (r : Fastprof.regression) ->
+          Printf.printf "  %-24s %10.0f -> %10.0f cycles  (%s)\n"
+            (if r.Fastprof.rg_rip < 0 then r.Fastprof.rg_label
+             else Printf.sprintf "%s@%d" r.Fastprof.rg_label r.Fastprof.rg_rip)
+            r.Fastprof.rg_before r.Fastprof.rg_after
+            (if r.Fastprof.rg_ratio = infinity then "new"
+             else Printf.sprintf "%.3fx" r.Fastprof.rg_ratio))
+        regs;
+      if check then exit 1
+  in
+  let before_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BEFORE" ~doc:"Baseline profile JSON (from 'report BENCH --json').")
+  in
+  let after_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"AFTER" ~doc:"Current profile JSON to compare against BEFORE.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.05 & info [ "threshold" ] ~docv:"FRACTION"
+           ~doc:"Relative per-site cycle growth that counts as a regression (default 0.05).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Exit 1 if any regression is found.")
+  in
+  Cmd.v
+    (Cmd.info "perf-diff"
+       ~doc:"Compare two fast-path profile JSONs and flag per-site cycle regressions")
+    Term.(const run $ before_arg $ after_arg $ threshold $ check)
 
 (* --- inspect --- *)
 
@@ -176,11 +339,33 @@ let profile_cmd =
     in
     let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
     let base = Workloads.Runner.run_baseline ~iterations prof in
-    let profiler, inst = Workloads.Runner.profile ~iterations prof cfg in
-    let overhead = inst.Workloads.Runner.cycles /. base.Workloads.Runner.cycles in
-    Printf.printf "%s under %s (%d iterations): %.0f cycles, overhead %.3fx\n\n"
-      prof.Workloads.Profile.name (Technique.name technique) iterations
-      inst.Workloads.Runner.cycles overhead;
+    (* The profiler's hooks force the CPU off its translated fast loop
+       onto the per-step interpreter; measure what that observation
+       costs in host time by running the identical instrumented build
+       once without hooks first. *)
+    let p_fast = Workloads.Runner.prepare_instrumented ~iterations prof cfg in
+    let t0 = Unix.gettimeofday () in
+    let fast_status = Framework.run p_fast in
+    let fast_s = Unix.gettimeofday () -. t0 in
+    let p = Workloads.Runner.prepare_instrumented ~iterations prof cfg in
+    let profiler = Profiler.attach p in
+    let t0 = Unix.gettimeofday () in
+    (match (Framework.run p, fast_status) with
+    | X86sim.Cpu.Halted, X86sim.Cpu.Halted -> ()
+    | _ ->
+      Printf.eprintf "%s did not terminate\n" prof.Workloads.Profile.name;
+      exit 1);
+    let hooked_s = Unix.gettimeofday () -. t0 in
+    Profiler.stop profiler;
+    let inst_cycles = X86sim.Cpu.cycles p.Framework.cpu in
+    let overhead = inst_cycles /. base.Workloads.Runner.cycles in
+    Printf.printf "%s under %s (%d iterations): %.0f cycles, overhead %.3fx\n"
+      prof.Workloads.Profile.name (Technique.name technique) iterations inst_cycles overhead;
+    Printf.printf
+      "engine: hooked interpreter (step/event hooks attached); observation cost %.1fx vs \
+       the fast path (%.3fs hooked, %.3fs fast)\n\n"
+      (if fast_s > 0.0 then hooked_s /. fast_s else nan)
+      hooked_s fast_s;
     print_string (Report.site_table profiler);
     let spans = Profiler.spans profiler in
     if spans <> [] then begin
@@ -332,13 +517,6 @@ let trace_cmd =
     Term.(const run $ bench_arg 0 $ last $ filt)
 
 (* --- verify --- *)
-
-let read_file file =
-  let ic = try open_in file with Sys_error e -> Printf.eprintf "%s\n" e; exit 1 in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
 
 let verify_cmd =
   let run bench asm technique policy kind iterations lints =
@@ -680,6 +858,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            list_cmd; report_cmd; inspect_cmd; run_cmd; profile_cmd; disasm_cmd; trace_cmd;
-            verify_cmd; optimize_cmd; attacks_cmd;
+            list_cmd; report_cmd; inspect_cmd; run_cmd; profile_cmd; perf_diff_cmd;
+            disasm_cmd; trace_cmd; verify_cmd; optimize_cmd; attacks_cmd;
           ]))

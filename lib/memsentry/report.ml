@@ -159,6 +159,98 @@ let site_table prof =
     ];
   Table_fmt.render t
 
+let cpi_table (prof : Fastprof.t) =
+  let open X86sim in
+  let cls = Pipeline.cls_names in
+  let nc = Array.length cls in
+  let t =
+    Table_fmt.create
+      ~align:
+        (Table_fmt.Left :: Table_fmt.Left
+        :: List.init (nc + 1) (fun _ -> Table_fmt.Right))
+      ("Row" :: "Technique" :: (Array.to_list cls @ [ "Total" ]))
+  in
+  let cyc f = Printf.sprintf "%.0f" f in
+  let totals = Array.make nc 0.0 in
+  List.iter
+    (fun (r : Fastprof.row) ->
+      Array.iteri (fun c w -> totals.(c) <- totals.(c) +. w) r.Fastprof.fp_classes;
+      let name =
+        if r.Fastprof.fp_rip < 0 then r.Fastprof.fp_label
+        else Printf.sprintf "%s@%d" r.Fastprof.fp_label r.Fastprof.fp_rip
+      in
+      Table_fmt.add_row t
+        (name :: r.Fastprof.fp_technique
+        :: (List.map cyc (Array.to_list r.Fastprof.fp_classes)
+           @ [ cyc (Fastprof.row_cycles r) ])))
+    prof.Fastprof.p_rows;
+  Table_fmt.add_row t
+    ("total" :: ""
+    :: (List.map cyc (Array.to_list totals)
+       @ [ cyc (Array.fold_left ( +. ) 0.0 totals) ]));
+  Table_fmt.render t
+
+let hot_blocks_table ?(top = 10) (prof : Fastprof.t) =
+  let open X86sim in
+  let blocks =
+    List.sort
+      (fun (a : Ublock.stat) b -> compare b.Ublock.s_exec a.Ublock.s_exec)
+      prof.Fastprof.p_blocks
+  in
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+               Table_fmt.Right; Table_fmt.Left ]
+      [ "Entry"; "Insns"; "Execs"; "Taken"; "Fall"; "Indirect (votes/total)" ]
+  in
+  List.iteri
+    (fun i (s : Ublock.stat) ->
+      if i < top then
+        Table_fmt.add_row t
+          [
+            string_of_int s.Ublock.s_entry;
+            string_of_int s.Ublock.s_insns;
+            string_of_int s.Ublock.s_exec;
+            string_of_int s.Ublock.s_taken;
+            string_of_int s.Ublock.s_fall;
+            (if s.Ublock.s_dyn_total = 0 then "-"
+             else
+               Printf.sprintf "-> %d (%d/%d)" s.Ublock.s_dyn_target s.Ublock.s_dyn_votes
+                 s.Ublock.s_dyn_total);
+          ])
+    blocks;
+  Table_fmt.render t
+
+(* The block profile as CFG edges: every static exit contributes its
+   exact count; indirect exits contribute the majority target (votes are
+   a Boyer-Moore lower bound on its true count). *)
+let edges_of (prof : Fastprof.t) =
+  let open X86sim in
+  List.concat_map
+    (fun (s : Ublock.stat) ->
+      let e kind dst count = if dst >= 0 && count > 0 then [ (s.Ublock.s_entry, dst, kind, count) ] else [] in
+      e "taken" s.Ublock.s_taken_target s.Ublock.s_taken
+      @ e "fall" s.Ublock.s_fall_target s.Ublock.s_fall
+      @ e "indirect" s.Ublock.s_dyn_target s.Ublock.s_dyn_votes)
+    prof.Fastprof.p_blocks
+
+let hot_edges_table ?(top = 10) (prof : Fastprof.t) =
+  let edges =
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) (edges_of prof)
+  in
+  let t =
+    Table_fmt.create
+      ~align:[ Table_fmt.Right; Table_fmt.Right; Table_fmt.Left; Table_fmt.Right ]
+      [ "From"; "To"; "Kind"; "Count" ]
+  in
+  List.iteri
+    (fun i (src, dst, kind, count) ->
+      if i < top then
+        Table_fmt.add_row t
+          [ string_of_int src; string_of_int dst; kind; string_of_int count ])
+    edges;
+  Table_fmt.render t
+
 let print_all () =
   print_string (table1 ());
   print_newline ();

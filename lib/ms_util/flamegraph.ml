@@ -1,0 +1,87 @@
+let sanitize_frame s =
+  let b = Bytes.of_string (String.trim s) in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | ';' | '\n' | '\r' -> Bytes.set b i '_'
+    | _ -> ()
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "_" else s
+
+let round_weight w = int_of_float (Float.round w)
+
+let emit_collapsed stacks =
+  (* Merge repeated stacks (first-occurrence order) so the folded output
+     is canonical even when the caller emits one entry per source row. *)
+  let order = ref [] in
+  let weights : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (frames, w) ->
+      if frames <> [] && w > 0.0 then begin
+        let key = String.concat ";" (List.map sanitize_frame frames) in
+        match Hashtbl.find_opt weights key with
+        | Some cell -> cell := !cell +. w
+        | None ->
+          Hashtbl.add weights key (ref w);
+          order := key :: !order
+      end)
+    stacks;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun key ->
+      let w = round_weight !(Hashtbl.find weights key) in
+      if w > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" key w))
+    (List.rev !order);
+  Buffer.contents buf
+
+let to_speedscope ~name ~unit stacks =
+  let frames_rev = ref [] in
+  let n_frames = ref 0 in
+  let intern : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let frame_id fname =
+    match Hashtbl.find_opt intern fname with
+    | Some i -> i
+    | None ->
+      let i = !n_frames in
+      Hashtbl.add intern fname i;
+      frames_rev := fname :: !frames_rev;
+      incr n_frames;
+      i
+  in
+  let live = List.filter (fun (frames, w) -> frames <> [] && w > 0.0) stacks in
+  let samples =
+    List.map
+      (fun (frames, _) ->
+        Json.List (List.map (fun f -> Json.Int (frame_id (sanitize_frame f))) frames))
+      live
+  in
+  let weights = List.map (fun (_, w) -> Json.Float w) live in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 live in
+  Json.Obj
+    [
+      ("$schema", Json.String "https://www.speedscope.app/file-format-schema.json");
+      ("name", Json.String name);
+      ("activeProfileIndex", Json.Int 0);
+      ("exporter", Json.String "memsentry");
+      ( "shared",
+        Json.Obj
+          [
+            ( "frames",
+              Json.List
+                (List.rev_map (fun f -> Json.Obj [ ("name", Json.String f) ]) !frames_rev) );
+          ] );
+      ( "profiles",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("type", Json.String "sampled");
+                ("name", Json.String name);
+                ("unit", Json.String unit);
+                ("startValue", Json.Float 0.0);
+                ("endValue", Json.Float total);
+                ("samples", Json.List samples);
+                ("weights", Json.List weights);
+              ];
+          ] );
+    ]

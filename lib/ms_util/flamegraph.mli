@@ -1,0 +1,28 @@
+(** Flamegraph emitters for weighted stack profiles.
+
+    A profile here is a list of [(frames, weight)] pairs — an outermost-
+    first frame stack and a non-negative weight (cycles, samples, bytes).
+    Two output formats cover the common viewers:
+
+    - {!emit_collapsed}: Brendan Gregg's "folded stacks" text format
+      ([frame;frame;frame weight] per line), the input of
+      [flamegraph.pl] and of most flamegraph web viewers;
+    - {!to_speedscope}: the speedscope JSON file format
+      (https://www.speedscope.app), as an importable "sampled" profile.
+
+    Emission is deterministic: stacks appear in input order (collapsed
+    output merges repeated identical stacks by summing their weights
+    at first position), frames are interned in first-use order. *)
+
+val emit_collapsed : (string list * float) list -> string
+(** One folded line per distinct stack: [a;b;c 123\n]. Weights are
+    rounded to the nearest integer; stacks whose rounded weight is 0 (or
+    with no frames) are dropped. Frame names have [';'], newlines and
+    leading/trailing spaces replaced with ['_'] so they cannot corrupt
+    the framing. *)
+
+val to_speedscope : name:string -> unit:string -> (string list * float) list -> Json.t
+(** A complete speedscope file holding one sampled profile called
+    [name], with per-stack weights in [unit] (e.g. ["none"] for
+    simulated cycles — speedscope's unit vocabulary has no cycles).
+    Zero-weight and empty stacks are dropped. *)

@@ -18,6 +18,9 @@ type level = {
          hit/miss or victim decisions, so outcomes are identical with or
          without it (a stale hint just falls back to the scan). *)
   mutable hits : int;
+  mutable evictions : int;
+      (* installs that displaced a valid line (conflict/capacity victim) —
+         observability only, never consulted by the model *)
 }
 
 type served = L1 | L2 | L3 | Dram
@@ -39,6 +42,7 @@ let level ~sets ~ways =
     stamps = Array.make (sets * ways) 0;
     mru = Array.make sets 0;
     hits = 0;
+    evictions = 0;
   }
 
 let create () =
@@ -91,6 +95,7 @@ let probe lvl line clock =
         if Array.unsafe_get stamps (base + i) < Array.unsafe_get stamps (base + !victim) then
           victim := i
       done;
+      if Array.unsafe_get tags (base + !victim) >= 0 then lvl.evictions <- lvl.evictions + 1;
       Array.unsafe_set tags (base + !victim) line;
       Array.unsafe_set stamps (base + !victim) clock;
       Array.unsafe_set lvl.mru set !victim;
@@ -132,9 +137,15 @@ let l1_hits t = t.l1.hits
 let l2_hits t = t.l2.hits
 let l3_hits t = t.l3.hits
 let dram_accesses t = t.dram
+let l1_evictions t = t.l1.evictions
+let l2_evictions t = t.l2.evictions
+let l3_evictions t = t.l3.evictions
 
 let reset_stats t =
   t.l1.hits <- 0;
   t.l2.hits <- 0;
   t.l3.hits <- 0;
-  t.dram <- 0
+  t.dram <- 0;
+  t.l1.evictions <- 0;
+  t.l2.evictions <- 0;
+  t.l3.evictions <- 0

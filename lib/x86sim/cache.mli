@@ -35,6 +35,13 @@ val l1_hits : t -> int
 val l2_hits : t -> int
 val l3_hits : t -> int
 val dram_accesses : t -> int
+
+val l1_evictions : t -> int
+(** Line installs that displaced a valid line (conflict/capacity victims).
+    Observability only; never consulted by the model. *)
+
+val l2_evictions : t -> int
+val l3_evictions : t -> int
 val reset_stats : t -> unit
 
 val lat_l1 : int

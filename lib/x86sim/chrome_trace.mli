@@ -16,8 +16,10 @@ val to_json :
   ?annotate:(Tracer.span -> (string * Ms_util.Json.t) list) ->
   Tracer.span list ->
   Ms_util.Json.t
-(** The whole trace: metadata events naming the process/thread, then one
-    event per span. *)
+(** The whole trace: "M" metadata events naming the process and one
+    thread track per nesting depth (Perfetto shows them as labeled,
+    depth-sorted rows), then one "X" event per span on its depth's
+    track. *)
 
 val to_string :
   ?process_name:string ->

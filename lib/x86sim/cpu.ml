@@ -49,6 +49,13 @@ type t = {
          for a store so old it no longer constrains the present. *)
   sb_ready : float array;
   counters : counters;
+  mutable site_of : int array;
+      (* CPI attribution map: [site_of.(rip)] is the Pipeline row charged
+         for instruction [rip] (0 = un-attributed application row). [||]
+         (the default) disables per-site attribution: everything lands in
+         the pipeline's single default row, and the per-instruction cost
+         is one length compare per block chain. Installed by
+         [set_site_rows]; must cover the whole code array. *)
   mutable program : Program.t;
   mutable tcache : Ublock.cache;
       (* predecoded basic-block translations of [program]; swapped when
@@ -183,6 +190,7 @@ let create ?(stack_pages = 64) () =
       sb_line = Array.make sb_slots (-1);
       sb_ready = Array.make sb_slots 0.0;
       counters = new_counters ();
+      site_of = [||];
       program;
       tcache = Ublock.create program;
       syscall_handler = default_syscall_handler;
@@ -265,10 +273,28 @@ let emit t ev =
     (snd t.event_hooks.(i)) ev
   done
 
+(* CPI-stack memory-class hint: translate the side state of the MMU/cache
+   access that just happened into a one-shot Pipeline attribution class
+   for the issue that follows. A TLB miss dominates (the walk is the bulk
+   of the latency); otherwise the class names the cache level that missed
+   (served-by-L2 = L1 miss, and so on). L1 hits leave the hint untouched
+   so they attribute to base/port/store-buffer as usual. *)
+let[@inline] note_mem_class t =
+  let mmu = t.mmu in
+  if mmu.Mmu.last_tlb_miss then Pipeline.set_cls t.pipe Pipeline.cls_tlb
+  else
+    match Cache.last_served mmu.Mmu.cache with
+    | Cache.L1 -> ()
+    | Cache.L2 -> Pipeline.set_cls t.pipe Pipeline.cls_l1_miss
+    | Cache.L3 -> Pipeline.set_cls t.pipe Pipeline.cls_l2_miss
+    | Cache.Dram -> Pipeline.set_cls t.pipe Pipeline.cls_l3_miss
+
 (* Memory-event emission, called right after an MMU access while [t.rip]
    still points at the responsible instruction. The [n_event_hooks] guard
-   keeps the un-instrumented hot path allocation-free. *)
+   keeps the un-instrumented hot path allocation-free; the CPI class hint
+   is unconditional (a pair of scalar stores at most). *)
 let emit_mem t va =
+  note_mem_class t;
   if t.n_event_hooks > 0 then begin
     if t.mmu.Mmu.last_tlb_miss then emit t (Event.Tlb_miss { rip = t.rip; va });
     match Cache.last_served t.mmu.Mmu.cache with
@@ -294,6 +320,20 @@ let reset_measurement t =
   c.ind_branches <- 0; c.syscalls <- 0; c.vmfuncs <- 0; c.vmcalls <- 0;
   c.wrpkrus <- 0; c.aes_ops <- 0; c.bnd_checks <- 0; c.faults <- 0;
   c.vm_exits <- 0
+
+let set_site_rows t map ~rows =
+  if Array.length map < Program.length t.program then
+    invalid_arg "Cpu.set_site_rows: map shorter than the code array";
+  let bad = ref (-1) in
+  Array.iter (fun r -> if r < 0 || r >= rows then bad := r) map;
+  if !bad >= 0 then
+    invalid_arg (Printf.sprintf "Cpu.set_site_rows: row %d out of [0, %d)" !bad rows);
+  t.site_of <- map;
+  Pipeline.install_rows t.pipe rows
+
+let clear_site_rows t =
+  t.site_of <- [||];
+  Pipeline.install_rows t.pipe 1
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -747,6 +787,11 @@ let step t =
     for i = 0 to t.n_step_hooks - 1 do
       (snd t.step_hooks.(i)) t insn
     done;
+    (* Same per-site CPI attribution as the translated loop ([saved] is
+       in-bounds here: the fetch above would have faulted otherwise). *)
+    let map = t.site_of in
+    if saved < Array.length map then
+      Pipeline.set_row t.pipe (Array.unsafe_get map saved);
     t.counters.insns <- t.counters.insns + 1;
     exec_attempt t insn saved 0
   end
@@ -766,9 +811,10 @@ let[@inline] ea_gen t base index scale disp =
    the decode (operands and issue metadata are frozen in the uop), minus
    the [rip] bookkeeping (the block loop owns it), and minus the
    [emit_mem] probes (translated execution only runs with zero event
-   hooks, and nothing inside a block body can attach one). Mutation
-   order within each arm matches [exec] exactly, so a fault unwinds with
-   identical partial state. *)
+   hooks, and nothing inside a block body can attach one) — memory arms
+   call [note_mem_class] directly for the CPI-stack hint that [emit_mem]
+   would have supplied. Mutation order within each arm matches [exec]
+   exactly, so a fault unwinds with identical partial state. *)
 let exec_uop t (u : Ublock.uop) =
   let c = t.counters in
   match u with
@@ -782,6 +828,7 @@ let exec_uop t (u : Ublock.uop) =
   | Ublock.Uload_bd { d; base; disp; meta } ->
     let va = t.gpr.(base) + disp in
     let v = Mmu.read64_fast t.mmu ~va in
+    note_mem_class t;
     t.gpr.(d) <- v;
     c.loads <- c.loads + 1;
     set_load_dep t va;
@@ -789,6 +836,7 @@ let exec_uop t (u : Ublock.uop) =
   | Ublock.Uload_gen { d; base; index; scale; disp; meta } ->
     let va = ea_gen t base index scale disp in
     let v = Mmu.read64_fast t.mmu ~va in
+    note_mem_class t;
     t.gpr.(d) <- v;
     c.loads <- c.loads + 1;
     set_load_dep t va;
@@ -796,24 +844,28 @@ let exec_uop t (u : Ublock.uop) =
   | Ublock.Ustore_bd { s; base; disp; meta } ->
     let va = t.gpr.(base) + disp in
     Mmu.write64_fast t.mmu ~va t.gpr.(s);
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t va
   | Ublock.Ustore_gen { s; base; index; scale; disp; meta } ->
     let va = ea_gen t base index scale disp in
     Mmu.write64_fast t.mmu ~va t.gpr.(s);
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t va
   | Ublock.Ustorei_bd { imm; base; disp; meta } ->
     let va = t.gpr.(base) + disp in
     Mmu.write64_fast t.mmu ~va imm;
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t va
   | Ublock.Ustorei_gen { imm; base; index; scale; disp; meta } ->
     let va = ea_gen t base index scale disp in
     Mmu.write64_fast t.mmu ~va imm;
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t va
@@ -866,12 +918,14 @@ let exec_uop t (u : Ublock.uop) =
     let a = ea_gen t base index scale disp in
     Mmu.write64_fast t.mmu ~va:a t.bnd_lower.(b);
     Mmu.write64_fast t.mmu ~va:(a + 8) t.bnd_upper.(b);
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t a
   | Ublock.Ubndmov_load { b; base; index; scale; disp; meta } ->
     let a = ea_gen t base index scale disp in
     let lo = Mmu.read64_fast t.mmu ~va:a in
+    note_mem_class t;
     let lat1 = t.mmu.Mmu.last_lat in
     let hi = Mmu.read64_fast t.mmu ~va:(a + 8) in
     t.bnd_lower.(b) <- lo;
@@ -886,12 +940,14 @@ let exec_uop t (u : Ublock.uop) =
   | Ublock.Umovdqa_load { x; base; index; scale; disp; meta } ->
     let va = ea_gen t base index scale disp in
     Mmu.read_block16_into t.mmu ~va ~dst:t.xmm ~dpos:(32 * x);
+    note_mem_class t;
     c.loads <- c.loads + 1;
     set_load_dep t va;
     Pipeline.issue_packed t.pipe ~meta ~lat:t.mmu.Mmu.last_lat
   | Ublock.Umovdqa_store { x; base; index; scale; disp; meta } ->
     let va = ea_gen t base index scale disp in
     Mmu.write_block16_from t.mmu ~va ~src:t.xmm ~spos:(32 * x);
+    note_mem_class t;
     c.stores <- c.stores + 1;
     Pipeline.issue_packed_static t.pipe ~meta;
     note_store t va
@@ -955,6 +1011,12 @@ let follow_dynamic cache bcell chaining target =
    instruction and the EPT-retry handler can resume precisely. *)
 let exec_block_chain t cache b0 budget =
   let c = t.counters in
+  (* Per-site CPI attribution is active only when an installed map covers
+     this cache's whole code array; the check is hoisted to one compare
+     per chain (the map cannot change mid-chain — only handlers install
+     it, and every handler-running instruction ends the chain). *)
+  let map = t.site_of in
+  let mapped = Array.length map >= Ublock.code_length cache in
   let bcell = ref b0 in
   let chaining = ref true in
   while !chaining do
@@ -962,14 +1024,29 @@ let exec_block_chain t cache b0 budget =
     let uops = blk.Ublock.uops in
     let n = Array.length uops in
     let entry = blk.Ublock.entry in
+    blk.Ublock.exec_count <- Ublock.bump blk.Ublock.exec_count;
     let i = ref 0 in
-    while !i < n && !budget > 0 do
-      t.rip <- entry + !i;
-      c.insns <- c.insns + 1;
-      exec_uop t (Array.unsafe_get uops !i);
-      decr budget;
-      incr i
-    done;
+    (* Two copies of the uop loop so the un-instrumented run (no site map
+       installed — the common case) pays nothing per uop for row
+       attribution, not even a predictable branch. *)
+    if mapped then
+      while !i < n && !budget > 0 do
+        let rip = entry + !i in
+        t.rip <- rip;
+        Pipeline.set_row t.pipe (Array.unsafe_get map rip);
+        c.insns <- c.insns + 1;
+        exec_uop t (Array.unsafe_get uops !i);
+        decr budget;
+        incr i
+      done
+    else
+      while !i < n && !budget > 0 do
+        t.rip <- entry + !i;
+        c.insns <- c.insns + 1;
+        exec_uop t (Array.unsafe_get uops !i);
+        decr budget;
+        incr i
+      done;
     if !i < n || !budget <= 0 then begin
       (* Fuel exhausted: resume at the first unexecuted instruction
          (the terminator itself when [i = n], since [term_idx = entry + n]). *)
@@ -977,7 +1054,10 @@ let exec_block_chain t cache b0 budget =
       chaining := false
     end
     else begin
-      t.rip <- blk.Ublock.term_idx;
+      let ti = blk.Ublock.term_idx in
+      t.rip <- ti;
+      if mapped && ti < Array.length map then
+        Pipeline.set_row t.pipe (Array.unsafe_get map ti);
       match blk.Ublock.term with
       | Ublock.Term_fall_off ->
         (* Ran off the end of the code array: the dispatch loop turns
@@ -991,6 +1071,7 @@ let exec_block_chain t cache b0 budget =
         chaining := false
       | Ublock.Term_jmp { target } ->
         c.insns <- c.insns + 1;
+        blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
         Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
           ~port:Pipeline.p_branch;
         t.rip <- target;
@@ -1002,10 +1083,12 @@ let exec_block_chain t cache b0 budget =
           ~port:Pipeline.p_branch;
         decr budget;
         if eval_cond t cond then begin
+          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
           t.rip <- target;
           follow_static cache blk bcell chaining target ~taken:true
         end
         else begin
+          blk.Ublock.fall_count <- Ublock.bump blk.Ublock.fall_count;
           let fall = blk.Ublock.term_idx + 1 in
           t.rip <- fall;
           follow_static cache blk bcell chaining fall ~taken:false
@@ -1013,6 +1096,7 @@ let exec_block_chain t cache b0 budget =
       | Ublock.Term_call { target } ->
         c.insns <- c.insns + 1;
         c.calls <- c.calls + 1;
+        blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
         push t (blk.Ublock.term_idx + 1);
         Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
           ~port:Pipeline.p_branch;
@@ -1028,6 +1112,7 @@ let exec_block_chain t cache b0 budget =
           ~port:Pipeline.p_branch;
         (* Read the target after the push: [r] may be rsp. *)
         let target = t.gpr.(r) in
+        Ublock.note_dyn blk target;
         t.rip <- target;
         decr budget;
         follow_dynamic cache bcell chaining target
@@ -1037,6 +1122,7 @@ let exec_block_chain t cache b0 budget =
         Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
           ~port:Pipeline.p_branch;
         let target = t.gpr.(r) in
+        Ublock.note_dyn blk target;
         t.rip <- target;
         decr budget;
         follow_dynamic cache bcell chaining target
@@ -1044,6 +1130,7 @@ let exec_block_chain t cache b0 budget =
         c.insns <- c.insns + 1;
         c.rets <- c.rets + 1;
         let v = pop t in
+        Ublock.note_dyn blk v;
         Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
           ~port:Pipeline.p_branch;
         t.rip <- v;

@@ -70,6 +70,11 @@ type t = {
           line whose store retired at least {!val-sb_slots} lines ago. *)
   sb_ready : float array;
   counters : counters;
+  mutable site_of : int array;
+      (** CPI-stack attribution map: [site_of.(rip)] is the {!Pipeline}
+          row charged for instruction [rip] (0 = the un-attributed
+          application row). [[||]] (the default) disables per-site
+          attribution. Install via {!set_site_rows}. *)
   mutable program : Program.t;
   mutable tcache : Ublock.cache;
       (** Predecoded basic-block translations of [program] (see
@@ -146,6 +151,19 @@ val cycles : t -> float
 val reset_measurement : t -> unit
 (** Zero the pipeline clock and counters (not the memory system) so a
     measurement can exclude setup work. *)
+
+val set_site_rows : t -> int array -> rows:int -> unit
+(** Install a per-instruction CPI-stack attribution map: [map.(rip)] is
+    the pipeline row (in [0, rows)) charged for every cycle instruction
+    [rip] spends issuing; row 0 is the un-attributed application row.
+    [map] must cover the installed program's whole code array, and every
+    value must be a valid row. Installs [rows] accumulation rows in the
+    pipeline ({!Pipeline.install_rows}), zeroing any prior CPI data.
+    Raises [Invalid_argument] on a short map or out-of-range row. *)
+
+val clear_site_rows : t -> unit
+(** Drop the attribution map and return the pipeline to a single
+    aggregate CPI row. *)
 
 (** {2 Register access} *)
 

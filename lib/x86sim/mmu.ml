@@ -10,6 +10,9 @@ type t = {
   mutable ept_on : bool;
   mutable last_tlb_miss : bool;
   mutable last_lat : int;
+  mutable walk_cycles : int;
+      (* cumulative page-table-walk latency charged so far — the TLB slice
+         of the CPI stack, cross-checkable against Tlb.misses * walk_cost *)
 }
 
 let page_size = Physmem.page_size
@@ -32,6 +35,7 @@ let create () =
     ept_on = false;
     last_tlb_miss = false;
     last_lat = 0;
+    walk_cycles = 0;
   }
 
 let walk_cost t =
@@ -139,7 +143,9 @@ let translate_va t ~va ~(access : Fault.access) =
     else begin
       fill t ~vpn ~access ~pt_gen ~ept_gen;
       t.last_tlb_miss <- true;
-      t.last_lat <- walk_cost t;
+      let wc = walk_cost t in
+      t.last_lat <- wc;
+      t.walk_cycles <- t.walk_cycles + wc;
       Tlb.slot_info t.tlb (Tlb.slot_index t.tlb ~vpn)
     end
   in

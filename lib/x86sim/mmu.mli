@@ -36,6 +36,10 @@ type t = {
           for the [*_fast] accessors). Scratch result field: the CPU's
           per-instruction path reads it instead of receiving a freshly
           allocated tuple. *)
+  mutable walk_cycles : int;
+      (** Cumulative page-table-walk latency charged by TLB misses so far —
+          the TLB-walk slice of the CPI stack, cross-checkable against
+          [Tlb.misses * walk_cost]. *)
 }
 
 val create : unit -> t

@@ -20,6 +20,11 @@ type t = {
   l3_hit_rate : float;
   tlb_hit_rate : float;
   dram_accesses : int;
+  l1_evictions : int;
+  l2_evictions : int;
+  l3_evictions : int;
+  tlb_evictions : int;
+  tlb_walk_cycles : int;
 }
 
 (* A level nothing reached served every request it got: report 1.0, not a
@@ -56,6 +61,11 @@ let capture (cpu : Cpu.t) =
     l3_hit_rate = ratio l3 (l3 + dram);
     tlb_hit_rate = ratio (Tlb.hits tlb) (Tlb.hits tlb + Tlb.misses tlb);
     dram_accesses = dram;
+    l1_evictions = Cache.l1_evictions cache;
+    l2_evictions = Cache.l2_evictions cache;
+    l3_evictions = Cache.l3_evictions cache;
+    tlb_evictions = Tlb.evictions tlb;
+    tlb_walk_cycles = cpu.Cpu.mmu.Mmu.walk_cycles;
   }
 
 let to_string r =
@@ -70,7 +80,10 @@ let to_string r =
       Printf.sprintf "L1 hit rate    %12.1f%%   (L2 %.1f%%, L3 %.1f%%, DRAM accesses %d)"
         (100.0 *. r.l1_hit_rate) (100.0 *. r.l2_hit_rate) (100.0 *. r.l3_hit_rate)
         r.dram_accesses;
-      Printf.sprintf "TLB hit rate   %12.1f%%" (100.0 *. r.tlb_hit_rate);
+      Printf.sprintf "TLB hit rate   %12.1f%%   (%d evictions, %d walk cycles)"
+        (100.0 *. r.tlb_hit_rate) r.tlb_evictions r.tlb_walk_cycles;
+      Printf.sprintf "evictions      %8d L1 / %d L2 / %d L3" r.l1_evictions r.l2_evictions
+        r.l3_evictions;
       Printf.sprintf "protection     %d bndck, %d wrpkru, %d vmfunc, %d vmcall, %d vmexit, %d aes"
         r.bnd_checks r.wrpkrus r.vmfuncs r.vmcalls r.vm_exits r.aes_ops;
       Printf.sprintf "faults         %12d" r.faults;
@@ -100,6 +113,11 @@ let to_json r =
       ("l3_hit_rate", Ms_util.Json.Float r.l3_hit_rate);
       ("tlb_hit_rate", Ms_util.Json.Float r.tlb_hit_rate);
       ("dram_accesses", Ms_util.Json.Int r.dram_accesses);
+      ("l1_evictions", Ms_util.Json.Int r.l1_evictions);
+      ("l2_evictions", Ms_util.Json.Int r.l2_evictions);
+      ("l3_evictions", Ms_util.Json.Int r.l3_evictions);
+      ("tlb_evictions", Ms_util.Json.Int r.tlb_evictions);
+      ("tlb_walk_cycles", Ms_util.Json.Int r.tlb_walk_cycles);
     ]
 
 let print cpu = print_endline (to_string (capture cpu))

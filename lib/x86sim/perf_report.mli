@@ -24,6 +24,11 @@ type t = {
   l3_hit_rate : float;  (** of accesses that missed L2 *)
   tlb_hit_rate : float;
   dram_accesses : int;
+  l1_evictions : int;  (** live lines displaced per level (capacity/conflict) *)
+  l2_evictions : int;
+  l3_evictions : int;
+  tlb_evictions : int;  (** live translations displaced by TLB fills *)
+  tlb_walk_cycles : int;  (** total page-table-walk latency charged by TLB misses *)
 }
 
 val capture : Cpu.t -> t

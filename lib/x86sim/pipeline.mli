@@ -116,6 +116,75 @@ val io_dep : int
 val io_comp : int
 (** [io] slot: completion time left by the last issue. *)
 
+(** {2 CPI-stack accounting}
+
+    Always-on, allocation-free cycle attribution: every issue charges its
+    elapsed-cycle delta (change in {!cycles}) to exactly one class below,
+    in the current attribution {e row}. Rows let a caller aggregate per
+    gate site: install one row per site (plus row 0 for un-attributed
+    application cycles) and point {!set_row} at the right one before each
+    instruction. With no rows installed everything lands in the single
+    default row, so the global CPI stack is available even for
+    uninstrumented runs. Deltas telescope: the sum over all rows and
+    classes equals {!cycles} up to float-addition rounding. *)
+
+val cls_base : int
+(** Steady-state issue: fetch width, dependency chains, L1 hits. Always 0. *)
+
+val cls_l1_miss : int
+(** Memory access served by L2. *)
+
+val cls_l2_miss : int
+(** Memory access served by L3. *)
+
+val cls_l3_miss : int
+(** Memory access served by DRAM. *)
+
+val cls_tlb : int
+(** TLB miss: a page-table walk was on the access path. *)
+
+val cls_sb : int
+(** Store-buffer: the store-to-load forwarding floor was the binding
+    constraint on issue time. *)
+
+val cls_port : int
+(** Port contention: the instruction was ready before an execution unit
+    on its port was free. *)
+
+val cls_gate : int
+(** Gate/serializing instruction: MPX checks, AES crypt ops, and the
+    special port (wrpkru, vmfunc, vmcall, syscall, fences). *)
+
+val cls_count : int
+
+val cls_names : string array
+(** Human-readable class labels, indexed by class id. *)
+
+val set_cls : t -> int -> unit
+(** Override the class of the {e next} issue (used by the CPU to deposit
+    the memory-level outcome of an MMU access). Self-resets after one
+    issue. *)
+
+val set_row : t -> int -> unit
+(** Select the attribution row for subsequent issues. Out-of-range rows
+    are ignored (the current row keeps accumulating). *)
+
+val install_rows : t -> int -> unit
+(** Allocate [n] fresh attribution rows (at least 1) and select row 0.
+    Row 0 is conventionally the un-attributed application row. *)
+
+val cpi_rows : t -> float array
+(** The live accumulator: row-major [n_rows * cls_count] cycle totals. *)
+
+val cpi_row_count : t -> int
+
+val cpi_totals : t -> float array
+(** Per-class totals summed over all rows (a fresh [cls_count] array). *)
+
+val cycles_accounted : t -> float
+(** Sum of every accumulator cell — equals {!cycles} up to float-addition
+    rounding (invariant-tested). *)
+
 val cycles : t -> float
 (** Total cycles elapsed so far (max of fetch front and latest completion). *)
 

@@ -13,6 +13,9 @@ type t = {
   infos : int array; (* packed hfn/pkey/permission mirror, see slot_info *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
+      (* inserts that displaced a live translation for a different page
+         (direct-mapped conflict) — observability only *)
 }
 
 let create ?(slots = 1024) () =
@@ -31,6 +34,7 @@ let create ?(slots = 1024) () =
     infos = Array.make slots 0;
     hit_count = 0;
     miss_count = 0;
+    eviction_count = 0;
   }
 
 let slot_of t vpn = vpn land (t.slots - 1)
@@ -103,6 +107,8 @@ let probe t ~vpn ~ept ~pt_gen ~ept_gen =
 
 let insert_fields t ~vpn ~ept ~pt_gen ~ept_gen ~hfn ~readable ~writable ~pkey =
   let s = slot_of t vpn in
+  let prev = t.vpns.(s) in
+  if prev >= 0 && prev <> vpn then t.eviction_count <- t.eviction_count + 1;
   t.vpns.(s) <- vpn;
   t.epts.(s) <- ept;
   t.pt_gens.(s) <- pt_gen;
@@ -128,7 +134,9 @@ let flush_page t ~vpn =
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+let evictions t = t.eviction_count
 
 let reset_stats t =
   t.hit_count <- 0;
-  t.miss_count <- 0
+  t.miss_count <- 0;
+  t.eviction_count <- 0

@@ -75,4 +75,9 @@ val flush_page : t -> vpn:int -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Inserts that displaced a live translation for a {e different} page
+    (direct-mapped conflicts). Observability only. *)
+
 val reset_stats : t -> unit

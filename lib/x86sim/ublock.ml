@@ -52,6 +52,12 @@ type block = {
   bgen : int;
   mutable succ_taken : block;
   mutable succ_fall : block;
+  mutable exec_count : int;
+  mutable taken_count : int;
+  mutable fall_count : int;
+  mutable dyn_target : int;
+  mutable dyn_votes : int;
+  mutable dyn_total : int;
 }
 
 type cache = {
@@ -59,6 +65,8 @@ type cache = {
   code : Insn.t array;
   blocks : block array;  (* indexed by entry; dummy_block = not compiled *)
   mutable gen : int;
+  mutable compile_count : int;
+  mutable invalidation_count : int;
 }
 
 let rec dummy_block =
@@ -70,6 +78,12 @@ let rec dummy_block =
     bgen = -1;
     succ_taken = dummy_block;
     succ_fall = dummy_block;
+    exec_count = 0;
+    taken_count = 0;
+    fall_count = 0;
+    dyn_target = -1;
+    dyn_votes = 0;
+    dyn_total = 0;
   }
 
 let create program =
@@ -78,12 +92,90 @@ let create program =
     code = Program.code program;
     blocks = Array.make (Program.length program) dummy_block;
     gen = 0;
+    compile_count = 0;
+    invalidation_count = 0;
   }
 
 let owns cache program = cache.program == program
 let code_length cache = Array.length cache.code
 let generation cache = cache.gen
-let invalidate cache = cache.gen <- cache.gen + 1
+
+let invalidate cache =
+  cache.gen <- cache.gen + 1;
+  cache.invalidation_count <- cache.invalidation_count + 1
+
+let compiles cache = cache.compile_count
+let invalidations cache = cache.invalidation_count
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path profile counters                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Saturating increment: profile counters must never wrap into garbage on
+   arbitrarily long runs, and the compare is one predictable branch per
+   block entry/exit (not per instruction). *)
+let[@inline] bump c = if c = max_int then c else c + 1
+
+(* Indirect-edge inline cache, Boyer–Moore majority vote: [dyn_target]
+   holds the current majority candidate with [dyn_votes] excess votes,
+   [dyn_total] every indirect exit. One compare + one store per indirect
+   branch, no per-target table — and if one target dominates (the common
+   monomorphic case: returns to a single caller, one hot jump table slot)
+   it provably survives as the candidate. The superblock tier needs
+   exactly this: "is there a dominant successor worth chaining?" *)
+let note_dyn (b : block) target =
+  b.dyn_total <- bump b.dyn_total;
+  if b.dyn_votes = 0 then begin
+    b.dyn_target <- target;
+    b.dyn_votes <- 1
+  end
+  else if b.dyn_target = target then b.dyn_votes <- bump b.dyn_votes
+  else b.dyn_votes <- b.dyn_votes - 1
+
+type stat = {
+  s_entry : int;
+  s_insns : int;
+  s_exec : int;
+  s_taken : int;
+  s_fall : int;
+  s_taken_target : int;
+  s_fall_target : int;
+  s_dyn_target : int;
+  s_dyn_votes : int;
+  s_dyn_total : int;
+}
+
+let stat_of (b : block) =
+  let taken_target, fall_target =
+    match b.term with
+    | Term_jmp { target } | Term_call { target } -> (target, -1)
+    | Term_jcc { target; _ } -> (target, b.term_idx + 1)
+    | Term_halt | Term_call_r _ | Term_jmp_r _ | Term_ret | Term_exec _ | Term_fall_off ->
+      (-1, -1)
+  in
+  {
+    s_entry = b.entry;
+    s_insns = Array.length b.uops + (match b.term with Term_fall_off -> 0 | _ -> 1);
+    s_exec = b.exec_count;
+    s_taken = b.taken_count;
+    s_fall = b.fall_count;
+    s_taken_target = taken_target;
+    s_fall_target = fall_target;
+    s_dyn_target = b.dyn_target;
+    s_dyn_votes = b.dyn_votes;
+    s_dyn_total = b.dyn_total;
+  }
+
+(* Every block that executed at least once, in entry order. Stale-
+   generation blocks are included until their slot is recompiled: the
+   profile describes what ran, not what is currently cached. *)
+let stats cache =
+  let acc = ref [] in
+  for i = Array.length cache.blocks - 1 downto 0 do
+    let b = cache.blocks.(i) in
+    if b != dummy_block && b.exec_count > 0 then acc := stat_of b :: !acc
+  done;
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* The translator                                                      *)
@@ -413,6 +505,7 @@ let compile cache entry =
     incr stop
   done;
   let n = !stop - entry in
+  cache.compile_count <- cache.compile_count + 1;
   {
     entry;
     uops = Array.init n (fun i -> uop_of code.(entry + i));
@@ -421,6 +514,12 @@ let compile cache entry =
     bgen = cache.gen;
     succ_taken = dummy_block;
     succ_fall = dummy_block;
+    exec_count = 0;
+    taken_count = 0;
+    fall_count = 0;
+    dyn_target = -1;
+    dyn_votes = 0;
+    dyn_total = 0;
   }
 
 let get cache entry =

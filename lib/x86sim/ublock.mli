@@ -111,6 +111,17 @@ type block = {
           successor of jmp/call); {!dummy_block} until first followed,
           honored only while [succ.bgen] matches the cache generation *)
   mutable succ_fall : block;  (** chained fall-through successor *)
+  mutable exec_count : int;
+      (** always-on fast-path profile: times this block was entered.
+          Saturating (never wraps); incremented by the CPU's block loop. *)
+  mutable taken_count : int;
+      (** taken-direction exits (jmp / call / taken jcc) *)
+  mutable fall_count : int;  (** fall-through exits (untaken jcc) *)
+  mutable dyn_target : int;
+      (** indirect-edge majority-vote candidate (Boyer–Moore): the entry
+          index most indirect exits targeted, [-1] before any *)
+  mutable dyn_votes : int;  (** vote excess held by [dyn_target] *)
+  mutable dyn_total : int;  (** total indirect exits (ret / call_r / jmp_r) *)
 }
 
 type cache
@@ -139,3 +150,47 @@ val invalidate : cache -> unit
 (** Bump the generation: every cached block and chain link becomes stale
     and is recompiled on next entry. For in-place mutation of the code
     array; program swaps are handled by cache identity ({!owns}). *)
+
+(** {2 Fast-path profile}
+
+    Always-on, allocation-free counters maintained by the translated
+    execution loop: block execution counts and CFG edge profiles keyed by
+    block entry — the input the superblock/trace tier needs to pick hot
+    chains. *)
+
+val compiles : cache -> int
+(** Blocks compiled (including recompilations after invalidation). *)
+
+val invalidations : cache -> int
+(** {!invalidate} calls (generation bumps) on this cache. *)
+
+val bump : int -> int
+(** Saturating increment: [bump max_int = max_int]. The increment used by
+    every profile counter, exposed for the overflow tests. *)
+
+val note_dyn : block -> int -> unit
+(** Record one indirect exit of [block] to entry index [target]:
+    increments [dyn_total] and updates the Boyer–Moore majority vote in
+    [dyn_target]/[dyn_votes]. If one target has an absolute majority over
+    the block's lifetime it is guaranteed to end up as [dyn_target]. *)
+
+(** One block's profile snapshot, with static edge targets resolved:
+    [s_taken_target]/[s_fall_target] are successor entry indices or [-1],
+    [s_dyn_target] the hot indirect successor (or [-1]). *)
+type stat = {
+  s_entry : int;
+  s_insns : int;  (** instructions covered (uops + terminator) *)
+  s_exec : int;
+  s_taken : int;
+  s_fall : int;
+  s_taken_target : int;
+  s_fall_target : int;
+  s_dyn_target : int;
+  s_dyn_votes : int;
+  s_dyn_total : int;
+}
+
+val stats : cache -> stat list
+(** Every block that executed at least once, in entry order. Blocks from
+    stale generations are included until their slot is recompiled: the
+    profile describes what ran. *)

@@ -23,4 +23,5 @@ let () =
       ("fig2-encode", Test_fig2_and_encode.suite);
       ("edges", Test_coverage_edges.suite);
       ("telemetry", Test_telemetry.suite);
+      ("cpi", Test_cpi.suite);
     ]
