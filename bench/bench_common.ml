@@ -10,6 +10,11 @@ let iterations = ref 40
    in deterministic order, making the output independent of [jobs]. *)
 let jobs = ref 1
 
+(* vCPU count for the multi-core targets (servers). 1 keeps every golden
+   byte-identical to the single-core harness; >1 additionally runs the
+   SMP sweep on machines with up to this many cores. *)
+let vcpus = ref 1
+
 (* JSON accumulator for --json: targets record their results here and
    main.exe writes one object at exit. Recording is unconditional — it is
    cheap, and only main decides whether a file gets written. *)

@@ -11,6 +11,8 @@ let usage () =
      [table1|table2|table3|table4|fig3|fig4|fig5|fig6|extras|ablations|domains|servers|codesize|verify|gateopt|attacks|bechamel|simspeed|edgeprof|all]\n\
      \  --iterations N   workload loop iterations (default 40)\n\
      \  --jobs N         run independent simulations on N domains (default 1)\n\
+     \  --vcpus N        servers only: also sweep multi-vCPU machines up to N cores\n\
+     \                   (default 1 = single-core only, keeps goldens stable)\n\
      \  --json FILE      also write machine-readable results (figures 3-6, table 4)\n\
      \  --speed-guard F  simspeed only: fail if measured MIPS < F x the committed\n\
      \                   BENCH_simspeed.json latest (CI perf-regression gate)";
@@ -63,6 +65,11 @@ let () =
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some v when v > 0 -> Bench_common.jobs := v
+      | Some _ | None -> usage ());
+      parse targets rest
+    | "--vcpus" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v > 0 -> Bench_common.vcpus := v
       | Some _ | None -> usage ());
       parse targets rest
     | "--json" :: file :: rest ->

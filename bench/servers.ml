@@ -14,6 +14,110 @@ let configs =
     ("crypt c/r", Bench_common.crypt_cfg Instr.At_call_ret);
   ]
 
+(* --- multi-vCPU sweep (--vcpus N) -------------------------------------- *)
+
+(* The single-core sweep above answers "how much does one worker slow
+   down"; this one answers "what does a multi-worker deployment look
+   like": N identical request workers on one shared-memory machine,
+   deterministic round-robin. VMFUNC is absent — its hypervisor
+   virtualizes one CPU (prepare_smp rejects it). *)
+let smp_configs =
+  [
+    ("MPX-rw", Framework.config Technique.Mpx);
+    ("SFI-rw", Framework.config Technique.Sfi);
+    ("MPK c/r", Bench_common.mpk_cfg Instr.At_call_ret);
+    ("crypt c/r", Bench_common.crypt_cfg Instr.At_call_ret);
+  ]
+
+let smp_counts max = List.filter (fun n -> n <= max) [ 1; 2; 4; 8 ]
+
+let run_smp () =
+  let iterations = !Bench_common.iterations in
+  let counts = smp_counts !Bench_common.vcpus in
+  let results =
+    List.concat_map
+      (fun prof ->
+        List.concat_map
+          (fun (cname, cfg) ->
+            List.map
+              (fun vcpus ->
+                (prof.Workloads.Profile.name, cname, vcpus,
+                 Workloads.Servers.parallel ~iterations ~vcpus prof cfg))
+              counts)
+          smp_configs)
+      Workloads.Servers.all
+  in
+  let t =
+    Table_fmt.create
+      ~align:
+        [ Table_fmt.Left; Table_fmt.Left; Table_fmt.Right; Table_fmt.Right; Table_fmt.Right;
+          Table_fmt.Right; Table_fmt.Right; Table_fmt.Right ]
+      [ "workload"; "config"; "vcpus"; "throughput"; "min util"; "crossings"; "shootdowns"; "IPC" ]
+  in
+  List.iter
+    (fun (wname, cname, vcpus, r) ->
+      (* Aggregate throughput relative to one worker's makespan: N
+         workers' instructions over the slowest core's cycles, normalized
+         to the same workload's 1-vCPU run. *)
+      let base =
+        let _, _, _, r1 =
+          List.find (fun (w, c, n, _) -> w = wname && c = cname && n = 1) results
+        in
+        float_of_int r1.Workloads.Runner.total_insns /. r1.Workloads.Runner.makespan
+      in
+      let tput =
+        float_of_int r.Workloads.Runner.total_insns /. r.Workloads.Runner.makespan /. base
+      in
+      let min_util = Array.fold_left Float.min infinity r.Workloads.Runner.utilization in
+      Table_fmt.add_row t
+        [
+          wname; cname; string_of_int vcpus;
+          Printf.sprintf "%.2fx" tput;
+          Printf.sprintf "%.3f" min_util;
+          string_of_int r.Workloads.Runner.switches;
+          string_of_int r.Workloads.Runner.shootdowns;
+          Printf.sprintf "%.3f"
+            (float_of_int r.Workloads.Runner.total_insns /. r.Workloads.Runner.makespan);
+        ])
+    results;
+  Printf.printf
+    "Multi-worker server deployments (shared-memory machine, %d-core max,\n\
+     deterministic round-robin; throughput normalized to 1 vCPU)\n"
+    !Bench_common.vcpus;
+  Table_fmt.print t;
+  print_newline ();
+  let core_json (c : Workloads.Runner.run_result) util =
+    Json.Obj
+      [
+        ("cycles", Json.Float c.Workloads.Runner.cycles);
+        ("insns", Json.Int c.Workloads.Runner.insns);
+        ("ipc", Json.Float c.Workloads.Runner.ipc);
+        ("gate_crossings", Json.Int c.Workloads.Runner.switch_count);
+        ("utilization", Json.Float util);
+      ]
+  in
+  Bench_common.record_json "servers_smp"
+    (Json.List
+       (List.map
+          (fun (wname, cname, vcpus, r) ->
+            Json.Obj
+              [
+                ("workload", Json.String wname);
+                ("config", Json.String cname);
+                ("vcpus", Json.Int vcpus);
+                ("makespan", Json.Float r.Workloads.Runner.makespan);
+                ("total_insns", Json.Int r.Workloads.Runner.total_insns);
+                ("gate_crossings", Json.Int r.Workloads.Runner.switches);
+                ("shootdowns", Json.Int r.Workloads.Runner.shootdowns);
+                ( "cores",
+                  Json.List
+                    (Array.to_list
+                       (Array.mapi
+                          (fun k c -> core_json c r.Workloads.Runner.utilization.(k))
+                          r.Workloads.Runner.per_core)) );
+              ])
+          results))
+
 let run () =
   let iterations = !Bench_common.iterations in
   let rows = Workloads.Runner.sweep ~iterations Workloads.Servers.all configs in
@@ -40,4 +144,5 @@ let run () =
         (if sv -. 1.0 > 0.001 then (cv -. 1.0) /. (sv -. 1.0) else 1.0)
         ((cv -. 1.0) *. 100.0) ((sv -. 1.0) *. 100.0))
     geo spec_geo;
-  print_newline ()
+  print_newline ();
+  if !Bench_common.vcpus > 1 then run_smp ()

@@ -147,12 +147,54 @@ let report_cmd =
            ~unit:"none" (Fastprof.stacks fp));
       Printf.printf "speedscope profile written to %s\n" file
   in
-  let run bench technique policy kind iterations top json_out flame_out speedscope_out =
+  (* N vCPUs, one shared machine: per-core CPI stacks plus the machine
+     rollup (Fastprof.merge) — cycles/counters sum, shared-tier numbers
+     counted once. *)
+  let fastpath_report_smp bench technique policy kind iterations vcpus top json_out =
+    let prof = find_bench bench in
+    let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
+    let s =
+      try Workloads.Runner.prepare_smp_instrumented ~iterations ~vcpus prof cfg
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    Fastprof.install_smp s;
+    (match Framework.run_smp s with
+    | X86sim.Cpu.Halted -> ()
+    | X86sim.Cpu.Out_of_fuel ->
+      Printf.eprintf "%s did not terminate\n" bench;
+      exit 1);
+    let per_core = Fastprof.capture_smp ~workload:prof.Workloads.Profile.name s in
+    let total = Fastprof.merge per_core in
+    Printf.printf
+      "%s under %s on %d vCPUs (%d iterations each), engine: fast path\n\n"
+      prof.Workloads.Profile.name (Technique.name technique) vcpus iterations;
+    List.iteri
+      (fun core fp ->
+        Printf.printf "core %d: %.0f cycles over %d instructions\n" core fp.Fastprof.p_cycles
+          fp.Fastprof.p_insns;
+        print_string (Report.cpi_table fp);
+        print_newline ())
+      per_core;
+    Printf.printf "machine total: %.0f cycles (summed) over %d instructions\n"
+      total.Fastprof.p_cycles total.Fastprof.p_insns;
+    print_string (Report.cpi_table total);
+    match json_out with
+    | None -> ()
+    | Some "-" -> print_endline (Ms_util.Json.to_string ~pretty:true (Fastprof.to_json total))
+    | Some file ->
+      Ms_util.Json.to_file file (Fastprof.to_json total);
+      Printf.printf "\nmachine-total profile written to %s\n" file
+  in
+  let run bench technique policy kind iterations vcpus top json_out flame_out speedscope_out =
     match bench with
     | None -> Report.print_all ()
     | Some bench ->
-      fastpath_report bench technique policy kind iterations top json_out flame_out
-        speedscope_out
+      if vcpus > 1 then fastpath_report_smp bench technique policy kind iterations vcpus top json_out
+      else
+        fastpath_report bench technique policy kind iterations top json_out flame_out
+          speedscope_out
   in
   let bench =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
@@ -173,6 +215,11 @@ let report_cmd =
   let top =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot block/edge tables.")
   in
+  let vcpus =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N"
+           ~doc:"Run N copies of the workload on an N-core shared-memory machine and print \
+                 per-core CPI stacks plus the machine rollup (default 1 = single-core report).")
+  in
   let json_out =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the fast-path profile as JSON ('-' for stdout); input of perf-diff.")
@@ -191,8 +238,8 @@ let report_cmd =
          "Print the survey tables (paper Tables 1-3); with a BENCHMARK, run it on the \
           fast path and print the always-on counter report (CPI stack per gate site, hot \
           blocks, hot edges) with optional flamegraph/speedscope/JSON export")
-    Term.(const run $ bench $ technique $ policy $ kind $ iterations_arg $ top $ json_out
-          $ flame_out $ speedscope_out)
+    Term.(const run $ bench $ technique $ policy $ kind $ iterations_arg $ vcpus $ top
+          $ json_out $ flame_out $ speedscope_out)
 
 (* --- perf-diff --- *)
 

@@ -24,10 +24,8 @@ type t = {
   p_walk_cycles : int;
 }
 
-let install (p : Framework.prepared) =
-  let cpu = p.Framework.cpu in
+let install_on cpu (sm : Sitemap.t) =
   let len = Program.length cpu.Cpu.program in
-  let sm = p.Framework.sitemap in
   let map = Array.make len 0 in
   for rip = 0 to len - 1 do
     match Sitemap.classify sm rip with
@@ -36,14 +34,18 @@ let install (p : Framework.prepared) =
   done;
   Cpu.set_site_rows cpu map ~rows:(Sitemap.n_sites sm + 1)
 
+let install (p : Framework.prepared) = install_on p.Framework.cpu p.Framework.sitemap
+
+let install_smp (s : Framework.smp) =
+  let sm = s.Framework.prepared.Framework.sitemap in
+  Array.iter (fun cpu -> install_on cpu sm) (Machine.cpus s.Framework.machine)
+
 let row_cycles r = Array.fold_left ( +. ) 0.0 r.fp_classes
 
 let total_cycles t = List.fold_left (fun a r -> a +. row_cycles r) 0.0 t.p_rows
 
-let capture ?workload (p : Framework.prepared) =
-  let cpu = p.Framework.cpu in
+let capture_cpu ?workload ~technique (sm : Sitemap.t) (cpu : Cpu.t) =
   let pipe = cpu.Cpu.pipe in
-  let sm = p.Framework.sitemap in
   let cpi = Pipeline.cpi_rows pipe in
   let n_rows = Pipeline.cpi_row_count pipe in
   let row_of i =
@@ -63,7 +65,7 @@ let capture ?workload (p : Framework.prepared) =
   let cache = cpu.Cpu.mmu.Mmu.cache in
   {
     p_workload = (match workload with Some w -> w | None -> "");
-    p_technique = Technique.name p.Framework.cfg.Framework.technique;
+    p_technique = technique;
     p_cycles = Cpu.cycles cpu;
     p_insns = cpu.Cpu.counters.Cpu.insns;
     p_rows = List.init n_rows row_of;
@@ -76,6 +78,89 @@ let capture ?workload (p : Framework.prepared) =
     p_tlb_evictions = Tlb.evictions cpu.Cpu.mmu.Mmu.tlb;
     p_walk_cycles = cpu.Cpu.mmu.Mmu.walk_cycles;
   }
+
+let capture ?workload (p : Framework.prepared) =
+  capture_cpu ?workload
+    ~technique:(Technique.name p.Framework.cfg.Framework.technique)
+    p.Framework.sitemap p.Framework.cpu
+
+let capture_smp ?workload (s : Framework.smp) =
+  let p = s.Framework.prepared in
+  let technique = Technique.name p.Framework.cfg.Framework.technique in
+  Array.to_list
+    (Array.mapi
+       (fun i cpu ->
+         let workload =
+           match workload with Some w -> Some (Printf.sprintf "%s/core%d" w i) | None -> None
+         in
+         capture_cpu ?workload ~technique p.Framework.sitemap cpu)
+       (Machine.cpus s.Framework.machine))
+
+(* Merge per-core profiles into one machine-wide profile: cycles and
+   counters sum (note L3 evictions are shared-tier counters aliased into
+   every core's capture, so they are taken from the first profile only),
+   CPI rows merge by (label, rip) with element-wise class addition, block
+   stats merge by entry. Row/block order follows the first profile, with
+   rows only the later cores saw appended. *)
+let merge = function
+  | [] -> invalid_arg "Fastprof.merge: empty list"
+  | first :: _ as all ->
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun r ->
+            let k = (r.fp_label, r.fp_rip) in
+            match Hashtbl.find_opt tbl k with
+            | Some acc ->
+              Array.iteri (fun i c -> acc.fp_classes.(i) <- acc.fp_classes.(i) +. c) r.fp_classes
+            | None ->
+              let acc = { r with fp_classes = Array.copy r.fp_classes } in
+              Hashtbl.add tbl k acc;
+              order := k :: !order)
+          t.p_rows)
+      all;
+    let rows = List.rev_map (Hashtbl.find tbl) !order in
+    let btbl = Hashtbl.create 64 in
+    let border = ref [] in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun (s : Ublock.stat) ->
+            match Hashtbl.find_opt btbl s.Ublock.s_entry with
+            | Some (acc : Ublock.stat) ->
+              Hashtbl.replace btbl s.Ublock.s_entry
+                {
+                  acc with
+                  Ublock.s_exec = acc.Ublock.s_exec + s.Ublock.s_exec;
+                  s_taken = acc.Ublock.s_taken + s.Ublock.s_taken;
+                  s_fall = acc.Ublock.s_fall + s.Ublock.s_fall;
+                  s_dyn_votes = acc.Ublock.s_dyn_votes + s.Ublock.s_dyn_votes;
+                  s_dyn_total = acc.Ublock.s_dyn_total + s.Ublock.s_dyn_total;
+                }
+            | None ->
+              Hashtbl.add btbl s.Ublock.s_entry s;
+              border := s.Ublock.s_entry :: !border)
+          t.p_blocks)
+      all;
+    let blocks = List.rev_map (Hashtbl.find btbl) !border in
+    let sum f = List.fold_left (fun a t -> a + f t) 0 all in
+    {
+      p_workload = first.p_workload;
+      p_technique = first.p_technique;
+      p_cycles = List.fold_left (fun a t -> a +. t.p_cycles) 0.0 all;
+      p_insns = sum (fun t -> t.p_insns);
+      p_rows = rows;
+      p_blocks = blocks;
+      p_compiles = sum (fun t -> t.p_compiles);
+      p_invalidations = sum (fun t -> t.p_invalidations);
+      p_l1_evictions = sum (fun t -> t.p_l1_evictions);
+      p_l2_evictions = sum (fun t -> t.p_l2_evictions);
+      p_l3_evictions = first.p_l3_evictions;
+      p_tlb_evictions = sum (fun t -> t.p_tlb_evictions);
+      p_walk_cycles = sum (fun t -> t.p_walk_cycles);
+    }
 
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)

@@ -49,6 +49,22 @@ val capture : ?workload:string -> Framework.prepared -> t
     without a prior {!install} — without one the CPI stack has only the
     aggregate app row. *)
 
+val install_smp : Framework.smp -> unit
+(** {!install} on every vCPU of a multi-core preparation (the sitemap is
+    shared — all cores run the same instrumented program). *)
+
+val capture_smp : ?workload:string -> Framework.smp -> t list
+(** One profile per vCPU, in core order; [workload] is suffixed with
+    ["/coreN"]. Note each core's L3-eviction count aliases the shared
+    tier's counter (see {!X86sim.Cache.l3_hits}). *)
+
+val merge : t list -> t
+(** Machine-wide rollup of per-core profiles: cycles/instruction counters
+    sum, CPI rows merge by (label, rip) with element-wise class addition,
+    block stats merge by entry. Shared-tier L3 evictions are taken once
+    (from the first profile), not summed. Workload/technique labels come
+    from the first profile. Raises [Invalid_argument] on []. *)
+
 val total_cycles : t -> float
 (** Sum over all rows and classes — equals [p_cycles] minus only
     float-addition rounding (the per-issue deltas telescope). *)

@@ -54,9 +54,8 @@ let map_regions cpu regions =
       Mmu.map_range cpu.Cpu.mmu ~va:r.Safe_region.va ~len:r.Safe_region.size ~writable:true)
     regions
 
-let prepare ?(extra_regions = []) ?(verify = false) ?(optimize = false) cfg
+let prepare_on ?(extra_regions = []) ?(verify = false) ?(optimize = false) cpu cfg
     (lowered : Ir.Lower.t) =
-  let cpu = Cpu.create () in
   Ir.Lower.setup_memory cpu lowered;
   let regions = Safe_region.of_sensitive_globals lowered @ extra_regions in
   map_regions cpu extra_regions;
@@ -140,8 +139,10 @@ let prepare ?(extra_regions = []) ?(verify = false) ?(optimize = false) cfg
     | Some _ | None -> ());
   p
 
-let prepare_baseline (lowered : Ir.Lower.t) =
-  let cpu = Cpu.create () in
+let prepare ?extra_regions ?verify ?optimize cfg lowered =
+  prepare_on ?extra_regions ?verify ?optimize (Cpu.create ()) cfg lowered
+
+let prepare_baseline_on cpu (lowered : Ir.Lower.t) =
   Ir.Lower.setup_memory cpu lowered;
   let program = Ir.Lower.assemble lowered in
   Cpu.load_program cpu program;
@@ -155,8 +156,64 @@ let prepare_baseline (lowered : Ir.Lower.t) =
     opt_stats = None;
   }
 
+let prepare_baseline lowered = prepare_baseline_on (Cpu.create ()) lowered
+
 let run ?fuel p = Cpu.run ?fuel p.cpu
 
 let overhead ~baseline ~instrumented =
   Ms_util.Stats.overhead ~baseline:(Cpu.cycles baseline.cpu)
     ~measured:(Cpu.cycles instrumented.cpu)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-vCPU preparation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type smp = {
+  machine : Machine.t;
+  prepared : prepared;  (** core 0's view; [cpu] inside it is [Machine.cpu machine 0] *)
+}
+
+(* Memory-resident setup (region mapping, page-table permissions, key
+   tables, encrypted images) is shared and was done once by [prepare_on]
+   on core 0. What remains per sibling core is register state: the
+   program, MPX bounds, the closed-by-default PKRU, and crypt's in-ymm
+   round keys. *)
+let sibling_setup cfg cpu =
+  match cfg.technique with
+  | Technique.Sfi | Technique.Isboxing | Technique.Mprotect -> ()
+  | Technique.Mpx -> Instr_mpx.setup cpu
+  | Technique.Mpk protection ->
+    (* Same key as [Instr_mpk.setup]'s default assignment on core 0. *)
+    Mpk.Pkey.close_default cpu ~key:1 ~protection
+  | Technique.Crypt ->
+    Instr_crypt.install_keys cpu ~key_location:cfg.crypt_keys ~seed:cfg.crypt_seed ()
+  | Technique.Vmfunc | Technique.Sgx -> assert false (* rejected below *)
+
+let prepare_smp ?(vcpus = 1) ?extra_regions ?verify ?optimize cfg (lowered : Ir.Lower.t) =
+  if vcpus < 1 then invalid_arg "Framework.prepare_smp: need at least one vCPU";
+  (match cfg.technique with
+  | Technique.Vmfunc ->
+    invalid_arg
+      "Framework.prepare_smp: the VMFUNC hypervisor virtualizes a single CPU; multi-vCPU \
+       virtualization is future work (see ROADMAP)"
+  | Technique.Sgx -> invalid_arg "Framework.prepare_smp: SGX requires Sgx_sim.Enclave directly"
+  | _ -> ());
+  let machine = Machine.create ~vcpus () in
+  let prepared = prepare_on ?extra_regions ?verify ?optimize (Machine.cpu machine 0) cfg lowered in
+  for i = 1 to vcpus - 1 do
+    let cpu = Machine.cpu machine i in
+    Cpu.load_program cpu prepared.program;
+    sibling_setup cfg cpu
+  done;
+  { machine; prepared }
+
+let prepare_baseline_smp ?(vcpus = 1) (lowered : Ir.Lower.t) =
+  if vcpus < 1 then invalid_arg "Framework.prepare_baseline_smp: need at least one vCPU";
+  let machine = Machine.create ~vcpus () in
+  let prepared = prepare_baseline_on (Machine.cpu machine 0) lowered in
+  for i = 1 to vcpus - 1 do
+    Cpu.load_program (Machine.cpu machine i) prepared.program
+  done;
+  { machine; prepared }
+
+let run_smp ?fuel ?quantum s = Machine.run ?fuel ?quantum s.machine

@@ -84,12 +84,59 @@ val verify_prepared : prepared -> Gate_analysis.report option
     program under {!policy_of_config}. [None] when the technique has no
     policy. *)
 
+val prepare_on :
+  ?extra_regions:Safe_region.region list ->
+  ?verify:bool ->
+  ?optimize:bool ->
+  Cpu.t ->
+  config ->
+  Ir.Lower.t ->
+  prepared
+(** {!prepare} onto an existing core instead of a fresh [Cpu.create ()] —
+    the building block for multi-vCPU preparation. *)
+
 val prepare_baseline : Ir.Lower.t -> prepared
 (** Uninstrumented build on an identical machine (the "1.0" of every
     overhead figure). *)
+
+val prepare_baseline_on : Cpu.t -> Ir.Lower.t -> prepared
+(** {!prepare_baseline} onto an existing core. *)
 
 val run : ?fuel:int -> prepared -> Cpu.status
 (** Execute to completion; faults propagate as {!Fault.Fault}. *)
 
 val overhead : baseline:prepared -> instrumented:prepared -> float
 (** Cycle ratio after both have been run. *)
+
+(** {2 Multi-vCPU preparation}
+
+    [prepare_smp ~vcpus] builds an N-core {!Machine}, runs the full
+    single-core preparation on core 0 (shared memory state: region
+    mappings, page-table permissions, key tables, encrypted images are
+    machine-wide), then replicates the {e per-core register} half of the
+    technique on each sibling: the loaded program, MPX bounds, a closed
+    PKRU, crypt's in-ymm round keys. [Vmfunc] is rejected — the
+    hypervisor virtualizes one CPU (multi-vCPU virtualization is a
+    ROADMAP item) — as is [Sgx]. *)
+
+type smp = {
+  machine : Machine.t;
+  prepared : prepared;  (** Core 0's view; [prepared.cpu == Machine.cpu machine 0]. *)
+}
+
+val prepare_smp :
+  ?vcpus:int ->
+  ?extra_regions:Safe_region.region list ->
+  ?verify:bool ->
+  ?optimize:bool ->
+  config ->
+  Ir.Lower.t ->
+  smp
+(** Default [vcpus] is 1, in which case the machine is behaviorally
+    identical to {!prepare}'s. *)
+
+val prepare_baseline_smp : ?vcpus:int -> Ir.Lower.t -> smp
+
+val run_smp : ?fuel:int -> ?quantum:int -> smp -> Cpu.status
+(** {!Machine.run} on the prepared machine: deterministic round-robin
+    interleaving of all vCPUs. *)

@@ -94,3 +94,19 @@ let setup cpu ?(key_location = Ymm_high) ~seed regions =
   { regions; keys; key_location }
 
 let key_schedule t = t.keys
+
+(* Install the round keys on a sibling core of an already-[setup] machine.
+   [Ymm_high] keys are register state, so every core needs its own copy
+   (recomputed from the seed); a [Key_table] lives in shared memory and
+   the regions were already encrypted once by core 0's [setup] — re-running
+   [setup] would double-encrypt them. *)
+let install_keys cpu ?(key_location = Ymm_high) ~seed () =
+  match key_location with
+  | Key_table -> ()
+  | Ymm_high ->
+    let prng = Ms_util.Prng.create ~seed in
+    let keyb = Bytes.create 16 in
+    Bytes.set_int64_le keyb 0 (Ms_util.Prng.next_int64 prng);
+    Bytes.set_int64_le keyb 8 (Ms_util.Prng.next_int64 prng);
+    let keys = Aesni.Aes.expand_key keyb in
+    Array.iteri (fun r k -> Cpu.set_ymm_high cpu (key_reg r) k) keys

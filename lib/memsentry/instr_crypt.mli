@@ -31,6 +31,12 @@ val setup :
 (** Derive a key from [seed], install round keys per [key_location]
     (default [Ymm_high]), and encrypt every region in place (loader-side). *)
 
+val install_keys : X86sim.Cpu.t -> ?key_location:key_location -> seed:int -> unit -> unit
+(** Install the same round keys on a sibling core of a machine already
+    prepared with {!setup}: [Ymm_high] keys are per-core register state and
+    are recomputed from [seed]; [Key_table] is shared memory, so this is a
+    no-op. Never re-encrypts the regions. *)
+
 val enter : t -> X86sim.Insn.t list
 (** Stage (and aesimc-transform) the round keys in xmm2-12, then decrypt
     all regions in place. Clobbers xmm0-12 and r12/r13. *)

@@ -48,6 +48,13 @@ val attach : Framework.prepared -> t
     Attach before {!Framework.run}; cycle accounting starts at the current
     pipeline clock. *)
 
+val attach_smp : Framework.smp -> t array
+(** One profiler per vCPU (index = core id), each with its own hooks and
+    row table over the shared sitemap. Stop each with {!stop}. Note that
+    step hooks force every core off the translated fast loop — for
+    profiling multi-core runs without perturbation, prefer
+    {!Fastprof.install_smp}/{!Fastprof.capture_smp}. *)
+
 val stop : t -> unit
 (** Remove the hooks, charge the cycle tail, and force-close open spans.
     Call after the run; accessors below are meaningful afterwards. *)

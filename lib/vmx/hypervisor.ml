@@ -95,7 +95,7 @@ let create cpu ~num_epts =
       refused = 0;
     }
   in
-  cpu.Cpu.mmu.Mmu.ept_list <- t.epts;
+  Mmu.set_ept_list cpu.Cpu.mmu t.epts;
   cpu.Cpu.mmu.Mmu.ept_index <- 0;
   cpu.Cpu.mmu.Mmu.ept_on <- true;
   cpu.Cpu.virtualized <- true;

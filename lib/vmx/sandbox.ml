@@ -11,11 +11,12 @@ let enter_secret cpu ~secret_va ~secret_len =
   hv
 
 let fill_gfn hv mmu gfn =
-  let fill i = Ept.map mmu.Mmu.ept_list.(i) ~gfn ~hfn:gfn ~readable:true ~writable:true in
+  let epts = Mmu.ept_list mmu in
+  let fill i = Ept.map epts.(i) ~gfn ~hfn:gfn ~readable:true ~writable:true in
   match Hypervisor.secret_owner hv ~gfn with
   | Some owner -> fill owner
   | None ->
-    for i = 0 to Array.length mmu.Mmu.ept_list - 1 do
+    for i = 0 to Array.length epts - 1 do
       fill i
     done
 

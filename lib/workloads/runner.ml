@@ -86,6 +86,52 @@ let sweep ?iterations ?(jobs = 1) profiles configs =
       (Array.map (function Some row -> row | None -> assert false) results)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Multi-vCPU runs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type smp_result = {
+  per_core : run_result array;
+  total_insns : int;
+  makespan : float;  (* slowest core's cycles *)
+  utilization : float array;  (* per-core cycles / makespan *)
+  switches : int;  (* gate crossings summed over cores *)
+  shootdowns : int;  (* TLB-shootdown broadcasts machine-wide *)
+}
+
+let smp_result_of_machine m =
+  let per_core = Array.map result_of_cpu (Machine.cpus m) in
+  let makespan = Machine.max_cycles m in
+  {
+    per_core;
+    total_insns = Machine.total_insns m;
+    makespan;
+    utilization =
+      Array.map (fun r -> if makespan > 0.0 then r.cycles /. makespan else 1.0) per_core;
+    switches = Array.fold_left (fun a r -> a + r.switch_count) 0 per_core;
+    shootdowns = Mmu.shootdown_count (Machine.cpu m 0).Cpu.mmu;
+  }
+
+let finish_smp name ?quantum (s : Framework.smp) =
+  match Framework.run_smp ?quantum s with
+  | Cpu.Halted -> smp_result_of_machine s.Framework.machine
+  | Cpu.Out_of_fuel -> failwith (Printf.sprintf "Runner: %s (smp) did not terminate" name)
+
+(* Every vCPU runs the same request-processing program — the paper's
+   server scenario scaled out to N workers over one shared memory system.
+   Each core's stack is private; globals/heap/safe regions are shared. *)
+let prepare_smp_instrumented ?iterations ?optimize ~vcpus prof (cfg : Framework.config) =
+  Framework.prepare_smp ~vcpus ?optimize cfg
+    (Synth.lowered ?iterations ?xmm_pool:(pool_for cfg) prof)
+
+let run_smp ?iterations ?optimize ?quantum ~vcpus prof (cfg : Framework.config) =
+  finish_smp prof.Profile.name ?quantum
+    (prepare_smp_instrumented ?iterations ?optimize ~vcpus prof cfg)
+
+let run_baseline_smp ?iterations ?quantum ~vcpus prof =
+  let lowered = Synth.lowered ?iterations prof in
+  finish_smp prof.Profile.name ?quantum (Framework.prepare_baseline_smp ~vcpus lowered)
+
 let geomean_overheads rows =
   match rows with
   | [] -> []

@@ -63,3 +63,40 @@ val sweep :
 
 val geomean_overheads : (string * (string * float) list) list -> (string * float) list
 (** Column geomeans of a {!sweep} result. *)
+
+(** {2 Multi-vCPU runs} *)
+
+type smp_result = {
+  per_core : run_result array;
+  total_insns : int;
+  makespan : float;  (** slowest core's cycles — the wall-clock analogue *)
+  utilization : float array;  (** per-core cycles / makespan *)
+  switches : int;  (** gate crossings summed over all cores *)
+  shootdowns : int;  (** TLB-shootdown broadcasts, machine-wide *)
+}
+
+val prepare_smp_instrumented :
+  ?iterations:int ->
+  ?optimize:bool ->
+  vcpus:int ->
+  Profile.t ->
+  Memsentry.Framework.config ->
+  Memsentry.Framework.smp
+(** The multi-core machine {!run_smp} would execute, not yet run — for
+    callers that want to instrument it first (e.g.
+    {!Memsentry.Fastprof.install_smp}). *)
+
+val run_smp :
+  ?iterations:int ->
+  ?optimize:bool ->
+  ?quantum:int ->
+  vcpus:int ->
+  Profile.t ->
+  Memsentry.Framework.config ->
+  smp_result
+(** Run the profile's program on every one of [vcpus] cores of one shared
+    machine (deterministic round-robin interleaving) — N server workers
+    over shared memory. Raises [Invalid_argument] for [Vmfunc]/[Sgx]
+    (see {!Memsentry.Framework.prepare_smp}). *)
+
+val run_baseline_smp : ?iterations:int -> ?quantum:int -> vcpus:int -> Profile.t -> smp_result

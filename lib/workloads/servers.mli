@@ -20,3 +20,18 @@ val find : string -> Profile.t
 (** Raises [Not_found]. *)
 
 val names : string list
+
+val parallel :
+  ?iterations:int ->
+  ?optimize:bool ->
+  ?quantum:int ->
+  vcpus:int ->
+  Profile.t ->
+  Memsentry.Framework.config ->
+  Runner.smp_result
+(** Run [vcpus] identical request-processing workers on one shared-memory
+    machine under the given technique — the multi-worker server deployment
+    (see {!Runner.run_smp}). *)
+
+val parallel_baseline :
+  ?iterations:int -> ?quantum:int -> vcpus:int -> Profile.t -> Runner.smp_result

@@ -25,11 +25,21 @@ type level = {
 
 type served = L1 | L2 | L3 | Dram
 
+(* The socket-level tier: one L3 and one DRAM counter shared by every
+   core's cache view. It keeps its own LRU clock, advanced once per
+   L3-tier access; within the tier the stamp order is the access order,
+   which is all LRU victim selection compares — so a single-core machine
+   behaves bit-for-bit as it did when L3 shared the core clock. *)
+type shared_l3 = {
+  l3 : level;
+  mutable dram : int;
+  mutable sclock : int;
+}
+
 type t = {
   l1 : level;
   l2 : level;
-  l3 : level;
-  mutable dram : int;
+  shared : shared_l3;
   mutable clock : int;
   mutable last : served;
 }
@@ -45,15 +55,20 @@ let level ~sets ~ways =
     evictions = 0;
   }
 
-let create () =
+let create_shared_l3 () = { l3 = level ~sets:8192 ~ways:16; dram = 0; sclock = 0 }
+
+let create_core shared =
   {
     l1 = level ~sets:64 ~ways:8;
     l2 = level ~sets:512 ~ways:8;
-    l3 = level ~sets:8192 ~ways:16;
-    dram = 0;
+    shared;
     clock = 0;
     last = L1;
   }
+
+let create () = create_core (create_shared_l3 ())
+
+let shared_tier t = t.shared
 
 (* Probe one level; on hit refresh LRU, on miss install with LRU eviction. *)
 let probe lvl line clock =
@@ -114,14 +129,21 @@ let access t ~addr =
     t.last <- L2;
     lat_l2
   end
-  else if probe t.l3 line t.clock then begin
-    t.last <- L3;
-    lat_l3
-  end
   else begin
-    t.dram <- t.dram + 1;
-    t.last <- Dram;
-    lat_dram
+    (* Below L2 the access leaves the core: the shared tier stamps with
+       its own clock so LRU order reflects socket-wide access order, not
+       one core's private instruction count. *)
+    let s = t.shared in
+    s.sclock <- s.sclock + 1;
+    if probe s.l3 line s.sclock then begin
+      t.last <- L3;
+      lat_l3
+    end
+    else begin
+      s.dram <- s.dram + 1;
+      t.last <- Dram;
+      lat_dram
+    end
   end
 
 let last_served t = t.last
@@ -131,21 +153,21 @@ let served_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Dram -> "DRAM"
 let flush t =
   Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
   Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
-  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1)
+  Array.fill t.shared.l3.tags 0 (Array.length t.shared.l3.tags) (-1)
 
 let l1_hits t = t.l1.hits
 let l2_hits t = t.l2.hits
-let l3_hits t = t.l3.hits
-let dram_accesses t = t.dram
+let l3_hits t = t.shared.l3.hits
+let dram_accesses t = t.shared.dram
 let l1_evictions t = t.l1.evictions
 let l2_evictions t = t.l2.evictions
-let l3_evictions t = t.l3.evictions
+let l3_evictions t = t.shared.l3.evictions
 
 let reset_stats t =
   t.l1.hits <- 0;
   t.l2.hits <- 0;
-  t.l3.hits <- 0;
-  t.dram <- 0;
+  t.shared.l3.hits <- 0;
+  t.shared.dram <- 0;
   t.l1.evictions <- 0;
   t.l2.evictions <- 0;
-  t.l3.evictions <- 0
+  t.shared.l3.evictions <- 0

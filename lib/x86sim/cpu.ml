@@ -32,7 +32,6 @@ type t = {
   mutable virtualized : bool;
   mutable syscall_hypercall_tax : bool;
   mutable wrpkru_serialize : bool;
-  mutable mmap_cursor : int;
   mmu : Mmu.t;
   pipe : Pipeline.t;
   pio : float array;
@@ -89,10 +88,19 @@ let ept_violation_cost = 1200.0
 let mprotect_kernel_cost = 1000.0
 let io_kernel_cost = 4000.0
 
+(* Cross-core TLB shootdown: the initiator spins until every remote core
+   acknowledges its IPI (send + wait, charged per remote core); each
+   remote pays interrupt delivery + the flush on its side when it next
+   runs. Magnitudes follow the kernel-mediated costs above — a shootdown
+   round trip is somewhat heavier than the local mprotect kernel work. *)
+let ipi_cost = 1500.0
+let ipi_deliver_cost = 500.0
+
 let sys_nop = 0
 let sys_write = 1
 let sys_mmap = 9
 let sys_mprotect = 10
+let sys_munmap = 11
 let sys_exit = 60
 let sys_pkey_mprotect = 329
 let sys_io = 17
@@ -133,28 +141,47 @@ let xmm_xor_into t d s =
 let pkru t = t.mmu.Mmu.pkru
 let set_pkru t v = t.mmu.Mmu.pkru <- v land 0xFFFFFFFF
 
+(* Charge the initiating core for waiting out the shootdown IPIs its
+   mapping change just broadcast: one send+acknowledge round trip per
+   remote core, serializing (the kernel spins with interrupts off until
+   all acks arrive). On a single-core machine this is a no-op, so the
+   single-core cycle stream is untouched by the SMP model. *)
+let charge_shootdown_ipis t =
+  let remotes = Mmu.core_count t.mmu - 1 in
+  if remotes > 0 then
+    Pipeline.issue t.pipe ~serialize:true
+      ~lat:(float_of_int remotes *. ipi_cost)
+      ~port:Pipeline.p_special ()
+
 let default_syscall_handler t =
   let nr = t.gpr.(Reg.rax) in
   if nr = sys_exit then t.halted <- true
   else if nr = sys_mmap then begin
     let len = Bitops.align_up Physmem.page_size (max t.gpr.(Reg.rsi) Physmem.page_size) in
-    let addr = t.mmap_cursor in
-    (* Leave a guard page between mappings. *)
-    t.mmap_cursor <- t.mmap_cursor + len + Physmem.page_size;
-    Mmu.map_range t.mmu ~va:addr ~len ~writable:true;
-    t.gpr.(Reg.rax) <- addr
+    (* Machine-level cursor: cores share one address space, so sibling
+       mmaps interleave without overlapping (guard page included). *)
+    t.gpr.(Reg.rax) <- Mmu.mmap_alloc t.mmu ~len ~writable:true
   end
   else if nr = sys_mprotect then begin
     let addr = t.gpr.(Reg.rdi) and len = t.gpr.(Reg.rsi) and prot = t.gpr.(Reg.rdx) in
     Mmu.protect_range t.mmu ~va:addr ~len ~readable:(prot land 1 = 1)
       ~writable:(prot land 2 = 2);
     Pipeline.issue t.pipe ~serialize:true ~lat:mprotect_kernel_cost ~port:Pipeline.p_special ();
+    charge_shootdown_ipis t;
+    t.gpr.(Reg.rax) <- 0
+  end
+  else if nr = sys_munmap then begin
+    let addr = t.gpr.(Reg.rdi) and len = t.gpr.(Reg.rsi) in
+    Mmu.unmap_range t.mmu ~va:addr ~len;
+    Pipeline.issue t.pipe ~serialize:true ~lat:mprotect_kernel_cost ~port:Pipeline.p_special ();
+    charge_shootdown_ipis t;
     t.gpr.(Reg.rax) <- 0
   end
   else if nr = sys_pkey_mprotect then begin
     let addr = t.gpr.(Reg.rdi) and len = t.gpr.(Reg.rsi) and key = t.gpr.(Reg.r10) in
     Mmu.set_pkey_range t.mmu ~va:addr ~len ~key;
     Pipeline.issue t.pipe ~serialize:true ~lat:mprotect_kernel_cost ~port:Pipeline.p_special ();
+    charge_shootdown_ipis t;
     t.gpr.(Reg.rax) <- 0
   end
   else if nr = sys_io then begin
@@ -164,10 +191,14 @@ let default_syscall_handler t =
   else if nr = sys_write || nr = sys_nop then t.gpr.(Reg.rax) <- 0
   else t.gpr.(Reg.rax) <- -38 (* ENOSYS *)
 
-let create ?(stack_pages = 64) () =
-  let mmu = Mmu.create () in
+(* Build a core over an existing MMU view. Core [i]'s stack tops out at
+   [Layout.stack_top - i * stack_stride], so siblings sharing the address
+   space get disjoint stacks; core 0 lands exactly where the single-core
+   machine always did. *)
+let create_on ?(stack_pages = 64) mmu =
+  let stack_top = Layout.stack_top - (Mmu.core_id mmu * Layout.stack_stride) in
   let stack_len = stack_pages * Physmem.page_size in
-  Mmu.map_range mmu ~va:(Layout.stack_top - stack_len) ~len:stack_len ~writable:true;
+  Mmu.map_range mmu ~va:(stack_top - stack_len) ~len:stack_len ~writable:true;
   let pipe = Pipeline.create () in
   let program = Program.assemble [ Program.I Insn.Halt ] in
   let t =
@@ -183,7 +214,6 @@ let create ?(stack_pages = 64) () =
       virtualized = false;
       syscall_hypercall_tax = true;
       wrpkru_serialize = true;
-      mmap_cursor = Layout.mmap_base;
       mmu;
       pipe;
       pio = Pipeline.io pipe;
@@ -204,8 +234,10 @@ let create ?(stack_pages = 64) () =
       next_hook_id = 0;
     }
   in
-  t.gpr.(Reg.rsp) <- Layout.stack_top - 64;
+  t.gpr.(Reg.rsp) <- stack_top - 64;
   t
+
+let create ?stack_pages () = create_on ?stack_pages (Mmu.create ())
 
 (* ------------------------------------------------------------------ *)
 (* Hooks and event emission                                            *)
@@ -651,7 +683,7 @@ let exec t (insn : Insn.t) =
     if t.gpr.(Reg.rax) <> 0 then
       Fault.raise_fault (Fault.Gp_fault "vmfunc: only function 0 (EPTP switching) exists");
     let idx = t.gpr.(Reg.rcx) in
-    if idx < 0 || idx >= Array.length t.mmu.Mmu.ept_list then
+    if idx < 0 || idx >= Array.length (Mmu.ept_list t.mmu) then
       Fault.raise_fault (Fault.Gp_fault (Printf.sprintf "vmfunc: EPTP index %d out of range" idx));
     t.mmu.Mmu.ept_index <- idx;
     c.vmfuncs <- c.vmfuncs + 1;

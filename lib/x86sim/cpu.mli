@@ -2,7 +2,7 @@
 
     [Cpu.t] bundles the register files (GPRs, xmm/ymm, MPX bounds, pkru via
     the MMU), the memory system, the {!Pipeline} timing model and a small
-    "operating system" surface (syscall table, mmap cursor). Programs are
+    "operating system" surface (syscall table). Programs are
     {!Program.t} values; [run] executes until [Halt], fault, or fuel
     exhaustion while the pipeline accumulates cycle counts.
 
@@ -55,7 +55,6 @@ type t = {
   mutable wrpkru_serialize : bool;
       (** Model wrpkru's ordering requirement (default). The MPK ablation
           clears it to quantify what the implicit fence costs. *)
-  mutable mmap_cursor : int;
   mmu : Mmu.t;
   pipe : Pipeline.t;
   pio : float array;
@@ -106,8 +105,15 @@ val sb_slots : int
 (** Store-buffer capacity (power of two). *)
 
 val create : ?stack_pages:int -> unit -> t
-(** A fresh machine with a mapped stack ([stack_pages] pages, default 64),
-    [rsp] initialized, an empty program, and the default syscall table. *)
+(** A fresh single-core machine with a mapped stack ([stack_pages] pages,
+    default 64), [rsp] initialized, an empty program, and the default
+    syscall table. Equivalent to [create_on (Mmu.create ())]. *)
+
+val create_on : ?stack_pages:int -> Mmu.t -> t
+(** A core over an existing MMU view — how {!Machine} builds vCPUs that
+    share one memory system. Core [i]'s stack is mapped at
+    [Layout.stack_top - i * Layout.stack_stride], so siblings get disjoint
+    stacks in the shared address space. *)
 
 val load_program : t -> Program.t -> unit
 (** Install a program and set [rip] to the ["main"] label (or 0). *)
@@ -207,6 +213,11 @@ val sys_mmap : int
 val sys_mprotect : int
 (** 10 — rdi=addr, rsi=len, rdx=prot (1=r, 2=w). *)
 
+val sys_munmap : int
+(** 11 — rdi=addr, rsi=len. Pays the kernel cost plus, on a multi-core
+    machine, the TLB-shootdown IPI round trips (as do [mprotect] and
+    [pkey_mprotect]). *)
+
 val sys_exit : int
 (** 60. *)
 
@@ -232,3 +243,12 @@ val wrpkru_cost : float
 val ept_violation_cost : float
 val mprotect_kernel_cost : float
 val io_kernel_cost : float
+
+val ipi_cost : float
+(** Per-remote-core TLB-shootdown round trip charged to the initiating
+    core (send IPI + spin for the ack), serializing. Zero remote cores —
+    any single-core machine — charge nothing. *)
+
+val ipi_deliver_cost : float
+(** Charged to a remote core when it takes a pending shootdown interrupt
+    (delivery + local flush), at its next scheduling quantum. *)

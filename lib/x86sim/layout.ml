@@ -1,6 +1,7 @@
 let sensitive_base = 0x4000_0000_0000
 let sfi_mask = 0x3FFF_FFFF_FFFF
 let stack_top = 0x3FFF_FFFF_F000
+let stack_stride = 0x100_0000
 let heap_base = 0x1000_0000
 let mmap_base = 0x20_0000_0000
 let addr_limit = 0x8000_0000_0000

@@ -15,7 +15,13 @@ val sfi_mask : int
     nonsensitive partition (the paper's [movabs]+[and] sequence). *)
 
 val stack_top : int
-(** Top of the initial stack (exclusive), just below the split. *)
+(** Top of the initial stack (exclusive), just below the split. On a
+    multi-core machine this is core 0's stack; core [i] stacks top out at
+    [stack_top - i * stack_stride]. *)
+
+val stack_stride : int
+(** 16 MiB between per-core stack tops — far more than any stack grows, so
+    sibling stacks (and their guard gaps) never collide. *)
 
 val heap_base : int
 (** Start of the conventional data/heap area. *)

@@ -1,13 +1,37 @@
+(* The machine-wide memory system: everything below the core boundary.
+   One [shared] feeds every vCPU's [t]; a single-core machine is just the
+   degenerate case with one view attached. *)
+type shared = {
+  s_phys : Physmem.t;
+  s_pt : Pagetable.t;
+  s_pt_gen : int ref; (* Pagetable.generation_cell s_pt, cached *)
+  s_l3 : Cache.shared_l3;
+  mutable s_ept_list : Ept.t array; (* EPTP list; empty unless virtualized *)
+  mutable s_mmap_cursor : int; (* next anonymous-mmap address *)
+  mutable s_cores : int; (* views attached so far *)
+  s_shoot_gen : int ref;
+      (* TLB-shootdown generation: bumped by the initiating core on every
+         mapping/permission change; a remote core whose [shoot_seen] lags
+         has a pending IPI to acknowledge (flush TLB + translation cache). *)
+  mutable s_shootdowns : int; (* total shootdown broadcasts, telemetry *)
+}
+
 type t = {
+  (* Aliases into [shared], cached at attach time: the translation hot path
+     and a dozen external readers (profilers, vmx, tests) reach physical
+     memory and the page table through these names. *)
   phys : Physmem.t;
   pt : Pagetable.t;
-  pt_gen_cell : int ref; (* Pagetable.generation_cell pt, cached *)
+  pt_gen_cell : int ref;
+  shared : shared;
+  core : int; (* this view's core id, 0-based attach order *)
+  (* Per-core state proper: what a context switch would save/restore. *)
   tlb : Tlb.t;
-  cache : Cache.t;
+  cache : Cache.t; (* private L1/L2 over the shared L3 tier *)
   mutable pkru : int;
-  mutable ept_list : Ept.t array;
   mutable ept_index : int;
   mutable ept_on : bool;
+  mutable shoot_seen : int; (* last shootdown generation acknowledged *)
   mutable last_tlb_miss : bool;
   mutable last_lat : int;
   mutable walk_cycles : int;
@@ -18,29 +42,80 @@ type t = {
 let page_size = Physmem.page_size
 let page_bits = 12
 
-let create () =
-  let phys = Physmem.create () in
+let create_shared ?max_frames () =
+  let phys = Physmem.create ?max_frames () in
   (* The radix tables live in the machine's own frame pool, as a real
      kernel's do. *)
   let pt = Pagetable.create ~phys () in
   {
-    phys;
-    pt;
-    pt_gen_cell = Pagetable.generation_cell pt;
+    s_phys = phys;
+    s_pt = pt;
+    s_pt_gen = Pagetable.generation_cell pt;
+    s_l3 = Cache.create_shared_l3 ();
+    s_ept_list = [||];
+    s_mmap_cursor = Layout.mmap_base;
+    s_cores = 0;
+    s_shoot_gen = ref 0;
+    s_shootdowns = 0;
+  }
+
+let attach shared =
+  let core = shared.s_cores in
+  shared.s_cores <- core + 1;
+  {
+    phys = shared.s_phys;
+    pt = shared.s_pt;
+    pt_gen_cell = shared.s_pt_gen;
+    shared;
+    core;
     tlb = Tlb.create ();
-    cache = Cache.create ();
+    cache = Cache.create_core shared.s_l3;
     pkru = 0;
-    ept_list = [||];
     ept_index = 0;
     ept_on = false;
+    shoot_seen = !(shared.s_shoot_gen);
     last_tlb_miss = false;
     last_lat = 0;
     walk_cycles = 0;
   }
 
+let create () = attach (create_shared ())
+
+let core_id t = t.core
+let core_count t = t.shared.s_cores
+let shootdown_count t = t.shared.s_shootdowns
+let ept_list t = t.shared.s_ept_list
+let set_ept_list t epts = t.shared.s_ept_list <- epts
+
 let walk_cost t =
   let native = 4 * Pagetable.walk_levels in
   if t.ept_on then native * 5 / 2 else native
+
+(* A mapping or permission change just went live in the shared page table
+   (its generation bump already de-validated every core's TLB entries —
+   the generation check is part of every probe). What remains to model is
+   the IPI protocol around it: the initiator flushes its own TLB
+   synchronously, as the kernel does, and bumps the shootdown generation
+   so each sibling pays delivery cost + flush when it next runs. The
+   initiator marks itself caught up — it never IPIs itself. *)
+let shoot t =
+  Tlb.flush t.tlb;
+  let s = t.shared in
+  if s.s_cores > 1 then begin
+    incr s.s_shoot_gen;
+    s.s_shootdowns <- s.s_shootdowns + 1;
+    t.shoot_seen <- !(s.s_shoot_gen)
+  end
+
+let shootdown_pending t = t.shoot_seen <> !(t.shared.s_shoot_gen)
+
+let acknowledge_shootdown t =
+  if shootdown_pending t then begin
+    Tlb.flush t.tlb;
+    t.shoot_seen <- !(t.shared.s_shoot_gen);
+    true
+  end
+  else false
 
 let map_page t ~va ~writable =
   let vpn = va lsr page_bits in
@@ -64,15 +139,25 @@ let map_range t ~va ~len ~writable =
 
 let unmap_range t ~va ~len =
   iter_pages ~va ~len (fun vpn -> Pagetable.unmap t.pt ~vpn);
-  Tlb.flush t.tlb
+  shoot t
 
 let protect_range t ~va ~len ~readable ~writable =
   iter_pages ~va ~len (fun vpn -> Pagetable.protect t.pt ~vpn ~readable ~writable);
-  Tlb.flush t.tlb
+  shoot t
 
 let set_pkey_range t ~va ~len ~key =
   iter_pages ~va ~len (fun vpn -> Pagetable.set_pkey t.pt ~vpn ~key);
-  Tlb.flush t.tlb
+  shoot t
+
+let mmap_alloc t ~len ~writable =
+  if len <= 0 then invalid_arg "Mmu.mmap_alloc: length must be positive";
+  let s = t.shared in
+  let addr = s.s_mmap_cursor in
+  let span = (len + page_size - 1) land lnot (page_size - 1) in
+  (* one guard page between allocations *)
+  s.s_mmap_cursor <- addr + span + page_size;
+  map_range t ~va:addr ~len ~writable;
+  addr
 
 let is_mapped t ~va = Pagetable.find t.pt ~vpn:(va lsr page_bits) <> None
 
@@ -97,7 +182,7 @@ let fill t ~vpn ~(access : Fault.access) ~pt_gen ~ept_gen =
     Fault.raise_fault (Fault.Page_fault { va; access; reason = "not present" });
   let gfn = Pagetable.entry_frame e in
   if t.ept_on then begin
-    let ept = t.ept_list.(t.ept_index) in
+    let ept = t.shared.s_ept_list.(t.ept_index) in
     match Ept.find ept ~gfn with
     | None ->
       Fault.raise_fault
@@ -117,7 +202,7 @@ let fill t ~vpn ~(access : Fault.access) ~pt_gen ~ept_gen =
       ~writable:(Pagetable.entry_writable e)
       ~pkey:(Pagetable.entry_pkey e)
 
-let ept_gen t = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0
+let ept_gen t = if t.ept_on then Ept.generation t.shared.s_ept_list.(t.ept_index) else 0
 
 (* Allocation-free translation: the result physical address is returned
    directly and the TLB-walk latency is left in [t.last_lat]. The hot path
@@ -129,7 +214,7 @@ let translate_va t ~va ~(access : Fault.access) =
   (* [ept_gen t] open-coded: with EPT off (the common configuration) the
      generation is the constant 0 and the call was pure per-access
      overhead. *)
-  let ept_gen = if t.ept_on then Ept.generation t.ept_list.(t.ept_index) else 0 in
+  let ept_gen = if t.ept_on then Ept.generation t.shared.s_ept_list.(t.ept_index) else 0 in
   (* One fused call on the hit path; after a miss the freshly-filled entry
      sits in the vpn's (direct-mapped) slot, so both arms produce the
      packed entry word and no intermediate record/tuple is materialized. *)

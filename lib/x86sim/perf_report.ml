@@ -68,6 +68,52 @@ let capture (cpu : Cpu.t) =
     tlb_walk_cycles = cpu.Cpu.mmu.Mmu.walk_cycles;
   }
 
+(* Machine-wide rollup. Per-core private state (L1/L2, TLB, counters) sums
+   across cores; the L3/DRAM numbers are *shared-tier* counters that every
+   core's accessors alias, so they are read once — summing them would
+   multiply socket traffic by the core count. Cycles are the makespan (the
+   slowest core), matching what a wall clock would see. *)
+let capture_machine (cpus : Cpu.t array) =
+  if Array.length cpus = 0 then invalid_arg "Perf_report.capture_machine: no cores";
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 cpus in
+  let ci f = sum (fun (c : Cpu.t) -> f c.Cpu.counters) in
+  let insns = ci (fun c -> c.Cpu.insns) in
+  let makespan = Array.fold_left (fun a c -> Float.max a (Cpu.cycles c)) 0.0 cpus in
+  let l1 = sum (fun c -> Cache.l1_hits c.Cpu.mmu.Mmu.cache)
+  and l2 = sum (fun c -> Cache.l2_hits c.Cpu.mmu.Mmu.cache)
+  and l3 = Cache.l3_hits cpus.(0).Cpu.mmu.Mmu.cache
+  and dram = Cache.dram_accesses cpus.(0).Cpu.mmu.Mmu.cache in
+  let tlb_hits = sum (fun c -> Tlb.hits c.Cpu.mmu.Mmu.tlb)
+  and tlb_misses = sum (fun c -> Tlb.misses c.Cpu.mmu.Mmu.tlb) in
+  {
+    insns;
+    cycles = makespan;
+    ipc = (if makespan > 0.0 then float_of_int insns /. makespan else 0.0);
+    loads = ci (fun c -> c.Cpu.loads);
+    stores = ci (fun c -> c.Cpu.stores);
+    calls = ci (fun c -> c.Cpu.calls);
+    rets = ci (fun c -> c.Cpu.rets);
+    ind_branches = ci (fun c -> c.Cpu.ind_branches);
+    syscalls = ci (fun c -> c.Cpu.syscalls);
+    bnd_checks = ci (fun c -> c.Cpu.bnd_checks);
+    wrpkrus = ci (fun c -> c.Cpu.wrpkrus);
+    vmfuncs = ci (fun c -> c.Cpu.vmfuncs);
+    vmcalls = ci (fun c -> c.Cpu.vmcalls);
+    vm_exits = ci (fun c -> c.Cpu.vm_exits);
+    aes_ops = ci (fun c -> c.Cpu.aes_ops);
+    faults = ci (fun c -> c.Cpu.faults);
+    l1_hit_rate = ratio l1 (l1 + l2 + l3 + dram);
+    l2_hit_rate = ratio l2 (l2 + l3 + dram);
+    l3_hit_rate = ratio l3 (l3 + dram);
+    tlb_hit_rate = ratio tlb_hits (tlb_hits + tlb_misses);
+    dram_accesses = dram;
+    l1_evictions = sum (fun c -> Cache.l1_evictions c.Cpu.mmu.Mmu.cache);
+    l2_evictions = sum (fun c -> Cache.l2_evictions c.Cpu.mmu.Mmu.cache);
+    l3_evictions = Cache.l3_evictions cpus.(0).Cpu.mmu.Mmu.cache;
+    tlb_evictions = sum (fun c -> Tlb.evictions c.Cpu.mmu.Mmu.tlb);
+    tlb_walk_cycles = sum (fun c -> c.Cpu.mmu.Mmu.walk_cycles);
+  }
+
 let to_string r =
   String.concat "\n"
     [

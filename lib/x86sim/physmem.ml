@@ -1,12 +1,23 @@
 let page_size = 4096
 
-type t = { mutable frames : Bytes.t array; mutable used : int }
+type t = { mutable frames : Bytes.t array; mutable used : int; max_frames : int }
 
-let create () = { frames = Array.make 64 Bytes.empty; used = 0 }
+(* 1M frames = 4 GiB of simulated physical memory. Single-core runs never
+   came near the bound; a shared pool feeding N cores' stacks and heaps can,
+   and must fail with a diagnosis rather than an array bound fault. *)
+let default_max_frames = 1 lsl 20
+
+let create ?(max_frames = default_max_frames) () =
+  if max_frames < 1 then invalid_arg "Physmem.create: max_frames must be positive";
+  { frames = Array.make (min 64 max_frames) Bytes.empty; used = 0; max_frames }
 
 let alloc_frame t =
+  if t.used >= t.max_frames then
+    failwith
+      (Printf.sprintf "Physmem.alloc_frame: out of physical frames (limit %d = %d MiB)"
+         t.max_frames (t.max_frames * page_size / (1024 * 1024)));
   if t.used = Array.length t.frames then begin
-    let bigger = Array.make (2 * t.used) Bytes.empty in
+    let bigger = Array.make (min (2 * t.used) t.max_frames) Bytes.empty in
     Array.blit t.frames 0 bigger 0 t.used;
     t.frames <- bigger
   end;
@@ -14,6 +25,8 @@ let alloc_frame t =
   t.frames.(n) <- Bytes.make page_size '\000';
   t.used <- n + 1;
   n
+
+let max_frames t = t.max_frames
 
 let frame_count t = t.used
 

@@ -9,12 +9,19 @@ val page_size : int
 
 type t
 
-val create : unit -> t
+val create : ?max_frames:int -> unit -> t
+(** [max_frames] (default [2^20] = 4 GiB) caps the pool; the frame table
+    itself starts small and doubles on demand up to the cap. *)
 
 val alloc_frame : t -> int
-(** A fresh zeroed frame; returns its frame number. *)
+(** A fresh zeroed frame; returns its frame number. Raises [Failure] with
+    an "out of physical frames" message once [max_frames] frames are live —
+    a shared pool feeding several cores exhausts memory as a policy matter,
+    not as an array bound fault. *)
 
 val frame_count : t -> int
+
+val max_frames : t -> int
 
 val frame_bytes : t -> int -> Bytes.t
 (** Raw backing store of a frame (for block operations such as the crypt

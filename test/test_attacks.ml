@@ -98,9 +98,10 @@ let test_thread_spray_finds_region () =
 
 let test_harness_hiding_falls_deterministic_stands () =
   let results = Attacks.Harness.run_all ~entropy_bits:10 () in
+  let races, rest = List.partition Attacks.Harness.is_race results in
   let hiding, det =
     List.partition (fun r -> String.length r.Attacks.Harness.scenario >= 4
-                             && String.sub r.Attacks.Harness.scenario 0 4 = "info") results
+                             && String.sub r.Attacks.Harness.scenario 0 4 = "info") rest
   in
   Alcotest.(check int) "three hiding attacks" 3 (List.length hiding);
   List.iter
@@ -109,6 +110,19 @@ let test_harness_hiding_falls_deterministic_stands () =
         r.Attacks.Harness.leaked)
     hiding;
   Alcotest.(check int) "seven deterministic scenarios" 7 (List.length det);
+  (* The race rows separate gate kinds: per-core PKRU holds, shared page
+     table does not. *)
+  Alcotest.(check int) "two race scenarios" 2 (List.length races);
+  List.iter
+    (fun r ->
+      let expect_leak =
+        String.length r.Attacks.Harness.scenario >= 8
+        && String.sub r.Attacks.Harness.scenario 0 8 = "mprotect"
+      in
+      Alcotest.(check bool)
+        (r.Attacks.Harness.scenario ^ " race outcome")
+        expect_leak r.Attacks.Harness.leaked)
+    races;
   Alcotest.(check bool) "no deterministic leak" false
     (Attacks.Harness.any_deterministic_leak results);
   (* Every non-SGX deterministic scenario found the region (it was never

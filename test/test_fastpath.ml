@@ -175,8 +175,9 @@ type full_snap = {
   f_stack : Bytes.t;
 }
 
-let run_case ~hooks items =
-  let cpu = Cpu.create () in
+(* [run] performs the actual execution so the same setup/snapshot logic
+   serves both the direct [Cpu.run] path and a 1-vCPU [Machine.run]. *)
+let run_case_on ~hooks cpu run items =
   Mmu.map_range cpu.Cpu.mmu ~va:data_va ~len:8192 ~writable:true;
   for k = 0 to 31 do
     Mmu.poke64 cpu.Cpu.mmu ~va:(data_va + (8 * k)) ((k + 1) * 0x0101010101)
@@ -198,7 +199,7 @@ let run_case ~hooks items =
     ignore (Cpu.add_event_hook cpu (fun _ -> ()))
   end;
   Cpu.load_program cpu (Program.assemble items);
-  let status = match Cpu.run cpu with Cpu.Halted -> "halted" | Cpu.Out_of_fuel -> "fuel" in
+  let status = match run () with Cpu.Halted -> "halted" | Cpu.Out_of_fuel -> "fuel" in
   {
     f_status = status;
     f_rip = cpu.Cpu.rip;
@@ -213,6 +214,10 @@ let run_case ~hooks items =
     f_data = Mmu.peek_bytes cpu.Cpu.mmu ~va:data_va ~len:256;
     f_stack = Mmu.peek_bytes cpu.Cpu.mmu ~va:(rsp0 - 64) ~len:64;
   }
+
+let run_case ~hooks items =
+  let cpu = Cpu.create () in
+  run_case_on ~hooks cpu (fun () -> Cpu.run cpu) items
 
 let diff_fields a b =
   List.filter_map
@@ -451,6 +456,29 @@ let exhaustive_differential () =
       Alcotest.(check (list string)) name [] (diff_fields fast hooked))
     exhaustive_cases
 
+(* The differential guard for the multi-vCPU refactor: a 1-vCPU
+   [Machine.run] must be byte-identical to a bare [Cpu.run] — same
+   cycles, counters, registers, vector file and memory — at any quantum,
+   because chaining quanta may not perturb the model. Quantum 1 forces a
+   scheduler entry between every pair of instructions. *)
+let machine_single_core_differential () =
+  List.iter
+    (fun quantum ->
+      List.iter
+        (fun (name, items) ->
+          let direct = run_case ~hooks:false (items ()) in
+          let m = Machine.create () in
+          let via_machine =
+            run_case_on ~hooks:false (Machine.cpu m 0)
+              (fun () -> Machine.run ~quantum m)
+              (items ())
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s (quantum %d)" name quantum)
+            [] (diff_fields direct via_machine))
+        exhaustive_cases)
+    [ 1; 7; 1000 ]
+
 (* --- translation-cache invalidation ------------------------------------ *)
 
 let reset_for_rerun cpu =
@@ -480,6 +508,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_fast_equals_hooked_mpk;
     Alcotest.test_case "every Insn constructor: translated = interpreted" `Quick
       exhaustive_differential;
+    Alcotest.test_case "1-vCPU Machine.run = Cpu.run (quanta 1/7/1000)" `Quick
+      machine_single_core_differential;
     Alcotest.test_case "translation cache invalidation" `Quick translation_invalidation;
     Alcotest.test_case "store-buffer collision evicts" `Quick store_buffer_eviction;
     Alcotest.test_case "forwarding only from resident line" `Quick

@@ -13,6 +13,7 @@ let () =
       ("differential", Test_differential.suite);
       ("fastpath", Test_fastpath.suite);
       ("multi-domain", Test_multi_domain.suite);
+      ("machine", Test_machine.suite);
       ("asm", Test_asm.suite);
       ("memory-system", Test_memory_system.suite);
       ("calibration", Test_calibration.suite);

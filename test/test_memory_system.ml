@@ -134,6 +134,52 @@ let test_physmem_negative_values () =
   Physmem.write64 pm ~frame:f ~off:0 (-42);
   Alcotest.(check int) "negative round-trip" (-42) (Physmem.read64 pm ~frame:f ~off:0)
 
+let test_physmem_growth_preserves_contents () =
+  (* The frame table starts at 64 slots and doubles on demand; growth
+     must carry every live frame's contents across. 200 frames forces two
+     doublings (64 -> 128 -> 256). *)
+  let pm = Physmem.create () in
+  let frames = Array.init 200 (fun _ -> Physmem.alloc_frame pm) in
+  Array.iteri (fun k f -> Physmem.write64 pm ~frame:f ~off:8 (k * 17)) frames;
+  Array.iteri
+    (fun k f ->
+      Alcotest.(check int)
+        (Printf.sprintf "frame %d survives table growth" f)
+        (k * 17)
+        (Physmem.read64 pm ~frame:f ~off:8))
+    frames;
+  Alcotest.(check int) "frame_count tracks allocations" 200 (Physmem.frame_count pm)
+
+let test_physmem_out_of_frames () =
+  let pm = Physmem.create ~max_frames:3 () in
+  Alcotest.(check int) "cap recorded" 3 (Physmem.max_frames pm);
+  for _ = 1 to 3 do
+    ignore (Physmem.alloc_frame pm)
+  done;
+  (match Physmem.alloc_frame pm with
+  | _ -> Alcotest.fail "allocation past the cap must raise"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the condition: %s" msg)
+      true
+      (let re = "out of physical frames" in
+       let rec contains i =
+         i + String.length re <= String.length msg && (String.sub msg i (String.length re) = re || contains (i + 1))
+       in
+       contains 0));
+  (* The failed allocation must not have corrupted the pool. *)
+  Alcotest.(check int) "pool still holds its frames" 3 (Physmem.frame_count pm);
+  Physmem.write64 pm ~frame:2 ~off:0 99;
+  Alcotest.(check int) "live frames still usable" 99 (Physmem.read64 pm ~frame:2 ~off:0)
+
+let test_physmem_rejects_bad_cap () =
+  (match Physmem.create ~max_frames:0 () with
+  | _ -> Alcotest.fail "zero cap must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Physmem.create ~max_frames:(-4) () with
+  | _ -> Alcotest.fail "negative cap must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* --- pipeline properties --- *)
 
 let test_pipeline_monotone () =
@@ -276,6 +322,10 @@ let suite =
     Alcotest.test_case "pagetable pkey bounds" `Quick test_pagetable_pkey_bounds;
     Alcotest.test_case "physmem round-trips" `Quick test_physmem_roundtrip;
     Alcotest.test_case "physmem negative values" `Quick test_physmem_negative_values;
+    Alcotest.test_case "physmem table growth preserves contents" `Quick
+      test_physmem_growth_preserves_contents;
+    Alcotest.test_case "physmem out-of-frames diagnosis" `Quick test_physmem_out_of_frames;
+    Alcotest.test_case "physmem rejects bad cap" `Quick test_physmem_rejects_bad_cap;
     Alcotest.test_case "pipeline monotone" `Quick test_pipeline_monotone;
     Alcotest.test_case "pipeline serialize" `Quick test_pipeline_serialize_orders;
     Alcotest.test_case "pipeline dep floor" `Quick test_pipeline_dep_floor;
