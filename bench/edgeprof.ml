@@ -49,14 +49,21 @@ let entry_json (prof : Fastprof.t) edges =
       ("insns", Json.Int prof.Fastprof.p_insns);
       ("blocks", Json.Int (List.length prof.Fastprof.p_blocks));
       ("edges", Json.List (List.map edge_json edges));
+      ( "traces",
+        Json.Obj
+          [
+            ("formed", Json.Int prof.Fastprof.p_traces_formed);
+            ("covered_insns", Json.Int prof.Fastprof.p_trace_covered);
+            ("list", Json.List (List.map Fastprof.trace_to_json prof.Fastprof.p_traces));
+          ] );
     ]
 
 let run () =
   let t =
     Table_fmt.create
       ~align:[ Table_fmt.Left; Table_fmt.Left; Table_fmt.Right; Table_fmt.Right;
-               Table_fmt.Right; Table_fmt.Left ]
-      [ "benchmark"; "config"; "blocks"; "edges"; "indirect"; "hottest edge" ]
+               Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Left ]
+      [ "benchmark"; "config"; "blocks"; "edges"; "indirect"; "traces"; "cov%"; "hottest edge" ]
   in
   let entries =
     List.concat_map
@@ -76,11 +83,20 @@ let run () =
                 Printf.sprintf "%d -> %d (%s, %d)" src dst kind count
               | [] -> "-"
             in
+            let cov =
+              if fp.Fastprof.p_insns = 0 then 0.0
+              else
+                100.0
+                *. float_of_int fp.Fastprof.p_trace_covered
+                /. float_of_int fp.Fastprof.p_insns
+            in
             Table_fmt.add_row t
               [
                 Bench_common.short prof.Workloads.Profile.name; cname;
                 string_of_int (List.length fp.Fastprof.p_blocks);
-                string_of_int (List.length edges); string_of_int indirect; hottest;
+                string_of_int (List.length edges); string_of_int indirect;
+                string_of_int fp.Fastprof.p_traces_formed;
+                Printf.sprintf "%.1f" cov; hottest;
               ];
             entry_json fp edges)
           configs)

@@ -15,7 +15,9 @@ let usage () =
      \                   (default 1 = single-core only, keeps goldens stable)\n\
      \  --json FILE      also write machine-readable results (figures 3-6, table 4)\n\
      \  --speed-guard F  simspeed only: fail if measured MIPS < F x the committed\n\
-     \                   BENCH_simspeed.json latest (CI perf-regression gate)";
+     \                   BENCH_simspeed.json latest (CI perf-regression gate)\n\
+     \  --no-traces      simspeed only: disable the superblock trace tier for the\n\
+     \                   timed runs (isolates its engine-speed contribution)";
   exit 1
 
 let rec run_target = function
@@ -79,6 +81,9 @@ let () =
       (match float_of_string_opt f with
       | Some v when v > 0.0 -> Simspeed.guard_factor := Some v
       | Some _ | None -> usage ());
+      parse targets rest
+    | "--no-traces" :: rest ->
+      Simspeed.no_traces := true;
       parse targets rest
     | ("-h" | "--help") :: _ -> usage ()
     | t :: rest -> parse (t :: targets) rest

@@ -37,6 +37,12 @@ let out_file = "BENCH_simspeed.json"
    committed "latest" baseline-mode MIPS. Set via main.exe --speed-guard. *)
 let guard_factor : float option ref = ref None
 
+(* Disable the superblock tier for the timed runs (main.exe --no-traces):
+   isolates how much of the measured MIPS the trace tier contributes, and
+   gives a stable point of comparison with pre-trace-tier history
+   entries. Recorded in the JSON provenance. *)
+let no_traces = ref false
+
 (* A spread of profiles: pointer-chasing (low ILP), cache-resident high
    ILP, and call-heavy — so the MIPS number is not dominated by one
    instruction mix. *)
@@ -81,6 +87,10 @@ let measure_mode prepare_one =
         (insns + n, secs +. (t1 -. t0), words +. (w1 -. w0)))
       (0, 0.0, 0.0) profiles
   in
+  (* The first sweep is warm-up only (host-side effects: lazily-reached
+     code paths, allocator growth, page cache) and is discarded; the
+     steady-state rate is the best of [reps] post-warm-up sweeps. *)
+  ignore (sweep ());
   let first = sweep () in
   let rec best (bi, bs, bw) n =
     if n = 0 then (bi, bs, bw /. float_of_int (max bi 1))
@@ -90,13 +100,17 @@ let measure_mode prepare_one =
   in
   best first (reps - 1)
 
+let apply_trace_mode (p : Framework.prepared) =
+  if !no_traces then X86sim.Cpu.set_traces_enabled p.Framework.cpu false;
+  p
+
 let prepare_baseline prof =
   let iterations = speed_iterations () in
-  Framework.prepare_baseline (Workloads.Synth.lowered ~iterations prof)
+  apply_trace_mode (Framework.prepare_baseline (Workloads.Synth.lowered ~iterations prof))
 
 let prepare_mpk cfg prof =
   let iterations = speed_iterations () in
-  Framework.prepare cfg (Workloads.Synth.lowered ~iterations prof)
+  apply_trace_mode (Framework.prepare cfg (Workloads.Synth.lowered ~iterations prof))
 
 let prepare_hooked cfg prof =
   let p = prepare_mpk cfg prof in
@@ -165,14 +179,16 @@ let run () =
           Printf.sprintf "%.2f" words;
         ])
     rows;
-  Printf.printf "Simulator speed (simulated MIPS; %d workload iterations, %d profiles)\n"
-    iterations (List.length profiles);
+  Printf.printf "Simulator speed (simulated MIPS; %d workload iterations, %d profiles%s)\n"
+    iterations (List.length profiles)
+    (if !no_traces then ", trace tier off" else "");
   Table_fmt.print t;
   let this_run =
     Json.Obj
       (("date", Json.String (iso_date ()))
       :: ("commit", Json.String (git_commit ()))
       :: ("iterations", Json.Int iterations)
+      :: ("traces", Json.Bool (not !no_traces))
       :: ("profiles", Json.List (List.map (fun p -> Json.String p) profile_names))
       :: List.map json_of_mode rows)
   in

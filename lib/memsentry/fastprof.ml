@@ -15,6 +15,11 @@ type t = {
   p_insns : int;
   p_rows : row list;
   p_blocks : Ublock.stat list;
+  p_traces : Trace.stat list;
+  p_traces_formed : int;
+  p_traces_invalidated : int;
+  p_trace_covered : int;
+  p_trace_hoisted : int;
   p_compiles : int;
   p_invalidations : int;
   p_l1_evictions : int;
@@ -63,6 +68,7 @@ let capture_cpu ?workload ~technique (sm : Sitemap.t) (cpu : Cpu.t) =
       }
   in
   let cache = cpu.Cpu.mmu.Mmu.cache in
+  let tier = cpu.Cpu.traces in
   {
     p_workload = (match workload with Some w -> w | None -> "");
     p_technique = technique;
@@ -70,6 +76,11 @@ let capture_cpu ?workload ~technique (sm : Sitemap.t) (cpu : Cpu.t) =
     p_insns = cpu.Cpu.counters.Cpu.insns;
     p_rows = List.init n_rows row_of;
     p_blocks = Ublock.stats cpu.Cpu.tcache;
+    p_traces = Trace.stats tier;
+    p_traces_formed = tier.Trace.formed_count;
+    p_traces_invalidated = tier.Trace.invalidated_count;
+    p_trace_covered = tier.Trace.covered_insns;
+    p_trace_hoisted = tier.Trace.hoisted_checks;
     p_compiles = Ublock.compiles cpu.Cpu.tcache;
     p_invalidations = Ublock.invalidations cpu.Cpu.tcache;
     p_l1_evictions = Cache.l1_evictions cache;
@@ -145,6 +156,27 @@ let merge = function
           t.p_blocks)
       all;
     let blocks = List.rev_map (Hashtbl.find btbl) !border in
+    let ttbl = Hashtbl.create 16 in
+    let torder = ref [] in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun (s : Trace.stat) ->
+            match Hashtbl.find_opt ttbl s.Trace.t_entry with
+            | Some (acc : Trace.stat) ->
+              Hashtbl.replace ttbl s.Trace.t_entry
+                {
+                  acc with
+                  Trace.t_execs = acc.Trace.t_execs + s.Trace.t_execs;
+                  t_side_exits = acc.Trace.t_side_exits + s.Trace.t_side_exits;
+                  t_cycles = acc.Trace.t_cycles +. s.Trace.t_cycles;
+                }
+            | None ->
+              Hashtbl.add ttbl s.Trace.t_entry s;
+              torder := s.Trace.t_entry :: !torder)
+          t.p_traces)
+      all;
+    let traces = List.rev_map (Hashtbl.find ttbl) !torder in
     let sum f = List.fold_left (fun a t -> a + f t) 0 all in
     {
       p_workload = first.p_workload;
@@ -153,6 +185,11 @@ let merge = function
       p_insns = sum (fun t -> t.p_insns);
       p_rows = rows;
       p_blocks = blocks;
+      p_traces = traces;
+      p_traces_formed = sum (fun t -> t.p_traces_formed);
+      p_traces_invalidated = sum (fun t -> t.p_traces_invalidated);
+      p_trace_covered = sum (fun t -> t.p_trace_covered);
+      p_trace_hoisted = sum (fun t -> t.p_trace_hoisted);
       p_compiles = sum (fun t -> t.p_compiles);
       p_invalidations = sum (fun t -> t.p_invalidations);
       p_l1_evictions = sum (fun t -> t.p_l1_evictions);
@@ -190,6 +227,19 @@ let block_to_json (s : Ublock.stat) =
       ("dyn_total", Json.Int s.Ublock.s_dyn_total);
     ]
 
+let trace_to_json (s : Trace.stat) =
+  Json.Obj
+    [
+      ("entry", Json.Int s.Trace.t_entry);
+      ("blocks", Json.List (List.map (fun b -> Json.Int b) s.Trace.t_blocks));
+      ("insns", Json.Int s.Trace.t_insns);
+      ("execs", Json.Int s.Trace.t_execs);
+      ("side_exits", Json.Int s.Trace.t_side_exits);
+      ("cycles", Json.Float s.Trace.t_cycles);
+      ("loops", Json.Bool s.Trace.t_loops);
+      ("hoisted", Json.Int s.Trace.t_hoisted);
+    ]
+
 let to_json t =
   Json.Obj
     [
@@ -206,6 +256,15 @@ let to_json t =
             ("rows", Json.List (List.map row_to_json t.p_rows));
           ] );
       ("blocks", Json.List (List.map block_to_json t.p_blocks));
+      ( "traces",
+        Json.Obj
+          [
+            ("formed", Json.Int t.p_traces_formed);
+            ("invalidated", Json.Int t.p_traces_invalidated);
+            ("covered_insns", Json.Int t.p_trace_covered);
+            ("hoisted_checks", Json.Int t.p_trace_hoisted);
+            ("list", Json.List (List.map trace_to_json t.p_traces));
+          ] );
       ( "tcache",
         Json.Obj
           [ ("compiles", Json.Int t.p_compiles); ("invalidations", Json.Int t.p_invalidations) ]
@@ -269,10 +328,28 @@ let block_of_json j =
     s_dyn_total = get_int "dyn_total" j;
   }
 
+let trace_of_json j =
+  {
+    Trace.t_entry = get_int "entry" j;
+    t_blocks =
+      List.map
+        (function Json.Int b -> b | _ -> fail "trace blocks entry is not an int")
+        (get_list "blocks" j);
+    t_insns = get_int "insns" j;
+    t_execs = get_int "execs" j;
+    t_side_exits = get_int "side_exits" j;
+    t_cycles = get_float "cycles" j;
+    t_loops = (match get "loops" j with Json.Bool b -> b | _ -> fail "trace loops not a bool");
+    t_hoisted = get_int "hoisted" j;
+  }
+
 let of_json j =
   let cpi = get "cpi" j in
   let tc = get "tcache" j in
   let mem = get "memory" j in
+  (* Lenient on the trace section: profiles captured before the trace
+     tier existed simply have no superblocks. *)
+  let tr name f d = match Json.member "traces" j with None -> d | Some t -> f name t in
   {
     p_workload = get_string "workload" j;
     p_technique = get_string "technique" j;
@@ -280,6 +357,11 @@ let of_json j =
     p_insns = get_int "insns" j;
     p_rows = List.map row_of_json (get_list "rows" cpi);
     p_blocks = List.map block_of_json (get_list "blocks" j);
+    p_traces = List.map trace_of_json (tr "list" get_list []);
+    p_traces_formed = tr "formed" get_int 0;
+    p_traces_invalidated = tr "invalidated" get_int 0;
+    p_trace_covered = tr "covered_insns" get_int 0;
+    p_trace_hoisted = tr "hoisted_checks" get_int 0;
     p_compiles = get_int "compiles" tc;
     p_invalidations = get_int "invalidations" tc;
     p_l1_evictions = get_int "l1_evictions" mem;

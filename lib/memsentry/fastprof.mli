@@ -30,6 +30,11 @@ type t = {
   p_insns : int;
   p_rows : row list;  (** app row first, then site-id order *)
   p_blocks : Ublock.stat list;  (** executed blocks, entry order *)
+  p_traces : Trace.stat list;  (** live superblocks, formation order *)
+  p_traces_formed : int;  (** cumulative, includes invalidated traces *)
+  p_traces_invalidated : int;
+  p_trace_covered : int;  (** retired instructions executed inside superblocks *)
+  p_trace_hoisted : int;  (** check uops hoisted into trace prologues *)
   p_compiles : int;
   p_invalidations : int;
   p_l1_evictions : int;
@@ -61,7 +66,8 @@ val capture_smp : ?workload:string -> Framework.smp -> t list
 val merge : t list -> t
 (** Machine-wide rollup of per-core profiles: cycles/instruction counters
     sum, CPI rows merge by (label, rip) with element-wise class addition,
-    block stats merge by entry. Shared-tier L3 evictions are taken once
+    block stats merge by entry, trace stats merge by entry (execs,
+    side exits and cycles sum). Shared-tier L3 evictions are taken once
     (from the first profile), not summed. Workload/technique labels come
     from the first profile. Raises [Invalid_argument] on []. *)
 
@@ -71,13 +77,21 @@ val total_cycles : t -> float
 
 val row_cycles : row -> float
 
+val trace_to_json : Trace.stat -> Ms_util.Json.t
+(** One formed superblock as a JSON object (the element type of the
+    profile's ["traces"."list"]); exposed for artifacts that embed the
+    formed-trace list without a full profile (bench edgeprof). *)
+
 val to_json : t -> Ms_util.Json.t
 (** Self-contained profile artifact: CPI rows, block/edge profile (the
-    superblock tier's input), translation-cache and memory-system
-    counters. Round-trips through {!of_json}. *)
+    superblock tier's input), formed-superblock list with coverage
+    counters, translation-cache and memory-system counters. Round-trips
+    through {!of_json}. *)
 
 val of_json : Ms_util.Json.t -> t
-(** Raises [Invalid_argument] on a value not produced by {!to_json}. *)
+(** Raises [Invalid_argument] on a value not produced by {!to_json}.
+    Lenient about the ["traces"] section (absent in profiles captured
+    before the trace tier existed: zero counts, empty list). *)
 
 type regression = {
   rg_label : string;

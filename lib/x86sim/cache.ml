@@ -118,9 +118,10 @@ let probe lvl line clock =
     end
   end
 
-let access t ~addr =
-  t.clock <- t.clock + 1;
-  let line = addr lsr line_bits in
+(* Everything past an L1 MRU-hint hit: the L1 scan, then the lower
+   levels. Outlined so {!access}'s inlined fast path stays a handful of
+   instructions. *)
+let access_below_l1_mru t line =
   if probe t.l1 line t.clock then begin
     t.last <- L1;
     lat_l1
@@ -145,6 +146,25 @@ let access t ~addr =
       lat_dram
     end
   end
+
+(* The L1 MRU-hint hit — the overwhelmingly common access under temporal
+   locality — inlined into the caller (one mask, one compare, two
+   stores); everything else takes the outlined call. Identical outcomes
+   and statistics to running {!probe} directly: the fast path is
+   [probe]'s first branch verbatim. *)
+let[@inline always] access t ~addr =
+  t.clock <- t.clock + 1;
+  let line = addr lsr line_bits in
+  let lvl = t.l1 in
+  let set = line land (lvl.sets - 1) in
+  let slot = (set * lvl.ways) + Array.unsafe_get lvl.mru set in
+  if Array.unsafe_get lvl.tags slot = line then begin
+    Array.unsafe_set lvl.stamps slot t.clock;
+    lvl.hits <- lvl.hits + 1;
+    t.last <- L1;
+    lat_l1
+  end
+  else access_below_l1_mru t line
 
 let last_served t = t.last
 

@@ -60,6 +60,10 @@ type t = {
       (* predecoded basic-block translations of [program]; swapped when
          the program changes identity, generation-bumped by
          [flush_translations] *)
+  mutable traces : Trace.tier;
+      (* profile-guided superblocks over [tcache]; swapped with it on
+         program-identity change, torn down eagerly by
+         [flush_translations] *)
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -223,6 +227,7 @@ let create_on ?(stack_pages = 64) mmu =
       site_of = [||];
       program;
       tcache = Ublock.create program;
+      traces = Trace.create ~code_len:(Program.length program);
       syscall_handler = default_syscall_handler;
       vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
       ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
@@ -337,11 +342,28 @@ let emit_mem t va =
 
 let load_program t prog =
   t.program <- prog;
-  if not (Ublock.owns t.tcache prog) then t.tcache <- Ublock.create prog;
+  if not (Ublock.owns t.tcache prog) then begin
+    t.tcache <- Ublock.create prog;
+    t.traces <- Trace.recreate t.traces ~code_len:(Program.length prog)
+  end;
   t.halted <- false;
   t.rip <- (if Program.has_label prog "main" then Program.label_index prog "main" else 0)
 
-let flush_translations t = Ublock.invalidate t.tcache
+(* Eager invalidation. The generation bump alone keeps stale *blocks*
+   from being entered (every entry re-checks [bgen]), but superblocks
+   bake direct block references and side-exit stubs in, so the trace tier
+   is torn down outright — a stale side-exit can never execute — and the
+   block tier's cached successor links are severed rather than left
+   dangling into the flushed generation. *)
+let flush_translations t =
+  Ublock.invalidate t.tcache;
+  Ublock.drop_links t.tcache;
+  Trace.invalidate_all t.traces
+
+let set_traces_enabled t on = Trace.set_enabled t.traces on
+let traces_enabled t = t.traces.Trace.enabled
+
+let install_trace_hoist_facts t facts = Trace.install_hoist_facts t.traces facts
 
 let cycles t = Pipeline.cycles t.pipe
 
@@ -1057,6 +1079,12 @@ let exec_block_chain t cache b0 budget =
     let n = Array.length uops in
     let entry = blk.Ublock.entry in
     blk.Ublock.exec_count <- Ublock.bump blk.Ublock.exec_count;
+    (* Trace-tier formation trigger: one attempt, the moment the counter
+       crosses the threshold (equality, so the hot path pays a single
+       compare; a disabled tier parks the threshold at [max_int], and
+       [try_form] re-checks [enabled] besides). *)
+    if blk.Ublock.exec_count = t.traces.Trace.hot_threshold then
+      Trace.try_form t.traces cache blk;
     let i = ref 0 in
     (* Two copies of the uop loop so the un-instrumented run (no site map
        installed — the common case) pays nothing per uop for row
@@ -1176,8 +1204,252 @@ let exec_block_chain t cache b0 budget =
            hooks or swapped the program, so always fall back to the
            dispatch loop, which re-checks both. *)
         chaining := false
-    end
+    end;
+    (* If a superblock is registered at the next block's entry, stop
+       chaining so the dispatch loop tiers up ([t.rip] already names that
+       entry). Cost on the no-trace path: one array load per followed
+       edge. *)
+    if !chaining && Trace.at t.traces (!bcell).Ublock.entry != Trace.dummy_trace then
+      chaining := false
   done
+
+(* ------------------------------------------------------------------ *)
+(* Trace-tier execution (superblocks)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of [rip] in a filtered segment's rip table. Cold path: only runs
+   when a fault unwinds out of a hoist-filtered segment. The rip was
+   armed from this very table, so the scan always terminates. *)
+let rec rip_index rips rip i =
+  if Array.unsafe_get rips i = rip then i else rip_index rips rip (i + 1)
+
+(* Execute superblock [tr] from its entry until a side exit, its final
+   predicted exit, fuel exhaustion, or a fault. Observationally identical
+   to running the same blocks through [exec_block_chain] — same counter
+   and fuel discipline, same pipeline issues, same profile updates, same
+   per-uop [rip] re-arming — but the bookkeeping the block tier pays per
+   instruction (insns increment, budget decrement, budget loop test) is
+   batched per segment, and fused boundaries cost one segment advance
+   instead of a chain-link follow + generation check + registry probe.
+   The [Pipeline] scoreboard is continuous across the fused boundaries by
+   construction (the block tier never reset it at terminators either), so
+   register-ready state propagates through the whole superblock.
+
+   Batching vs fault precision: [rip] is still armed before every uop and
+   uops never write it, so when a fault unwinds mid-segment the number of
+   uops that completed before the faulting one is recoverable from [rip]
+   alone. The handler below settles [insns]/[budget] to exactly what the
+   block tier would have accumulated (faulting instruction counted, not
+   yet decremented — [run_fast]'s delivery path decrements it) and
+   re-raises; EPT-retry's [retry_marker = counters.insns] comparison
+   therefore observes identical values in either tier.
+
+   Prediction guards (the jcc direction re-check and the indirect-target
+   compare) and trace formation itself cost zero simulated cycles: the
+   tier models a dispatch optimization of the simulator, not a new
+   microarchitectural feature — see DESIGN.md "Trace tier". *)
+let exec_trace t (tr : Trace.trace) budget =
+  let tier = t.traces in
+  let c = t.counters in
+  let map = t.site_of in
+  let mapped = Array.length map >= tier.Trace.code_len in
+  tr.Trace.tr_execs <- Ublock.bump tr.Trace.tr_execs;
+  let cyc0 = Pipeline.cycles t.pipe in
+  try
+    (* Hoisted-check prologue: empty unless hoist facts were installed.
+       Runs once per trace entry (internal loop restarts skip it), with
+       eager per-insn accounting — the dispatch guard already ensured
+       fuel cannot run out inside it. *)
+    let pro = tr.Trace.tr_prologue in
+    let npro = Array.length pro in
+    if npro > 0 then begin
+      let pro_rips = tr.Trace.tr_prologue_rips in
+      for i = 0 to npro - 1 do
+        let rip = Array.unsafe_get pro_rips i in
+        t.rip <- rip;
+        if mapped then Pipeline.set_row t.pipe (Array.unsafe_get map rip);
+        c.insns <- c.insns + 1;
+        tier.Trace.covered_insns <- tier.Trace.covered_insns + 1;
+        exec_uop t (Array.unsafe_get pro i);
+        decr budget
+      done
+    end;
+    let segs = tr.Trace.tr_segs in
+    let last = Array.length segs - 1 in
+    let k = ref 0 in
+    let running = ref true in
+    while !running do
+      let sg = Array.unsafe_get segs !k in
+      let blk = sg.Trace.sg_blk in
+      let uops = sg.Trace.sg_uops in
+      let rips = sg.Trace.sg_rips in
+      let n = Array.length uops in
+      let entry = blk.Ublock.entry in
+      blk.Ublock.exec_count <- Ublock.bump blk.Ublock.exec_count;
+      let b0 = !budget in
+      let lim = if b0 < n then b0 else n in
+      tier.Trace.rec_entry <- entry;
+      tier.Trace.rec_rips <- rips;
+      tier.Trace.rec_active <- true;
+      (* Four copies of the segment body loop: site-mapped × identity-rip,
+         so the common case (no CPI attribution, nothing hoisted) runs
+         with zero per-uop overhead beyond the block tier's own loop —
+         minus its counter traffic. *)
+      if rips == Trace.no_rips then begin
+        if mapped then begin
+          let i = ref 0 in
+          while !i < lim do
+            let rip = entry + !i in
+            t.rip <- rip;
+            Pipeline.set_row t.pipe (Array.unsafe_get map rip);
+            exec_uop t (Array.unsafe_get uops !i);
+            incr i
+          done
+        end
+        else begin
+          let i = ref 0 in
+          while !i < lim do
+            t.rip <- entry + !i;
+            exec_uop t (Array.unsafe_get uops !i);
+            incr i
+          done
+        end
+      end
+      else if mapped then begin
+        let i = ref 0 in
+        while !i < lim do
+          let rip = Array.unsafe_get rips !i in
+          t.rip <- rip;
+          Pipeline.set_row t.pipe (Array.unsafe_get map rip);
+          exec_uop t (Array.unsafe_get uops !i);
+          incr i
+        done
+      end
+      else begin
+        let i = ref 0 in
+        while !i < lim do
+          t.rip <- Array.unsafe_get rips !i;
+          exec_uop t (Array.unsafe_get uops !i);
+          incr i
+        done
+      end;
+      tier.Trace.rec_active <- false;
+      c.insns <- c.insns + lim;
+      budget := b0 - lim;
+      tier.Trace.covered_insns <- tier.Trace.covered_insns + lim;
+      if lim < n then begin
+        (* Fuel exhausted mid-segment: resume at the first unexecuted
+           instruction, exactly as the block tier does. *)
+        t.rip <- (if rips == Trace.no_rips then entry + lim else Array.unsafe_get rips lim);
+        running := false
+      end
+      else if !budget <= 0 then begin
+        t.rip <- blk.Ublock.term_idx;
+        running := false
+      end
+      else begin
+        let ti = blk.Ublock.term_idx in
+        t.rip <- ti;
+        if mapped && ti < Array.length map then
+          Pipeline.set_row t.pipe (Array.unsafe_get map ti);
+        c.insns <- c.insns + 1;
+        tier.Trace.covered_insns <- tier.Trace.covered_insns + 1;
+        (* Mirror of [exec_block_chain]'s terminator arms, with the
+           successor lookup replaced by the baked prediction. [advance]
+           follows the predicted edge: next segment, loop restart, or —
+           past the final segment — fall back to dispatch with [rip]
+           already at the predicted continuation. A failed prediction
+           guard is a side exit: [rip] is architecturally correct either
+           way, so the fall-back costs nothing but the tier switch. *)
+        let advance () =
+          if !k = last then begin
+            if tr.Trace.tr_loops then k := 0 else running := false
+          end
+          else incr k
+        in
+        let side_exit () =
+          tr.Trace.tr_side_exits <- Ublock.bump tr.Trace.tr_side_exits;
+          running := false
+        in
+        match sg.Trace.sg_exit with
+        | Trace.X_jmp { target } ->
+          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+            ~port:Pipeline.p_branch;
+          t.rip <- target;
+          decr budget;
+          advance ()
+        | Trace.X_jcc { cond; target; fall; predict_taken } ->
+          Pipeline.issue_fast t.pipe ~s1:Reg.pipe_flags ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+            ~port:Pipeline.p_branch;
+          decr budget;
+          let taken = eval_cond t cond in
+          if taken then begin
+            blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+            t.rip <- target
+          end
+          else begin
+            blk.Ublock.fall_count <- Ublock.bump blk.Ublock.fall_count;
+            t.rip <- fall
+          end;
+          if taken = predict_taken then advance () else side_exit ()
+        | Trace.X_call { target; retaddr } ->
+          c.calls <- c.calls + 1;
+          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+          push t retaddr;
+          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+            ~port:Pipeline.p_branch;
+          t.rip <- target;
+          decr budget;
+          advance ()
+        | Trace.X_call_r { r; retaddr; predicted } ->
+          c.calls <- c.calls + 1;
+          c.ind_branches <- c.ind_branches + 1;
+          push t retaddr;
+          Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+            ~lat:1 ~port:Pipeline.p_branch;
+          (* Read the target after the push: [r] may be rsp. *)
+          let target = t.gpr.(r) in
+          Ublock.note_dyn blk target;
+          t.rip <- target;
+          decr budget;
+          if target = predicted then advance () else side_exit ()
+        | Trace.X_jmp_r { r; predicted } ->
+          c.ind_branches <- c.ind_branches + 1;
+          Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+            ~lat:1 ~port:Pipeline.p_branch;
+          let target = t.gpr.(r) in
+          Ublock.note_dyn blk target;
+          t.rip <- target;
+          decr budget;
+          if target = predicted then advance () else side_exit ()
+        | Trace.X_ret { predicted } ->
+          c.rets <- c.rets + 1;
+          let v = pop t in
+          Ublock.note_dyn blk v;
+          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+            ~port:Pipeline.p_branch;
+          t.rip <- v;
+          decr budget;
+          if v = predicted then advance () else side_exit ()
+      end
+    done;
+    tr.Trace.tr_cycles <- tr.Trace.tr_cycles +. (Pipeline.cycles t.pipe -. cyc0)
+  with Fault.Fault _ as e ->
+    if tier.Trace.rec_active then begin
+      (* Settle the batched accounting from [rip]: [j] uops of the
+         current segment completed before the faulting one. *)
+      let j =
+        if tier.Trace.rec_rips == Trace.no_rips then t.rip - tier.Trace.rec_entry
+        else rip_index tier.Trace.rec_rips t.rip 0
+      in
+      c.insns <- c.insns + j + 1;
+      budget := !budget - j;
+      tier.Trace.covered_insns <- tier.Trace.covered_insns + j + 1;
+      tier.Trace.rec_active <- false
+    end;
+    tr.Trace.tr_cycles <- tr.Trace.tr_cycles +. (Pipeline.cycles t.pipe -. cyc0);
+    raise e
 
 (* Raised (and translated back to [Program.fetch]'s fault) when the fast
    loop's block dispatch lands outside the code array, so that fault keeps
@@ -1218,12 +1490,30 @@ let run_fast t budget =
         do
           (* Handlers may swap the program mid-run; cache identity is
              re-checked at every chain entry (chains end at every
-             handler-running instruction). *)
-          if not (Ublock.owns t.tcache t.program) then t.tcache <- Ublock.create t.program;
+             handler-running instruction). The trace tier swaps with it. *)
+          if not (Ublock.owns t.tcache t.program) then begin
+            t.tcache <- Ublock.create t.program;
+            t.traces <- Trace.recreate t.traces ~code_len:(Program.length t.program)
+          end;
           let cache = t.tcache in
           let rip = t.rip in
-          if rip >= 0 && rip < Ublock.code_length cache then
-            exec_block_chain t cache (Ublock.get cache rip) budget
+          if rip >= 0 && rip < Ublock.code_length cache then begin
+            (* Tier dispatch: a live superblock at this entry wins over
+               the block tier. The generation re-check makes stale
+               dispatch impossible even if eager invalidation were ever
+               bypassed; the prologue guard keeps hoisted execution out
+               of quanta too small to retire the prologue plus one body
+               instruction (mid-prologue has no resumable rip). *)
+            let tr = Trace.at t.traces rip in
+            if
+              tr != Trace.dummy_trace
+              && tr.Trace.tr_gen = Ublock.generation cache
+              &&
+              let npro = Array.length tr.Trace.tr_prologue in
+              npro = 0 || npro < !budget
+            then exec_trace t tr budget
+            else exec_block_chain t cache (Ublock.get cache rip) budget
+          end
           else raise Fetch_out_of_code
         done;
         live := false

@@ -81,6 +81,14 @@ type t = {
           re-decoding [Insn.t]s. Swapped automatically when [program]
           changes identity; {!flush_translations} invalidates it after
           in-place mutation of the code array. *)
+  mutable traces : Trace.tier;
+      (** Profile-guided superblocks stitched over [tcache] (see
+          {!Trace}): once a block's exec counter crosses the tier's hot
+          threshold, its dominant successor chain executes as one flat
+          superblock with side exits back to the block tier. Swapped
+          together with [tcache] on program-identity change; torn down
+          eagerly by {!flush_translations}. Exposed for observability
+          ({!Trace.stats}) and for tests tuning the formation policy. *)
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -119,10 +127,29 @@ val load_program : t -> Program.t -> unit
 (** Install a program and set [rip] to the ["main"] label (or 0). *)
 
 val flush_translations : t -> unit
-(** Invalidate every cached basic-block translation (generation bump).
-    Required only after mutating the installed program's code array in
-    place; installing a different program via {!load_program} or
-    assigning [program] re-keys the cache automatically. *)
+(** Invalidate every cached translation, eagerly: bump the block cache's
+    generation, sever every cached block→block successor link, and tear
+    down all superblocks (plus installed hoist facts). After a flush no
+    stale block, chain link, trace, or side-exit stub can execute — not
+    even transiently. Required only after mutating the installed
+    program's code array in place; installing a different program via
+    {!load_program} or assigning [program] re-keys both tiers
+    automatically. *)
+
+val set_traces_enabled : t -> bool -> unit
+(** Enable (default) or disable the trace tier; disabling also
+    invalidates live superblocks so execution falls back to the block
+    tier immediately. See {!Trace.set_enabled}. *)
+
+val traces_enabled : t -> bool
+
+val install_trace_hoist_facts : t -> bool array -> unit
+(** Install per-rip loop-invariance facts licensing gate-check hoisting
+    to trace entry ([facts.(rip) = true] ⇒ the bounds check at [rip] may
+    run once per trace entry instead of once per iteration). Off by
+    default; intended to be fed from [Gate_analysis]-derived facts by the
+    memsentry layer. Changes modeled cost (that is the point), so leave
+    uninstalled for byte-identical tier comparisons. *)
 
 (** {2 Hooks and events}
 

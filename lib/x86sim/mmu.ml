@@ -208,7 +208,12 @@ let ept_gen t = if t.ept_on then Ept.generation t.shared.s_ept_list.(t.ept_index
    directly and the TLB-walk latency is left in [t.last_lat]. The hot path
    (one call per simulated memory access) must not build the tuple/record
    results the convenience wrappers below expose. *)
-let translate_va t ~va ~(access : Fault.access) =
+(* [@inline always]: one inline copy per memory-access entry point (the
+   two 64-bit movers, the two 16-byte movers, and [translate]) removes a
+   call frame from every simulated memory access. The TLB probe inside is
+   itself inlined ({!Tlb.probe_info}), so the hit path runs straight-line
+   from uop to physical address. *)
+let[@inline always] translate_va t ~va ~(access : Fault.access) =
   let vpn = va lsr page_bits in
   let pt_gen = !(t.pt_gen_cell) in
   (* [ept_gen t] open-coded: with EPT off (the common configuration) the

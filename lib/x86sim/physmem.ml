@@ -56,11 +56,11 @@ let write64 t ~frame ~off v =
    handed out by [alloc_frame] (the pool never shrinks), so the
    [frame_bytes] range check and its extra call are redundant. The byte
    offset stays bounds-checked by the access primitive. *)
-let read64_trusted t ~frame ~off =
+let[@inline always] read64_trusted t ~frame ~off =
   if Sys.big_endian then Int64.to_int (Bytes.get_int64_le (Array.unsafe_get t.frames frame) off)
   else Int64.to_int (get_64ne (Array.unsafe_get t.frames frame) off)
 
-let write64_trusted t ~frame ~off v =
+let[@inline always] write64_trusted t ~frame ~off v =
   if Sys.big_endian then Bytes.set_int64_le (Array.unsafe_get t.frames frame) off (Int64.of_int v)
   else set_64ne (Array.unsafe_get t.frames frame) off (Int64.of_int v)
 

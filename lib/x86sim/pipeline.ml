@@ -187,32 +187,36 @@ let[@inline] b2i (b : bool) = if b then 1 else 0
    maintained in [0, rob_size)), so the accesses below are unchecked:
    at one call per simulated instruction, the bounds checks and the
    [mod] divide were a measurable slice of whole-simulator time. *)
-let issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port =
+let[@inline always] issue_core_f t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port ~(dep : float)
+    ~(lat : float) ~(busy : float) =
   let clk = t.clk in
   let ready = t.ready in
   let slot = t.rob_next in
   let nxt = slot + 1 in
   t.rob_next <- (if nxt = rob_size then 0 else nxt);
   t.insns <- t.insns + 1;
-  let dep = Array.unsafe_get clk io_dep in
   let fpre = Array.unsafe_get clk i_fetch in
   let floor_time = fmax dep (fmax fpre (Array.unsafe_get t.rob slot)) in
-  Array.unsafe_set clk io_dep 0.0;
   let earliest = if s3 >= 0 then fmax floor_time (Array.unsafe_get ready s3) else floor_time in
   let earliest = if s2 >= 0 then fmax earliest (Array.unsafe_get ready s2) else earliest in
   let earliest = if s1 >= 0 then fmax earliest (Array.unsafe_get ready s1) else earliest in
   let earliest = if serialize then fmax earliest (Array.unsafe_get clk i_maxc) else earliest in
   (* Pick the execution unit that frees up first. *)
   let units = Array.unsafe_get t.units port in
+  let n_units = Array.length units in
   let best = ref 0 in
-  for i = 1 to Array.length units - 1 do
-    if Array.unsafe_get units i < Array.unsafe_get units !best then best := i
-  done;
+  if n_units > 1 then begin
+    if Array.unsafe_get units 1 < Array.unsafe_get units 0 then best := 1;
+    if n_units > 2 then begin
+      if Array.unsafe_get units 2 < Array.unsafe_get units !best then best := 2;
+      if Array.unsafe_get units 3 < Array.unsafe_get units !best then best := 3
+    end
+  end;
   let ufree = Array.unsafe_get units !best in
   let t0 = fmax earliest ufree in
-  let completion = t0 +. Array.unsafe_get clk io_lat in
+  let completion = t0 +. lat in
   Array.unsafe_set t.rob slot completion;
-  Array.unsafe_set units !best (t0 +. Array.unsafe_get clk io_busy);
+  Array.unsafe_set units !best (t0 +. busy);
   if d1 >= 0 then Array.unsafe_set ready d1 completion;
   if d2 >= 0 then Array.unsafe_set ready d2 completion;
   let m0 = Array.unsafe_get clk i_maxc in
@@ -274,11 +278,23 @@ let issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port =
   let ri = t.row_base + cls in
   Array.unsafe_set cpi ri (Array.unsafe_get cpi ri +. (cyc -. prev))
 
-let issue_fast t ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
+(* Read-and-reset the store-forwarding dependency floor: only set by
+   [set_load_dep]-style callers immediately before a load's issue, and
+   self-resetting so every other issue sees 0. *)
+let[@inline always] take_dep clk =
+  let d = Array.unsafe_get clk io_dep in
+  Array.unsafe_set clk io_dep 0.0;
+  d
+
+let[@inline] issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port =
   let clk = t.clk in
-  clk.(io_lat) <- float_of_int lat;
-  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
-  issue_core t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize:false ~port
+  issue_core_f t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize ~port ~dep:(take_dep clk)
+    ~lat:(Array.unsafe_get clk io_lat)
+    ~busy:(Array.unsafe_get clk io_busy)
+
+let issue_fast t ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
+  issue_core_f t ~s1 ~s2 ~s3 ~d1 ~d2 ~serialize:false ~port ~dep:(take_dep t.clk)
+    ~lat:(float_of_int lat) ~busy:(Array.unsafe_get recip_throughput port)
 
 (* Predecoded issue metadata: the five pipeline-register ids, the port and
    (for static-latency instructions) the latency of one instruction packed
@@ -302,33 +318,29 @@ let pack ~s1 ~s2 ~s3 ~d1 ~d2 ~lat ~port =
   lor (lat lsl meta_lat_shift)
 
 let issue_packed t ~meta ~lat =
-  let clk = t.clk in
-  clk.(io_lat) <- float_of_int lat;
   let port = (meta lsr 30) land 7 in
-  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
-  issue_core t
+  issue_core_f t
     ~s1:((meta land 0x3F) - 1)
     ~s2:(((meta lsr 6) land 0x3F) - 1)
     ~s3:(((meta lsr 12) land 0x3F) - 1)
     ~d1:(((meta lsr 18) land 0x3F) - 1)
     ~d2:(((meta lsr 24) land 0x3F) - 1)
-    ~serialize:false ~port
+    ~serialize:false ~port ~dep:(take_dep t.clk) ~lat:(float_of_int lat)
+    ~busy:(Array.unsafe_get recip_throughput port)
 
 (* Not expressed via [issue_packed]: this is the single hottest call in
    translated execution, and flattening it drops one call frame per
    executed uop. *)
 let issue_packed_static t ~meta =
-  let clk = t.clk in
-  clk.(io_lat) <- float_of_int (meta lsr meta_lat_shift);
   let port = (meta lsr 30) land 7 in
-  clk.(io_busy) <- Array.unsafe_get recip_throughput port;
-  issue_core t
+  issue_core_f t
     ~s1:((meta land 0x3F) - 1)
     ~s2:(((meta lsr 6) land 0x3F) - 1)
     ~s3:(((meta lsr 12) land 0x3F) - 1)
     ~d1:(((meta lsr 18) land 0x3F) - 1)
     ~d2:(((meta lsr 24) land 0x3F) - 1)
-    ~serialize:false ~port
+    ~serialize:false ~port ~dep:0.0 ~lat:(float_of_int (meta lsr meta_lat_shift))
+    ~busy:(Array.unsafe_get recip_throughput port)
 
 let issue_t t ?(s1 = -1) ?(s2 = -1) ?(s3 = -1) ?(d1 = -1) ?(d2 = -1) ?(dep = 0.0) ?(lat = 1.0)
     ?busy ?(serialize = false) ~port () =

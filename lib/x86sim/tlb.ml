@@ -66,7 +66,7 @@ let slot_index t ~vpn = slot_of t vpn
 (* {!probe_slot} and {!slot_info} fused: the translation hot path pays
    one cross-module call per hit instead of two. Returns the packed
    {!slot_info} word (always >= 0), or -1 on miss. *)
-let probe_info t ~vpn ~ept ~pt_gen ~ept_gen =
+let[@inline always] probe_info t ~vpn ~ept ~pt_gen ~ept_gen =
   let s = slot_of t vpn in
   if
     Array.unsafe_get t.vpns s = vpn

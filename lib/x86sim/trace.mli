@@ -1,0 +1,195 @@
+(** Profile-guided trace tier: superblocks over {!Ublock}.
+
+    The block tier re-enters the dispatcher at every terminator: follow a
+    chain link, re-check its generation, re-arm the per-block uop loop.
+    For hot code the control-flow trajectory is almost always the same one
+    the edge profile already recorded, so this module stitches a hot
+    block's dominant successor chain into a {e superblock}: a flat
+    sequence of segments (one per fused basic block) executed by a single
+    loop in [Cpu.exec_trace], with the predicted exit direction baked in
+    and a {e side exit} back to the block tier whenever the prediction
+    misses. A trace whose predicted chain closes back on its own entry is
+    a {e looping} trace: the executor restarts it without ever returning
+    to the dispatcher, which is where the hot-loop win comes from.
+
+    {b Formation policy.} Formation is triggered by the block tier the
+    moment a block's [exec_count] crosses [hot_threshold]. The chain is
+    grown from the {!Ublock} profile:
+    - [Term_jmp]/[Term_call]: always followed (unconditional edges).
+    - [Term_jcc]: followed in its dominant direction once the branch has
+      at least [min_samples] recorded exits and one direction outnumbers
+      the other [bias_num]:[bias_den] (default 3:1). The baked direction
+      is re-checked at run time; the cold direction is a side exit.
+    - [Term_ret]/[Term_call_r]/[Term_jmp_r]: followed to the Boyer–Moore
+      majority target once it holds an absolute majority over at least
+      [min_samples] samples. The target is re-checked at run time
+      against the actual value (popped return address / register); a
+      mismatch is a side exit with the architecturally-correct rip.
+    Growth stops at unpredictable exits ([Term_halt], [Term_exec],
+    [Term_fall_off], cold branches), at revisited entries (except the
+    trace's own entry, which closes a loop), and at [max_segs]/
+    [max_insns]. Single-segment traces are kept only when they loop.
+
+    {b Semantics.} Executing a trace is observationally identical to
+    running the same blocks through the block tier: same retired-insn
+    counts, same fuel decrements, same pipeline issues (so same cycles
+    and CPI stack), same profile updates, same fault behavior ([rip] is
+    re-armed per uop; the executor's batched counter accounting is
+    reconciled from [rip] before a fault propagates). Runtime prediction
+    guards and trace formation itself cost zero {e simulated} cycles:
+    the tier models a software-dispatch optimization of the simulator,
+    not a microarchitectural feature of the modeled CPU.
+
+    {b Gate-check hoisting} (opt-in): when the embedding layer installs
+    per-rip facts ({!install_hoist_facts}) asserting that a check site is
+    loop-invariant — derived from the same conditions [Gate_opt]'s
+    CFG-scope check motion proves — formation lifts the fact-marked site
+    uops (the [lea] computing the checked address together with the
+    [Ubndc] it feeds) into a prologue executed once per trace {e entry};
+    internal loop restarts skip it, and the in-body access reads the
+    prologue-computed scratch value. Formation re-verifies the facts
+    against the trace body (no uop outside the hoisted group may write
+    any register the group touches, nor the check's bound register)
+    before trusting them. This intentionally changes the modeled cost
+    (fewer retired checks — the pay-once-per-window story), so it is off
+    unless facts are installed.
+
+    {b Invalidation} is eager: {!invalidate_all} (wired through
+    [Cpu.flush_translations]) unregisters every live trace, so a stale
+    superblock — including its side-exit stubs — can never execute after
+    a flush. Dispatch additionally re-checks the trace's recorded
+    {!Ublock} generation, so even a registry race would fall back to the
+    block tier (which recompiles) rather than run stale code. *)
+
+(** How a segment's fused terminator exits, with the predicted
+    continuation baked in at formation time. *)
+type exit_kind =
+  | X_jmp of { target : int }
+  | X_jcc of { cond : Insn.cond; target : int; fall : int; predict_taken : bool }
+      (** Direction re-evaluated at run time; the unpredicted direction
+          side-exits. *)
+  | X_call of { target : int; retaddr : int }
+  | X_call_r of { r : int; retaddr : int; predicted : int }
+  | X_jmp_r of { r : int; predicted : int }
+  | X_ret of { predicted : int }
+      (** Indirect exits compare the actual target against [predicted];
+          a mismatch side-exits with [rip] already set to the actual
+          target. *)
+
+(** One fused basic block inside a trace. *)
+type seg = {
+  sg_blk : Ublock.block;  (** the underlying block (profile counters live here) *)
+  sg_uops : Ublock.uop array;
+      (** shares [sg_blk.uops] unless hoisting elided checks *)
+  sg_rips : int array;
+      (** per-uop instruction indices; {!no_rips} means the identity
+          mapping [sg_blk.entry + i] (no uop was elided) *)
+  sg_exit : exit_kind;
+}
+
+type trace = {
+  tr_entry : int;
+  tr_gen : int;  (** {!Ublock} generation the trace was formed under *)
+  tr_segs : seg array;
+  tr_loops : bool;
+      (** last segment's predicted exit returns to [tr_entry]: the
+          executor restarts the trace without re-dispatching *)
+  tr_prologue : Ublock.uop array;  (** hoisted checks, run once per trace entry *)
+  tr_prologue_rips : int array;
+  tr_insns : int;  (** static instructions covered (uops + terminators) *)
+  mutable tr_execs : int;  (** entries (not loop restarts); saturating *)
+  mutable tr_side_exits : int;
+  mutable tr_cycles : float;  (** simulated cycles retired inside this trace *)
+  mutable tr_live : bool;  (** false once invalidated *)
+}
+
+val dummy_trace : trace
+(** The "absent" registry sentinel; never executed. *)
+
+val no_rips : int array
+(** Shared empty array marking identity rip mapping in [sg_rips]. *)
+
+(** Per-CPU tier state: the entry-indexed registry, formation parameters,
+    cumulative statistics, and the executor's fault-reconciliation
+    scratch. Fields are mutable and exposed: the CPU's inner loop reads
+    them directly, and tests tune the formation parameters. *)
+type tier = {
+  code_len : int;
+  mutable enabled : bool;
+  mutable hot_threshold : int;
+      (** exec-count at which the block tier attempts formation;
+          [max_int] when the tier is disabled *)
+  mutable min_samples : int;  (** edge samples required to trust a profile *)
+  mutable by_entry : trace array;  (** registry, {!dummy_trace} = absent *)
+  mutable formed : trace list;  (** live traces, most recent first *)
+  mutable formed_count : int;  (** cumulative, survives invalidation *)
+  mutable invalidated_count : int;
+  mutable covered_insns : int;
+      (** retired instructions executed from inside superblocks *)
+  mutable hoisted_checks : int;
+      (** check uops elided into prologues, cumulative over formation *)
+  mutable hoist_facts : bool array;
+      (** per-rip loop-invariance facts; [[||]] = none installed *)
+  (* Fault-reconciliation scratch for the batched executor (lives here so
+     the executor allocates nothing). *)
+  mutable rec_entry : int;
+  mutable rec_rips : int array;
+  mutable rec_active : bool;
+}
+
+val default_hot_threshold : int
+val default_min_samples : int
+
+val create : code_len:int -> tier
+(** A fresh, enabled tier with default parameters and an empty registry
+    sized for a [code_len]-instruction program. *)
+
+val recreate : tier -> code_len:int -> tier
+(** A fresh tier for a new program, inheriting [enabled]/[hot_threshold]/
+    [min_samples] from [old] (statistics and registry start empty). *)
+
+val set_enabled : tier -> bool -> unit
+(** Enable/disable formation {e and} dispatch. Disabling sets
+    [hot_threshold] to [max_int] (so the block tier's trigger compare
+    never fires) and invalidates live traces; enabling restores
+    {!default_hot_threshold} unless a custom threshold was set. *)
+
+val set_hot_threshold : tier -> int -> unit
+val set_min_samples : tier -> int -> unit
+
+val install_hoist_facts : tier -> bool array -> unit
+(** Install per-rip loop-invariance facts ([facts.(rip) = true] means the
+    check at [rip] may be hoisted to trace entry). Invalidates live
+    traces so they re-form under the new facts. Facts are cleared by
+    {!invalidate_all} (a flush means the code changed under them). *)
+
+val at : tier -> int -> trace
+(** Registry lookup: the live trace entered at instruction index [entry],
+    or {!dummy_trace}. The caller must still check [tr_gen]. *)
+
+val try_form : tier -> Ublock.cache -> Ublock.block -> unit
+(** Attempt to form (and register) a trace entered at [block]. No-op if
+    the tier is disabled, a trace is already registered there, or the
+    profile does not support a chain (see formation policy above). *)
+
+val invalidate_all : tier -> unit
+(** Eagerly unregister every live trace and clear installed hoist facts.
+    Wired through [Cpu.flush_translations]. *)
+
+(** {2 Observability} *)
+
+type stat = {
+  t_entry : int;
+  t_blocks : int list;  (** fused block entries, in execution order *)
+  t_insns : int;
+  t_execs : int;
+  t_side_exits : int;
+  t_cycles : float;
+  t_loops : bool;
+  t_hoisted : int;  (** prologue length (hoisted checks) *)
+}
+
+val stats : tier -> stat list
+(** Live traces in formation order. *)
+
+val live_count : tier -> int

@@ -104,6 +104,31 @@ let invalidate cache =
   cache.gen <- cache.gen + 1;
   cache.invalidation_count <- cache.invalidation_count + 1
 
+(* Eagerly sever every chained-successor link. Generation checks already
+   keep a stale link from being *followed* lazily, but the trace tier
+   compiles direct block references into superblocks, so invalidation for
+   it must be eager — and once it is, leaving generation-dead chain links
+   dangling in the block tier buys nothing. One O(code) walk per
+   [invalidate]; flushes are rare (in-place code mutation, TLB
+   shootdowns). *)
+let drop_links cache =
+  Array.iter
+    (fun b ->
+      if b != dummy_block then begin
+        b.succ_taken <- dummy_block;
+        b.succ_fall <- dummy_block
+      end)
+    cache.blocks
+
+(* The cached block at [entry] without compiling: [None] when the slot is
+   empty or holds a stale generation. Introspection for tests and
+   reports; the execution path uses [get]. *)
+let peek cache entry =
+  if entry < 0 || entry >= Array.length cache.blocks then None
+  else
+    let b = cache.blocks.(entry) in
+    if b != dummy_block && b.bgen = cache.gen then Some b else None
+
 let compiles cache = cache.compile_count
 let invalidations cache = cache.invalidation_count
 

@@ -151,6 +151,18 @@ val invalidate : cache -> unit
     and is recompiled on next entry. For in-place mutation of the code
     array; program swaps are handled by cache identity ({!owns}). *)
 
+val drop_links : cache -> unit
+(** Eagerly sever every cached chained-successor link (reset to
+    {!dummy_block}). Called by [Cpu.flush_translations] right after
+    {!invalidate}: generation checks already keep stale links from being
+    followed lazily, but the trace tier bakes block references into
+    superblocks, so flushes must leave no dangling successor behind. *)
+
+val peek : cache -> int -> block option
+(** The cached, generation-fresh block at [entry], without compiling.
+    [None] for empty slots, stale generations, or out-of-range entries.
+    Introspection for tests and reports; execution uses {!get}. *)
+
 (** {2 Fast-path profile}
 
     Always-on, allocation-free counters maintained by the translated

@@ -479,11 +479,191 @@ let machine_single_core_differential () =
         exhaustive_cases)
     [ 1; 7; 1000 ]
 
-(* --- translation-cache invalidation ------------------------------------ *)
+(* --- trace tier: three-tier differential sweep ------------------------- *)
+
+(* With the default hot threshold (64) the tiny sweep programs never form
+   a superblock, so the trace tier must be forced hot to be exercised:
+   threshold 2 means the second entry of any block attempts formation,
+   and [min_samples 1] trusts the single edge sample recorded by the
+   first iteration. (Threshold 1 would trigger before the block's own
+   edge profile has any sample, so nothing would ever form.) *)
+let force_traces cpu =
+  let tier = cpu.Cpu.traces in
+  Trace.set_hot_threshold tier 2;
+  Trace.set_min_samples tier 1
+
+(* Every constructor through all three execution tiers: the hooked
+   interpreter loop, the block tier (traces disabled), and the trace tier
+   (formation forced hot). One engine, three dispatch strategies — the
+   complete architectural state must be bit-identical. *)
+let three_tier_differential () =
+  List.iter
+    (fun (name, items) ->
+      let interp = run_case ~hooks:true (items ()) in
+      let block_cpu = Cpu.create () in
+      Cpu.set_traces_enabled block_cpu false;
+      let block =
+        run_case_on ~hooks:false block_cpu (fun () -> Cpu.run block_cpu) (items ())
+      in
+      let trace_cpu = Cpu.create () in
+      force_traces trace_cpu;
+      let traced =
+        run_case_on ~hooks:false trace_cpu (fun () -> Cpu.run trace_cpu) (items ())
+      in
+      Alcotest.(check (list string)) (name ^ ": block tier = interpreter") []
+        (diff_fields block interp);
+      Alcotest.(check (list string)) (name ^ ": trace tier = block tier") []
+        (diff_fields traced block))
+    exhaustive_cases
+
+(* Same sweep through a 1-vCPU [Machine.run] with formation forced hot, at
+   quanta that land mid-superblock: the trace executor's batched fuel
+   accounting must resume at exactly the right instruction when a quantum
+   expires inside a fused segment. *)
+let machine_trace_tier_differential () =
+  List.iter
+    (fun quantum ->
+      List.iter
+        (fun (name, items) ->
+          let direct = run_case ~hooks:false (items ()) in
+          let m = Machine.create () in
+          let cpu = Machine.cpu m 0 in
+          force_traces cpu;
+          let via_machine =
+            run_case_on ~hooks:false cpu (fun () -> Machine.run ~quantum m) (items ())
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s (traced, quantum %d)" name quantum)
+            [] (diff_fields direct via_machine))
+        exhaustive_cases)
+    [ 1; 7; 1000 ]
+
+(* --- trace tier: loops, side exits, SMC invalidation ------------------- *)
+
+(* A counted loop whose body is one block: forms a single-segment looping
+   superblock. The [add] at index 2 is the SMC test's mutation target. *)
+let counted_loop_items ~n ~inc =
+  let i x = Program.I x in
+  [
+    i (Insn.Mov_ri (Reg.rbx, n));
+    i (Insn.Mov_ri (Reg.rcx, 0));
+    Program.Label "loop";
+    i (Insn.Alu_ri (Insn.Add, Reg.rcx, inc));
+    i (Insn.Alu_ri (Insn.Sub, Reg.rbx, 1));
+    i (Insn.Cmp_ri (Reg.rbx, 0));
+    i (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+    i Insn.Halt;
+  ]
+
+(* A loop that calls a helper from a hot site every iteration and from a
+   second, cold site exactly once after the loop: the helper's [ret]
+   predicts the hot return address, so the final call must take the
+   indirect-guard side exit with the architecturally-correct rip. *)
+let biased_call_items ~n =
+  let i x = Program.I x in
+  [
+    i (Insn.Mov_ri (Reg.rbx, n));
+    i (Insn.Mov_ri (Reg.rcx, 0));
+    Program.Label "loop";
+    i (Insn.Call (Insn.target "f"));
+    i (Insn.Alu_ri (Insn.Sub, Reg.rbx, 1));
+    i (Insn.Cmp_ri (Reg.rbx, 0));
+    i (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+    i (Insn.Call (Insn.target "f"));
+    i Insn.Halt;
+    Program.Label "f";
+    i (Insn.Alu_ri (Insn.Add, Reg.rcx, 7));
+    i Insn.Ret;
+  ]
+
+let run_traced_vs_block ~name items =
+  let block_cpu = Cpu.create () in
+  Cpu.set_traces_enabled block_cpu false;
+  let block = run_case_on ~hooks:false block_cpu (fun () -> Cpu.run block_cpu) items in
+  let trace_cpu = Cpu.create () in
+  force_traces trace_cpu;
+  let traced = run_case_on ~hooks:false trace_cpu (fun () -> Cpu.run trace_cpu) items in
+  Alcotest.(check (list string)) (name ^ ": trace tier = block tier") []
+    (diff_fields traced block);
+  trace_cpu.Cpu.traces
+
+let trace_side_exit_jcc () =
+  (* 40 iterations: the loop's jcc is overwhelmingly taken, so the formed
+     superblock predicts taken and loops internally; the final fall-through
+     iteration must leave through the side exit, not corrupt state. *)
+  let tier = run_traced_vs_block ~name:"counted loop" (counted_loop_items ~n:40 ~inc:3) in
+  Alcotest.(check bool) "superblock formed" true (tier.Trace.formed_count >= 1);
+  Alcotest.(check bool) "insns retired inside superblocks" true (tier.Trace.covered_insns > 0);
+  let loopers = List.filter (fun s -> s.Trace.t_loops) (Trace.stats tier) in
+  Alcotest.(check bool) "a looping trace formed" true (loopers <> []);
+  let side_exits =
+    List.fold_left (fun a s -> a + s.Trace.t_side_exits) 0 (Trace.stats tier)
+  in
+  Alcotest.(check bool) "loop exit took a side exit" true (side_exits >= 1)
+
+let trace_side_exit_indirect () =
+  (* Both mispredict flavors in one run: the loop-ending jcc fall-through
+     and the helper's ret returning to the cold call site. *)
+  let tier = run_traced_vs_block ~name:"biased call" (biased_call_items ~n:40) in
+  Alcotest.(check bool) "superblocks formed" true (tier.Trace.formed_count >= 1);
+  let side_exits =
+    List.fold_left (fun a s -> a + s.Trace.t_side_exits) 0 (Trace.stats tier)
+  in
+  Alcotest.(check bool) "jcc exit and ret mispredict both side-exited" true (side_exits >= 2)
 
 let reset_for_rerun cpu =
   cpu.Cpu.halted <- false;
   cpu.Cpu.rip <- 0
+
+let smc_invalidates_active_superblock () =
+  let cpu = Cpu.create () in
+  force_traces cpu;
+  let prog = Program.assemble (counted_loop_items ~n:50 ~inc:1) in
+  Cpu.load_program cpu prog;
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  Alcotest.(check int) "original increment" 50 (Cpu.get_gpr cpu Reg.rcx);
+  let tier = cpu.Cpu.traces in
+  Alcotest.(check bool) "loop ran as a superblock" true
+    (tier.Trace.formed_count >= 1 && tier.Trace.covered_insns > 0);
+  let formed_before = tier.Trace.formed_count in
+  (* Mutate the loop body in place (index 2 = the add), then flush: the
+     active superblock must be torn down eagerly... *)
+  (Program.code prog).(2) <- Insn.Alu_ri (Insn.Add, Reg.rcx, 2);
+  Cpu.flush_translations cpu;
+  Alcotest.(check int) "flush empties the trace registry" 0 (Trace.live_count tier);
+  Alcotest.(check bool) "flush counted the invalidation" true
+    (tier.Trace.invalidated_count >= 1);
+  (* ...and the rerun must re-form under the new code and execute the new
+     semantics. *)
+  reset_for_rerun cpu;
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  Alcotest.(check int) "mutated increment after flush" 100 (Cpu.get_gpr cpu Reg.rcx);
+  Alcotest.(check bool) "superblock re-formed over the new code" true
+    (cpu.Cpu.traces.Trace.formed_count > formed_before)
+
+let eager_link_drop () =
+  (* Chained successor links must be severed by the flush itself, not
+     left for lazy generation checks: the trace tier bakes block
+     references into superblocks, so a dangling link is a correctness
+     hazard even if the block tier would never follow it. *)
+  let cpu = Cpu.create () in
+  Cpu.set_traces_enabled cpu false;
+  Cpu.load_program cpu (Program.assemble (counted_loop_items ~n:20 ~inc:1));
+  (match Cpu.run cpu with Cpu.Halted -> () | Cpu.Out_of_fuel -> Alcotest.fail "fuel");
+  match Ublock.peek cpu.Cpu.tcache 2 with
+  | None -> Alcotest.fail "loop block not cached after a hot run"
+  | Some b ->
+    Alcotest.(check bool) "loop back-edge link populated" true
+      (b.Ublock.succ_taken != Ublock.dummy_block);
+    Cpu.flush_translations cpu;
+    Alcotest.(check bool) "flush severed the taken link" true
+      (b.Ublock.succ_taken == Ublock.dummy_block);
+    Alcotest.(check bool) "flush severed the fall link" true
+      (b.Ublock.succ_fall == Ublock.dummy_block);
+    Alcotest.(check bool) "stale block no longer peekable" true
+      (Ublock.peek cpu.Cpu.tcache 2 = None)
+
+(* --- translation-cache invalidation ------------------------------------ *)
 
 let translation_invalidation () =
   let cpu = Cpu.create () in
@@ -510,6 +690,15 @@ let suite =
       exhaustive_differential;
     Alcotest.test_case "1-vCPU Machine.run = Cpu.run (quanta 1/7/1000)" `Quick
       machine_single_core_differential;
+    Alcotest.test_case "every Insn constructor: interpreter = block tier = trace tier" `Quick
+      three_tier_differential;
+    Alcotest.test_case "trace tier under Machine quanta 1/7/1000" `Quick
+      machine_trace_tier_differential;
+    Alcotest.test_case "superblock side exit: biased jcc loop" `Quick trace_side_exit_jcc;
+    Alcotest.test_case "superblock side exit: ret mispredict" `Quick trace_side_exit_indirect;
+    Alcotest.test_case "SMC flush tears down active superblock" `Quick
+      smc_invalidates_active_superblock;
+    Alcotest.test_case "flush severs chain links eagerly" `Quick eager_link_drop;
     Alcotest.test_case "translation cache invalidation" `Quick translation_invalidation;
     Alcotest.test_case "store-buffer collision evicts" `Quick store_buffer_eviction;
     Alcotest.test_case "forwarding only from resident line" `Quick
