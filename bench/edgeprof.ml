@@ -54,16 +54,50 @@ let entry_json (prof : Fastprof.t) edges =
           [
             ("formed", Json.Int prof.Fastprof.p_traces_formed);
             ("covered_insns", Json.Int prof.Fastprof.p_trace_covered);
+            ("fused_uops", Json.Int prof.Fastprof.p_trace_fused);
+            ("cached_slots", Json.Int prof.Fastprof.p_trace_slots);
+            ("dead_flags", Json.Int prof.Fastprof.p_trace_dead_flags);
+            (* Why formation walks stopped where they did: the coverage
+               diagnosis. A benchmark with low cov%% and a dominant
+               indirect_minority count (povray's profile: polymorphic
+               indirect calls with no absolute-majority target) is
+               target-distribution-limited — raising hot_threshold or the
+               jcc bias cannot recover it. *)
+            ( "chain_ends",
+              Json.Obj
+                [
+                  ("cold_branch", Json.Int prof.Fastprof.p_abort_cold);
+                  ("indirect_minority", Json.Int prof.Fastprof.p_abort_indirect);
+                  ("cap_hit", Json.Int prof.Fastprof.p_abort_cap);
+                  ("handler_term", Json.Int prof.Fastprof.p_abort_handler);
+                ] );
             ("list", Json.List (List.map Fastprof.trace_to_json prof.Fastprof.p_traces));
           ] );
     ]
+
+(* Dominant chain-end reason, for the human-readable table. *)
+let dominant_abort (fp : Fastprof.t) =
+  let reasons =
+    [
+      ("cold-branch", fp.Fastprof.p_abort_cold);
+      ("indirect", fp.Fastprof.p_abort_indirect);
+      ("cap", fp.Fastprof.p_abort_cap);
+      ("handler", fp.Fastprof.p_abort_handler);
+    ]
+  in
+  match List.sort (fun (_, a) (_, b) -> compare b a) reasons with
+  | (_, 0) :: _ -> "-"
+  | (name, n) :: _ -> Printf.sprintf "%s (%d)" name n
+  | [] -> "-"
 
 let run () =
   let t =
     Table_fmt.create
       ~align:[ Table_fmt.Left; Table_fmt.Left; Table_fmt.Right; Table_fmt.Right;
-               Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Left ]
-      [ "benchmark"; "config"; "blocks"; "edges"; "indirect"; "traces"; "cov%"; "hottest edge" ]
+               Table_fmt.Right; Table_fmt.Right; Table_fmt.Right; Table_fmt.Left;
+               Table_fmt.Left ]
+      [ "benchmark"; "config"; "blocks"; "edges"; "indirect"; "traces"; "cov%"; "chain end";
+        "hottest edge" ]
   in
   let entries =
     List.concat_map
@@ -96,7 +130,7 @@ let run () =
                 string_of_int (List.length fp.Fastprof.p_blocks);
                 string_of_int (List.length edges); string_of_int indirect;
                 string_of_int fp.Fastprof.p_traces_formed;
-                Printf.sprintf "%.1f" cov; hottest;
+                Printf.sprintf "%.1f" cov; dominant_abort fp; hottest;
               ];
             entry_json fp edges)
           configs)

@@ -98,11 +98,12 @@ let find_bench name =
     exit 1
 
 let report_cmd =
-  let fastpath_report bench technique policy kind iterations top json_out flame_out
+  let fastpath_report bench technique policy kind iterations no_fusion top json_out flame_out
       speedscope_out =
     let prof = find_bench bench in
     let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
     let p = Workloads.Runner.prepare_instrumented ~iterations prof cfg in
+    if no_fusion then X86sim.Cpu.set_trace_fusion p.Framework.cpu false;
     Fastprof.install p;
     (match Framework.run p with
     | X86sim.Cpu.Halted -> ()
@@ -155,7 +156,7 @@ let report_cmd =
   (* N vCPUs, one shared machine: per-core CPI stacks plus the machine
      rollup (Fastprof.merge) — cycles/counters sum, shared-tier numbers
      counted once. *)
-  let fastpath_report_smp bench technique policy kind iterations vcpus top json_out =
+  let fastpath_report_smp bench technique policy kind iterations no_fusion vcpus top json_out =
     let prof = find_bench bench in
     let cfg = Framework.config ~address_kind:kind ~switch_policy:policy technique in
     let s =
@@ -164,6 +165,10 @@ let report_cmd =
         Printf.eprintf "%s\n" msg;
         exit 1
     in
+    if no_fusion then
+      for core = 0 to vcpus - 1 do
+        X86sim.Cpu.set_trace_fusion (X86sim.Machine.cpu s.Framework.machine core) false
+      done;
     Fastprof.install_smp s;
     (match Framework.run_smp s with
     | X86sim.Cpu.Halted -> ()
@@ -193,13 +198,15 @@ let report_cmd =
       Ms_util.Json.to_file file (Fastprof.to_json total);
       Printf.printf "\nmachine-total profile written to %s\n" file
   in
-  let run bench technique policy kind iterations vcpus top json_out flame_out speedscope_out =
+  let run bench technique policy kind iterations no_fusion vcpus top json_out flame_out
+      speedscope_out =
     match bench with
     | None -> Report.print_all ()
     | Some bench ->
-      if vcpus > 1 then fastpath_report_smp bench technique policy kind iterations vcpus top json_out
+      if vcpus > 1 then
+        fastpath_report_smp bench technique policy kind iterations no_fusion vcpus top json_out
       else
-        fastpath_report bench technique policy kind iterations top json_out flame_out
+        fastpath_report bench technique policy kind iterations no_fusion top json_out flame_out
           speedscope_out
   in
   let bench =
@@ -230,6 +237,10 @@ let report_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the fast-path profile as JSON ('-' for stdout); input of perf-diff.")
   in
+  let no_fusion =
+    Arg.(value & flag & info [ "no-fusion" ]
+           ~doc:"Disable the trace-lane uop optimizer (macro-fusion, inline translation                  slots, lazy rip) for this run. The profile must be cycle-identical to a                  fusion-on run — the optimizer targets engine dispatch, not modeled cost —                  which CI enforces via perf-diff.")
+  in
   let flame_out =
     Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE"
            ~doc:"Write the CPI stacks as collapsed/folded flamegraph lines.")
@@ -244,8 +255,8 @@ let report_cmd =
          "Print the survey tables (paper Tables 1-3); with a BENCHMARK, run it on the \
           fast path and print the always-on counter report (CPI stack per gate site, hot \
           blocks, hot edges) with optional flamegraph/speedscope/JSON export")
-    Term.(const run $ bench $ technique $ policy $ kind $ iterations_arg $ vcpus $ top
-          $ json_out $ flame_out $ speedscope_out)
+    Term.(const run $ bench $ technique $ policy $ kind $ iterations_arg $ no_fusion $ vcpus
+          $ top $ json_out $ flame_out $ speedscope_out)
 
 (* --- perf-diff --- *)
 

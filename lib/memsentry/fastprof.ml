@@ -20,6 +20,15 @@ type t = {
   p_traces_invalidated : int;
   p_trace_covered : int;
   p_trace_hoisted : int;
+  p_trace_fused : int;  (** macro-fused pairs installed at formation *)
+  p_trace_slots : int;  (** inline translation slots installed *)
+  p_trace_dead_flags : int;  (** dead flag writes elided *)
+  p_inline_hits : int;  (** runtime inline-slot short-circuits *)
+  p_inline_misses : int;  (** runtime inline-slot misses (eager path) *)
+  p_abort_cold : int;  (** formation walks stopped at a cold branch *)
+  p_abort_indirect : int;  (** stopped at a majority-less indirect *)
+  p_abort_cap : int;  (** stopped at the max_segs/max_insns cap *)
+  p_abort_handler : int;  (** stopped at a halt/handler terminator *)
   p_compiles : int;
   p_invalidations : int;
   p_l1_evictions : int;
@@ -81,6 +90,15 @@ let capture_cpu ?workload ~technique (sm : Sitemap.t) (cpu : Cpu.t) =
     p_traces_invalidated = tier.Trace.invalidated_count;
     p_trace_covered = tier.Trace.covered_insns;
     p_trace_hoisted = tier.Trace.hoisted_checks;
+    p_trace_fused = tier.Trace.fused_uops;
+    p_trace_slots = tier.Trace.cached_slots;
+    p_trace_dead_flags = tier.Trace.dead_flags;
+    p_inline_hits = tier.Trace.inline_hits;
+    p_inline_misses = tier.Trace.inline_misses;
+    p_abort_cold = tier.Trace.abort_cold_branch;
+    p_abort_indirect = tier.Trace.abort_indirect_minority;
+    p_abort_cap = tier.Trace.abort_cap_hit;
+    p_abort_handler = tier.Trace.abort_handler_term;
     p_compiles = Ublock.compiles cpu.Cpu.tcache;
     p_invalidations = Ublock.invalidations cpu.Cpu.tcache;
     p_l1_evictions = Cache.l1_evictions cache;
@@ -190,6 +208,15 @@ let merge = function
       p_traces_invalidated = sum (fun t -> t.p_traces_invalidated);
       p_trace_covered = sum (fun t -> t.p_trace_covered);
       p_trace_hoisted = sum (fun t -> t.p_trace_hoisted);
+      p_trace_fused = sum (fun t -> t.p_trace_fused);
+      p_trace_slots = sum (fun t -> t.p_trace_slots);
+      p_trace_dead_flags = sum (fun t -> t.p_trace_dead_flags);
+      p_inline_hits = sum (fun t -> t.p_inline_hits);
+      p_inline_misses = sum (fun t -> t.p_inline_misses);
+      p_abort_cold = sum (fun t -> t.p_abort_cold);
+      p_abort_indirect = sum (fun t -> t.p_abort_indirect);
+      p_abort_cap = sum (fun t -> t.p_abort_cap);
+      p_abort_handler = sum (fun t -> t.p_abort_handler);
       p_compiles = sum (fun t -> t.p_compiles);
       p_invalidations = sum (fun t -> t.p_invalidations);
       p_l1_evictions = sum (fun t -> t.p_l1_evictions);
@@ -263,6 +290,19 @@ let to_json t =
             ("invalidated", Json.Int t.p_traces_invalidated);
             ("covered_insns", Json.Int t.p_trace_covered);
             ("hoisted_checks", Json.Int t.p_trace_hoisted);
+            ("fused_uops", Json.Int t.p_trace_fused);
+            ("cached_slots", Json.Int t.p_trace_slots);
+            ("dead_flags", Json.Int t.p_trace_dead_flags);
+            ("inline_hits", Json.Int t.p_inline_hits);
+            ("inline_misses", Json.Int t.p_inline_misses);
+            ( "aborts",
+              Json.Obj
+                [
+                  ("cold_branch", Json.Int t.p_abort_cold);
+                  ("indirect_minority", Json.Int t.p_abort_indirect);
+                  ("cap_hit", Json.Int t.p_abort_cap);
+                  ("handler_term", Json.Int t.p_abort_handler);
+                ] );
             ("list", Json.List (List.map trace_to_json t.p_traces));
           ] );
       ( "tcache",
@@ -362,6 +402,33 @@ let of_json j =
     p_traces_invalidated = tr "invalidated" get_int 0;
     p_trace_covered = tr "covered_insns" get_int 0;
     p_trace_hoisted = tr "hoisted_checks" get_int 0;
+    (* Lenient again inside the trace section: pre-optimizer profiles
+       predate these counters. *)
+    p_trace_fused = tr "fused_uops" get_int 0;
+    p_trace_slots = tr "cached_slots" get_int 0;
+    p_trace_dead_flags = tr "dead_flags" get_int 0;
+    p_inline_hits = tr "inline_hits" get_int 0;
+    p_inline_misses = tr "inline_misses" get_int 0;
+    p_abort_cold =
+      (match Json.member "traces" j with
+      | None -> 0
+      | Some t -> (
+        match Json.member "aborts" t with None -> 0 | Some a -> get_int "cold_branch" a));
+    p_abort_indirect =
+      (match Json.member "traces" j with
+      | None -> 0
+      | Some t -> (
+        match Json.member "aborts" t with None -> 0 | Some a -> get_int "indirect_minority" a));
+    p_abort_cap =
+      (match Json.member "traces" j with
+      | None -> 0
+      | Some t -> (
+        match Json.member "aborts" t with None -> 0 | Some a -> get_int "cap_hit" a));
+    p_abort_handler =
+      (match Json.member "traces" j with
+      | None -> 0
+      | Some t -> (
+        match Json.member "aborts" t with None -> 0 | Some a -> get_int "handler_term" a));
     p_compiles = get_int "compiles" tc;
     p_invalidations = get_int "invalidations" tc;
     p_l1_evictions = get_int "l1_evictions" mem;

@@ -35,6 +35,17 @@ type t = {
   p_traces_invalidated : int;
   p_trace_covered : int;  (** retired instructions executed inside superblocks *)
   p_trace_hoisted : int;  (** check uops hoisted into trace prologues *)
+  p_trace_fused : int;  (** macro-fused uop pairs installed at formation *)
+  p_trace_slots : int;  (** inline translation slots installed *)
+  p_trace_dead_flags : int;  (** dead flag writes elided at formation *)
+  p_inline_hits : int;  (** runtime inline-slot short-circuits taken *)
+  p_inline_misses : int;  (** runtime inline-slot misses (eager path) *)
+  (* Chain-end reason counters: why trace-formation walks stopped — the
+     coverage-diagnosis signal (cumulative over every formation attempt). *)
+  p_abort_cold : int;  (** stopped at a cold/unbiased conditional branch *)
+  p_abort_indirect : int;  (** stopped at a majority-less indirect exit *)
+  p_abort_cap : int;  (** stopped at the max_segs/max_insns cap *)
+  p_abort_handler : int;  (** stopped at a halt/handler/fall-off terminator *)
   p_compiles : int;
   p_invalidations : int;
   p_l1_evictions : int;

@@ -261,11 +261,33 @@ let trace_summary (prof : Fastprof.t) =
     if prof.Fastprof.p_trace_hoisted = 0 then ""
     else Printf.sprintf "; %d check uops hoisted to prologues" prof.Fastprof.p_trace_hoisted
   in
+  let optimized =
+    if
+      prof.Fastprof.p_trace_fused = 0 && prof.Fastprof.p_trace_slots = 0
+      && prof.Fastprof.p_trace_dead_flags = 0
+    then ""
+    else
+      Printf.sprintf "; optimizer: %d fused, %d slots (%d/%d hit), %d dead flags"
+        prof.Fastprof.p_trace_fused prof.Fastprof.p_trace_slots prof.Fastprof.p_inline_hits
+        (prof.Fastprof.p_inline_hits + prof.Fastprof.p_inline_misses)
+        prof.Fastprof.p_trace_dead_flags
+  in
+  let aborts =
+    let total =
+      prof.Fastprof.p_abort_cold + prof.Fastprof.p_abort_indirect + prof.Fastprof.p_abort_cap
+      + prof.Fastprof.p_abort_handler
+    in
+    if total = 0 then ""
+    else
+      Printf.sprintf "; chain ends: %d cold-branch, %d indirect-minority, %d cap, %d handler"
+        prof.Fastprof.p_abort_cold prof.Fastprof.p_abort_indirect prof.Fastprof.p_abort_cap
+        prof.Fastprof.p_abort_handler
+  in
   Printf.sprintf
     "superblocks: %d formed (%d live, %d invalidated); %d of %d retired insns inside traces \
-     (%.1f%% coverage)%s"
+     (%.1f%% coverage)%s%s%s"
     prof.Fastprof.p_traces_formed live prof.Fastprof.p_traces_invalidated
-    prof.Fastprof.p_trace_covered prof.Fastprof.p_insns pct hoisted
+    prof.Fastprof.p_trace_covered prof.Fastprof.p_insns pct hoisted optimized aborts
 
 let trace_table ?(top = 10) (prof : Fastprof.t) =
   let open X86sim in

@@ -64,6 +64,15 @@ type t = {
       (* profile-guided superblocks over [tcache]; swapped with it on
          program-identity change, torn down eagerly by
          [flush_translations] *)
+  mutable sl_vpn : int array;
+      (* the executing trace's inline translation slots
+         ([Trace.tr_slot_vpn]/[_info]/[_tok]), aliased here by
+         [exec_trace] on entry so the cached-uop arms of [exec_uop] reach
+         them without threading the trace through every call. [||] when no
+         trace is executing — safe, because the [U*_c] shapes only occur
+         inside optimized trace bodies. *)
+  mutable sl_info : int array;
+  mutable sl_tok : int array;
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -228,6 +237,9 @@ let create_on ?(stack_pages = 64) mmu =
       program;
       tcache = Ublock.create program;
       traces = Trace.create ~code_len:(Program.length program);
+      sl_vpn = [||];
+      sl_info = [||];
+      sl_tok = [||];
       syscall_handler = default_syscall_handler;
       vmcall_handler = (fun _ -> Fault.raise_fault (Fault.Undefined "vmcall: no hypervisor"));
       ept_violation_handler = (fun _ ~gpa:_ ~access:_ -> false);
@@ -362,6 +374,8 @@ let flush_translations t =
 
 let set_traces_enabled t on = Trace.set_enabled t.traces on
 let traces_enabled t = t.traces.Trace.enabled
+let set_trace_fusion t on = Trace.set_optimize t.traces on
+let trace_fusion t = t.traces.Trace.optimize
 
 let install_trace_hoist_facts t facts = Trace.install_hoist_facts t.traces facts
 
@@ -861,6 +875,92 @@ let[@inline] ea_gen t base index scale disp =
   + (if index >= 0 then t.gpr.(index) * scale else 0)
   + disp
 
+(* Inline-translation slot access for the trace tier's optimized memory
+   uops: probe the per-site slot first — a matching vpn under a
+   still-valid {!Mmu.generation_token} proves a real TLB probe would hit
+   with exactly the cached entry, so [Mmu.read64_cached] short-circuits
+   the probe and walk (the hit is still posted to TLB statistics and
+   every architectural check re-runs live). A miss takes the full eager
+   path and then recharges the slot from the entry the walk just
+   installed — unless EPT is on, under which tokens are never valid.
+
+   Adaptive kill: the token covers every TLB mutation, so a workload
+   whose TLB thrashes (pointer chasing past TLB reach) invalidates all
+   tokens on every fill — each probe then misses and the recharge is
+   wasted work on top of the full translation it just paid for.
+   [slot_miss] audits the hit/miss ratio once per 8192 misses and sets
+   [tier.inline_dead] when the hits aren't carrying their weight; from
+   then on the optimized uops branch straight to the eager path. The
+   switch is per-tier (= per program), so a thrashing profile cannot
+   disable the slots of a well-behaved one, and it is observationally
+   free either way (the miss path {e is} the eager path). *)
+let slot_miss (tier : Trace.tier) =
+  tier.Trace.inline_misses <- tier.Trace.inline_misses + 1;
+  if
+    tier.Trace.inline_misses land 8191 = 0
+    && tier.Trace.inline_hits < 4 * tier.Trace.inline_misses
+  then tier.Trace.inline_dead <- true
+
+let[@inline] cached_load t ~va ~d ~slot ~meta =
+  let mmu = t.mmu in
+  let tier = t.traces in
+  let v =
+    if tier.Trace.inline_dead then Mmu.read64_fast mmu ~va
+    else begin
+      let vpn = va lsr Mmu.page_bits in
+      if
+        Array.unsafe_get t.sl_vpn slot = vpn
+        && Mmu.token_valid mmu ~token:(Array.unsafe_get t.sl_tok slot)
+      then begin
+        tier.Trace.inline_hits <- tier.Trace.inline_hits + 1;
+        Mmu.read64_cached mmu ~va ~info:(Array.unsafe_get t.sl_info slot)
+      end
+      else begin
+        slot_miss tier;
+        let v = Mmu.read64_fast mmu ~va in
+        if not mmu.Mmu.ept_on then begin
+          Array.unsafe_set t.sl_vpn slot vpn;
+          Array.unsafe_set t.sl_info slot (Mmu.slot_info_for mmu ~vpn);
+          Array.unsafe_set t.sl_tok slot (Mmu.generation_token mmu)
+        end;
+        v
+      end
+    end
+  in
+  note_mem_class t;
+  t.gpr.(d) <- v;
+  t.counters.loads <- t.counters.loads + 1;
+  set_load_dep t va;
+  Pipeline.issue_packed t.pipe ~meta ~lat:mmu.Mmu.last_lat
+
+let[@inline] cached_store t ~va ~v ~slot ~meta =
+  let mmu = t.mmu in
+  let tier = t.traces in
+  (if tier.Trace.inline_dead then Mmu.write64_fast mmu ~va v
+   else begin
+     let vpn = va lsr Mmu.page_bits in
+     if
+       Array.unsafe_get t.sl_vpn slot = vpn
+       && Mmu.token_valid mmu ~token:(Array.unsafe_get t.sl_tok slot)
+     then begin
+       tier.Trace.inline_hits <- tier.Trace.inline_hits + 1;
+       Mmu.write64_cached mmu ~va ~info:(Array.unsafe_get t.sl_info slot) v
+     end
+     else begin
+       slot_miss tier;
+       Mmu.write64_fast mmu ~va v;
+       if not mmu.Mmu.ept_on then begin
+         Array.unsafe_set t.sl_vpn slot vpn;
+         Array.unsafe_set t.sl_info slot (Mmu.slot_info_for mmu ~vpn);
+         Array.unsafe_set t.sl_tok slot (Mmu.generation_token mmu)
+       end
+     end
+   end);
+  note_mem_class t;
+  t.counters.stores <- t.counters.stores + 1;
+  Pipeline.issue_packed_static t.pipe ~meta;
+  note_store t va
+
 (* Execute one predecoded micro-op: the corresponding [exec] arm minus
    the decode (operands and issue metadata are frozen in the uop), minus
    the [rip] bookkeeping (the block loop owns it), and minus the
@@ -1034,6 +1134,64 @@ let exec_uop t (u : Ublock.uop) =
   | Ublock.Uvins_high { d; s; meta } ->
     set_ymm_high t d (get_xmm t s);
     Pipeline.issue_packed_static t.pipe ~meta
+  (* --- Trace-lane optimized shapes (Traceopt). Each arm is the eager
+     arm above with either the flag write dropped (_nf), an inline
+     translation slot consulted before the full Mmu path (_c), or two
+     eager arms glued into one dispatch (the fused shapes). Observable order —
+     fault points, counter bumps, pipeline issues — matches the eager
+     sequence exactly. *)
+  | Ublock.Ualu_rr_nf { op; d; s; meta } ->
+    t.gpr.(d) <- alu_apply op t.gpr.(d) t.gpr.(s);
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Ualu_ri_nf { op; d; imm; meta } ->
+    t.gpr.(d) <- alu_apply op t.gpr.(d) imm;
+    Pipeline.issue_packed_static t.pipe ~meta
+  | Ublock.Uload_bd_c { d; base; disp; slot; meta } ->
+    let va = t.gpr.(base) + disp in
+    cached_load t ~va ~d ~slot ~meta
+  | Ublock.Uload_gen_c { d; base; index; scale; disp; slot; meta } ->
+    let va = ea_gen t base index scale disp in
+    cached_load t ~va ~d ~slot ~meta
+  | Ublock.Ustore_bd_c { s; base; disp; slot; meta } ->
+    let va = t.gpr.(base) + disp in
+    cached_store t ~va ~v:t.gpr.(s) ~slot ~meta
+  | Ublock.Ustore_gen_c { s; base; index; scale; disp; slot; meta } ->
+    let va = ea_gen t base index scale disp in
+    cached_store t ~va ~v:t.gpr.(s) ~slot ~meta
+  | Ublock.Ustorei_bd_c { imm; base; disp; slot; meta } ->
+    let va = t.gpr.(base) + disp in
+    cached_store t ~va ~v:imm ~slot ~meta
+  | Ublock.Ustorei_gen_c { imm; base; index; scale; disp; slot; meta } ->
+    let va = ea_gen t base index scale disp in
+    cached_store t ~va ~v:imm ~slot ~meta
+  | Ublock.Ufuse_mask_load { op; d; imm; nf; m1; ld; disp; slot; m2 } ->
+    let r = alu_apply op t.gpr.(d) imm in
+    t.gpr.(d) <- r;
+    if not nf then t.cmp <- r;
+    Pipeline.issue_packed_static t.pipe ~meta:m1;
+    cached_load t ~va:(r + disp) ~d:ld ~slot ~meta:m2
+  | Ublock.Ufuse_mask_store { op; d; imm; nf; m1; s; disp; slot; m2 } ->
+    let r = alu_apply op t.gpr.(d) imm in
+    t.gpr.(d) <- r;
+    if not nf then t.cmp <- r;
+    Pipeline.issue_packed_static t.pipe ~meta:m1;
+    cached_store t ~va:(r + disp) ~v:t.gpr.(s) ~slot ~meta:m2
+  | Ublock.Ufuse_mask_storei { op; d; imm; nf; m1; simm; disp; slot; m2 } ->
+    let r = alu_apply op t.gpr.(d) imm in
+    t.gpr.(d) <- r;
+    if not nf then t.cmp <- r;
+    Pipeline.issue_packed_static t.pipe ~meta:m1;
+    cached_store t ~va:(r + disp) ~v:simm ~slot ~meta:m2
+  | Ublock.Ufuse_lea_bndc { d; base; index; scale; disp; w32; m1; upper; b; m2 } ->
+    let ea = ea_gen t base index scale disp in
+    let ea = if w32 then ea land 0xFFFFFFFF else ea in
+    t.gpr.(d) <- ea;
+    c.bnd_checks <- c.bnd_checks + 1;
+    Pipeline.issue_packed_pair_static t.pipe ~m1 ~m2;
+    if t.bnd_enabled && (if upper then ea > t.bnd_upper.(b) else ea < t.bnd_lower.(b)) then
+      Fault.raise_fault
+        (Fault.Bound_violation
+           { value = ea; lower = t.bnd_lower.(b); upper = t.bnd_upper.(b); reg = b })
 
 (* Follow a static chain edge out of [blk]: honor the cached successor
    link when generation-fresh, otherwise look the target up (compiling on
@@ -1235,14 +1393,17 @@ let rec rip_index rips rip i =
    construction (the block tier never reset it at terminators either), so
    register-ready state propagates through the whole superblock.
 
-   Batching vs fault precision: [rip] is still armed before every uop and
-   uops never write it, so when a fault unwinds mid-segment the number of
-   uops that completed before the faulting one is recoverable from [rip]
-   alone. The handler below settles [insns]/[budget] to exactly what the
-   block tier would have accumulated (faulting instruction counted, not
-   yet decremented — [run_fast]'s delivery path decrements it) and
-   re-raises; EPT-retry's [retry_marker = counters.insns] comparison
-   therefore observes identical values in either tier.
+   Batching vs fault precision: the careful path arms [rip] before every
+   uop (and uops never write it), so when a fault unwinds mid-segment the
+   number of uops that completed before the faulting one is recoverable
+   from [rip] alone. The fast path drops even that — rip is materialized
+   lazily, from the pipeline's issue count, only when a fault actually
+   unwinds (see the handler below). Either way the handler settles
+   [insns]/[budget] to exactly what the block tier would have accumulated
+   (faulting instruction counted, not yet decremented — [run_fast]'s
+   delivery path decrements it) and re-raises; EPT-retry's
+   [retry_marker = counters.insns] comparison therefore observes
+   identical values in either tier.
 
    Prediction guards (the jcc direction re-check and the indirect-target
    compare) and trace formation itself cost zero simulated cycles: the
@@ -1253,6 +1414,12 @@ let exec_trace t (tr : Trace.trace) budget =
   let c = t.counters in
   let map = t.site_of in
   let mapped = Array.length map >= tier.Trace.code_len in
+  (* Alias this trace's inline-translation slots into the CPU so the
+     optimized memory uops index them directly (one array load instead of
+     a trace lookup per access). *)
+  t.sl_vpn <- tr.Trace.tr_slot_vpn;
+  t.sl_info <- tr.Trace.tr_slot_info;
+  t.sl_tok <- tr.Trace.tr_slot_tok;
   tr.Trace.tr_execs <- Ublock.bump tr.Trace.tr_execs;
   let cyc0 = Pipeline.cycles t.pipe in
   try
@@ -1278,19 +1445,160 @@ let exec_trace t (tr : Trace.trace) budget =
     let last = Array.length segs - 1 in
     let k = ref 0 in
     let running = ref true in
+    (* Cross-boundary dead-flag elision: when the previous segment's fast
+       path elided its last flag write ([os_pend]), the destination
+       register that would have fed [cmp] is parked here. The successor's
+       first uop overwrites the flags (that is the elision's legality), so
+       the note normally just clears; only when fuel runs out with zero
+       successor uops executed must [cmp] be re-materialized from the
+       register file before stopping. *)
+    let pending = ref (-1) in
+    (* Shared terminator stage: mirror of [exec_block_chain]'s terminator
+       arms, with the successor lookup replaced by the baked prediction.
+       [advance] follows the predicted edge: next segment, loop restart,
+       or — past the final segment — fall back to dispatch with [rip]
+       already at the predicted continuation. A failed prediction guard is
+       a side exit: [rip] is architecturally correct either way, so the
+       fall-back costs nothing but the tier switch. *)
+    let exec_exit sg (blk : Ublock.block) =
+      let ti = blk.Ublock.term_idx in
+      t.rip <- ti;
+      if mapped && ti < Array.length map then
+        Pipeline.set_row t.pipe (Array.unsafe_get map ti);
+      c.insns <- c.insns + 1;
+      tier.Trace.covered_insns <- tier.Trace.covered_insns + 1;
+      let advance () =
+        if !k = last then begin
+          if tr.Trace.tr_loops then k := 0 else running := false
+        end
+        else incr k
+      in
+      let side_exit () =
+        tr.Trace.tr_side_exits <- Ublock.bump tr.Trace.tr_side_exits;
+        running := false
+      in
+      match sg.Trace.sg_exit with
+      | Trace.X_jmp { target } ->
+        blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- target;
+        decr budget;
+        advance ()
+      | Trace.X_jcc { cond; target; fall; predict_taken } ->
+        Pipeline.issue_fast t.pipe ~s1:Reg.pipe_flags ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        decr budget;
+        let taken = eval_cond t cond in
+        if taken then begin
+          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+          t.rip <- target
+        end
+        else begin
+          blk.Ublock.fall_count <- Ublock.bump blk.Ublock.fall_count;
+          t.rip <- fall
+        end;
+        if taken = predict_taken then advance () else side_exit ()
+      | Trace.X_call { target; retaddr } ->
+        c.calls <- c.calls + 1;
+        blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
+        push t retaddr;
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- target;
+        decr budget;
+        advance ()
+      | Trace.X_call_r { r; retaddr; predicted } ->
+        c.calls <- c.calls + 1;
+        c.ind_branches <- c.ind_branches + 1;
+        push t retaddr;
+        Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+          ~lat:1 ~port:Pipeline.p_branch;
+        (* Read the target after the push: [r] may be rsp. *)
+        let target = t.gpr.(r) in
+        Ublock.note_dyn blk target;
+        t.rip <- target;
+        decr budget;
+        if target = predicted then advance () else side_exit ()
+      | Trace.X_jmp_r { r; predicted } ->
+        c.ind_branches <- c.ind_branches + 1;
+        Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
+          ~lat:1 ~port:Pipeline.p_branch;
+        let target = t.gpr.(r) in
+        Ublock.note_dyn blk target;
+        t.rip <- target;
+        decr budget;
+        if target = predicted then advance () else side_exit ()
+      | Trace.X_ret { predicted } ->
+        c.rets <- c.rets + 1;
+        let v = pop t in
+        Ublock.note_dyn blk v;
+        Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
+          ~port:Pipeline.p_branch;
+        t.rip <- v;
+        decr budget;
+        if v = predicted then advance () else side_exit ()
+    in
     while !running do
       let sg = Array.unsafe_get segs !k in
       let blk = sg.Trace.sg_blk in
-      let uops = sg.Trace.sg_uops in
-      let rips = sg.Trace.sg_rips in
-      let n = Array.length uops in
-      let entry = blk.Ublock.entry in
       blk.Ublock.exec_count <- Ublock.bump blk.Ublock.exec_count;
       let b0 = !budget in
-      let lim = if b0 < n then b0 else n in
-      tier.Trace.rec_entry <- entry;
-      tier.Trace.rec_rips <- rips;
-      tier.Trace.rec_active <- true;
+      match sg.Trace.sg_opt with
+      | Some o when (not mapped) && b0 > o.Traceopt.os_m ->
+        (* Fast path: run the [Traceopt]-rewritten body with lazy rip
+           materialization. Fuel strictly exceeds the segment's covered
+           instructions, so neither mid-segment resume nor the
+           budget-exhausted stop can occur — the terminator always runs.
+           No per-uop [rip] re-arm: every optimized uop performs exactly
+           one pipeline issue per covered instruction, in program order,
+           so a fault's architectural rip is reconstructed in the handler
+           from the issue delta against [rec_issue0]. *)
+        pending := -1;
+        tier.Trace.rec_entry <- blk.Ublock.entry;
+        tier.Trace.rec_rips <- sg.Trace.sg_rips;
+        tier.Trace.rec_issue0 <- Pipeline.instructions t.pipe;
+        tier.Trace.rec_lazy <- true;
+        tier.Trace.rec_active <- true;
+        let ou = o.Traceopt.os_uops in
+        for i = 0 to Array.length ou - 1 do
+          exec_uop t (Array.unsafe_get ou i)
+        done;
+        (* A cmp/test fused with the jcc exit runs here — after the body,
+           before the exit stage evaluates the condition: the original
+           program order. *)
+        (match o.Traceopt.os_flags with
+         | None -> ()
+         | Some u -> exec_uop t u);
+        tier.Trace.rec_active <- false;
+        tier.Trace.rec_lazy <- false;
+        let m = o.Traceopt.os_m in
+        c.insns <- c.insns + m;
+        budget := b0 - m;
+        tier.Trace.covered_insns <- tier.Trace.covered_insns + m;
+        exec_exit sg blk;
+        if o.Traceopt.os_pend >= 0 && !running then pending := o.Traceopt.os_pend
+      | _ ->
+        (* Careful path: the unoptimized body with eager per-uop rip
+           re-arm. Taken whenever fuel could run out inside the segment,
+           when per-site CPI attribution is on (row switching needs the
+           per-uop rip anyway), or when the optimizer is off. *)
+        let uops = sg.Trace.sg_uops in
+        let rips = sg.Trace.sg_rips in
+        let n = Array.length uops in
+        let entry = blk.Ublock.entry in
+        let lim = if b0 < n then b0 else n in
+        if !pending >= 0 then begin
+          (* Fuel exhausted exactly at this segment's top: the previous
+             segment elided its final flag write, and the uop that would
+             overwrite it won't run — re-materialize [cmp] now. *)
+          if lim = 0 && n > 0 then t.cmp <- t.gpr.(!pending);
+          pending := -1
+        end;
+        tier.Trace.rec_entry <- entry;
+        tier.Trace.rec_rips <- rips;
+        tier.Trace.rec_lazy <- false;
+        tier.Trace.rec_active <- true;
       (* Four copies of the segment body loop: site-mapped × identity-rip,
          so the common case (no CPI attribution, nothing hoisted) runs
          with zero per-uop overhead beyond the block tier's own loop —
@@ -1347,106 +1655,42 @@ let exec_trace t (tr : Trace.trace) budget =
         t.rip <- blk.Ublock.term_idx;
         running := false
       end
-      else begin
-        let ti = blk.Ublock.term_idx in
-        t.rip <- ti;
-        if mapped && ti < Array.length map then
-          Pipeline.set_row t.pipe (Array.unsafe_get map ti);
-        c.insns <- c.insns + 1;
-        tier.Trace.covered_insns <- tier.Trace.covered_insns + 1;
-        (* Mirror of [exec_block_chain]'s terminator arms, with the
-           successor lookup replaced by the baked prediction. [advance]
-           follows the predicted edge: next segment, loop restart, or —
-           past the final segment — fall back to dispatch with [rip]
-           already at the predicted continuation. A failed prediction
-           guard is a side exit: [rip] is architecturally correct either
-           way, so the fall-back costs nothing but the tier switch. *)
-        let advance () =
-          if !k = last then begin
-            if tr.Trace.tr_loops then k := 0 else running := false
-          end
-          else incr k
-        in
-        let side_exit () =
-          tr.Trace.tr_side_exits <- Ublock.bump tr.Trace.tr_side_exits;
-          running := false
-        in
-        match sg.Trace.sg_exit with
-        | Trace.X_jmp { target } ->
-          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
-          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
-            ~port:Pipeline.p_branch;
-          t.rip <- target;
-          decr budget;
-          advance ()
-        | Trace.X_jcc { cond; target; fall; predict_taken } ->
-          Pipeline.issue_fast t.pipe ~s1:Reg.pipe_flags ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
-            ~port:Pipeline.p_branch;
-          decr budget;
-          let taken = eval_cond t cond in
-          if taken then begin
-            blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
-            t.rip <- target
-          end
-          else begin
-            blk.Ublock.fall_count <- Ublock.bump blk.Ublock.fall_count;
-            t.rip <- fall
-          end;
-          if taken = predict_taken then advance () else side_exit ()
-        | Trace.X_call { target; retaddr } ->
-          c.calls <- c.calls + 1;
-          blk.Ublock.taken_count <- Ublock.bump blk.Ublock.taken_count;
-          push t retaddr;
-          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
-            ~port:Pipeline.p_branch;
-          t.rip <- target;
-          decr budget;
-          advance ()
-        | Trace.X_call_r { r; retaddr; predicted } ->
-          c.calls <- c.calls + 1;
-          c.ind_branches <- c.ind_branches + 1;
-          push t retaddr;
-          Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
-            ~lat:1 ~port:Pipeline.p_branch;
-          (* Read the target after the push: [r] may be rsp. *)
-          let target = t.gpr.(r) in
-          Ublock.note_dyn blk target;
-          t.rip <- target;
-          decr budget;
-          if target = predicted then advance () else side_exit ()
-        | Trace.X_jmp_r { r; predicted } ->
-          c.ind_branches <- c.ind_branches + 1;
-          Pipeline.issue_fast t.pipe ~s1:(Reg.pipe_gpr r) ~s2:nr ~s3:nr ~d1:nr ~d2:nr
-            ~lat:1 ~port:Pipeline.p_branch;
-          let target = t.gpr.(r) in
-          Ublock.note_dyn blk target;
-          t.rip <- target;
-          decr budget;
-          if target = predicted then advance () else side_exit ()
-        | Trace.X_ret { predicted } ->
-          c.rets <- c.rets + 1;
-          let v = pop t in
-          Ublock.note_dyn blk v;
-          Pipeline.issue_fast t.pipe ~s1:nr ~s2:nr ~s3:nr ~d1:nr ~d2:nr ~lat:1
-            ~port:Pipeline.p_branch;
-          t.rip <- v;
-          decr budget;
-          if v = predicted then advance () else side_exit ()
-      end
+      else exec_exit sg blk
     done;
     tr.Trace.tr_cycles <- tr.Trace.tr_cycles +. (Pipeline.cycles t.pipe -. cyc0)
   with Fault.Fault _ as e ->
     if tier.Trace.rec_active then begin
-      (* Settle the batched accounting from [rip]: [j] uops of the
-         current segment completed before the faulting one. *)
+      (* Settle the batched accounting: [j] instructions of the current
+         segment completed before the faulting one. On the careful path
+         [rip] was armed per uop, so [j] is read off it; on the lazy fast
+         path [rip] was never armed — instead every optimized uop performs
+         exactly one pipeline issue per covered instruction, in program
+         order, with all faults raised before their instruction's issue
+         except the MPX bound check (which issues first, hardware-style,
+         then raises). The issue delta since segment start therefore
+         pinpoints the faulting instruction, and [rip] is materialized
+         from it here, once, on the cold path. *)
       let j =
-        if tier.Trace.rec_rips == Trace.no_rips then t.rip - tier.Trace.rec_entry
+        if tier.Trace.rec_lazy then begin
+          let issued = Pipeline.instructions t.pipe - tier.Trace.rec_issue0 in
+          let j =
+            match e with
+            | Fault.Fault (Fault.Bound_violation _) -> issued - 1
+            | _ -> issued
+          in
+          t.rip <-
+            (if tier.Trace.rec_rips == Trace.no_rips then tier.Trace.rec_entry + j
+             else Array.unsafe_get tier.Trace.rec_rips j);
+          j
+        end
+        else if tier.Trace.rec_rips == Trace.no_rips then t.rip - tier.Trace.rec_entry
         else rip_index tier.Trace.rec_rips t.rip 0
       in
       c.insns <- c.insns + j + 1;
       budget := !budget - j;
       tier.Trace.covered_insns <- tier.Trace.covered_insns + j + 1;
-      tier.Trace.rec_active <- false
+      tier.Trace.rec_active <- false;
+      tier.Trace.rec_lazy <- false
     end;
     tr.Trace.tr_cycles <- tr.Trace.tr_cycles +. (Pipeline.cycles t.pipe -. cyc0);
     raise e

@@ -89,6 +89,13 @@ type t = {
           together with [tcache] on program-identity change; torn down
           eagerly by {!flush_translations}. Exposed for observability
           ({!Trace.stats}) and for tests tuning the formation policy. *)
+  mutable sl_vpn : int array;
+      (** Inline-translation slot arrays of the trace currently executing
+          — aliases of that trace's [tr_slot_*] arrays, installed by the
+          trace executor on entry so the optimized memory uops index them
+          without an extra indirection. [[||]] outside trace execution. *)
+  mutable sl_info : int array;
+  mutable sl_tok : int array;
   mutable syscall_handler : t -> unit;
   mutable vmcall_handler : t -> unit;
   mutable ept_violation_handler : t -> gpa:int -> access:Fault.access -> bool;
@@ -142,6 +149,16 @@ val set_traces_enabled : t -> bool -> unit
     tier immediately. See {!Trace.set_enabled}. *)
 
 val traces_enabled : t -> bool
+
+val set_trace_fusion : t -> bool -> unit
+(** Enable (default) or disable the {!Traceopt} formation pass — macro-
+    fusion, inline translation slots, dead-flag elision and the lazy-rip
+    fast path that runs the rewritten bodies. Disabling invalidates live
+    traces (they re-form unoptimized) and pins the executor to the
+    careful per-uop-rip path; results are byte-identical either way. See
+    {!Trace.set_optimize}. *)
+
+val trace_fusion : t -> bool
 
 val install_trace_hoist_facts : t -> bool array -> unit
 (** Install per-rip loop-invariance facts licensing gate-check hoisting

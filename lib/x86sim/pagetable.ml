@@ -36,18 +36,42 @@ let decode entry =
     pkey = entry_pkey entry;
   }
 
+(* Software paging-structure cache (the hardware analogue: PML4/PDPT/PDE
+   caches): a direct-mapped map from a vpn's upper index bits to the leaf
+   table frame the three non-leaf levels resolve to, validated against the
+   table generation. [find_entry] — one call per simulated TLB miss — hits
+   it and reads only the leaf entry (one access instead of four). Purely a
+   simulator-speed structure: the {e modeled} walk cost is a constant
+   ([Mmu.walk_cost]) independent of how the software walk resolves, and
+   the generation check makes a stale leaf frame unobservable (any [map]/
+   [unmap]/[protect] bumps the generation, which already de-validates
+   every TLB entry for the same reason). *)
+let wc_slots = 256
+
 type t = {
   phys : Physmem.t;
   root : int;
   gen : int ref; (* shared with MMUs via [generation_cell] *)
   mutable nframes : int;
   mutable live : int;  (* present leaf entries *)
+  wc_tag : int array;  (* vpn lsr 9, -1 = empty *)
+  wc_leaf : int array;  (* leaf table frame *)
+  wc_gen : int array;  (* generation the entry was filled under *)
 }
 
 let create ?phys () =
   let phys = match phys with Some p -> p | None -> Physmem.create () in
   let root = Physmem.alloc_frame phys in
-  { phys; root; gen = ref 0; nframes = 1; live = 0 }
+  {
+    phys;
+    root;
+    gen = ref 0;
+    nframes = 1;
+    live = 0;
+    wc_tag = Array.make wc_slots (-1);
+    wc_leaf = Array.make wc_slots 0;
+    wc_gen = Array.make wc_slots 0;
+  }
 
 let root_frame t = t.root
 let generation t = !(t.gen)
@@ -115,21 +139,33 @@ let unmap t ~vpn =
    option/tuple/record tower of {!find} would be several heap blocks per
    walk. *)
 let find_entry t ~vpn =
-  let table = ref t.root in
-  let level = ref (walk_levels - 1) in
-  let dead = ref false in
-  while !level > 0 && not !dead do
-    let e = read_entry t ~table:!table ~idx:(index_of vpn !level) in
-    if e land e_present = 0 then dead := true
-    else begin
-      table := entry_frame e;
-      decr level
-    end
-  done;
-  if !dead then 0
-  else
-    let e = read_entry t ~table:!table ~idx:(index_of vpn 0) in
+  let region = vpn lsr 9 in
+  let s = region land (wc_slots - 1) in
+  let g = !(t.gen) in
+  if Array.unsafe_get t.wc_tag s = region && Array.unsafe_get t.wc_gen s = g then
+    let e = read_entry t ~table:(Array.unsafe_get t.wc_leaf s) ~idx:(index_of vpn 0) in
     if e land e_present = 0 then 0 else e
+  else begin
+    let table = ref t.root in
+    let level = ref (walk_levels - 1) in
+    let dead = ref false in
+    while !level > 0 && not !dead do
+      let e = read_entry t ~table:!table ~idx:(index_of vpn !level) in
+      if e land e_present = 0 then dead := true
+      else begin
+        table := entry_frame e;
+        decr level
+      end
+    done;
+    if !dead then 0
+    else begin
+      Array.unsafe_set t.wc_tag s region;
+      Array.unsafe_set t.wc_leaf s !table;
+      Array.unsafe_set t.wc_gen s g;
+      let e = read_entry t ~table:!table ~idx:(index_of vpn 0) in
+      if e land e_present = 0 then 0 else e
+    end
+  end
 
 let find t ~vpn =
   let e = find_entry t ~vpn in

@@ -16,6 +16,7 @@ type seg = {
   sg_uops : Ublock.uop array;
   sg_rips : int array;
   sg_exit : exit_kind;
+  sg_opt : Traceopt.oseg option;
 }
 
 type trace = {
@@ -26,6 +27,9 @@ type trace = {
   tr_prologue : Ublock.uop array;
   tr_prologue_rips : int array;
   tr_insns : int;
+  tr_slot_vpn : int array;
+  tr_slot_info : int array;
+  tr_slot_tok : int array;
   mutable tr_execs : int;
   mutable tr_side_exits : int;
   mutable tr_cycles : float;
@@ -45,6 +49,9 @@ let dummy_trace =
     tr_prologue = [||];
     tr_prologue_rips = no_rips;
     tr_insns = 0;
+    tr_slot_vpn = [||];
+    tr_slot_info = [||];
+    tr_slot_tok = [||];
     tr_execs = 0;
     tr_side_exits = 0;
     tr_cycles = 0.0;
@@ -54,18 +61,32 @@ let dummy_trace =
 type tier = {
   code_len : int;
   mutable enabled : bool;
+  mutable optimize : bool;
   mutable hot_threshold : int;
   mutable min_samples : int;
+  mutable jcc_bias : int;
   mutable by_entry : trace array;
   mutable formed : trace list;
   mutable formed_count : int;
   mutable invalidated_count : int;
   mutable covered_insns : int;
   mutable hoisted_checks : int;
+  mutable fused_uops : int;
+  mutable cached_slots : int;
+  mutable dead_flags : int;
+  mutable inline_hits : int;
+  mutable inline_misses : int;
+  mutable inline_dead : bool;
+  mutable abort_cold_branch : int;
+  mutable abort_indirect_minority : int;
+  mutable abort_cap_hit : int;
+  mutable abort_handler_term : int;
   mutable hoist_facts : bool array;
   mutable rec_entry : int;
   mutable rec_rips : int array;
   mutable rec_active : bool;
+  mutable rec_lazy : bool;
+  mutable rec_issue0 : int;
 }
 
 (* 64 block entries before a chain is considered hot: low enough that a
@@ -84,29 +105,51 @@ let default_min_samples = 12
 let max_segs = 32
 let max_insns = 4096
 
+(* Direction-bias numerator for baking a jcc exit direction: the winning
+   side must outnumber the other [jcc_bias]:1. 3:1 keeps side-exit rates
+   low on the benchmark suite without freezing out skewed-but-hot loop
+   branches. *)
+let default_jcc_bias = 3
+
 let create ~code_len =
   {
     code_len;
     enabled = true;
+    optimize = true;
     hot_threshold = default_hot_threshold;
     min_samples = default_min_samples;
+    jcc_bias = default_jcc_bias;
     by_entry = Array.make (max code_len 1) dummy_trace;
     formed = [];
     formed_count = 0;
     invalidated_count = 0;
     covered_insns = 0;
     hoisted_checks = 0;
+    fused_uops = 0;
+    cached_slots = 0;
+    dead_flags = 0;
+    inline_hits = 0;
+    inline_misses = 0;
+    inline_dead = false;
+    abort_cold_branch = 0;
+    abort_indirect_minority = 0;
+    abort_cap_hit = 0;
+    abort_handler_term = 0;
     hoist_facts = [||];
     rec_entry = 0;
     rec_rips = no_rips;
     rec_active = false;
+    rec_lazy = false;
+    rec_issue0 = 0;
   }
 
 let recreate old ~code_len =
   let t = create ~code_len in
   t.enabled <- old.enabled;
+  t.optimize <- old.optimize;
   t.hot_threshold <- old.hot_threshold;
   t.min_samples <- old.min_samples;
+  t.jcc_bias <- old.jcc_bias;
   t
 
 let[@inline] at tier entry = Array.unsafe_get tier.by_entry entry
@@ -140,6 +183,15 @@ let set_enabled tier on =
 
 let set_min_samples tier n = tier.min_samples <- max 1 n
 
+let set_optimize tier on =
+  if on <> tier.optimize then begin
+    tier.optimize <- on;
+    (* Installed bodies were rewritten under the other setting. *)
+    invalidate_all tier
+  end
+
+let set_jcc_bias tier n = tier.jcc_bias <- max 1 n
+
 let install_hoist_facts tier facts =
   (* Re-form under the new facts; live traces were built without them. *)
   invalidate_all tier;
@@ -150,7 +202,11 @@ let install_hoist_facts tier facts =
 (* ------------------------------------------------------------------ *)
 
 (* The predicted exit of [b] plus the predicted next entry, or [None] if
-   the profile doesn't support baking a direction. *)
+   the profile doesn't support baking a direction. A [None] ends the
+   formation walk; the per-reason counters below record {e why} chains
+   stop where they do — the coverage-diagnosis signal [report] and
+   [edgeprof] surface (low trace coverage is almost always one of these
+   four reasons dominating). *)
 let predict tier (b : Ublock.block) : (exit_kind * int) option =
   let ms = tier.min_samples in
   match b.Ublock.term with
@@ -159,12 +215,16 @@ let predict tier (b : Ublock.block) : (exit_kind * int) option =
     Some (X_call { target; retaddr = b.Ublock.term_idx + 1 }, target)
   | Ublock.Term_jcc { cond; target } ->
     let fall = b.Ublock.term_idx + 1 in
+    let bias = tier.jcc_bias in
     let tk = b.Ublock.taken_count and fl = b.Ublock.fall_count in
-    if tk + fl >= ms && tk >= 3 * fl then
+    if tk + fl >= ms && tk >= bias * fl then
       Some (X_jcc { cond; target; fall; predict_taken = true }, target)
-    else if tk + fl >= ms && fl >= 3 * tk then
+    else if tk + fl >= ms && fl >= bias * tk then
       Some (X_jcc { cond; target; fall; predict_taken = false }, fall)
-    else None
+    else begin
+      tier.abort_cold_branch <- tier.abort_cold_branch + 1;
+      None
+    end
   | Ublock.Term_call_r { r } ->
     if b.Ublock.dyn_total >= ms && 2 * b.Ublock.dyn_votes >= b.Ublock.dyn_total
        && b.Ublock.dyn_target >= 0
@@ -172,18 +232,29 @@ let predict tier (b : Ublock.block) : (exit_kind * int) option =
       Some
         ( X_call_r { r; retaddr = b.Ublock.term_idx + 1; predicted = b.Ublock.dyn_target },
           b.Ublock.dyn_target )
-    else None
+    else begin
+      tier.abort_indirect_minority <- tier.abort_indirect_minority + 1;
+      None
+    end
   | Ublock.Term_jmp_r { r } ->
     if b.Ublock.dyn_total >= ms && 2 * b.Ublock.dyn_votes >= b.Ublock.dyn_total
        && b.Ublock.dyn_target >= 0
     then Some (X_jmp_r { r; predicted = b.Ublock.dyn_target }, b.Ublock.dyn_target)
-    else None
+    else begin
+      tier.abort_indirect_minority <- tier.abort_indirect_minority + 1;
+      None
+    end
   | Ublock.Term_ret ->
     if b.Ublock.dyn_total >= ms && 2 * b.Ublock.dyn_votes >= b.Ublock.dyn_total
        && b.Ublock.dyn_target >= 0
     then Some (X_ret { predicted = b.Ublock.dyn_target }, b.Ublock.dyn_target)
-    else None
-  | Ublock.Term_halt | Ublock.Term_exec _ | Ublock.Term_fall_off -> None
+    else begin
+      tier.abort_indirect_minority <- tier.abort_indirect_minority + 1;
+      None
+    end
+  | Ublock.Term_halt | Ublock.Term_exec _ | Ublock.Term_fall_off ->
+    tier.abort_handler_term <- tier.abort_handler_term + 1;
+    None
 
 (* {2 Gate-check hoisting} *)
 
@@ -324,7 +395,10 @@ let try_form tier cache (b0 : Ublock.block) =
        segment's exit already leaves rip at its entry, and the block
        tier takes over from there. *)
     let rec walk (blk : Ublock.block) acc n_insns visited =
-      if List.length acc >= max_segs || n_insns > max_insns then (List.rev acc, false)
+      if List.length acc >= max_segs || n_insns > max_insns then begin
+        tier.abort_cap_hit <- tier.abort_cap_hit + 1;
+        (List.rev acc, false)
+      end
       else
         match predict tier blk with
         | None -> (List.rev acc, false)
@@ -344,12 +418,12 @@ let try_form tier cache (b0 : Ublock.block) =
         if Array.length tier.hoist_facts > 0 then plan_hoist tier blocks else None
       in
       let pro = ref [] and pro_rips = ref [] in
-      let segs =
+      (* (block, post-hoist body, body rips, exit) per segment. *)
+      let raw =
         match plan with
         | None ->
           List.map
-            (fun ((blk : Ublock.block), x) ->
-              { sg_blk = blk; sg_uops = blk.Ublock.uops; sg_rips = no_rips; sg_exit = x })
+            (fun ((blk : Ublock.block), x) -> (blk, blk.Ublock.uops, no_rips, x))
             chain
         | Some flags ->
           List.map2
@@ -357,9 +431,48 @@ let try_form tier cache (b0 : Ublock.block) =
               let kept, kept_rips, p, pr = apply_hoist blk fl in
               pro := !pro @ p;
               pro_rips := !pro_rips @ pr;
-              { sg_blk = blk; sg_uops = kept; sg_rips = kept_rips; sg_exit = x })
+              (blk, kept, kept_rips, x))
             chain flags
       in
+      (* Optimize the flat bodies before install. The rewritten bodies
+         are observationally identical (Traceopt's contract); turning the
+         pass off yields [sg_opt = None] everywhere and the executor runs
+         the eager path on the raw bodies. *)
+      let opt =
+        if tier.optimize then begin
+          let bodies = Array.of_list (List.map (fun (_, u, _, _) -> u) raw) in
+          let exit_jcc =
+            Array.of_list
+              (List.map (fun (_, _, _, x) -> match x with X_jcc _ -> true | _ -> false) raw)
+          in
+          let exit_jmp =
+            Array.of_list
+              (List.map (fun (_, _, _, x) -> match x with X_jmp _ -> true | _ -> false) raw)
+          in
+          let r = Traceopt.optimize ~bodies ~exit_jcc ~exit_jmp ~loops in
+          tier.fused_uops <- tier.fused_uops + r.Traceopt.r_fused;
+          tier.cached_slots <- tier.cached_slots + r.Traceopt.r_slots;
+          tier.dead_flags <- tier.dead_flags + r.Traceopt.r_nf;
+          Some r
+        end
+        else None
+      in
+      let segs =
+        List.mapi
+          (fun i (blk, uops, rips, x) ->
+            {
+              sg_blk = blk;
+              sg_uops = uops;
+              sg_rips = rips;
+              sg_exit = x;
+              sg_opt =
+                (match opt with
+                | Some r -> Some r.Traceopt.r_segs.(i)
+                | None -> None);
+            })
+          raw
+      in
+      let n_slots = match opt with Some r -> r.Traceopt.r_slots | None -> 0 in
       let tr =
         {
           tr_entry = entry;
@@ -369,6 +482,10 @@ let try_form tier cache (b0 : Ublock.block) =
           tr_prologue = Array.of_list !pro;
           tr_prologue_rips = Array.of_list !pro_rips;
           tr_insns = List.fold_left (fun a b -> a + static_insns b) 0 blocks;
+          (* vpn -1 can never match a real page, so fresh slots miss. *)
+          tr_slot_vpn = Array.make (max n_slots 1) (-1);
+          tr_slot_info = Array.make (max n_slots 1) 0;
+          tr_slot_tok = Array.make (max n_slots 1) 0;
           tr_execs = 0;
           tr_side_exits = 0;
           tr_cycles = 0.0;

@@ -85,6 +85,11 @@ type seg = {
       (** per-uop instruction indices; {!no_rips} means the identity
           mapping [sg_blk.entry + i] (no uop was elided) *)
   sg_exit : exit_kind;
+  sg_opt : Traceopt.oseg option;
+      (** the {!Traceopt}-rewritten body (fused pairs, inline translation
+          slots, dead flags elided) the executor's lazy-rip fast path
+          runs; [None] when the optimizer is off. The careful path (and
+          every mid-segment resume) always runs [sg_uops]. *)
 }
 
 type trace = {
@@ -97,6 +102,14 @@ type trace = {
   tr_prologue : Ublock.uop array;  (** hoisted checks, run once per trace entry *)
   tr_prologue_rips : int array;
   tr_insns : int;  (** static instructions covered (uops + terminators) *)
+  tr_slot_vpn : int array;
+      (** inline translation slots, indexed by the [slot] field of the
+          optimized bodies' [U*_c]/[Ufuse_mask_*] uops: cached vpn (-1 =
+          never charged), packed {!Tlb.slot_info} word, and the
+          {!Mmu.generation_token} the entry was charged under. The CPU
+          aliases these three into its own fields on trace entry. *)
+  tr_slot_info : int array;
+  tr_slot_tok : int array;
   mutable tr_execs : int;  (** entries (not loop restarts); saturating *)
   mutable tr_side_exits : int;
   mutable tr_cycles : float;  (** simulated cycles retired inside this trace *)
@@ -116,10 +129,16 @@ val no_rips : int array
 type tier = {
   code_len : int;
   mutable enabled : bool;
+  mutable optimize : bool;
+      (** run {!Traceopt} at formation (default true); toggled via
+          {!set_optimize} *)
   mutable hot_threshold : int;
       (** exec-count at which the block tier attempts formation;
           [max_int] when the tier is disabled *)
   mutable min_samples : int;  (** edge samples required to trust a profile *)
+  mutable jcc_bias : int;
+      (** direction-bias numerator for baking a jcc exit: the winning
+          side must outnumber the other [jcc_bias]:1 (default 3) *)
   mutable by_entry : trace array;  (** registry, {!dummy_trace} = absent *)
   mutable formed : trace list;  (** live traces, most recent first *)
   mutable formed_count : int;  (** cumulative, survives invalidation *)
@@ -128,6 +147,33 @@ type tier = {
       (** retired instructions executed from inside superblocks *)
   mutable hoisted_checks : int;
       (** check uops elided into prologues, cumulative over formation *)
+  mutable fused_uops : int;
+      (** macro-fused pairs installed, cumulative over formation *)
+  mutable cached_slots : int;  (** inline translation slots installed *)
+  mutable dead_flags : int;  (** dead flag writes elided *)
+  mutable inline_hits : int;
+      (** inline-slot short-circuits taken by the executor (runtime) *)
+  mutable inline_misses : int;
+      (** inline-slot misses (full translation path taken; runtime) *)
+  mutable inline_dead : bool;
+      (** adaptive kill switch: set by the executor once the miss count
+          vastly outruns the hits (a TLB-thrashing workload bumps
+          [Mmu.generation_token] on every fill, so no token ever
+          revalidates and every probe+recharge is pure overhead). Once
+          set, optimized memory uops skip the slot probe and take the
+          eager path directly; per-program (the tier is re-created per
+          program), and observationally free either way (the miss path
+          {e is} the eager path). *)
+  (* Chain-end reason counters: why formation walks stopped where they
+     did — the trace-coverage diagnosis signal. Cumulative over every
+     formation attempt. *)
+  mutable abort_cold_branch : int;
+      (** jcc below [min_samples] or without a [jcc_bias]:1 direction *)
+  mutable abort_indirect_minority : int;
+      (** ret/call_r/jmp_r without a Boyer–Moore absolute majority *)
+  mutable abort_cap_hit : int;  (** [max_segs]/[max_insns] reached *)
+  mutable abort_handler_term : int;
+      (** halt / serializing-handler / fall-off terminator *)
   mutable hoist_facts : bool array;
       (** per-rip loop-invariance facts; [[||]] = none installed *)
   (* Fault-reconciliation scratch for the batched executor (lives here so
@@ -135,18 +181,25 @@ type tier = {
   mutable rec_entry : int;
   mutable rec_rips : int array;
   mutable rec_active : bool;
+  mutable rec_lazy : bool;
+      (** the active segment runs an optimized body with no per-uop rip
+          re-arm: reconstruct the faulting rip from the issue delta
+          against [rec_issue0] instead of reading [Cpu.rip] *)
+  mutable rec_issue0 : int;  (** [Pipeline.instructions] at segment start *)
 }
 
 val default_hot_threshold : int
 val default_min_samples : int
+val default_jcc_bias : int
 
 val create : code_len:int -> tier
 (** A fresh, enabled tier with default parameters and an empty registry
     sized for a [code_len]-instruction program. *)
 
 val recreate : tier -> code_len:int -> tier
-(** A fresh tier for a new program, inheriting [enabled]/[hot_threshold]/
-    [min_samples] from [old] (statistics and registry start empty). *)
+(** A fresh tier for a new program, inheriting [enabled]/[optimize]/
+    [hot_threshold]/[min_samples]/[jcc_bias] from [old] (statistics and
+    registry start empty). *)
 
 val set_enabled : tier -> bool -> unit
 (** Enable/disable formation {e and} dispatch. Disabling sets
@@ -156,6 +209,16 @@ val set_enabled : tier -> bool -> unit
 
 val set_hot_threshold : tier -> int -> unit
 val set_min_samples : tier -> int -> unit
+
+val set_optimize : tier -> bool -> unit
+(** Toggle the {!Traceopt} formation pass. Invalidates live traces on a
+    change (installed bodies were rewritten under the other setting);
+    re-formation is driven by the block tier's trigger as usual. *)
+
+val set_jcc_bias : tier -> int -> unit
+(** Set the jcc direction-bias numerator (clamped to at least 1). Affects
+    future formation only: already-installed traces keep their baked
+    direction, which remains correct (the cold direction side-exits). *)
 
 val install_hoist_facts : tier -> bool array -> unit
 (** Install per-rip loop-invariance facts ([facts.(rip) = true] means the

@@ -174,6 +174,9 @@ let test_diff_flags_regressions () =
     { Fastprof.p_workload = "w"; p_technique = "MPK"; p_cycles = 0.0; p_insns = 0;
       p_rows = rows; p_blocks = []; p_traces = []; p_traces_formed = 0;
       p_traces_invalidated = 0; p_trace_covered = 0; p_trace_hoisted = 0;
+      p_trace_fused = 0; p_trace_slots = 0; p_trace_dead_flags = 0;
+      p_inline_hits = 0; p_inline_misses = 0; p_abort_cold = 0;
+      p_abort_indirect = 0; p_abort_cap = 0; p_abort_handler = 0;
       p_compiles = 0; p_invalidations = 0;
       p_l1_evictions = 0; p_l2_evictions = 0; p_l3_evictions = 0; p_tlb_evictions = 0;
       p_walk_cycles = 0 }

@@ -538,6 +538,179 @@ let machine_trace_tier_differential () =
         exhaustive_cases)
     [ 1; 7; 1000 ]
 
+(* --- trace-lane uop optimizer: fusion off, slot kill, lazy rip --------- *)
+
+(* The sweep above runs the trace tier with the optimizer at its default
+   (on). This completes the matrix: the same constructors with the
+   optimizer explicitly off must also match the block tier, so a
+   divergence in either sweep pins the blame side (formation vs
+   rewriting). *)
+let three_tier_fusion_off_differential () =
+  List.iter
+    (fun (name, items) ->
+      let block_cpu = Cpu.create () in
+      Cpu.set_traces_enabled block_cpu false;
+      let block =
+        run_case_on ~hooks:false block_cpu (fun () -> Cpu.run block_cpu) (items ())
+      in
+      let plain_cpu = Cpu.create () in
+      force_traces plain_cpu;
+      Cpu.set_trace_fusion plain_cpu false;
+      let plain =
+        run_case_on ~hooks:false plain_cpu (fun () -> Cpu.run plain_cpu) (items ())
+      in
+      Alcotest.(check (list string)) (name ^ ": unoptimized traces = block tier") []
+        (diff_fields plain block))
+    exhaustive_cases
+
+(* A hot loop with a load and a store through a loop-invariant pointer:
+   forms a looping superblock whose optimized body carries inline
+   translation slots that hit every iteration after the first. *)
+let memory_loop_items ~n =
+  let i x = Program.I x in
+  let m = Insn.mem in
+  [
+    i (Insn.Mov_ri (Reg.rbx, n));
+    i (Insn.Mov_ri (Reg.rdx, data_va));
+    Program.Label "loop";
+    i (Insn.Load (Reg.rcx, m ~base:Reg.rdx 0));
+    i (Insn.Alu_ri (Insn.Add, Reg.rcx, 1));
+    i (Insn.Store (m ~base:Reg.rdx 0, Reg.rcx));
+    i (Insn.Alu_ri (Insn.Sub, Reg.rbx, 1));
+    i (Insn.Cmp_ri (Reg.rbx, 0));
+    i (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+    i Insn.Halt;
+  ]
+
+let inline_slot_kill_is_invisible () =
+  let block_cpu = Cpu.create () in
+  Cpu.set_traces_enabled block_cpu false;
+  let block =
+    run_case_on ~hooks:false block_cpu (fun () -> Cpu.run block_cpu) (memory_loop_items ~n:60)
+  in
+  (* Live slots: the optimized body's loads/stores short-circuit the MMU
+     through the per-uop slot after the first iteration charges it. *)
+  let live_cpu = Cpu.create () in
+  force_traces live_cpu;
+  let live =
+    run_case_on ~hooks:false live_cpu (fun () -> Cpu.run live_cpu) (memory_loop_items ~n:60)
+  in
+  Alcotest.(check (list string)) "live inline slots = block tier" [] (diff_fields live block);
+  Alcotest.(check bool) "slots were installed and hit" true
+    (live_cpu.Cpu.traces.Trace.cached_slots > 0 && live_cpu.Cpu.traces.Trace.inline_hits > 0);
+  (* Killed slots: pre-set the adaptive kill switch (normally flipped by
+     the executor on a thrashing miss ratio) — every optimized memory uop
+     must take the eager path with identical architectural results. *)
+  let killed_cpu = Cpu.create () in
+  force_traces killed_cpu;
+  (* Set the switch inside the run thunk: [load_program] recreates the
+     tier (statistics and the switch start fresh per program). *)
+  let killed =
+    run_case_on ~hooks:false killed_cpu
+      (fun () ->
+        killed_cpu.Cpu.traces.Trace.inline_dead <- true;
+        Cpu.run killed_cpu)
+      (memory_loop_items ~n:60)
+  in
+  Alcotest.(check (list string)) "killed inline slots = block tier" []
+    (diff_fields killed block);
+  Alcotest.(check int) "killed run never hit a slot" 0 killed_cpu.Cpu.traces.Trace.inline_hits
+
+(* A load walking forward 8 bytes per iteration: [run_case_on] maps 8 KiB
+   at [data_va], so iteration 1024 page-faults — long after the loop has
+   formed a superblock, so the fault is raised from the optimizer's
+   lazy-rip fast path, which must reconstruct the faulting [rip] from the
+   pipeline issue delta. *)
+let walking_load_items ~n =
+  let i x = Program.I x in
+  let m = Insn.mem in
+  [
+    i (Insn.Mov_ri (Reg.rbx, n));
+    i (Insn.Mov_ri (Reg.rdx, data_va));
+    Program.Label "loop";
+    i (Insn.Load (Reg.rcx, m ~base:Reg.rdx 0));
+    i (Insn.Alu_ri (Insn.Add, Reg.rdx, 8));
+    i (Insn.Alu_ri (Insn.Sub, Reg.rbx, 1));
+    i (Insn.Cmp_ri (Reg.rbx, 0));
+    i (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+    i Insn.Halt;
+  ]
+
+(* A lea+bndcu pair (the [Ufuse_lea_bndc] fusion shape) whose checked
+   address walks past the bound mid-trace: [Bound_violation] is raised by
+   the check stage, so the reconstruction must account for the fused
+   uop's already-issued instruction (the issued-minus-one case). *)
+let bound_walk_items ~n =
+  let i x = Program.I x in
+  let m = Insn.mem in
+  [
+    i (Insn.Bnd_set (0, 0, data_va + 400));
+    i (Insn.Mov_ri (Reg.rbx, n));
+    i (Insn.Mov_ri (Reg.rdx, data_va));
+    Program.Label "loop";
+    i (Insn.Lea (Reg.rcx, m ~base:Reg.rdx 0));
+    i (Insn.Bndcu (0, Reg.rcx));
+    i (Insn.Load (Reg.rax, m ~base:Reg.rdx 0));
+    i (Insn.Alu_ri (Insn.Add, Reg.rdx, 8));
+    i (Insn.Alu_ri (Insn.Sub, Reg.rbx, 1));
+    i (Insn.Cmp_ri (Reg.rbx, 0));
+    i (Insn.Jcc (Insn.Ne, Insn.target "loop"));
+    i Insn.Halt;
+  ]
+
+let lazy_rip_fault_precision () =
+  List.iter
+    (fun (name, items) ->
+      let interp = run_case ~hooks:true (items ()) in
+      let trace_cpu = Cpu.create () in
+      force_traces trace_cpu;
+      let traced =
+        run_case_on ~hooks:false trace_cpu (fun () -> Cpu.run trace_cpu) (items ())
+      in
+      Alcotest.(check (list string)) (name ^ ": mid-trace fault = interpreter") []
+        (diff_fields traced interp);
+      Alcotest.(check bool) (name ^ ": run actually executed inside a trace") true
+        (trace_cpu.Cpu.traces.Trace.covered_insns > 0))
+    [
+      ("walking load page fault", fun () -> walking_load_items ~n:1200);
+      ("lea+bndcu bound violation", fun () -> bound_walk_items ~n:80);
+    ]
+
+(* Random IR programs under the baseline and every isolation technique:
+   with formation forced hot and the optimizer on (its default), the
+   outcome must be byte-identical to the hooked interpreter loop. This is
+   the optimizer's end-to-end invisibility property over the techniques'
+   full uop vocabulary (SFI masks, MPX checks, pkey switches, AES-NI
+   rounds, ...). *)
+let snapshot_hot ?cfg r =
+  let mdl = Test_differential.build_program r in
+  let lowered = Ir.Lower.lower mdl in
+  let p =
+    match cfg with
+    | None -> Memsentry.Framework.prepare_baseline lowered
+    | Some c -> Memsentry.Framework.prepare c lowered
+  in
+  let cpu = p.Memsentry.Framework.cpu in
+  force_traces cpu;
+  (match Memsentry.Framework.run p with
+  | Cpu.Halted -> ()
+  | Cpu.Out_of_fuel -> Alcotest.fail "hot traced run out of fuel");
+  {
+    cycles = Cpu.cycles cpu;
+    counters = cpu.Cpu.counters;
+    gprs = Array.init Reg.gpr_count (Cpu.get_gpr cpu);
+    mem_g = Mmu.peek64 cpu.Cpu.mmu ~va:(Ir.Lower.global_va lowered "g");
+  }
+
+let all_configs = None :: List.map (fun c -> Some c) Test_differential.techniques
+
+let prop_optimizer_invisible_under_techniques =
+  QCheck.Test.make ~name:"optimized hot traces = hooked interpreter (all techniques)"
+    ~count:15 Test_differential.arb_recipe (fun r ->
+      List.for_all
+        (fun cfg -> same_outcome (snapshot ?cfg ~hooks:true r) (snapshot_hot ?cfg r))
+        all_configs)
+
 (* --- trace tier: loops, side exits, SMC invalidation ------------------- *)
 
 (* A counted loop whose body is one block: forms a single-segment looping
@@ -694,6 +867,12 @@ let suite =
       three_tier_differential;
     Alcotest.test_case "trace tier under Machine quanta 1/7/1000" `Quick
       machine_trace_tier_differential;
+    Alcotest.test_case "every Insn constructor: unoptimized traces = block tier" `Quick
+      three_tier_fusion_off_differential;
+    Alcotest.test_case "inline slot kill switch is invisible" `Quick
+      inline_slot_kill_is_invisible;
+    Alcotest.test_case "lazy-rip fault precision mid-trace" `Quick lazy_rip_fault_precision;
+    QCheck_alcotest.to_alcotest prop_optimizer_invisible_under_techniques;
     Alcotest.test_case "superblock side exit: biased jcc loop" `Quick trace_side_exit_jcc;
     Alcotest.test_case "superblock side exit: ret mispredict" `Quick trace_side_exit_indirect;
     Alcotest.test_case "SMC flush tears down active superblock" `Quick
